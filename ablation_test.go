@@ -1,0 +1,137 @@
+package pstap_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: each
+// pair (or metric set) contrasts the paper's choice with its alternative.
+// Further kernel-level ablation pairs live next to their packages
+// (internal/stap: pulse-compression ordering, recursive vs full QR;
+// internal/redist: sender- vs receiver-side reorganization, collection vs
+// full-slab).
+
+import (
+	"testing"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/roundrobin"
+	"pstap/internal/stap"
+)
+
+// BenchmarkAblationFlowControlWindow contrasts the pipeline with a deep
+// in-flight window (the paper's double buffering, overlap of communication
+// and computation) against a window of 1 (fully synchronous hand-offs: a
+// new CPI enters only after the previous report). The paper's Figure 10
+// loop exists precisely to avoid the latter.
+func BenchmarkAblationFlowControlWindow(b *testing.B) {
+	sc := radar.DefaultScene(radar.Small())
+	run := func(window int) float64 {
+		res, err := pipeline.Run(pipeline.Config{
+			Scene:   sc,
+			Assign:  pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1),
+			NumCPIs: 16, Warmup: 4, Cooldown: 2,
+			Window: window,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.Throughput
+	}
+	var pipelined, synchronous float64
+	for i := 0; i < b.N; i++ {
+		pipelined = run(8)
+		synchronous = run(1)
+	}
+	b.ReportMetric(pipelined, "windowed-CPI/s")
+	b.ReportMetric(synchronous, "synchronous-CPI/s")
+	b.ReportMetric(pipelined/synchronous, "speedup")
+}
+
+// BenchmarkAblationDataCollection reports the communication-volume saving
+// of the paper's data collection (weight tasks receive only their training
+// subsets) versus shipping the full staggered cube, on the Paragon model.
+func BenchmarkAblationDataCollection(b *testing.B) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	p := radar.Paper()
+	var collected, full int64
+	for i := 0; i < b.N; i++ {
+		collected = mo.Volume(paragon.Edge{Src: pipeline.TaskDoppler, Dst: pipeline.TaskEasyWeight}) +
+			mo.Volume(paragon.Edge{Src: pipeline.TaskDoppler, Dst: pipeline.TaskHardWeight})
+		// Without collection both weight tasks receive the whole staggered
+		// CPI cube (K x 2J x N complex).
+		full = 2 * int64(p.K) * int64(2*p.J) * int64(p.N) * 8
+	}
+	b.ReportMetric(float64(collected), "collected-bytes")
+	b.ReportMetric(float64(full), "full-bytes")
+	b.ReportMetric(float64(full)/float64(collected), "volume-ratio")
+}
+
+// BenchmarkAblationPulseCompressionOrder reports the flop cost of
+// compressing per channel before beamforming vs per beam after it — the
+// saving the mainbeam constraint's phase preservation buys (Section 3).
+func BenchmarkAblationPulseCompressionOrder(b *testing.B) {
+	p := radar.Paper()
+	var perBeam, perChannel int64
+	for i := 0; i < b.N; i++ {
+		perBeam = stap.CountFlops(p).PulseComp
+		perChannel = stap.FlopsPulseCompPerChannel(p)
+	}
+	b.ReportMetric(float64(perBeam), "after-BF-flops")
+	b.ReportMetric(float64(perChannel), "before-BF-flops")
+	b.ReportMetric(float64(perChannel)/float64(perBeam), "cost-ratio")
+}
+
+// BenchmarkAblationPipelineVsRoundRobin contrasts the paper's parallel
+// pipeline against the RTMCARM round-robin baseline at equal node counts
+// on the Paragon model: matched throughput, ~20x latency gap.
+func BenchmarkAblationPipelineVsRoundRobin(b *testing.B) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	a := pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16)
+	var pipe paragon.SimResult
+	var rrThr, rrLat float64
+	for i := 0; i < b.N; i++ {
+		pipe = mo.Simulate(a)
+		rrThr, rrLat = roundrobin.SimulateModel(mo, a.Total())
+	}
+	b.ReportMetric(pipe.Throughput, "pipeline-CPI/s")
+	b.ReportMetric(rrThr, "roundrobin-CPI/s")
+	b.ReportMetric(pipe.RealLatency, "pipeline-latency-s")
+	b.ReportMetric(rrLat, "roundrobin-latency-s")
+	b.ReportMetric(rrLat/pipe.RealLatency, "latency-gap")
+}
+
+// BenchmarkAblationReplicatedPipelines reports the "multiple pipelines"
+// extension: R copies of case 3 vs one big case-1-style pipeline with the
+// same node total.
+func BenchmarkAblationReplicatedPipelines(b *testing.B) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	small := pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4) // 59 nodes
+	big := pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16)
+	var repThr, repLat float64
+	var bigRes paragon.SimResult
+	for i := 0; i < b.N; i++ {
+		_, repThr, repLat = mo.SimulateReplicated(small, 4) // 236 nodes
+		bigRes = mo.Simulate(big)
+	}
+	b.ReportMetric(repThr, "4x59-replicated-CPI/s")
+	b.ReportMetric(bigRes.Throughput, "1x236-pipeline-CPI/s")
+	b.ReportMetric(repLat, "replicated-latency-s")
+	b.ReportMetric(bigRes.RealLatency, "pipeline-latency-s")
+}
+
+// BenchmarkAblationRealRoundRobin runs the actual round-robin baseline on
+// the host for a wall-clock comparison with BenchmarkRealPipeline.
+func BenchmarkAblationRealRoundRobin(b *testing.B) {
+	sc := radar.DefaultScene(radar.Small())
+	var res *roundrobin.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = roundrobin.Run(roundrobin.Config{
+			Scene: sc, Replicas: 2, NumCPIs: 16, Warmup: 4, Cooldown: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Throughput, "throughput-CPI/s")
+	b.ReportMetric(res.Latency.Seconds(), "latency-s")
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"pstap/internal/paragon"
+	"pstap/internal/radar"
+)
+
+// captureStdout runs f with stdout redirected and returns the output size.
+func captureStdout(t *testing.T, f func()) int64 {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan int64)
+	go func() {
+		buf := make([]byte, 1<<16)
+		var n int64
+		for {
+			k, err := r.Read(buf)
+			n += int64(k)
+			if err != nil {
+				break
+			}
+		}
+		done <- n
+	}()
+	f()
+	w.Close()
+	os.Stdout = old
+	return <-done
+}
+
+func TestTablesPrintWithoutPanic(t *testing.T) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	sections := map[string]func(){
+		"table1":   func() { table1() },
+		"table2":   func() { table2(mo) },
+		"table3":   func() { commTable(mo, 3) },
+		"table4":   func() { commTable(mo, 4) },
+		"table5":   func() { commTable(mo, 5) },
+		"table6":   func() { commTable(mo, 6) },
+		"table7":   func() { table7(mo) },
+		"table8":   func() { table8(mo) },
+		"table9":   func() { table9or10(mo, 9) },
+		"table10":  func() { table9or10(mo, 10) },
+		"figure11": func() { figure11(mo) },
+		"baseline": func() { baseline(mo) },
+		"verify":   func() { verify(mo) },
+	}
+	for name, f := range sections {
+		if n := captureStdout(t, f); n < 100 {
+			t.Errorf("%s printed only %d bytes", name, n)
+		}
+	}
+}
+
+func TestCommTablesDataConsistent(t *testing.T) {
+	for id, c := range commTables() {
+		if len(c.paper) != len(c.dstN) {
+			t.Errorf("table %d: %d paper blocks for %d dst configs", id, len(c.paper), len(c.dstN))
+		}
+		for di := range c.paper {
+			if len(c.paper[di]) != len(c.srcN) {
+				t.Errorf("table %d dst %d: %d rows for %d src configs", id, di, len(c.paper[di]), len(c.srcN))
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command stapgen synthesizes CPI data cubes and writes them, along with
+// the scene's ground truth, to a gob file — a stand-in for the RTMCARM
+// recorded data a downstream user would replay through the pipeline.
+//
+// Usage:
+//
+//	stapgen -o cpis.gob -cpis 25 -size small
+//	stapgen -o cpis.gob -targets "128:0.0:0.3:25,300:0.05:0.01:40"
+//
+// Targets are range:azimuth:doppler:power quadruples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pstap/internal/cpifile"
+	"pstap/internal/radar"
+)
+
+var (
+	flagOut     = flag.String("o", "cpis.gob", "output file")
+	flagCPIs    = flag.Int("cpis", 25, "number of CPIs")
+	flagSize    = flag.String("size", "small", "problem size: small | medium | paper")
+	flagSeed    = flag.Int64("seed", 1, "scene seed")
+	flagTargets = flag.String("targets", "", "range:az:doppler:power quadruples, comma separated")
+)
+
+func main() {
+	flag.Parse()
+	var p radar.Params
+	switch *flagSize {
+	case "small":
+		p = radar.Small()
+	case "medium":
+		p = radar.Medium()
+	case "paper":
+		p = radar.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *flagSize)
+		os.Exit(2)
+	}
+	sc := radar.DefaultScene(p)
+	sc.Seed = *flagSeed
+	if *flagTargets != "" {
+		sc.Targets = nil
+		for _, spec := range strings.Split(*flagTargets, ",") {
+			parts := strings.Split(spec, ":")
+			if len(parts) != 4 {
+				fmt.Fprintf(os.Stderr, "bad target %q (want range:az:doppler:power)\n", spec)
+				os.Exit(2)
+			}
+			r, err1 := strconv.Atoi(parts[0])
+			az, err2 := strconv.ParseFloat(parts[1], 64)
+			fd, err3 := strconv.ParseFloat(parts[2], 64)
+			pw, err4 := strconv.ParseFloat(parts[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				fmt.Fprintf(os.Stderr, "bad target %q\n", spec)
+				os.Exit(2)
+			}
+			sc.Targets = append(sc.Targets, radar.Target{Range: r, Azimuth: az, Doppler: fd, Power: pw})
+		}
+	}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "scene:", err)
+		os.Exit(1)
+	}
+	file := cpifile.File{Params: p, Targets: sc.Targets, Seed: sc.Seed}
+	for i := 0; i < *flagCPIs; i++ {
+		file.CPIs = append(file.CPIs, sc.GenerateCPI(i))
+	}
+	if err := file.Save(*flagOut); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := os.Stat(*flagOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d CPIs (%s, %d targets) to %s (%d bytes)\n",
+		len(file.CPIs), *flagSize, len(file.Targets), *flagOut, st.Size())
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContainsEverySection(t *testing.T) {
+	var b strings.Builder
+	report(&b)
+	out := b.String()
+	for _, section := range []string{
+		"## Table 1", "## Table 7", "## Table 8", "## Tables 9 & 10",
+		"## Table 2", "## Cross-validation",
+		"79691776",      // exact Doppler flops
+		"Discrete-event", // DES line
+		"Round-robin baseline",
+	} {
+		if !strings.Contains(out, section) {
+			t.Errorf("report missing %q", section)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}

@@ -1,0 +1,14 @@
+// Package pstap is a Go reproduction of "Design, Implementation and
+// Evaluation of Parallel Pipelined STAP on Parallel Computers" (Choudhary
+// et al., IPPS 1998): a PRI-staggered post-Doppler space-time adaptive
+// processing radar chain, parallelized as a pipeline of seven parallel
+// tasks, together with the substrates the paper relies on — complex FFTs,
+// Householder/recursive QR, a message-passing runtime, a synthetic
+// phased-array data generator, and a calibrated cost model of the AFRL
+// Intel Paragon that regenerates the paper's published tables.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-reproduced
+// numbers. The root-level benchmarks (bench_test.go) regenerate one table
+// or figure each.
+package pstap

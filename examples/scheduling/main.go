@@ -1,0 +1,73 @@
+// Scheduling: explore the throughput/latency tradeoff of processor
+// assignment (paper Section 4.1.2 and Tables 9/10) on the calibrated
+// Paragon model, then let the optimizer pick assignments for a range of
+// node budgets.
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/sched"
+	"pstap/internal/stap"
+)
+
+func main() {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+
+	fmt.Println("--- the paper's Table 9/10 experiment, replayed on the model ---")
+	case2 := pipeline.NewAssignment(16, 8, 56, 8, 14, 8, 8)
+	steps := []struct {
+		name string
+		a    pipeline.Assignment
+	}{
+		{"case 2 (118 nodes)", case2},
+		{"+4 Doppler nodes (122)", pipeline.NewAssignment(20, 8, 56, 8, 14, 8, 8)},
+		{"+16 PC/CFAR nodes (138)", pipeline.NewAssignment(20, 8, 56, 8, 14, 16, 16)},
+	}
+	base := mo.Simulate(case2)
+	for _, s := range steps {
+		r := mo.Simulate(s.a)
+		fmt.Printf("%-26s throughput %6.3f CPI/s (%+5.1f%%)   latency %6.4f s (%+5.1f%%)\n",
+			s.name, r.Throughput, 100*(r.Throughput/base.Throughput-1),
+			r.RealLatency, 100*(r.RealLatency/base.RealLatency-1))
+	}
+	fmt.Println()
+	fmt.Println("adding Doppler nodes speeds up *other* tasks' receives too;")
+	fmt.Println("adding back-end nodes cannot raise throughput past the weight bottleneck,")
+	fmt.Println("but still cuts latency (the back-end is on the reporting path).")
+	fmt.Println()
+
+	fmt.Println("--- optimizer: best assignments per node budget ---")
+	fmt.Printf("%7s  %-28s %10s %10s\n", "budget", "assignment [D,eW,hW,eBF,hBF,PC,CF]", "thr CPI/s", "latency s")
+	for _, budget := range []int{20, 59, 118, 236, 321} {
+		for _, obj := range []sched.Objective{sched.MaxThroughput, sched.MinLatency} {
+			a, res, err := sched.Optimize(mo, budget, obj)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%7d  %-28v %10.3f %10.4f  (%v)\n",
+				budget, a, res.Throughput, res.RealLatency, obj)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("--- min latency subject to keeping up with a 5 CPI/s input rate (236 nodes) ---")
+	if a, res, err := sched.OptimizeLatencyWithFloor(mo, 236, 5.0); err == nil {
+		fmt.Printf("%v -> throughput %.3f CPI/s, latency %.4f s\n", a, res.Throughput, res.RealLatency)
+	} else {
+		fmt.Println(err)
+	}
+	fmt.Println()
+
+	fmt.Println("--- where the nodes go (throughput objective, 236 nodes) ---")
+	a, res, _ := sched.Optimize(mo, 236, sched.MaxThroughput)
+	for t := 0; t < pipeline.NumTasks; t++ {
+		fmt.Printf("%-16s %3d nodes   busy %.4f s\n", stap.TaskNames[t], a[t], mo.Busy(t, a))
+	}
+	fmt.Printf("pipeline period %.4f s -> %.3f CPI/s\n", res.Period, res.Throughput)
+}

@@ -1,0 +1,3 @@
+module pstap
+
+go 1.22

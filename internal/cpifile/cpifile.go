@@ -1,0 +1,105 @@
+// Package cpifile defines the on-disk format for recorded CPI streams:
+// the gob-encoded stand-in for the RTMCARM flight tapes. cmd/stapgen
+// writes these files; cmd/stappipe -replay and library users feed them
+// back through the pipeline.
+package cpifile
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+// File is a recorded CPI stream plus the scene ground truth needed to
+// process and score it.
+type File struct {
+	Params  radar.Params
+	Targets []radar.Target
+	Seed    int64
+	CPIs    []*cube.Cube
+}
+
+// Scene reconstructs a radar.Scene consistent with the recording (same
+// parameters, targets and seed, default clutter/noise description). The
+// returned scene's GenerateCPI reproduces the recorded cubes bit-exactly
+// when the file was produced by stapgen with default clutter settings;
+// for processing recorded data prefer Replay.
+func (f *File) Scene() *radar.Scene {
+	sc := radar.DefaultScene(f.Params)
+	sc.Targets = f.Targets
+	sc.Seed = f.Seed
+	return sc
+}
+
+// Replay returns a source function serving the recorded cubes by index,
+// suitable for pipeline.Config.RawSource.
+func (f *File) Replay() func(int) *cube.Cube {
+	return func(i int) *cube.Cube {
+		if i < 0 || i >= len(f.CPIs) {
+			panic(fmt.Sprintf("cpifile: CPI %d of %d", i, len(f.CPIs)))
+		}
+		return f.CPIs[i]
+	}
+}
+
+// Validate checks internal consistency.
+func (f *File) Validate() error {
+	if err := f.Params.Validate(); err != nil {
+		return err
+	}
+	want := [3]int{f.Params.K, f.Params.J, f.Params.N}
+	for i, c := range f.CPIs {
+		if c == nil {
+			return fmt.Errorf("cpifile: CPI %d is nil", i)
+		}
+		if c.Axes != radar.RawOrder || c.Dim != want {
+			return fmt.Errorf("cpifile: CPI %d shape %v %v, want %v %v",
+				i, c.Axes, c.Dim, radar.RawOrder, want)
+		}
+	}
+	return nil
+}
+
+// Write encodes the file to w.
+func (f *File) Write(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// Read decodes a file from r and validates it.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("cpifile: decode: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Save writes the file to path.
+func (f *File) Save(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := f.Write(out); err != nil {
+		return err
+	}
+	return out.Sync()
+}
+
+// Load reads the file at path.
+func Load(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}

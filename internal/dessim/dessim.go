@@ -1,0 +1,111 @@
+// Package dessim is a discrete-event simulation of the parallel pipeline
+// that cross-validates the closed-form steady-state analysis in
+// internal/paragon. Where the analytic model asserts "the loop period is
+// the largest busy time", the DES derives it: every task iterates the
+// Figure 10 loop (receive -> compute -> send), an iteration starts when
+// the previous one has finished AND all inputs have arrived, and the
+// temporal weight dependency delivers the weights computed during
+// iteration i-1 to the beamformers' iteration i. Since all nodes of one
+// task are identical and deterministic, one recurrence per task suffices.
+//
+// The DES also exposes the transient the analytic model hides: the fill
+// latency of the first CPIs before the pipeline reaches steady state.
+package dessim
+
+import (
+	"fmt"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+)
+
+// Result summarizes a DES run.
+type Result struct {
+	// Done[t][i] is the time task t finishes its loop for CPI i.
+	Done [][]float64
+	// Period is the steady-state completion gap at the pipeline output.
+	Period float64
+	// Throughput = 1/Period.
+	Throughput float64
+	// FirstLatency is CPI 0's input-to-report time (pipeline fill).
+	FirstLatency float64
+	// SteadyLatency is the input-to-report time of the last simulated CPI.
+	SteadyLatency float64
+}
+
+// Simulate runs n CPIs of the pipeline under the assignment using the
+// Paragon model's per-task phase costs. Input is assumed pre-staged (the
+// sensor never starves the pipeline), matching both the paper's
+// measurement setup and the analytic model.
+func Simulate(mo *paragon.Model, a pipeline.Assignment, n int) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("dessim: need at least 3 CPIs, got %d", n)
+	}
+	// Per-task phase costs from the analytic model.
+	var unpack, comp, pack [pipeline.NumTasks]float64
+	for t := 0; t < pipeline.NumTasks; t++ {
+		unpack[t] = mo.RecvIntrinsic(t, a)
+		comp[t] = mo.CompTime(t, a[t])
+		pack[t] = mo.PackTime(t, a[t])
+	}
+
+	// in-edges, excluding sensor input (always available).
+	type inEdge struct {
+		src   int
+		delay int // CPI offset: weights arrive from the source's previous iteration
+	}
+	inEdges := make([][]inEdge, pipeline.NumTasks)
+	for _, e := range paragon.Edges() {
+		if e.Src == paragon.InputEdge {
+			continue
+		}
+		delay := 0
+		if (e.Src == pipeline.TaskEasyWeight && e.Dst == pipeline.TaskEasyBF) ||
+			(e.Src == pipeline.TaskHardWeight && e.Dst == pipeline.TaskHardBF) {
+			// TD(1,3)/TD(2,4): weights for CPI i leave the weight task at
+			// the end of its iteration i-1.
+			delay = 1
+		}
+		inEdges[e.Dst] = append(inEdges[e.Dst], inEdge{src: e.Src, delay: delay})
+	}
+
+	done := make([][]float64, pipeline.NumTasks)
+	for t := range done {
+		done[t] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for t := 0; t < pipeline.NumTasks; t++ {
+			avail := 0.0
+			for _, e := range inEdges[t] {
+				j := i - e.delay
+				if j < 0 {
+					continue // CPI 0 uses steering weights, no wait
+				}
+				if d := done[e.src][j]; d > avail {
+					avail = d
+				}
+			}
+			start := avail
+			if i > 0 && done[t][i-1] > start {
+				start = done[t][i-1] // the node is busy with the previous CPI
+			}
+			done[t][i] = start + unpack[t] + comp[t] + pack[t]
+		}
+	}
+
+	res := &Result{Done: done}
+	last := pipeline.TaskCFAR
+	res.Period = done[last][n-1] - done[last][n-2]
+	if res.Period > 0 {
+		res.Throughput = 1 / res.Period
+	}
+	// Input for CPI i becomes "interesting" when the Doppler task can
+	// start it: its loop start time.
+	res.FirstLatency = done[last][0]
+	startLast := done[pipeline.TaskDoppler][n-2] // Doppler begins CPI n-1 when n-2 done
+	res.SteadyLatency = done[last][n-1] - startLast
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package dessim
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func model() *paragon.Model {
+	return paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+}
+
+var cases = []pipeline.Assignment{
+	pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16),
+	pipeline.NewAssignment(16, 8, 56, 8, 14, 8, 8),
+	pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4),
+	pipeline.NewAssignment(20, 8, 56, 8, 14, 16, 16),
+	pipeline.NewAssignment(3, 1, 9, 2, 2, 2, 1),
+}
+
+func TestDESPeriodMatchesAnalyticModel(t *testing.T) {
+	// The central cross-validation: the event-driven steady-state period
+	// must equal the analytic max-busy-time period for every assignment.
+	mo := model()
+	for _, a := range cases {
+		res, err := Simulate(mo, a, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mo.Simulate(a).Period
+		if rel := math.Abs(res.Period-want) / want; rel > 1e-9 {
+			t.Errorf("assign %v: DES period %.6f vs analytic %.6f (%.2g rel)",
+				a, res.Period, want, rel)
+		}
+	}
+}
+
+func TestDESMonotoneCompletion(t *testing.T) {
+	mo := model()
+	res, err := Simulate(mo, cases[0], 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < pipeline.NumTasks; t2++ {
+		for i := 1; i < 20; i++ {
+			if res.Done[t2][i] <= res.Done[t2][i-1] {
+				t.Fatalf("task %d completion not increasing at CPI %d", t2, i)
+			}
+		}
+	}
+}
+
+func TestDESPipelineOrdering(t *testing.T) {
+	// Data cannot leave a downstream task before the upstream produced it.
+	mo := model()
+	res, err := Simulate(mo, cases[1], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if res.Done[pipeline.TaskCFAR][i] <= res.Done[pipeline.TaskDoppler][i] {
+			t.Fatalf("CPI %d: CFAR done before Doppler", i)
+		}
+		if res.Done[pipeline.TaskPulseComp][i] <= res.Done[pipeline.TaskEasyBF][i] {
+			t.Fatalf("CPI %d: PC done before easy BF", i)
+		}
+	}
+}
+
+func TestDESFillLatency(t *testing.T) {
+	// CPI 0 pays the full pipeline fill: its report time must equal the
+	// sum of busy times along the reporting path exactly (no queueing yet,
+	// and CPI 0 skips the weight wait).
+	mo := model()
+	a := cases[2]
+	res, err := Simulate(mo, a, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := func(task int) float64 {
+		return mo.RecvIntrinsic(task, a) + mo.CompTime(task, a[task]) + mo.PackTime(task, a[task])
+	}
+	bf := math.Max(busy(pipeline.TaskEasyBF), busy(pipeline.TaskHardBF))
+	want := busy(pipeline.TaskDoppler) + bf + busy(pipeline.TaskPulseComp) + busy(pipeline.TaskCFAR)
+	if rel := math.Abs(res.FirstLatency-want) / want; rel > 1e-9 {
+		t.Errorf("fill latency %.6f vs path sum %.6f", res.FirstLatency, want)
+	}
+	// The analytic eq-3 latency is exactly this path sum.
+	if rel := math.Abs(res.FirstLatency-mo.Simulate(a).RealLatency) / res.FirstLatency; rel > 1e-9 {
+		t.Errorf("fill latency should equal analytic real latency")
+	}
+}
+
+func TestDESSteadyLatencyBounded(t *testing.T) {
+	// In steady state latency sits between the fill latency and fill +
+	// a few periods (queueing behind the bottleneck).
+	mo := model()
+	for _, a := range cases {
+		res, err := Simulate(mo, a, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SteadyLatency < res.FirstLatency-1e-9 {
+			t.Errorf("assign %v: steady latency %.4f below fill %.4f", a, res.SteadyLatency, res.FirstLatency)
+		}
+		if res.SteadyLatency > res.FirstLatency+8*res.Period {
+			t.Errorf("assign %v: steady latency %.4f unreasonably above fill %.4f (period %.4f)",
+				a, res.SteadyLatency, res.FirstLatency, res.Period)
+		}
+	}
+}
+
+func TestDESValidation(t *testing.T) {
+	mo := model()
+	if _, err := Simulate(mo, pipeline.Assignment{}, 10); err == nil {
+		t.Error("invalid assignment should fail")
+	}
+	if _, err := Simulate(mo, cases[0], 2); err == nil {
+		t.Error("too few CPIs should fail")
+	}
+}
+
+func TestDESThroughputMatchesTable8(t *testing.T) {
+	mo := model()
+	paper := map[int]float64{236: 7.2659, 118: 3.7959, 59: 1.9898}
+	for _, a := range cases[:3] {
+		res, err := Simulate(mo, a, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := paper[a.Total()]
+		if rel := math.Abs(res.Throughput-want) / want; rel > 0.10 {
+			t.Errorf("%d nodes: DES throughput %.3f vs paper %.3f", a.Total(), res.Throughput, want)
+		}
+	}
+}
+
+func BenchmarkDES(b *testing.B) {
+	mo := model()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(mo, cases[0], 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

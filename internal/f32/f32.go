@@ -1,0 +1,275 @@
+// Package f32 implements the weight computation's core linear algebra in
+// single precision (complex64) — the arithmetic the Paragon's i860s
+// actually ran (the RTMCARM front end delivered 16-bit samples converted
+// to 32-bit floats). Its purpose is the numerical experiment behind
+// Appendix A's preference for working on the data matrix: solving the
+// constrained problem via QR on the data matrix keeps the effective
+// condition number at kappa(A), while forming the covariance squares it
+// to kappa(A)^2 — harmless in float64 test rigs, visibly damaging in the
+// float32 the real system used. See the package tests.
+package f32
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major complex64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("f32: invalid dims %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]complex64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []complex64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+func conj(v complex64) complex64 { return complex(real(v), -imag(v)) }
+
+func abs(v complex64) float64 {
+	return math.Hypot(float64(real(v)), float64(imag(v)))
+}
+
+// norm2 of a column segment of m starting at (k, col).
+func colNorm(m *Matrix, k, col int) float64 {
+	var s float64
+	for i := k; i < m.Rows; i++ {
+		v := m.At(i, col)
+		s += float64(real(v))*float64(real(v)) + float64(imag(v))*float64(imag(v))
+	}
+	return math.Sqrt(s)
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []complex64) float64 {
+	var s float64
+	for _, x := range v {
+		s += float64(real(x))*float64(real(x)) + float64(imag(x))*float64(imag(x))
+	}
+	return math.Sqrt(s)
+}
+
+// LeastSquares solves min ||A x - b|| in single precision via Householder
+// QR, applying the reflectors to b on the fly (no explicit Q).
+func LeastSquares(a *Matrix, b []complex64) ([]complex64, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("f32: need rows >= cols, got %dx%d", m, n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("f32: rhs length %d, want %d", len(b), m)
+	}
+	r := a.Clone()
+	rhs := append([]complex64(nil), b...)
+	for k := 0; k < n; k++ {
+		alpha := colNorm(r, k, k)
+		if alpha == 0 {
+			return nil, fmt.Errorf("f32: rank deficient at %d", k)
+		}
+		x0 := r.At(k, k)
+		var beta complex64
+		if x0 == 0 {
+			beta = complex64(complex(-alpha, 0))
+		} else {
+			scale := complex64(complex(alpha/abs(x0), 0))
+			beta = -x0 * scale
+		}
+		// v = x - beta e1, normalized
+		v := make([]complex64, m-k)
+		for i := k; i < m; i++ {
+			v[i-k] = r.At(i, k)
+		}
+		v[0] -= beta
+		nv := Norm2(v)
+		if nv < 1e-30 {
+			continue
+		}
+		inv := complex64(complex(1/nv, 0))
+		for i := range v {
+			v[i] *= inv
+		}
+		// apply (I - 2vv^H) to remaining columns and rhs
+		for j := k; j < n; j++ {
+			var dot complex64
+			for i := k; i < m; i++ {
+				dot += conj(v[i-k]) * r.At(i, j)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+		var dot complex64
+		for i := k; i < m; i++ {
+			dot += conj(v[i-k]) * rhs[i]
+		}
+		dot *= 2
+		for i := k; i < m; i++ {
+			rhs[i] -= dot * v[i-k]
+		}
+	}
+	// back substitution on the top n x n of r
+	x := make([]complex64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for j := i + 1; j < n; j++ {
+			sum -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if abs(d) < 1e-30 {
+			return nil, fmt.Errorf("f32: singular R at %d", i)
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower factor of a Hermitian positive definite
+// complex64 matrix.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("f32: Cholesky needs square")
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * conj(l.At(j, k))
+			}
+			if i == j {
+				d := float64(real(sum))
+				if d <= 0 {
+					return nil, fmt.Errorf("f32: not positive definite at %d", i)
+				}
+				l.Set(i, i, complex64(complex(math.Sqrt(d), 0)))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a x = b given the Cholesky factor.
+func CholeskySolve(l *Matrix, b []complex64) ([]complex64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("f32: rhs length")
+	}
+	y := make([]complex64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for j := 0; j < i; j++ {
+			sum -= l.At(i, j) * y[j]
+		}
+		y[i] = sum / l.At(i, i)
+	}
+	x := make([]complex64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for j := i + 1; j < n; j++ {
+			sum -= conj(l.At(j, i)) * x[j]
+		}
+		x[i] = sum / conj(l.At(i, i))
+	}
+	return x, nil
+}
+
+// Covariance forms (1/rows) S^H S + delta I in single precision.
+func Covariance(rows *Matrix, delta float64) *Matrix {
+	n := rows.Cols
+	cov := NewMatrix(n, n)
+	for r := 0; r < rows.Rows; r++ {
+		row := rows.Row(r)
+		for i := 0; i < n; i++ {
+			ci := conj(row[i])
+			for j := 0; j < n; j++ {
+				cov.Data[i*n+j] += ci * row[j]
+			}
+		}
+	}
+	if rows.Rows > 0 {
+		inv := complex64(complex(1/float64(rows.Rows), 0))
+		for i := range cov.Data {
+			cov.Data[i] *= inv
+		}
+	}
+	for i := 0; i < n; i++ {
+		cov.Data[i*n+i] += complex64(complex(delta, 0))
+	}
+	return cov
+}
+
+// SolveConstrainedQR solves the Figure 13 problem in single precision via
+// QR on the augmented data matrix [S; k I], rhs [0; k ws].
+func SolveConstrainedQR(rows *Matrix, ws []complex64, kEff float64) ([]complex64, error) {
+	nch := rows.Cols
+	a := NewMatrix(rows.Rows+nch, nch)
+	copy(a.Data, rows.Data)
+	k64 := complex64(complex(kEff, 0))
+	for j := 0; j < nch; j++ {
+		a.Set(rows.Rows+j, j, k64)
+	}
+	b := make([]complex64, rows.Rows+nch)
+	for j := 0; j < nch; j++ {
+		b[rows.Rows+j] = k64 * ws[j]
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	normalize(x)
+	return x, nil
+}
+
+// SolveConstrainedSMI solves the same problem via covariance + Cholesky
+// (loading delta = kEff^2 / rows, the algebraic twin of the QR path).
+func SolveConstrainedSMI(rows *Matrix, ws []complex64, kEff float64) ([]complex64, error) {
+	if rows.Rows == 0 {
+		return nil, fmt.Errorf("f32: no rows")
+	}
+	cov := Covariance(rows, kEff*kEff/float64(rows.Rows))
+	l, err := Cholesky(cov)
+	if err != nil {
+		return nil, err
+	}
+	x, err := CholeskySolve(l, ws)
+	if err != nil {
+		return nil, err
+	}
+	normalize(x)
+	return x, nil
+}
+
+func normalize(v []complex64) {
+	n := Norm2(v)
+	if n == 0 {
+		return
+	}
+	inv := complex64(complex(1/n, 0))
+	for i := range v {
+		v[i] *= inv
+	}
+}

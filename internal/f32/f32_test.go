@@ -1,0 +1,228 @@
+package f32
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"pstap/internal/linalg"
+)
+
+// toF64 converts a complex64 vector for comparison against the float64
+// reference.
+func toF64(v []complex64) []complex128 {
+	out := make([]complex128, len(v))
+	for i, x := range v {
+		out[i] = complex128(x)
+	}
+	return out
+}
+
+func randRows(rng *rand.Rand, m, n int) *Matrix {
+	a := NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = complex64(complex(rng.NormFloat64(), rng.NormFloat64()))
+	}
+	return a
+}
+
+func TestLeastSquaresMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randRows(rng, 20, 6)
+	b := make([]complex64, 20)
+	for i := range b {
+		b[i] = complex64(complex(rng.NormFloat64(), rng.NormFloat64()))
+	}
+	x32, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// float64 reference
+	a64 := linalg.NewMatrix(20, 6)
+	for i := range a.Data {
+		a64.Data[i] = complex128(a.Data[i])
+	}
+	b64 := toF64(b)
+	x64, err := linalg.LeastSquares(a64, b64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x64 {
+		if cmplx.Abs(complex128(x32[i])-x64[i]) > 1e-4 {
+			t.Fatalf("x[%d]: f32 %v vs f64 %v", i, x32[i], x64[i])
+		}
+	}
+}
+
+func TestCholeskySolveF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randRows(rng, 30, 5)
+	cov := Covariance(rows, 0.1)
+	l, err := Cholesky(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex64, 5)
+	for i := range want {
+		want[i] = complex64(complex(rng.NormFloat64(), rng.NormFloat64()))
+	}
+	// b = cov * want
+	b := make([]complex64, 5)
+	for i := 0; i < 5; i++ {
+		var s complex64
+		for j := 0; j < 5; j++ {
+			s += cov.At(i, j) * want[j]
+		}
+		b[i] = s
+	}
+	got, err := CholeskySolve(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(complex128(got[i]-want[i])) > 1e-3 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// illConditionedRows builds training data whose data-matrix condition
+// number is ~10^3 (so the covariance's is ~10^6, near the edge of
+// float32's ~10^7 precision budget): one dominant interference direction
+// plus tiny noise.
+func illConditionedRows(rng *rand.Rand, m, n int, dynamic float64) *Matrix {
+	dir := make([]complex64, n)
+	for j := range dir {
+		dir[j] = complex64(complex(rng.NormFloat64(), rng.NormFloat64()))
+	}
+	nrm := Norm2(dir)
+	for j := range dir {
+		dir[j] /= complex64(complex(nrm, 0))
+	}
+	rows := NewMatrix(m, n)
+	for r := 0; r < m; r++ {
+		amp := complex64(complex(dynamic*rng.NormFloat64(), dynamic*rng.NormFloat64()))
+		for j := 0; j < n; j++ {
+			rows.Set(r, j, amp*dir[j]+complex64(complex(rng.NormFloat64(), rng.NormFloat64())))
+		}
+	}
+	return rows
+}
+
+func TestQRBeatsSMIInSinglePrecision(t *testing.T) {
+	// The numerical heart of Appendix A's design choice: with
+	// ill-conditioned training data in float32, the QR path stays close to
+	// the float64 truth while the covariance path (condition number
+	// squared) drifts further. Compare both against a float64 reference
+	// over several trials.
+	rng := rand.New(rand.NewSource(7))
+	n := 8
+	m := 64
+	kEff := 0.5
+	var errQR, errSMI float64
+	trials := 20
+	for trial := 0; trial < trials; trial++ {
+		rows := illConditionedRows(rng, m, n, 3000)
+		ws := make([]complex64, n)
+		for j := range ws {
+			ws[j] = complex64(complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		// float64 truth via the QR path in linalg
+		rows64 := linalg.NewMatrix(m+n, n)
+		for i := 0; i < m*n; i++ {
+			rows64.Data[i] = complex128(rows.Data[i])
+		}
+		for j := 0; j < n; j++ {
+			rows64.Set(m+j, j, complex(kEff, 0))
+		}
+		b64 := make([]complex128, m+n)
+		for j := 0; j < n; j++ {
+			b64[m+j] = complex(kEff, 0) * complex128(ws[j])
+		}
+		truth, err := linalg.LeastSquares(rows64, b64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		linalg.Normalize(truth)
+
+		qr, err := SolveConstrainedQR(rows, ws, kEff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smi, err := SolveConstrainedSMI(rows, ws, kEff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errQR += dirError(qr, truth)
+		errSMI += dirError(smi, truth)
+	}
+	errQR /= float64(trials)
+	errSMI /= float64(trials)
+	t.Logf("mean direction error vs float64 truth: QR %.2e, SMI %.2e (%.1fx)",
+		errQR, errSMI, errSMI/errQR)
+	if errSMI < 2*errQR {
+		t.Errorf("expected covariance path clearly less accurate: QR %.2e vs SMI %.2e", errQR, errSMI)
+	}
+	if errQR > 1e-3 {
+		t.Errorf("QR path itself inaccurate: %.2e", errQR)
+	}
+}
+
+// dirError measures 1 - |<a, b>| for unit vectors (0 = same direction).
+func dirError(a []complex64, b []complex128) float64 {
+	var dot complex128
+	for i := range a {
+		dot += cmplx.Conj(complex128(a[i])) * b[i]
+	}
+	return math.Abs(1 - cmplx.Abs(dot))
+}
+
+func TestErrorsAndDegenerate(t *testing.T) {
+	if _, err := LeastSquares(NewMatrix(2, 4), make([]complex64, 2)); err == nil {
+		t.Error("wide matrix should fail")
+	}
+	if _, err := LeastSquares(NewMatrix(4, 2), make([]complex64, 3)); err == nil {
+		t.Error("rhs mismatch should fail")
+	}
+	if _, err := LeastSquares(NewMatrix(4, 2), make([]complex64, 4)); err == nil {
+		t.Error("zero matrix should fail (rank deficient)")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+	neg := NewMatrix(2, 2)
+	neg.Set(0, 0, -1)
+	if _, err := Cholesky(neg); err == nil {
+		t.Error("negative definite should fail")
+	}
+	if _, err := SolveConstrainedSMI(NewMatrix(0, 2), make([]complex64, 2), 1); err == nil {
+		t.Error("no rows should fail")
+	}
+}
+
+func BenchmarkF32QRPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := illConditionedRows(rng, 64, 8, 100)
+	ws := make([]complex64, 8)
+	ws[0] = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveConstrainedQR(rows, ws, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF32SMIPath(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := illConditionedRows(rng, 64, 8, 100)
+	ws := make([]complex64, 8)
+	ws[0] = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveConstrainedSMI(rows, ws, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Cholesky computes the lower-triangular factor L of a Hermitian positive
+// definite matrix a = L L^H. a is not modified. Fails if a is not
+// (numerically) positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Cholesky needs square, got %dx%d", a.Rows, a.Cols)
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * cmplx.Conj(l.At(j, k))
+			}
+			if i == j {
+				d := real(sum)
+				if d <= 0 || math.Abs(imag(sum)) > 1e-9*(1+math.Abs(d)) {
+					return nil, fmt.Errorf("linalg: not positive definite at %d (pivot %g%+gi)", i, real(sum), imag(sum))
+				}
+				l.Set(i, i, complex(math.Sqrt(d), 0))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a x = b given the Cholesky factor L of a
+// (a = L L^H): forward substitution then back substitution with L^H.
+func CholeskySolve(l *Matrix, b []complex128) ([]complex128, error) {
+	y, err := ForwardSubstitute(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return BackSubstitute(l.H(), y)
+}
+
+// Covariance accumulates the sample covariance estimate (1/rows) S^H S of
+// snapshot rows (each row one snapshot x^T), plus diagonal loading
+// delta*I. This is the estimate the SMI (sample matrix inversion)
+// formulation needs and the paper's least squares approach avoids.
+func Covariance(rows *Matrix, delta float64) *Matrix {
+	n := rows.Cols
+	cov := NewMatrix(n, n)
+	for r := 0; r < rows.Rows; r++ {
+		row := rows.Row(r)
+		for i := 0; i < n; i++ {
+			ci := cmplx.Conj(row[i])
+			for j := 0; j < n; j++ {
+				cov.Data[i*n+j] += ci * row[j]
+			}
+		}
+	}
+	if rows.Rows > 0 {
+		cov.Scale(complex(1/float64(rows.Rows), 0))
+	}
+	for i := 0; i < n; i++ {
+		cov.Data[i*n+i] += complex(delta, 0)
+	}
+	return cov
+}
+
+// FlopsCholesky returns the flop convention for a complex Cholesky
+// factorization of size n: (4/3) n^3.
+func FlopsCholesky(n int) int64 {
+	return 4 * int64(n) * int64(n) * int64(n) / 3
+}
+
+// FlopsCovariance returns the flop convention for forming an n x n sample
+// covariance from m snapshots: 8 m n^2 (outer products, Hermitian symmetry
+// not exploited, matching the straightforward implementation above).
+func FlopsCovariance(m, n int) int64 {
+	return 8 * int64(m) * int64(n) * int64(n)
+}

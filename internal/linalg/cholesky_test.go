@@ -1,0 +1,161 @@
+package linalg
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randHPD builds a random Hermitian positive definite matrix A = B^H B + I.
+func randHPD(rng *rand.Rand, n int) *Matrix {
+	b := randMatrix(rng, n+4, n)
+	a := Mul(b.H(), b)
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += 1
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		a := randHPD(rng, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon := Mul(l, l.H())
+		if !recon.Equalish(a, 1e-9*float64(n)) {
+			t.Errorf("n=%d: LL^H != A (diff %g)", n, frobDiff(recon, a))
+		}
+		// L lower triangular
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L(%d,%d) nonzero", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should fail")
+	}
+	// negative definite
+	neg := Identity(3).Scale(-1)
+	if _, err := Cholesky(neg); err == nil {
+		t.Error("negative definite should fail")
+	}
+	// non-Hermitian (complex diagonal)
+	bad := Identity(2)
+	bad.Set(0, 0, complex(1, 1))
+	if _, err := Cholesky(bad); err == nil {
+		t.Error("complex diagonal should fail")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randHPD(rng, 8)
+	want := randVector(rng, 8)
+	b := MulVec(a, want)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CholeskySolve(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCovarianceDefinition(t *testing.T) {
+	// Covariance of conjugated snapshots equals (1/m) sum x x^H + delta I.
+	rng := rand.New(rand.NewSource(3))
+	n, m := 4, 10
+	snaps := make([][]complex128, m)
+	rows := NewMatrix(m, n)
+	for r := 0; r < m; r++ {
+		snaps[r] = randVector(rng, n)
+		for j := 0; j < n; j++ {
+			rows.Set(r, j, cmplx.Conj(snaps[r][j]))
+		}
+	}
+	delta := 0.25
+	cov := Covariance(rows, delta)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want complex128
+			for r := 0; r < m; r++ {
+				want += snaps[r][i] * cmplx.Conj(snaps[r][j])
+			}
+			want /= complex(float64(m), 0)
+			if i == j {
+				want += complex(delta, 0)
+			}
+			if cmplx.Abs(cov.At(i, j)-want) > 1e-12 {
+				t.Fatalf("cov(%d,%d) = %v, want %v", i, j, cov.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCovarianceHermitianPSDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(12)
+		rows := randMatrix(rng, m, n)
+		cov := Covariance(rows, 0.01)
+		// Hermitian
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if cmplx.Abs(cov.At(i, j)-cmplx.Conj(cov.At(j, i))) > 1e-10 {
+					return false
+				}
+			}
+		}
+		// positive definite with loading: Cholesky must succeed
+		_, err := Cholesky(cov)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovarianceEmptyRows(t *testing.T) {
+	cov := Covariance(NewMatrix(0, 3), 2)
+	want := Identity(3).Scale(2)
+	if !cov.Equalish(want, 0) {
+		t.Error("empty covariance should be the loading only")
+	}
+}
+
+func TestCholeskyFlops(t *testing.T) {
+	if FlopsCholesky(16) != 4*16*16*16/3 {
+		t.Error("FlopsCholesky")
+	}
+	if FlopsCovariance(10, 4) != 8*10*16 {
+		t.Error("FlopsCovariance")
+	}
+}
+
+func BenchmarkCholesky32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randHPD(rng, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// QR holds a thin QR factorization A = Q·R with Q (m x n, orthonormal
+// columns) and R (n x n, upper triangular), for m >= n.
+type QR struct {
+	Q *Matrix
+	R *Matrix
+}
+
+// QRFactor computes the thin QR factorization of a (m x n, m >= n) using
+// Householder reflections. a is not modified.
+func QRFactor(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: QRFactor needs rows >= cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	vs := make([][]complex128, 0, n) // Householder vectors
+	for k := 0; k < n; k++ {
+		v, ok := householderColumn(r, k)
+		if ok {
+			applyHouseholderLeft(r, v, k)
+		}
+		vs = append(vs, v)
+	}
+	// Zero out strictly-lower part and keep the top n x n block as R.
+	rOut := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rOut.Set(i, j, r.At(i, j))
+		}
+	}
+	// Accumulate Q by applying reflectors to the first n columns of I.
+	q := NewMatrix(m, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		if vs[k] != nil {
+			applyHouseholderLeft(q, vs[k], k)
+		}
+	}
+	return &QR{Q: q, R: rOut}, nil
+}
+
+// RFactor computes only the triangular factor R of the thin QR of a,
+// in O(mn^2) without accumulating Q. a is not modified. The returned R has
+// a real non-negative diagonal, making it unique and therefore directly
+// comparable across incremental updates.
+func RFactor(a *Matrix) (*Matrix, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("linalg: RFactor needs rows >= cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	for k := 0; k < n; k++ {
+		if v, ok := householderColumn(r, k); ok {
+			applyHouseholderLeft(r, v, k)
+		}
+	}
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		// Householder with our beta convention leaves diag real negative or
+		// positive; normalize rows so diag >= 0 for uniqueness.
+		d := r.At(i, i)
+		phase := complex(1, 0)
+		if d != 0 {
+			phase = complex(cmplx.Abs(d), 0) / d
+		}
+		for j := i; j < n; j++ {
+			out.Set(i, j, phase*r.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// householderColumn builds the Householder vector that annihilates column k
+// of r below the diagonal. Returns (nil, false) if the column is already
+// zero below the diagonal.
+func householderColumn(r *Matrix, k int) ([]complex128, bool) {
+	m := r.Rows
+	x := make([]complex128, m-k)
+	for i := k; i < m; i++ {
+		x[i-k] = r.At(i, k)
+	}
+	alpha := Norm2(x)
+	if alpha == 0 {
+		return nil, false
+	}
+	// beta = -sign(x0)*|x|, with complex sign = x0/|x0|.
+	var beta complex128
+	if x[0] == 0 {
+		beta = complex(-alpha, 0)
+	} else {
+		beta = -(x[0] / complex(cmplx.Abs(x[0]), 0)) * complex(alpha, 0)
+	}
+	v := make([]complex128, m-k)
+	copy(v, x)
+	v[0] -= beta
+	nv := Norm2(v)
+	if nv < 1e-300 {
+		return nil, false
+	}
+	inv := complex(1/nv, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v, true
+}
+
+// applyHouseholderLeft applies (I - 2 v v^H) to rows k.. of r, columns k..,
+// where v is the unit Householder vector for pivot k.
+func applyHouseholderLeft(r *Matrix, v []complex128, k int) {
+	if v == nil {
+		return
+	}
+	m, n := r.Rows, r.Cols
+	for j := k; j < n; j++ {
+		var dot complex128
+		for i := k; i < m; i++ {
+			dot += cmplx.Conj(v[i-k]) * r.At(i, j)
+		}
+		dot *= 2
+		if dot == 0 {
+			continue
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, j, r.At(i, j)-dot*v[i-k])
+		}
+	}
+}
+
+// BackSubstitute solves R x = b for upper-triangular R (n x n).
+func BackSubstitute(r *Matrix, b []complex128) ([]complex128, error) {
+	n := r.Rows
+	if r.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: BackSubstitute dims R %dx%d b %d", r.Rows, r.Cols, len(b))
+	}
+	x := make([]complex128, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		row := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		d := row[i]
+		if cmplx.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular R at %d", i)
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// ForwardSubstitute solves L x = b for lower-triangular L (n x n).
+func ForwardSubstitute(l *Matrix, b []complex128) ([]complex128, error) {
+	n := l.Rows
+	if l.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: ForwardSubstitute dims L %dx%d b %d", l.Rows, l.Cols, len(b))
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		d := row[i]
+		if cmplx.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular L at %d", i)
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min_x ||A x - b||_2 via QR. A must have rows >= cols
+// and full column rank.
+func LeastSquares(a *Matrix, b []complex128) ([]complex128, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: LeastSquares rhs length %d, want %d", len(b), a.Rows)
+	}
+	qr, err := QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	// x = R^{-1} Q^H b
+	qhb := make([]complex128, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		var sum complex128
+		for i := 0; i < a.Rows; i++ {
+			sum += cmplx.Conj(qr.Q.At(i, j)) * b[i]
+		}
+		qhb[j] = sum
+	}
+	return BackSubstitute(qr.R, qhb)
+}
+
+// UpdateR performs the recursive QR update at the heart of the hard weight
+// computation: given the previous triangular factor rOld (n x n) scaled by
+// the forgetting factor lambda, and a block of new rows (k x n), it returns
+// the triangular factor of the stacked matrix [lambda*rOld; newRows]. This
+// is algebraically the "block update form of the QR decomposition" the
+// paper uses to incorporate exponentially forgotten past looks. rOld may be
+// nil, meaning no prior state (cold start).
+func UpdateR(rOld *Matrix, lambda float64, newRows *Matrix) (*Matrix, error) {
+	n := newRows.Cols
+	var stacked *Matrix
+	if rOld == nil {
+		stacked = newRows
+	} else {
+		if rOld.Rows != n || rOld.Cols != n {
+			return nil, fmt.Errorf("linalg: UpdateR rOld %dx%d, want %dx%d", rOld.Rows, rOld.Cols, n, n)
+		}
+		scaled := rOld.Clone().Scale(complex(lambda, 0))
+		stacked = VStack(scaled, newRows)
+	}
+	if stacked.Rows < n {
+		// Pad with zero rows so the factorization is defined even for a
+		// cold start with fewer samples than channels.
+		stacked = VStack(stacked, NewMatrix(n-stacked.Rows, n))
+	}
+	return RFactor(stacked)
+}
+
+// FlopsQR returns the flop-count convention for a complex Householder QR of
+// an m x n (m >= n) matrix without forming Q: 8*n^2*(m - n/3). The real
+// count is 4x the classic real-QR 2n^2(m-n/3) because complex multiplies
+// cost 6 flops and adds 2.
+func FlopsQR(m, n int) int64 {
+	if m < n {
+		m = n
+	}
+	return int64(8 * float64(n) * float64(n) * (float64(m) - float64(n)/3))
+}
+
+// FlopsBackSub returns the flop convention for a complex triangular solve
+// of size n: 4*n^2.
+func FlopsBackSub(n int) int64 { return 4 * int64(n) * int64(n) }
+
+// CondLowerBound returns a cheap lower bound on the condition number of an
+// upper-triangular R: max|diag| / min|diag|. Useful for sanity checks on
+// training matrices.
+func CondLowerBound(r *Matrix) float64 {
+	n := r.Rows
+	if n == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		d := cmplx.Abs(r.At(i, i))
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}

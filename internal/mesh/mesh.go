@@ -1,0 +1,183 @@
+// Package mesh models the Intel Paragon's interconnection network: a 2-D
+// mesh of compute nodes with dimension-ordered (XY) wormhole routing. The
+// paper attributes part of the superlinear communication scaling to
+// reduced "contention at the sending and receiving nodes ... and the
+// traffic on links going in and out of each node"; this package makes that
+// analysis concrete by computing per-link byte loads for the pipeline's
+// inter-task traffic patterns under a row-major task placement.
+package mesh
+
+import (
+	"fmt"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+)
+
+// Mesh is a W x H grid of nodes. Node n sits at (n % W, n / W).
+type Mesh struct {
+	W, H int
+}
+
+// New creates a mesh; both dimensions must be positive.
+func New(w, h int) Mesh {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dims %dx%d", w, h))
+	}
+	return Mesh{W: w, H: h}
+}
+
+// AFRL returns a mesh big enough for the AFRL machine's 321 compute nodes
+// (the historical machine was a roughly 16-wide mesh).
+func AFRL() Mesh { return New(16, 21) }
+
+// Nodes returns the node count.
+func (m Mesh) Nodes() int { return m.W * m.H }
+
+// Coord returns node n's grid position.
+func (m Mesh) Coord(n int) (x, y int) { return n % m.W, n / m.W }
+
+// Link identifies a directed mesh link from node A to an adjacent node B.
+type Link struct {
+	From, To int
+}
+
+// Route returns the XY route from src to dst as a sequence of directed
+// links: first along X to the destination column, then along Y.
+func (m Mesh) Route(src, dst int) []Link {
+	if src < 0 || src >= m.Nodes() || dst < 0 || dst >= m.Nodes() {
+		panic(fmt.Sprintf("mesh: route %d->%d outside %d nodes", src, dst, m.Nodes()))
+	}
+	var links []Link
+	x0, y0 := m.Coord(src)
+	x1, y1 := m.Coord(dst)
+	cur := src
+	for x0 != x1 {
+		step := 1
+		if x1 < x0 {
+			step = -1
+		}
+		next := cur + step
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+		x0 += step
+	}
+	for y0 != y1 {
+		step := 1
+		if y1 < y0 {
+			step = -1
+		}
+		next := cur + step*m.W
+		links = append(links, Link{From: cur, To: next})
+		cur = next
+		y0 += step
+	}
+	return links
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (m Mesh) Hops(src, dst int) int {
+	x0, y0 := m.Coord(src)
+	x1, y1 := m.Coord(dst)
+	return abs(x1-x0) + abs(y1-y0)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Traffic is a set of point-to-point transfers in bytes.
+type Traffic map[Link]int64
+
+// LoadReport summarizes link utilization for a traffic pattern.
+type LoadReport struct {
+	TotalBytes   int64 // sum over transfers
+	ByteHops     int64 // sum of bytes x hops (network work)
+	MaxLinkLoad  int64 // bytes crossing the busiest link
+	UsedLinks    int   // links carrying any traffic
+	AvgHops      float64
+	// Contention is MaxLinkLoad / (ByteHops / UsedLinks): 1.0 means
+	// perfectly balanced traffic, larger means hot links.
+	Contention float64
+}
+
+// Analyze routes every (src, dst, bytes) transfer and accumulates link
+// loads.
+func (m Mesh) Analyze(transfers []Transfer) LoadReport {
+	loads := make(Traffic)
+	var rep LoadReport
+	var hopCount int64
+	var nTransfers int64
+	for _, tr := range transfers {
+		if tr.Bytes <= 0 || tr.Src == tr.Dst {
+			continue
+		}
+		rep.TotalBytes += tr.Bytes
+		route := m.Route(tr.Src, tr.Dst)
+		hopCount += int64(len(route))
+		nTransfers++
+		for _, l := range route {
+			loads[l] += tr.Bytes
+			rep.ByteHops += tr.Bytes
+		}
+	}
+	for _, v := range loads {
+		if v > rep.MaxLinkLoad {
+			rep.MaxLinkLoad = v
+		}
+	}
+	rep.UsedLinks = len(loads)
+	if nTransfers > 0 {
+		rep.AvgHops = float64(hopCount) / float64(nTransfers)
+	}
+	if rep.UsedLinks > 0 && rep.ByteHops > 0 {
+		rep.Contention = float64(rep.MaxLinkLoad) / (float64(rep.ByteHops) / float64(rep.UsedLinks))
+	}
+	return rep
+}
+
+// Transfer is one point-to-point message aggregate.
+type Transfer struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// PipelineTraffic builds the per-CPI transfer list of the STAP pipeline
+// under an assignment, with tasks placed on consecutive mesh nodes in
+// task order (the natural row-major placement). Every edge's volume is
+// split evenly across the sender group and, within each sender, across
+// the receiver group — the all-to-all personalized pattern.
+func PipelineTraffic(mo *paragon.Model, a pipeline.Assignment) []Transfer {
+	// node index offsets per task
+	var offset [pipeline.NumTasks]int
+	sum := 0
+	for t := 0; t < pipeline.NumTasks; t++ {
+		offset[t] = sum
+		sum += a[t]
+	}
+	var out []Transfer
+	for _, e := range paragon.Edges() {
+		if e.Src == paragon.InputEdge {
+			continue // arrives from the I/O subsystem, not mesh traffic
+		}
+		vol := mo.Volume(e)
+		nSrc, nDst := a[e.Src], a[e.Dst]
+		per := vol / int64(nSrc) / int64(nDst)
+		if per == 0 {
+			per = 1
+		}
+		for s := 0; s < nSrc; s++ {
+			for d := 0; d < nDst; d++ {
+				out = append(out, Transfer{
+					Src:   offset[e.Src] + s,
+					Dst:   offset[e.Dst] + d,
+					Bytes: per,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func TestRouteProperties(t *testing.T) {
+	m := New(8, 8)
+	f := func(sRaw, dRaw uint8) bool {
+		src := int(sRaw) % m.Nodes()
+		dst := int(dRaw) % m.Nodes()
+		route := m.Route(src, dst)
+		if len(route) != m.Hops(src, dst) {
+			return false
+		}
+		// contiguity: each link starts where the previous ended
+		cur := src
+		for _, l := range route {
+			if l.From != cur {
+				return false
+			}
+			// adjacency
+			if m.Hops(l.From, l.To) != 1 {
+				return false
+			}
+			cur = l.To
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteXBeforeY(t *testing.T) {
+	m := New(4, 4)
+	// 0 (0,0) -> 15 (3,3): first three X hops then three Y hops
+	route := m.Route(0, 15)
+	if len(route) != 6 {
+		t.Fatalf("hops %d", len(route))
+	}
+	for i := 0; i < 3; i++ {
+		if route[i].To-route[i].From != 1 {
+			t.Fatalf("hop %d not +x", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if route[i].To-route[i].From != 4 {
+			t.Fatalf("hop %d not +y", i)
+		}
+	}
+}
+
+func TestRoutePanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("should panic")
+		}
+	}()
+	New(2, 2).Route(0, 9)
+}
+
+func TestAnalyzeConservation(t *testing.T) {
+	// ByteHops must equal sum over transfers of bytes*hops.
+	m := New(5, 5)
+	transfers := []Transfer{
+		{Src: 0, Dst: 24, Bytes: 100}, // 8 hops
+		{Src: 3, Dst: 3, Bytes: 50},   // self: ignored
+		{Src: 1, Dst: 2, Bytes: 10},   // 1 hop
+	}
+	rep := m.Analyze(transfers)
+	if rep.TotalBytes != 110 {
+		t.Errorf("total %d", rep.TotalBytes)
+	}
+	wantByteHops := int64(100*8 + 10*1)
+	if rep.ByteHops != wantByteHops {
+		t.Errorf("bytehops %d, want %d", rep.ByteHops, wantByteHops)
+	}
+	if rep.MaxLinkLoad < 100 {
+		t.Errorf("max link %d", rep.MaxLinkLoad)
+	}
+	if rep.AvgHops != 4.5 {
+		t.Errorf("avg hops %g", rep.AvgHops)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := New(3, 3).Analyze(nil)
+	if rep.TotalBytes != 0 || rep.MaxLinkLoad != 0 || rep.Contention != 0 {
+		t.Errorf("empty traffic report %+v", rep)
+	}
+}
+
+func TestPipelineTrafficCoversAllEdges(t *testing.T) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	a := pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4)
+	transfers := PipelineTraffic(mo, a)
+	// pair count: sum over edges of nSrc*nDst (minus input edge)
+	want := 8*4 + 8*28 + 8*4 + 8*7 + 4*4 + 28*7 + 4*4 + 7*4 + 4*4
+	if len(transfers) != want {
+		t.Errorf("transfers %d, want %d", len(transfers), want)
+	}
+	for _, tr := range transfers {
+		if tr.Bytes <= 0 || tr.Src == tr.Dst {
+			t.Fatalf("bad transfer %+v", tr)
+		}
+		if tr.Src >= a.Total() || tr.Dst >= a.Total() {
+			t.Fatalf("transfer outside node range %+v", tr)
+		}
+	}
+}
+
+func TestContentionDropsWithMoreNodes(t *testing.T) {
+	// The paper's observation: growing the communicating groups reduces
+	// per-link pressure. Max link load must drop substantially from the
+	// 59-node to the 236-node assignment for the same per-CPI volume.
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	m := AFRL()
+	small := m.Analyze(PipelineTraffic(mo, pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4)))
+	large := m.Analyze(PipelineTraffic(mo, pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16)))
+	if large.MaxLinkLoad >= small.MaxLinkLoad {
+		t.Errorf("max link load should drop: %d -> %d", small.MaxLinkLoad, large.MaxLinkLoad)
+	}
+	ratio := float64(small.MaxLinkLoad) / float64(large.MaxLinkLoad)
+	t.Logf("max link load: 59 nodes %d B, 236 nodes %d B (%.1fx lighter); contention %.2f -> %.2f",
+		small.MaxLinkLoad, large.MaxLinkLoad, ratio, small.Contention, large.Contention)
+	if ratio < 1.5 {
+		t.Errorf("link relief only %.2fx", ratio)
+	}
+}
+
+func TestMeshConstructors(t *testing.T) {
+	if AFRL().Nodes() < 321 {
+		t.Error("AFRL mesh too small for 321 nodes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dims should panic")
+		}
+	}()
+	New(0, 4)
+}
+
+func BenchmarkAnalyzeCase1(b *testing.B) {
+	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+	m := AFRL()
+	transfers := PipelineTraffic(mo, pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Analyze(transfers)
+	}
+}

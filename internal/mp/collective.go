@@ -1,0 +1,95 @@
+package mp
+
+// Collective operations over a Group, built on the point-to-point
+// primitives the way early MPI implementations were. The STAP pipeline
+// uses explicit sends for its all-to-all personalized exchanges; these
+// helpers round out the runtime for library users (and are exercised by
+// the tests as a stress workload for the matching engine).
+//
+// All collectives are synchronizing for their participants and must be
+// called by every rank of the group with the same tag. Tags share the
+// space used by Send/Recv, so callers should reserve a tag range for
+// collectives.
+
+// Bcast distributes root's data to every rank of the group and returns
+// it. Non-root ranks pass data they don't mind being ignored (typically
+// nil).
+func (c *Comm) Bcast(g Group, root, tag int, data any) any {
+	if !g.Contains(c.rank) || !g.Contains(root) {
+		panic("mp: Bcast caller or root outside group")
+	}
+	if c.rank == root {
+		for _, r := range g.Ranks() {
+			if r != root {
+				c.Send(r, tag, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tag)
+}
+
+// Gather collects one value from every rank at root, ordered by
+// group-local index. Non-root ranks receive nil.
+func (c *Comm) Gather(g Group, root, tag int, data any) []any {
+	if !g.Contains(c.rank) || !g.Contains(root) {
+		panic("mp: Gather caller or root outside group")
+	}
+	if c.rank != root {
+		c.Send(root, tag, data)
+		return nil
+	}
+	out := make([]any, g.N)
+	out[g.Local(root)] = data
+	for _, r := range g.Ranks() {
+		if r == root {
+			continue
+		}
+		out[g.Local(r)] = c.Recv(r, tag)
+	}
+	return out
+}
+
+// AllGather gives every rank the gathered values (Gather + Bcast).
+func (c *Comm) AllGather(g Group, tag int, data any) []any {
+	root := g.First
+	gathered := c.Gather(g, root, tag, data)
+	res := c.Bcast(g, root, tag+1, gathered)
+	return res.([]any)
+}
+
+// AllToAll performs the personalized exchange: rank i sends dataPerDst[j]
+// to group member j and returns what it received from every member,
+// ordered by group-local index. This is the communication pattern of the
+// paper's Doppler-to-beamforming redistribution.
+func (c *Comm) AllToAll(g Group, tag int, dataPerDst []any) []any {
+	if !g.Contains(c.rank) {
+		panic("mp: AllToAll caller outside group")
+	}
+	if len(dataPerDst) != g.N {
+		panic("mp: AllToAll needs one payload per group member")
+	}
+	for i, r := range g.Ranks() {
+		c.Send(r, tag, dataPerDst[i])
+	}
+	out := make([]any, g.N)
+	for i, r := range g.Ranks() {
+		out[i] = c.Recv(r, tag)
+	}
+	return out
+}
+
+// Reduce folds every rank's float64 contribution at root with the given
+// operator; non-root ranks receive 0. (Float64 covers the runtime's
+// accounting uses; general reductions can go through Gather.)
+func (c *Comm) Reduce(g Group, root, tag int, value float64, op func(a, b float64) float64) float64 {
+	parts := c.Gather(g, root, tag, value)
+	if parts == nil {
+		return 0
+	}
+	acc := parts[0].(float64)
+	for _, p := range parts[1:] {
+		acc = op(acc, p.(float64))
+	}
+	return acc
+}

@@ -1,0 +1,171 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+)
+
+// runGroup runs f on every rank of a fresh world/group and waits.
+func runGroup(t *testing.T, n int, f func(c *Comm, g Group)) {
+	t.Helper()
+	w := NewWorld(n)
+	g := Group{First: 0, N: n}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			f(w.Comm(r), g)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestBcast(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int]any{}
+	runGroup(t, 5, func(c *Comm, g Group) {
+		var in any
+		if c.Rank() == 2 {
+			in = "payload"
+		}
+		out := c.Bcast(g, 2, 100, in)
+		mu.Lock()
+		got[c.Rank()] = out
+		mu.Unlock()
+	})
+	for r := 0; r < 5; r++ {
+		if got[r] != "payload" {
+			t.Errorf("rank %d got %v", r, got[r])
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	var rootGot []any
+	runGroup(t, 6, func(c *Comm, g Group) {
+		res := c.Gather(g, 3, 200, c.Rank()*10)
+		if c.Rank() == 3 {
+			rootGot = res
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", c.Rank(), res)
+		}
+	})
+	if len(rootGot) != 6 {
+		t.Fatalf("gathered %d", len(rootGot))
+	}
+	for i, v := range rootGot {
+		if v != i*10 {
+			t.Errorf("slot %d = %v", i, v)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	var mu sync.Mutex
+	results := map[int][]any{}
+	runGroup(t, 4, func(c *Comm, g Group) {
+		res := c.AllGather(g, 300, c.Rank())
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+	})
+	for r := 0; r < 4; r++ {
+		res := results[r]
+		if len(res) != 4 {
+			t.Fatalf("rank %d: %d items", r, len(res))
+		}
+		for i, v := range res {
+			if v != i {
+				t.Errorf("rank %d slot %d = %v", r, i, v)
+			}
+		}
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	// rank i sends i*10+j to rank j; rank j must receive i*10+j from i.
+	var mu sync.Mutex
+	results := map[int][]any{}
+	runGroup(t, 4, func(c *Comm, g Group) {
+		payloads := make([]any, 4)
+		for j := range payloads {
+			payloads[j] = c.Rank()*10 + j
+		}
+		res := c.AllToAll(g, 400, payloads)
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+	})
+	for j := 0; j < 4; j++ {
+		for i, v := range results[j] {
+			if v != i*10+j {
+				t.Errorf("rank %d from %d: %v, want %d", j, i, v, i*10+j)
+			}
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	var rootSum float64
+	runGroup(t, 8, func(c *Comm, g Group) {
+		sum := c.Reduce(g, 0, 500, float64(c.Rank()), func(a, b float64) float64 { return a + b })
+		if c.Rank() == 0 {
+			rootSum = sum
+		} else if sum != 0 {
+			t.Errorf("non-root got %g", sum)
+		}
+	})
+	if rootSum != 28 {
+		t.Errorf("sum %g, want 28", rootSum)
+	}
+}
+
+func TestCollectiveSubGroup(t *testing.T) {
+	// Collectives over a strict subset of the world must not disturb other
+	// ranks.
+	w := NewWorld(6)
+	g := Group{First: 2, N: 3} // ranks 2,3,4
+	var wg sync.WaitGroup
+	var got []any
+	for _, r := range g.Ranks() {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			res := w.Comm(r).Gather(g, 2, 600, r)
+			if r == 2 {
+				got = res
+			}
+		}(r)
+	}
+	wg.Wait()
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("subgroup gather %v", got)
+	}
+	// outside rank has an empty mailbox
+	if _, ok := w.Comm(0).TryRecv(AnySource, 600); ok {
+		t.Error("outside rank received collective traffic")
+	}
+}
+
+func TestCollectivePanicsOutsideGroup(t *testing.T) {
+	w := NewWorld(4)
+	g := Group{First: 0, N: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("outside caller should panic")
+		}
+	}()
+	w.Comm(3).Bcast(g, 0, 1, nil)
+}
+
+func TestAllToAllPayloadCountPanics(t *testing.T) {
+	w := NewWorld(2)
+	g := Group{First: 0, N: 2}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong payload count should panic")
+		}
+	}()
+	w.Comm(0).AllToAll(g, 1, []any{1})
+}

@@ -1,0 +1,266 @@
+// Package mp is a rank-based message-passing runtime over goroutines and
+// condition variables — the repository's stand-in for MPI (the paper's
+// implementation language is ANSI C + MPI). It provides the primitives the
+// parallel pipeline uses: point-to-point Send/Recv with (source, tag)
+// matching, non-blocking Isend/Irecv with request handles (the paper's
+// asynchronous communication + double buffering, Figure 10), barriers, and
+// byte accounting for the communication model.
+//
+// Semantics: sends are asynchronous and buffered (they never block);
+// messages between a (src, dst) pair with equal tags are matched in send
+// order; Recv blocks until a matching message arrives. Tags let the
+// pipeline keep per-CPI streams separate.
+package mp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// AnySource matches messages from every rank in Recv/Irecv.
+const AnySource = -1
+
+// Sizer lets payloads report their wire size for accounting. cube.Cube and
+// cube.RealCube implement it via their Bytes methods.
+type Sizer interface{ Bytes() int64 }
+
+type message struct {
+	src, tag int
+	data     any
+	seq      uint64 // arrival order for FIFO matching
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+	seq   uint64
+}
+
+// World is a fixed-size collection of ranks sharing mailboxes.
+type World struct {
+	boxes []*mailbox
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	barCount int
+	barGen   int
+}
+
+// NewWorld creates a world of n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mp: world size %d", n))
+	}
+	w := &World{boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		w.boxes[i] = b
+	}
+	w.barCond = sync.NewCond(&w.barMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.boxes) }
+
+// BytesSent returns the cumulative payload bytes sent through the world
+// (payloads implementing Sizer only).
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the cumulative message count.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns the endpoint for the given rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= len(w.boxes) {
+		panic(fmt.Sprintf("mp: rank %d of %d", rank, len(w.boxes)))
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.Size() }
+
+// Send delivers data to dst's mailbox asynchronously (never blocks).
+func (c *Comm) Send(dst, tag int, data any) {
+	box := c.w.boxes[dst]
+	box.mu.Lock()
+	box.seq++
+	box.queue = append(box.queue, message{src: c.rank, tag: tag, data: data, seq: box.seq})
+	box.mu.Unlock()
+	box.cond.Broadcast()
+	c.w.msgsSent.Add(1)
+	if s, ok := data.(Sizer); ok {
+		c.w.bytesSent.Add(s.Bytes())
+	}
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. src may be AnySource. Among matching messages the earliest
+// arrival wins.
+func (c *Comm) Recv(src, tag int) any {
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		best := -1
+		for i, m := range box.queue {
+			if (src == AnySource || m.src == src) && m.tag == tag {
+				if best == -1 || m.seq < box.queue[best].seq {
+					best = i
+				}
+			}
+		}
+		if best >= 0 {
+			m := box.queue[best]
+			box.queue = append(box.queue[:best], box.queue[best+1:]...)
+			return m.data
+		}
+		box.cond.Wait()
+	}
+}
+
+// TryRecv returns a matching message if one is already queued, without
+// blocking. ok is false when nothing matches.
+func (c *Comm) TryRecv(src, tag int) (data any, ok bool) {
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	best := -1
+	for i, m := range box.queue {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			if best == -1 || m.seq < box.queue[best].seq {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	m := box.queue[best]
+	box.queue = append(box.queue[:best], box.queue[best+1:]...)
+	return m.data, true
+}
+
+// Request is a handle for a non-blocking operation.
+type Request struct {
+	done chan any
+	data any
+	got  bool
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends).
+func (r *Request) Wait() any {
+	if r.got {
+		return r.data
+	}
+	r.data = <-r.done
+	r.got = true
+	return r.data
+}
+
+// Ready reports whether Wait would return without blocking.
+func (r *Request) Ready() bool {
+	if r.got {
+		return true
+	}
+	select {
+	case d := <-r.done:
+		r.data, r.got = d, true
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend posts an asynchronous send. Sends in this runtime complete
+// immediately; the request exists for symmetry with the MPI call
+// structure of Figure 10.
+func (c *Comm) Isend(dst, tag int, data any) *Request {
+	c.Send(dst, tag, data)
+	r := &Request{done: make(chan any, 1)}
+	r.done <- nil
+	return r
+}
+
+// Irecv posts an asynchronous receive for (src, tag). To keep posted-order
+// matching deterministic, callers must not post two outstanding Irecvs for
+// the same (src, tag) pair (the pipeline encodes the CPI index in the tag,
+// so this never happens there).
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan any, 1)}
+	go func() { r.done <- c.Recv(src, tag) }()
+	return r
+}
+
+// Barrier blocks until every rank of the world has entered it.
+func (w *World) Barrier() {
+	w.barMu.Lock()
+	gen := w.barGen
+	w.barCount++
+	if w.barCount == len(w.boxes) {
+		w.barCount = 0
+		w.barGen++
+		w.barMu.Unlock()
+		w.barCond.Broadcast()
+		return
+	}
+	for gen == w.barGen {
+		w.barCond.Wait()
+	}
+	w.barMu.Unlock()
+}
+
+// Group is a contiguous rank interval [First, First+Size) representing one
+// parallel task's processors.
+type Group struct {
+	First, N int
+}
+
+// Ranks lists the group's global ranks.
+func (g Group) Ranks() []int {
+	out := make([]int, g.N)
+	for i := range out {
+		out[i] = g.First + i
+	}
+	return out
+}
+
+// Contains reports membership.
+func (g Group) Contains(rank int) bool { return rank >= g.First && rank < g.First+g.N }
+
+// Local converts a global rank to a group-local index.
+func (g Group) Local(rank int) int { return rank - g.First }
+
+// Global converts a group-local index to a global rank.
+func (g Group) Global(local int) int { return g.First + local }
+
+// Layout assigns consecutive rank intervals to task sizes, in order.
+func Layout(sizes []int) []Group {
+	groups := make([]Group, len(sizes))
+	off := 0
+	for i, n := range sizes {
+		if n <= 0 {
+			panic(fmt.Sprintf("mp: task %d size %d", i, n))
+		}
+		groups[i] = Group{First: off, N: n}
+		off += n
+	}
+	return groups
+}

@@ -1,0 +1,82 @@
+// Package paperdata records the published measurement values of the
+// paper's evaluation section (Tables 1-10) in one place, so benchmarks,
+// tests and the report generator compare against a single source of
+// truth.
+package paperdata
+
+import "pstap/internal/pipeline"
+
+// Assignments of the paper's integrated-system cases.
+var (
+	Case1  = pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16) // 236 nodes
+	Case2  = pipeline.NewAssignment(16, 8, 56, 8, 14, 8, 8)      // 118 nodes
+	Case3  = pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4)        // 59 nodes
+	Table9 = pipeline.NewAssignment(20, 8, 56, 8, 14, 8, 8)      // 122 nodes
+	Tbl10  = pipeline.NewAssignment(20, 8, 56, 8, 14, 16, 16)    // 138 nodes
+)
+
+// Table1 is the published flop count per task (pipeline task order).
+var Table1 = [7]int64{
+	79691776,  // Doppler filter
+	13851792,  // easy weight
+	197038464, // hard weight
+	28311552,  // easy BF
+	44040192,  // hard BF
+	38928384,  // pulse compression
+	1690368,   // CFAR
+}
+
+// Table1Total is the published total.
+const Table1Total int64 = 403552528
+
+// SystemCase holds one Table 8 row.
+type SystemCase struct {
+	Nodes                int
+	ThroughputEq         float64
+	ThroughputReal       float64
+	LatencyEq            float64
+	LatencyReal          float64
+}
+
+// Table8 is the published integrated-system performance.
+var Table8 = []SystemCase{
+	{Nodes: 236, ThroughputEq: 7.1019, ThroughputReal: 7.2659, LatencyEq: 0.5362, LatencyReal: 0.3622},
+	{Nodes: 118, ThroughputEq: 3.7919, ThroughputReal: 3.7959, LatencyEq: 1.0346, LatencyReal: 0.6805},
+	{Nodes: 59, ThroughputEq: 1.9791, ThroughputReal: 1.9898, LatencyEq: 1.9996, LatencyReal: 1.3530},
+}
+
+// Table9Result / Table10Result are the published what-if outcomes.
+var (
+	Table9Throughput  = 5.0213
+	Table9Latency     = 0.5498
+	Table10Throughput = 4.9052
+	Table10Latency    = 0.4247
+)
+
+// Table7Comp lists the published per-task compute times for the three
+// cases (seconds), indexed [case][task] with case 0 = 236 nodes.
+var Table7Comp = [3][7]float64{
+	{.0874, .0913, .0831, .0708, .0414, .0776, .0434},
+	{.1714, .1636, .1636, .1267, .0822, .1543, .0864},
+	{.3509, .3254, .3265, .2529, .1636, .3067, .1723},
+}
+
+// CommEntry is one send/recv pair of Tables 2-6.
+type CommEntry struct {
+	SrcNodes, DstNodes int
+	Send, Recv         float64
+}
+
+// Table2EasyBF is the Doppler->easy-BF(16) column of Table 2.
+var Table2EasyBF = []CommEntry{
+	{8, 16, .1332, .4509},
+	{16, 16, .0679, .1955},
+	{32, 16, .0340, .0646},
+}
+
+// RTMCARM is the flight-demonstration reference (Section 2).
+var RTMCARM = struct {
+	Nodes      int
+	Throughput float64
+	Latency    float64
+}{Nodes: 25, Throughput: 10, Latency: 2.35}

@@ -1,0 +1,80 @@
+// Package par provides the intra-task parallel loop used to model the
+// paper's "multiple processors on each compute node" future-work
+// direction: each Paragon node held three i860 processors sharing memory,
+// and this package lets a pipeline worker spread its kernel across a
+// fixed number of threads the same way.
+//
+// All helpers guarantee deterministic results for kernels whose iterations
+// write disjoint outputs: the iteration space is partitioned statically,
+// so the union of work is identical regardless of scheduling.
+package par
+
+import "sync"
+
+// For runs f(i) for i in [0, n) across `threads` goroutines with a static
+// block partition. threads <= 1 (or n <= 1) runs inline. f must not
+// assume any iteration ordering across blocks.
+func For(n, threads int, f func(i int)) {
+	if threads <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	base := n / threads
+	rem := n % threads
+	lo := 0
+	for t := 0; t < threads; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForBlocks runs f(lo, hi) on `threads` contiguous blocks covering
+// [0, n) — for kernels that want per-thread scratch buffers allocated once
+// per block instead of once per element.
+func ForBlocks(n, threads int, f func(lo, hi int)) {
+	if threads <= 1 || n <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	base := n / threads
+	rem := n % threads
+	lo := 0
+	for t := 0; t < threads; t++ {
+		size := base
+		if t < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	f := func(nRaw, tRaw uint8) bool {
+		n := int(nRaw) % 200
+		threads := 1 + int(tRaw)%8
+		seen := make([]int32, n)
+		For(n, threads, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForInlineWhenSingleThread(t *testing.T) {
+	// threads=1 must run on the calling goroutine in order.
+	order := make([]int, 0, 5)
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Error("n=0 must not call f")
+	}
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("negative n must not call f")
+	}
+}
+
+func TestForMoreThreadsThanWork(t *testing.T) {
+	var count atomic.Int32
+	For(3, 16, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("count %d", count.Load())
+	}
+}
+
+func TestForBlocksTilesRange(t *testing.T) {
+	f := func(nRaw, tRaw uint8) bool {
+		n := 1 + int(nRaw)%200
+		threads := 1 + int(tRaw)%8
+		var covered atomic.Int64
+		var blocks atomic.Int32
+		ForBlocks(n, threads, func(lo, hi int) {
+			if lo >= hi {
+				return
+			}
+			covered.Add(int64(hi - lo))
+			blocks.Add(1)
+		})
+		want := int32(threads)
+		if threads > n {
+			want = int32(n)
+		}
+		return covered.Load() == int64(n) && blocks.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForBlocksEmpty(t *testing.T) {
+	called := false
+	ForBlocks(0, 3, func(lo, hi int) { called = true })
+	if called {
+		t.Error("n=0 must not call f")
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		For(64, 4, func(int) {})
+	}
+}

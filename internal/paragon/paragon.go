@@ -1,0 +1,293 @@
+// Package paragon models the AFRL Intel Paragon the paper measured on: a
+// 321-node 2-D mesh of 40 MHz i860 compute nodes (100 MFLOPS peak each)
+// with 35.3 us message startup and 6.53 ns/byte point-to-point transfer
+// time. Since that machine no longer exists, the model is how this
+// repository regenerates the paper's Tables 2-10 and Figure 11 at paper
+// scale (see DESIGN.md's substitution table); the actual Go pipeline in
+// internal/pipeline provides the real-execution analogue at host scale.
+//
+// The model is a steady-state pipeline analysis:
+//
+//   - compute time of task i on P nodes = flops_i / (P * rate_i), with
+//     per-task sustained rates calibrated once from the paper's Table 7
+//     case-1 column (kernels differ in efficiency on the i860: FFTs
+//     sustain ~28 MFLOPS, the cache-unfriendly CFAR scan only ~2.4);
+//   - send time = per-node outgoing bytes x pack cost (strided
+//     "reorganization" packing out of the Doppler task costs ~54 ns/B,
+//     contiguous forwarding ~19 ns/B), plus idle waiting for the previous
+//     send when the receiver is the slower task (paper Fig. 10, line 14);
+//   - receive time = per-node incoming bytes x (unpack + transfer) +
+//     per-source startup, plus idle waiting when the sender is the slower
+//     task — the paper notes its table entries "contain idle time".
+//
+// The pipeline period is the largest per-task busy time; every task's
+// total time equals the period in steady state (Table 7's near-equal
+// totals), throughput is its inverse (eq. 1), and the real latency sums
+// idle-free busy times along the data path (eq. 3).
+package paragon
+
+import (
+	"fmt"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// Machine holds the hardware cost constants.
+type Machine struct {
+	StartupSec     float64    // per-message startup (s)
+	TransferSecPB  float64    // transfer time per byte (s)
+	UnpackSecPB    float64    // memory-copy cost per received byte (s)
+	PackReorgSecPB float64    // strided (cache-hostile) pack per byte (s)
+	PackLinSecPB   float64    // contiguous pack per byte (s)
+	TaskRate       [7]float64 // sustained flops/s per node, per task
+}
+
+// AFRLParagon returns the calibrated model of the paper's machine. The
+// startup and transfer constants are quoted directly from Section 6; the
+// pack/unpack coefficients are calibrated from Table 2 and Table 7 case 1
+// (Doppler send .1332 s on 8 nodes; raw receive .0055 s on 32 nodes); the
+// per-task rates come from Table 7 case 1 compute times against the Table
+// 1 flop counts.
+func AFRLParagon() Machine {
+	return Machine{
+		StartupSec:     35.3e-6,
+		TransferSecPB:  6.53e-9,
+		UnpackSecPB:    14.5e-9,
+		PackReorgSecPB: 53.6e-9,
+		PackLinSecPB:   19.0e-9,
+		TaskRate: [7]float64{
+			28.49e6, // Doppler filter: FFT-dominated
+			9.48e6,  // easy weight: small-matrix QR
+			21.17e6, // hard weight: larger recursive QR updates
+			24.99e6, // easy beamforming: 6x16 matmul
+			37.99e6, // hard beamforming: 6x32 matmul
+			31.35e6, // pulse compression: long FFTs
+			2.43e6,  // CFAR: memory-bound sliding window
+		},
+	}
+}
+
+// Model combines a machine with a problem size.
+type Model struct {
+	M Machine
+	P radar.Params
+	F stap.FlopCounts
+}
+
+// NewModel builds a model for the given machine and parameters.
+func NewModel(m Machine, p radar.Params) *Model {
+	return &Model{M: m, P: p, F: stap.CountFlops(p)}
+}
+
+// Edge identifies an inter-task transfer.
+type Edge struct{ Src, Dst int }
+
+// InputEdge marks the sensor input feeding the Doppler task.
+const InputEdge = -1
+
+// Edges lists the pipeline's spatial data dependencies SD(i,j) plus the
+// sensor input, in Figure 4's topology.
+func Edges() []Edge {
+	return []Edge{
+		{InputEdge, pipeline.TaskDoppler},
+		{pipeline.TaskDoppler, pipeline.TaskEasyWeight},
+		{pipeline.TaskDoppler, pipeline.TaskHardWeight},
+		{pipeline.TaskDoppler, pipeline.TaskEasyBF},
+		{pipeline.TaskDoppler, pipeline.TaskHardBF},
+		{pipeline.TaskEasyWeight, pipeline.TaskEasyBF},
+		{pipeline.TaskHardWeight, pipeline.TaskHardBF},
+		{pipeline.TaskEasyBF, pipeline.TaskPulseComp},
+		{pipeline.TaskHardBF, pipeline.TaskPulseComp},
+		{pipeline.TaskPulseComp, pipeline.TaskCFAR},
+	}
+}
+
+// Volume returns the total bytes per CPI flowing across an edge (complex
+// samples are 8 bytes, post-pulse-compression reals 4 bytes, matching the
+// paper's single-precision arithmetic).
+func (mo *Model) Volume(e Edge) int64 {
+	p := mo.P
+	switch e {
+	case Edge{InputEdge, pipeline.TaskDoppler}:
+		return int64(p.K) * int64(p.J) * int64(p.N) * 8
+	case Edge{pipeline.TaskDoppler, pipeline.TaskEasyWeight}:
+		return int64(p.EasySamplesPerCPI) * int64(p.J) * int64(p.Neasy) * 8
+	case Edge{pipeline.TaskDoppler, pipeline.TaskHardWeight}:
+		return int64(p.NumSegments()) * int64(p.HardSamplesPerSegment) * int64(2*p.J) * int64(p.Nhard) * 8
+	case Edge{pipeline.TaskDoppler, pipeline.TaskEasyBF}:
+		return int64(p.K) * int64(p.J) * int64(p.Neasy) * 8
+	case Edge{pipeline.TaskDoppler, pipeline.TaskHardBF}:
+		return int64(p.K) * int64(2*p.J) * int64(p.Nhard) * 8
+	case Edge{pipeline.TaskEasyWeight, pipeline.TaskEasyBF}:
+		return int64(p.Neasy) * int64(p.J) * int64(p.M) * 8
+	case Edge{pipeline.TaskHardWeight, pipeline.TaskHardBF}:
+		return int64(p.NumSegments()) * int64(p.Nhard) * int64(2*p.J) * int64(p.M) * 8
+	case Edge{pipeline.TaskEasyBF, pipeline.TaskPulseComp}:
+		return int64(p.Neasy) * int64(p.M) * int64(p.K) * 8
+	case Edge{pipeline.TaskHardBF, pipeline.TaskPulseComp}:
+		return int64(p.Nhard) * int64(p.M) * int64(p.K) * 8
+	case Edge{pipeline.TaskPulseComp, pipeline.TaskCFAR}:
+		return int64(p.N) * int64(p.M) * int64(p.K) * 4
+	}
+	panic(fmt.Sprintf("paragon: unknown edge %v", e))
+}
+
+// reorgEdge reports whether packing for the edge requires the strided
+// reorganization/collection (everything leaving the Doppler task, which is
+// partitioned along a different dimension than its successors).
+func reorgEdge(e Edge) bool { return e.Src == pipeline.TaskDoppler }
+
+// CompTime returns task i's per-CPI compute time on `nodes` nodes.
+func (mo *Model) CompTime(task, nodes int) float64 {
+	if nodes <= 0 {
+		panic("paragon: nodes must be positive")
+	}
+	return float64(mo.F.PerTask()[task]) / (float64(nodes) * mo.M.TaskRate[task])
+}
+
+// PackTime returns task i's per-CPI send-phase cost on `nodes` nodes: all
+// outgoing volumes packed at the edge-appropriate per-byte cost.
+func (mo *Model) PackTime(task, nodes int) float64 {
+	var t float64
+	for _, e := range Edges() {
+		if e.Src != task {
+			continue
+		}
+		c := mo.M.PackLinSecPB
+		if reorgEdge(e) {
+			c = mo.M.PackReorgSecPB
+		}
+		t += float64(mo.Volume(e)) / float64(nodes) * c
+	}
+	return t
+}
+
+// RecvIntrinsic returns task i's per-CPI receive-phase cost excluding
+// idle: unpack + transfer of the per-node incoming bytes plus per-source
+// message startups.
+func (mo *Model) RecvIntrinsic(task int, a pipeline.Assignment) float64 {
+	nodes := a[task]
+	var t float64
+	for _, e := range Edges() {
+		if e.Dst != task {
+			continue
+		}
+		vol := float64(mo.Volume(e)) / float64(nodes)
+		t += vol * (mo.M.UnpackSecPB + mo.M.TransferSecPB)
+		srcNodes := 1 // sensor input arrives as one stream
+		if e.Src != InputEdge {
+			srcNodes = a[e.Src]
+		}
+		t += float64(srcNodes) * mo.M.StartupSec
+	}
+	return t
+}
+
+// Busy returns task i's idle-free per-CPI busy time under an assignment:
+// receive processing + compute + pack.
+func (mo *Model) Busy(task int, a pipeline.Assignment) float64 {
+	return mo.RecvIntrinsic(task, a) + mo.CompTime(task, a[task]) + mo.PackTime(task, a[task])
+}
+
+// TaskSim is one task's simulated Table 7 row.
+type TaskSim struct {
+	Nodes            int
+	Recv, Comp, Send float64
+	Total            float64
+}
+
+// SimResult is the simulated integrated-system performance of an
+// assignment (a Table 7 case).
+type SimResult struct {
+	Assign     pipeline.Assignment
+	Tasks      [7]TaskSim
+	Period     float64 // steady-state loop period = max busy time
+	Throughput float64 // CPIs/second = 1/Period (eq. 1)
+	// EqLatency applies eq. (2) to the steady-state task totals (the
+	// conservative upper bound containing idle).
+	EqLatency float64
+	// RealLatency applies eq. (3): idle-free busy times along the
+	// reporting path Doppler -> max(BF) -> pulse compression -> CFAR.
+	RealLatency float64
+}
+
+// Simulate computes the steady-state pipeline behaviour of an assignment.
+func (mo *Model) Simulate(a pipeline.Assignment) SimResult {
+	var res SimResult
+	res.Assign = a
+	var busy [7]float64
+	for t := 0; t < 7; t++ {
+		busy[t] = mo.Busy(t, a)
+		if busy[t] > res.Period {
+			res.Period = busy[t]
+		}
+	}
+	for t := 0; t < 7; t++ {
+		comp := mo.CompTime(t, a[t])
+		pack := mo.PackTime(t, a[t])
+		// In steady state the loop period is identical for every task; the
+		// receive phase absorbs the idle slack (the paper's observation
+		// that receiving time contains waiting time).
+		recv := res.Period - comp - pack
+		if intr := mo.RecvIntrinsic(t, a); recv < intr {
+			recv = intr
+		}
+		res.Tasks[t] = TaskSim{
+			Nodes: a[t], Recv: recv, Comp: comp, Send: pack,
+			Total: recv + comp + pack,
+		}
+	}
+	res.Throughput = 1 / res.Period
+	bfBusy := busy[pipeline.TaskEasyBF]
+	if busy[pipeline.TaskHardBF] > bfBusy {
+		bfBusy = busy[pipeline.TaskHardBF]
+	}
+	res.RealLatency = busy[pipeline.TaskDoppler] + bfBusy +
+		busy[pipeline.TaskPulseComp] + busy[pipeline.TaskCFAR]
+	bfTot := res.Tasks[pipeline.TaskEasyBF].Total
+	if h := res.Tasks[pipeline.TaskHardBF].Total; h > bfTot {
+		bfTot = h
+	}
+	res.EqLatency = res.Tasks[pipeline.TaskDoppler].Total + bfTot +
+		res.Tasks[pipeline.TaskPulseComp].Total + res.Tasks[pipeline.TaskCFAR].Total
+	return res
+}
+
+// SimulateReplicated models R independent copies of the pipeline on
+// disjoint node partitions (the paper's "multiple pipelines" future-work
+// direction): aggregate throughput multiplies by R, latency stays at one
+// pipeline's latency, and the node cost multiplies by R.
+func (mo *Model) SimulateReplicated(a pipeline.Assignment, replicas int) (totalNodes int, throughput, latency float64) {
+	if replicas <= 0 {
+		panic("paragon: replicas must be positive")
+	}
+	res := mo.Simulate(a)
+	return a.Total() * replicas, res.Throughput * float64(replicas), res.RealLatency
+}
+
+// PairComm models one Tables 2-6 entry: the visible send time of the
+// sending task (packing plus waiting for the previous loop's sends when
+// the receiver is the slower side) and the per-node receive time at the
+// destination (intrinsic cost plus waiting for the sender to produce
+// data). ctx supplies node counts for the rest of the system; the two
+// tasks' counts are overridden by pSrc and pDst.
+func (mo *Model) PairComm(src, dst, pSrc, pDst int, ctx pipeline.Assignment) (send, recv float64) {
+	a := ctx
+	a[src] = pSrc
+	a[dst] = pDst
+	bSrc := mo.Busy(src, a)
+	bDst := mo.Busy(dst, a)
+	send = mo.PackTime(src, pSrc)
+	if bDst > bSrc {
+		send += bDst - bSrc
+	}
+	intr := mo.RecvIntrinsic(dst, a)
+	idleBound := bSrc - mo.CompTime(dst, pDst) - mo.PackTime(dst, pDst)
+	recv = intr
+	if idleBound > recv {
+		recv = idleBound
+	}
+	return send, recv
+}

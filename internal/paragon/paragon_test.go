@@ -1,0 +1,370 @@
+package paragon
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func paperModel() *Model { return NewModel(AFRLParagon(), radar.Paper()) }
+
+// The paper's three integrated-system cases (Table 7/8).
+var (
+	case1 = pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16) // 236 nodes
+	case2 = pipeline.NewAssignment(16, 8, 56, 8, 14, 8, 8)      // 118 nodes
+	case3 = pipeline.NewAssignment(8, 4, 28, 4, 7, 4, 4)        // 59 nodes
+	tbl9  = pipeline.NewAssignment(20, 8, 56, 8, 14, 8, 8)      // 122 nodes
+	tbl10 = pipeline.NewAssignment(20, 8, 56, 8, 14, 16, 16)    // 138 nodes
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > relTol {
+		t.Errorf("%s: got %.4f, paper %.4f (%.0f%% off, tol %.0f%%)",
+			name, got, want, 100*rel, 100*relTol)
+	}
+}
+
+func TestComputeTimesMatchTable7Case1(t *testing.T) {
+	mo := paperModel()
+	paper := []struct {
+		task  int
+		nodes int
+		comp  float64
+	}{
+		{pipeline.TaskDoppler, 32, .0874},
+		{pipeline.TaskEasyWeight, 16, .0913},
+		{pipeline.TaskHardWeight, 112, .0831},
+		{pipeline.TaskEasyBF, 16, .0708},
+		{pipeline.TaskHardBF, 28, .0414},
+		{pipeline.TaskPulseComp, 16, .0776},
+		{pipeline.TaskCFAR, 16, .0434},
+	}
+	for _, c := range paper {
+		within(t, "comp", mo.CompTime(c.task, c.nodes), c.comp, 0.03)
+	}
+}
+
+func TestComputeTimesScaleAcrossCases(t *testing.T) {
+	// Table 7 cases 2 and 3 halve/quarter the nodes: the model must track
+	// the measured compute times there too (cross-validation of the rates
+	// calibrated on case 1).
+	mo := paperModel()
+	paper := []struct {
+		task  int
+		nodes int
+		comp  float64
+	}{
+		{pipeline.TaskDoppler, 16, .1714},
+		{pipeline.TaskDoppler, 8, .3509},
+		{pipeline.TaskHardWeight, 56, .1636},
+		{pipeline.TaskHardWeight, 28, .3265},
+		{pipeline.TaskEasyBF, 8, .1267},
+		{pipeline.TaskPulseComp, 8, .1543},
+		{pipeline.TaskCFAR, 8, .0864},
+		{pipeline.TaskCFAR, 4, .1723},
+	}
+	for _, c := range paper {
+		within(t, "comp", mo.CompTime(c.task, c.nodes), c.comp, 0.15)
+	}
+}
+
+func TestFigure11LinearSpeedup(t *testing.T) {
+	// Figure 11's headline: per-task computation speedup is linear in the
+	// node count. The model makes this exact; verify the invariant.
+	mo := paperModel()
+	for task := 0; task < 7; task++ {
+		t1 := mo.CompTime(task, 1)
+		for _, p := range []int{2, 4, 8, 16, 32, 64, 128} {
+			speedup := t1 / mo.CompTime(task, p)
+			if math.Abs(speedup-float64(p)) > 1e-9*float64(p) {
+				t.Errorf("task %d at %d nodes: speedup %.3f", task, p, speedup)
+			}
+		}
+	}
+}
+
+func TestTable8ThroughputAndLatency(t *testing.T) {
+	mo := paperModel()
+	cases := []struct {
+		name       string
+		a          pipeline.Assignment
+		thrReal    float64
+		latReal    float64
+		thrEq      float64
+		latEq      float64
+	}{
+		{"case1/236", case1, 7.2659, .3622, 7.1019, .5362},
+		{"case2/118", case2, 3.7959, .6805, 3.7919, 1.0346},
+		{"case3/59", case3, 1.9898, 1.3530, 1.9791, 1.9996},
+	}
+	for _, c := range cases {
+		res := mo.Simulate(c.a)
+		within(t, c.name+" throughput", res.Throughput, c.thrReal, 0.10)
+		within(t, c.name+" real latency", res.RealLatency, c.latReal, 0.15)
+		within(t, c.name+" eq latency", res.EqLatency, c.latEq, 0.15)
+	}
+	// Linear scalability claim: 236 nodes is ~4x the throughput of 59 and
+	// ~1/4 the latency.
+	r1, r3 := mo.Simulate(case1), mo.Simulate(case3)
+	if ratio := r1.Throughput / r3.Throughput; ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("throughput scaling 236/59 nodes = %.2f, want ~4", ratio)
+	}
+	if ratio := r3.RealLatency / r1.RealLatency; ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("latency scaling = %.2f, want ~4", ratio)
+	}
+}
+
+func TestTable9AddingDopplerNodesHelpsEveryone(t *testing.T) {
+	// The paper's headline secondary effect: +4 Doppler nodes (3% more
+	// nodes) improves throughput by 32% and latency by 19%, because the
+	// receive times of *other* tasks shrink.
+	mo := paperModel()
+	base := mo.Simulate(case2)
+	plus := mo.Simulate(tbl9)
+	within(t, "table9 throughput", plus.Throughput, 5.0213, 0.10)
+	within(t, "table9 latency", plus.RealLatency, .5498, 0.15)
+	if plus.Throughput <= base.Throughput*1.15 {
+		t.Errorf("throughput gain %.1f%%, want >15%%",
+			100*(plus.Throughput/base.Throughput-1))
+	}
+	if plus.RealLatency >= base.RealLatency {
+		t.Error("latency should improve")
+	}
+	// Other tasks' recv (idle) times must shrink without their node counts
+	// changing — the effect "not predictable by theoretical analysis" of
+	// single tasks.
+	for _, task := range []int{pipeline.TaskEasyWeight, pipeline.TaskEasyBF, pipeline.TaskPulseComp} {
+		if plus.Tasks[task].Recv >= base.Tasks[task].Recv {
+			t.Errorf("task %d recv should shrink: %.4f -> %.4f",
+				task, base.Tasks[task].Recv, plus.Tasks[task].Recv)
+		}
+	}
+}
+
+func TestTable10BottleneckLimitsThroughput(t *testing.T) {
+	// Adding 16 nodes to pulse compression + CFAR on top of Table 9 does
+	// NOT improve throughput (the weight/Doppler side is the bottleneck)
+	// but does improve latency by ~23%.
+	mo := paperModel()
+	t9 := mo.Simulate(tbl9)
+	t10 := mo.Simulate(tbl10)
+	within(t, "table10 throughput", t10.Throughput, 4.9052, 0.10)
+	within(t, "table10 latency", t10.RealLatency, .4247, 0.20)
+	if t10.Throughput > t9.Throughput*1.05 {
+		t.Errorf("throughput should not improve: %.3f -> %.3f", t9.Throughput, t10.Throughput)
+	}
+	if t10.RealLatency >= t9.RealLatency*0.95 {
+		t.Errorf("latency should drop clearly: %.4f -> %.4f", t9.RealLatency, t10.RealLatency)
+	}
+}
+
+func TestTable2DopplerCommunication(t *testing.T) {
+	// Doppler -> successors: send time vs the paper's column (identical
+	// across destination columns; it is the task's whole send phase), and
+	// receive times at easy BF (16 nodes) including the superlinear
+	// improvement as the Doppler task grows.
+	mo := paperModel()
+	sendPaper := map[int]float64{8: .1332, 16: .0679, 32: .0340}
+	for p0, want := range sendPaper {
+		got := mo.PackTime(pipeline.TaskDoppler, p0)
+		within(t, "doppler send", got, want, 0.05)
+	}
+	recvPaper := map[int]float64{8: .4441, 16: .1837, 32: .0563}
+	for p0, want := range recvPaper {
+		_, recv := mo.PairComm(pipeline.TaskDoppler, pipeline.TaskEasyBF, p0, 16, case2)
+		within(t, "easyBF recv", recv, want, 0.10)
+	}
+	// Superlinear: 4x nodes, >6x faster receive.
+	_, r8 := mo.PairComm(pipeline.TaskDoppler, pipeline.TaskEasyBF, 8, 16, case2)
+	_, r32 := mo.PairComm(pipeline.TaskDoppler, pipeline.TaskEasyBF, 32, 16, case2)
+	if r8/r32 < 6 {
+		t.Errorf("recv improvement 8->32 nodes = %.1fx, want superlinear (>6x)", r8/r32)
+	}
+}
+
+func TestTable2WeightReceives(t *testing.T) {
+	mo := paperModel()
+	cases := []struct {
+		p0   int
+		task int
+		pd   int
+		want float64
+	}{
+		{8, pipeline.TaskEasyWeight, 16, .4339},
+		{16, pipeline.TaskEasyWeight, 16, .1780},
+		{8, pipeline.TaskHardWeight, 56, .3603},
+		{16, pipeline.TaskHardWeight, 56, .1048},
+		{32, pipeline.TaskHardWeight, 56, .0034},
+	}
+	for _, c := range cases {
+		_, recv := mo.PairComm(pipeline.TaskDoppler, c.task, c.p0, c.pd, case2)
+		within(t, "weight recv", recv, c.want, 0.25)
+	}
+}
+
+func TestTable3SenderIdleWhenReceiverSlow(t *testing.T) {
+	// Easy weight at 16 nodes feeding easy BF at 8: the sender outpaces
+	// the receiver and its visible send time balloons (paper: .0768 vs
+	// .0003 when the receiver keeps up at 16 nodes).
+	mo := paperModel()
+	sendSlow, _ := mo.PairComm(pipeline.TaskEasyWeight, pipeline.TaskEasyBF, 16, 8, case2)
+	sendFast, _ := mo.PairComm(pipeline.TaskEasyWeight, pipeline.TaskEasyBF, 16, 16, case2)
+	if sendSlow < 10*sendFast {
+		t.Errorf("sender idle not visible: slow-receiver send %.4f vs %.4f", sendSlow, sendFast)
+	}
+	if sendFast > 0.005 {
+		t.Errorf("unthrottled weight send should be sub-5ms, got %.4f", sendFast)
+	}
+}
+
+func TestTables5And6OrderOfMagnitude(t *testing.T) {
+	// The small (<0.25 s) entries of Tables 5 and 6 depend on idle
+	// alignment the steady-state model cannot fully see; lock them to the
+	// right order of magnitude (within a factor of 4) so regressions in
+	// the cost model are caught without over-fitting.
+	mo := paperModel()
+	cases := []struct {
+		src, dst, ps, pd int
+		recvPaper        float64
+	}{
+		{pipeline.TaskEasyBF, pipeline.TaskPulseComp, 4, 8, .5016},
+		{pipeline.TaskEasyBF, pipeline.TaskPulseComp, 8, 16, .2090},
+		// (the 16->16 entry is excluded: its idle time depends on the
+		// paper's unknown run context; see EXPERIMENTS.md "Known deviations")
+		{pipeline.TaskPulseComp, pipeline.TaskCFAR, 4, 4, .3351},
+		{pipeline.TaskPulseComp, pipeline.TaskCFAR, 8, 8, .1750},
+	}
+	for _, c := range cases {
+		_, recv := mo.PairComm(c.src, c.dst, c.ps, c.pd, case2)
+		if recv > 4*c.recvPaper || recv < c.recvPaper/4 {
+			t.Errorf("%d->%d (%d,%d): recv %.4f vs paper %.4f beyond 4x band",
+				c.src, c.dst, c.ps, c.pd, recv, c.recvPaper)
+		}
+	}
+}
+
+func TestSimulatedTotalsNearEqual(t *testing.T) {
+	// Table 7's signature: in steady state every task's total time is the
+	// pipeline period.
+	mo := paperModel()
+	res := mo.Simulate(case1)
+	for task, ts := range res.Tasks {
+		if math.Abs(ts.Total-res.Period)/res.Period > 0.05 {
+			t.Errorf("task %d total %.4f vs period %.4f", task, ts.Total, res.Period)
+		}
+	}
+	if res.EqLatency <= res.RealLatency {
+		t.Error("equation latency is an upper bound and must exceed real latency")
+	}
+}
+
+func TestVolumesAndEdges(t *testing.T) {
+	mo := paperModel()
+	if len(Edges()) != 10 {
+		t.Fatalf("edges %d", len(Edges()))
+	}
+	// Thicker arrows to beamforming than to weights (paper Figure 4).
+	toEasyW := mo.Volume(Edge{pipeline.TaskDoppler, pipeline.TaskEasyWeight})
+	toEasyBF := mo.Volume(Edge{pipeline.TaskDoppler, pipeline.TaskEasyBF})
+	if toEasyW >= toEasyBF {
+		t.Errorf("easy weight volume %d >= easy BF volume %d", toEasyW, toEasyBF)
+	}
+	// Raw CPI is 4 MB of complex samples (512*16*128*8).
+	if got := mo.Volume(Edge{InputEdge, pipeline.TaskDoppler}); got != 8388608 {
+		t.Errorf("raw volume %d", got)
+	}
+	// Power cube halves to real (paper: magnitude-squared halves data).
+	pc := mo.Volume(Edge{pipeline.TaskPulseComp, pipeline.TaskCFAR})
+	bf := mo.Volume(Edge{pipeline.TaskEasyBF, pipeline.TaskPulseComp}) +
+		mo.Volume(Edge{pipeline.TaskHardBF, pipeline.TaskPulseComp})
+	if pc*2 != bf {
+		t.Errorf("PC->CFAR %d should be half of BF->PC %d", pc, bf)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown edge should panic")
+		}
+	}()
+	mo.Volume(Edge{pipeline.TaskCFAR, pipeline.TaskDoppler})
+}
+
+func TestQualitativeClaimsRobustToCalibration(t *testing.T) {
+	// The paper's qualitative claims must not hinge on the exact
+	// calibration constants: perturb every cost coefficient by +-20% and
+	// re-check (a) near-linear 59->236 scaling, (b) Table 9's throughput
+	// gain from Doppler nodes, (c) Table 10's throughput plateau.
+	perturbs := []float64{0.8, 1.2}
+	for _, fRate := range perturbs {
+		for _, fComm := range perturbs {
+			m := AFRLParagon()
+			for i := range m.TaskRate {
+				m.TaskRate[i] *= fRate
+			}
+			m.PackReorgSecPB *= fComm
+			m.PackLinSecPB *= fComm
+			m.UnpackSecPB *= fComm
+			mo := NewModel(m, radar.Paper())
+			r1 := mo.Simulate(case1)
+			r3 := mo.Simulate(case3)
+			if ratio := r1.Throughput / r3.Throughput; ratio < 3.0 || ratio > 5.0 {
+				t.Errorf("rate x%.1f comm x%.1f: scaling ratio %.2f", fRate, fComm, ratio)
+			}
+			base := mo.Simulate(case2)
+			t9 := mo.Simulate(tbl9)
+			if t9.Throughput <= base.Throughput {
+				t.Errorf("rate x%.1f comm x%.1f: Doppler nodes did not help", fRate, fComm)
+			}
+			t10 := mo.Simulate(tbl10)
+			if t10.Throughput > t9.Throughput*1.02 {
+				t.Errorf("rate x%.1f comm x%.1f: back-end nodes raised throughput", fRate, fComm)
+			}
+			if t10.RealLatency >= t9.RealLatency {
+				t.Errorf("rate x%.1f comm x%.1f: back-end nodes did not cut latency", fRate, fComm)
+			}
+		}
+	}
+}
+
+func TestSimulateReplicated(t *testing.T) {
+	mo := paperModel()
+	base := mo.Simulate(case3)
+	nodes, thr, lat := mo.SimulateReplicated(case3, 4)
+	if nodes != 4*case3.Total() {
+		t.Errorf("nodes %d", nodes)
+	}
+	if d := thr/base.Throughput - 4; d > 1e-9 || d < -1e-9 {
+		t.Errorf("replicated throughput %g, want 4x %g", thr, base.Throughput)
+	}
+	if lat != base.RealLatency {
+		t.Error("replication must not change latency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero replicas should panic")
+		}
+	}()
+	mo.SimulateReplicated(case3, 0)
+}
+
+func TestCompTimePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("should panic")
+		}
+	}()
+	paperModel().CompTime(0, 0)
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	mo := paperModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mo.Simulate(case1)
+	}
+}

@@ -1,0 +1,123 @@
+// Package pattern computes adapted-beam-pattern and SINR metrics for STAP
+// weight vectors: the quantities Appendix A reasons about (mainbeam
+// preservation, null depth, clutter rejection vs array gain tradeoff).
+// The examples and tests use it to characterize what the constrained
+// least squares weights actually do.
+package pattern
+
+import (
+	"math"
+	"math/cmplx"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// Response evaluates the spatial power response |w^H a(az)|^2 of a weight
+// vector across nAz azimuths in [-pi/2, pi/2]. For 2J-element weights the
+// staggered steering vector of (d, stagger, n) is used; pass d < 0 for
+// plain J-element weights.
+type Response struct {
+	Azimuths []float64
+	Power    []float64 // linear
+}
+
+// Compute evaluates the pattern. w has J (d < 0) or 2J entries.
+func Compute(p radar.Params, w []complex128, d, nAz int) Response {
+	r := Response{
+		Azimuths: make([]float64, nAz),
+		Power:    make([]float64, nAz),
+	}
+	for i := 0; i < nAz; i++ {
+		az := -math.Pi/2 + math.Pi*float64(i)/float64(nAz-1)
+		r.Azimuths[i] = az
+		var v []complex128
+		if d < 0 {
+			v = radar.SteeringVector(p.J, az)
+		} else {
+			v = radar.StaggeredSteeringVector(p.J, az, d, p.Stagger, p.N)
+			linalg.Normalize(v)
+		}
+		g := cmplx.Abs(linalg.Dot(w, v))
+		r.Power[i] = g * g
+	}
+	return r
+}
+
+// PeakDB returns the peak power and its azimuth.
+func (r Response) Peak() (az float64, power float64) {
+	for i, pw := range r.Power {
+		if pw > power {
+			power = pw
+			az = r.Azimuths[i]
+		}
+	}
+	return az, power
+}
+
+// DepthAtDB returns the response at the azimuth nearest `az`, in dB
+// relative to the pattern peak (negative for a null).
+func (r Response) DepthAtDB(az float64) float64 {
+	best, bestDiff := 0, math.Inf(1)
+	for i, a := range r.Azimuths {
+		if d := math.Abs(a - az); d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	_, peak := r.Peak()
+	if peak <= 0 {
+		return 0
+	}
+	return 10 * math.Log10(r.Power[best]/peak+1e-300)
+}
+
+// Gain returns |w^H v|^2 for an arbitrary response vector.
+func Gain(w, v []complex128) float64 {
+	g := cmplx.Abs(linalg.Dot(w, v))
+	return g * g
+}
+
+// OutputPower applies w^H to every range snapshot of Doppler bin d of a
+// staggered cube and returns the mean output power over [rLo, rHi) — the
+// residual clutter+noise power of the beamformer.
+func OutputPower(p radar.Params, doppler *cube.Cube, w []complex128, d, rLo, rHi int) float64 {
+	nch := len(w)
+	var sum float64
+	for r := rLo; r < rHi; r++ {
+		var y complex128
+		for j := 0; j < nch; j++ {
+			y += cmplx.Conj(w[j]) * doppler.At(r, j, d)
+		}
+		sum += real(y)*real(y) + imag(y)*imag(y)
+	}
+	if rHi > rLo {
+		sum /= float64(rHi - rLo)
+	}
+	return sum
+}
+
+// SINR computes the output signal-to-interference+noise ratio of weights
+// w for a unit target response vector, against held-out data at bin d.
+func SINR(p radar.Params, doppler *cube.Cube, w, target []complex128, d, rLo, rHi int) float64 {
+	out := OutputPower(p, doppler, w, d, rLo, rHi)
+	if out <= 0 {
+		return math.Inf(1)
+	}
+	return Gain(w, target) / out
+}
+
+// ImprovementDB returns the SINR improvement of weights wA over wB in dB.
+func ImprovementDB(p radar.Params, doppler *cube.Cube, wA, wB, target []complex128, d, rLo, rHi int) float64 {
+	return 10 * math.Log10(SINR(p, doppler, wA, target, d, rLo, rHi)/
+		SINR(p, doppler, wB, target, d, rLo, rHi))
+}
+
+// Column extracts beam b's weight column from a weight matrix.
+func Column(m *linalg.Matrix, b int) []complex128 {
+	out := make([]complex128, m.Rows)
+	for j := range out {
+		out[j] = m.At(j, b)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+func TestSteeringPatternPeaksAtLookDirection(t *testing.T) {
+	p := radar.Small()
+	p.J = 8
+	for _, look := range []float64{0, 0.3, -0.5} {
+		w := radar.SteeringVector(p.J, look)
+		r := Compute(p, w, -1, 257)
+		az, _ := r.Peak()
+		if math.Abs(az-look) > math.Pi/64 {
+			t.Errorf("look %.2f: peak at %.3f", look, az)
+		}
+	}
+}
+
+func TestStaggeredPatternPeaks(t *testing.T) {
+	p := radar.Small()
+	d := p.HardBins()[1]
+	look := 0.2
+	w := radar.StaggeredSteeringVector(p.J, look, d, p.Stagger, p.N)
+	linalg.Normalize(w)
+	r := Compute(p, w, d, 257)
+	az, _ := r.Peak()
+	if math.Abs(az-look) > math.Pi/32 {
+		t.Errorf("staggered peak at %.3f, want %.2f", az, look)
+	}
+}
+
+func TestDepthAtDB(t *testing.T) {
+	p := radar.Small()
+	p.J = 8
+	w := radar.SteeringVector(p.J, 0)
+	r := Compute(p, w, -1, 513)
+	if d := r.DepthAtDB(0); d > 0 || d < -0.5 {
+		t.Errorf("mainbeam depth %.2f dB, want ~0", d)
+	}
+	// far sidelobe of an 8-element uniform array is well below the peak
+	if d := r.DepthAtDB(1.2); d > -5 {
+		t.Errorf("sidelobe depth %.2f dB, want < -5", d)
+	}
+}
+
+func TestAdaptedPatternNullsJammer(t *testing.T) {
+	p := radar.Small()
+	p.J = 8
+	p.EasySamplesPerCPI = 16
+	sc := radar.DefaultScene(p)
+	sc.Clutter.CNR = 0
+	sc.Targets = nil
+	sc.Jammers = []radar.Jammer{{Azimuth: 0.8, Power: 300}}
+	beamAz := sc.BeamAzimuths()
+	es := stap.NewEasyWeightState(p, beamAz)
+	for i := 0; i < 3; i++ {
+		es.Observe(stap.DopplerFilter(p, sc.GenerateCPI(i), nil))
+	}
+	w := es.Compute()
+	adapted := Compute(p, Column(w[0], 0), -1, 513)
+	steer := Compute(p, radar.SteeringVector(p.J, beamAz[0]), -1, 513)
+	nullAdapted := adapted.DepthAtDB(0.8)
+	nullSteer := steer.DepthAtDB(0.8)
+	t.Logf("pattern depth at jammer: adapted %.1f dB, steering %.1f dB", nullAdapted, nullSteer)
+	if nullAdapted > nullSteer-8 {
+		t.Errorf("adapted null %.1f dB not clearly below steering %.1f dB", nullAdapted, nullSteer)
+	}
+	// mainbeam preserved within ~5 dB
+	if d := adapted.DepthAtDB(beamAz[0]); d < -5 {
+		t.Errorf("mainbeam degraded to %.1f dB", d)
+	}
+}
+
+func TestSINRImprovement(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	sc.Targets = nil
+	sc.Clutter.CNR = 1000
+	beamAz := sc.BeamAzimuths()
+	hs := stap.NewHardWeightState(p, beamAz)
+	for i := 0; i < 6; i++ {
+		hs.Observe(stap.DopplerFilter(p, sc.GenerateCPI(i), nil))
+	}
+	w := hs.Compute()
+	steerW := stap.SteeringWeights(p, beamAz)
+	test := stap.DopplerFilter(p, sc.GenerateCPI(50), nil)
+	d := p.HardBins()[0]
+	b := 0
+	target := radar.StaggeredSteeringVector(p.J, beamAz[b], d, p.Stagger, p.N)
+	lo, hi := p.Segment(0)
+	imp := ImprovementDB(p, test,
+		Column(w[0][0], b), Column(steerW.Hard[0][0], b), target, d, lo, hi)
+	if imp < 3 {
+		t.Errorf("SINR improvement %.1f dB, want >= 3", imp)
+	}
+	t.Logf("SINR improvement %.1f dB", imp)
+}
+
+func TestOutputPowerAndGain(t *testing.T) {
+	w := []complex128{1, 0}
+	v := []complex128{complex(0, 2), 5}
+	if g := Gain(w, v); math.Abs(g-4) > 1e-12 {
+		t.Errorf("gain %g, want 4", g)
+	}
+	if SINRInfCheck() {
+		t.Log("inf path covered")
+	}
+}
+
+// SINRInfCheck covers the zero-output-power branch.
+func SINRInfCheck() bool {
+	p := radar.Small()
+	dopp := stap.DopplerFilter(p, (&radar.Scene{Params: p, Seed: 1}).GenerateCPI(0), nil)
+	w := make([]complex128, 2*p.J) // zero weights -> zero output power
+	return math.IsInf(SINR(p, dopp, w, w, 0, 0, 4), 1)
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/redist"
+	"pstap/internal/stap"
+)
+
+// Message payloads. Every type reports its wire size (mp.Sizer) so the
+// world can account communication volume against the Paragon cost model.
+
+// rawMsg carries one Doppler worker's range slab of a raw CPI.
+type rawMsg struct{ slab *cube.Cube }
+
+// Bytes implements mp.Sizer.
+func (m rawMsg) Bytes() int64 { return m.slab.Bytes() }
+
+// easyTrainMsg carries collected easy training rows, one matrix per
+// destination-owned easy bin (the paper's irregular "data collection"
+// transfer, Figure 6b).
+type easyTrainMsg struct{ rows []*linalg.Matrix }
+
+// Bytes implements mp.Sizer.
+func (m easyTrainMsg) Bytes() int64 { return redist.RowsBytes(m.rows) }
+
+// hardTrainMsg carries collected hard training rows, [segment][binIdx].
+type hardTrainMsg struct{ rows [][]*linalg.Matrix }
+
+// Bytes implements mp.Sizer.
+func (m hardTrainMsg) Bytes() int64 {
+	var n int64
+	for _, seg := range m.rows {
+		n += redist.RowsBytes(seg)
+	}
+	return n
+}
+
+// bfDataMsg carries a reorganized Doppler-major piece of the staggered CPI
+// for a beamforming worker (Figure 8).
+type bfDataMsg struct{ piece *cube.Cube }
+
+// Bytes implements mp.Sizer.
+func (m bfDataMsg) Bytes() int64 { return m.piece.Bytes() }
+
+// easyWeightsMsg carries J x M weight matrices for a contiguous run of
+// easy bins.
+type easyWeightsMsg struct{ ws []*linalg.Matrix }
+
+// Bytes implements mp.Sizer.
+func (m easyWeightsMsg) Bytes() int64 { return redist.WeightsBytes(m.ws) }
+
+// hardWeightsMsg carries 2J x M weight matrices, [segment][binIdx].
+type hardWeightsMsg struct{ ws [][]*linalg.Matrix }
+
+// Bytes implements mp.Sizer.
+func (m hardWeightsMsg) Bytes() int64 {
+	var n int64
+	for _, seg := range m.ws {
+		n += redist.WeightsBytes(seg)
+	}
+	return n
+}
+
+// beamMsg carries beamformed rows for a contiguous run of the sender's
+// bins; globalBins identifies each row's Doppler bin.
+type beamMsg struct {
+	slab       *cube.Cube
+	globalBins []int
+}
+
+// Bytes implements mp.Sizer.
+func (m beamMsg) Bytes() int64 { return m.slab.Bytes() }
+
+// powerMsg carries pulse-compressed power rows covering global bins
+// [blk.Lo, blk.Hi).
+type powerMsg struct {
+	slab *cube.RealCube
+	blk  cube.Block
+}
+
+// Bytes implements mp.Sizer.
+func (m powerMsg) Bytes() int64 { return m.slab.Bytes() }
+
+// detMsg carries one CFAR worker's detections for a CPI.
+type detMsg struct{ dets []stap.Detection }
+
+// Bytes implements mp.Sizer; a detection report entry is 3 int32 plus 2
+// float32 on the wire (20 bytes).
+func (m detMsg) Bytes() int64 { return int64(len(m.dets)) * 20 }

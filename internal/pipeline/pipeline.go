@@ -1,0 +1,504 @@
+// Package pipeline implements the paper's parallel pipelined STAP system
+// (Figure 4): seven parallel tasks — Doppler filter processing, easy and
+// hard weight computation, easy and hard beamforming, pulse compression,
+// CFAR — each executed by a group of worker goroutines ("compute nodes")
+// communicating through the mp message-passing runtime.
+//
+// Partitioning follows the paper exactly: the Doppler task partitions the
+// CPI cube along the range dimension (K); every other task partitions
+// along the Doppler dimension (N). The Doppler-to-successor transfers are
+// therefore all-to-all personalized communications with sender-side data
+// collection (weight tasks receive only their training range subsets) and
+// reorganization (beamforming receives Doppler-major, channel-unit-stride
+// pieces). Temporal dependencies TD(1,3) and TD(2,4) are honored: the
+// weights applied to CPI i were trained on CPIs up to i-1, and the first
+// CPI uses steering-only weights, making the pipeline output equal to the
+// serial reference bit for bit.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/mp"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// Task indices in pipeline order.
+const (
+	TaskDoppler = iota
+	TaskEasyWeight
+	TaskHardWeight
+	TaskEasyBF
+	TaskHardBF
+	TaskPulseComp
+	TaskCFAR
+	NumTasks
+)
+
+// Assignment is the per-task processor (worker goroutine) count — the
+// knob Tables 7-10 of the paper turn.
+type Assignment [NumTasks]int
+
+// NewAssignment builds an assignment in task order.
+func NewAssignment(doppler, easyW, hardW, easyBF, hardBF, pulse, cfar int) Assignment {
+	return Assignment{doppler, easyW, hardW, easyBF, hardBF, pulse, cfar}
+}
+
+// String renders the assignment compactly in task order.
+func (a Assignment) String() string {
+	s := "["
+	for i, n := range a {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(n)
+	}
+	return s + "]"
+}
+
+// Total returns the number of workers across all tasks.
+func (a Assignment) Total() int {
+	t := 0
+	for _, n := range a {
+		t += n
+	}
+	return t
+}
+
+// Validate checks that every task has at least one worker.
+func (a Assignment) Validate() error {
+	for i, n := range a {
+		if n <= 0 {
+			return fmt.Errorf("pipeline: task %s has %d workers", stap.TaskNames[i], n)
+		}
+	}
+	return nil
+}
+
+// Config describes one pipeline run.
+type Config struct {
+	Scene   *radar.Scene
+	Assign  Assignment
+	NumCPIs int
+	// Warmup and Cooldown CPIs are excluded from averaged timing (the
+	// paper excludes the first 3 and last 2 of its 25).
+	Warmup, Cooldown int
+	// Window bounds the number of CPIs in flight (0 means the default of
+	// 8). Bounded buffering is what makes the system a pipeline rather
+	// than a sequence of batch stages — the role the paper's double
+	// buffering and finite MPI buffers play.
+	Window int
+	// CPIMap, when non-nil, maps the pipeline's local CPI index to the
+	// scene's global CPI index (used by replicated pipelines, where
+	// replica r processes global CPIs r, r+R, r+2R, ...). Nil means
+	// identity.
+	CPIMap func(int) int
+	// RawSource, when non-nil, supplies raw CPI cubes by (mapped) index
+	// instead of synthesizing them from the scene — used to replay
+	// recorded data (cpifile). The scene still provides the parameters,
+	// replica waveform and beam geometry.
+	RawSource func(int) *cube.Cube
+	// Threads spreads each worker's data-parallel kernels (Doppler
+	// filtering, beamforming, pulse compression, CFAR) over this many
+	// goroutines — the paper's "multiple processors on each compute node"
+	// (the Paragon had three i860s per node). 0 or 1 means single
+	// threaded. Results are bit-identical for any value.
+	Threads int
+}
+
+// Span is one worker's absolute phase timestamps for one CPI, following
+// the Figure 10 loop: T0 = loop start (receive begins), T1 = input ready
+// (compute begins), T2 = compute done (send/pack begins), T3 = loop end.
+type Span struct {
+	T0, T1, T2, T3 time.Time
+}
+
+// Times converts a span to phase durations.
+func (s Span) Times() TaskTimes {
+	return TaskTimes{Recv: s.T1.Sub(s.T0), Comp: s.T2.Sub(s.T1), Send: s.T3.Sub(s.T2)}
+}
+
+// TaskTimes is one worker's timing for one CPI, split per Figure 10:
+// receive (including waiting and unpacking), compute, and send (packing +
+// posting).
+type TaskTimes struct {
+	Recv, Comp, Send time.Duration
+}
+
+// Total returns the sum of the three phases.
+func (t TaskTimes) Total() time.Duration { return t.Recv + t.Comp + t.Send }
+
+// TaskStats is a task's timing averaged over its workers and the measured
+// CPI window.
+type TaskStats struct {
+	Recv, Comp, Send time.Duration
+}
+
+// Total returns the averaged per-CPI execution time T_i of the task.
+func (s TaskStats) Total() time.Duration { return s.Recv + s.Comp + s.Send }
+
+// Result is everything a pipeline run produces.
+type Result struct {
+	// Detections[i] is the sorted detection report of CPI i.
+	Detections [][]stap.Detection
+	// Stats[t] is task t's averaged timing.
+	Stats [NumTasks]TaskStats
+	// Throughput is the measured rate in CPIs/second, from the completion
+	// time gaps of the measured window (the paper's "real" throughput).
+	Throughput float64
+	// Latency is the measured input-ready-to-report time averaged over the
+	// window (the paper's "real" latency).
+	Latency time.Duration
+	// Latencies holds the per-CPI measured latencies of the window, in CPI
+	// order (for percentile analysis).
+	Latencies []time.Duration
+	// Elapsed is the total wall time of the run.
+	Elapsed time.Duration
+	// BytesSent counts all inter-task payload bytes.
+	BytesSent int64
+	// Messages counts inter-task messages.
+	Messages int64
+	// Spans holds every worker's absolute phase timestamps,
+	// Spans[task][worker][cpi], for tracing (see internal/trace).
+	Spans [NumTasks][][]Span
+	// Start is the run's reference time for rendering spans.
+	Start time.Time
+}
+
+// EquationThroughput evaluates the paper's equation (1) on the measured
+// task times: 1 / max_i T_i.
+func (r *Result) EquationThroughput() float64 {
+	var maxT time.Duration
+	for _, s := range r.Stats {
+		if s.Total() > maxT {
+			maxT = s.Total()
+		}
+	}
+	if maxT == 0 {
+		return 0
+	}
+	return 1 / maxT.Seconds()
+}
+
+// EquationLatency evaluates the paper's equation (2) on the measured task
+// times: T0 + max(T3, T4) + T5 + T6 (weight tasks excluded thanks to the
+// temporal decoupling).
+func (r *Result) EquationLatency() time.Duration {
+	bf := r.Stats[TaskEasyBF].Total()
+	if h := r.Stats[TaskHardBF].Total(); h > bf {
+		bf = h
+	}
+	return r.Stats[TaskDoppler].Total() + bf + r.Stats[TaskPulseComp].Total() + r.Stats[TaskCFAR].Total()
+}
+
+// message stream identifiers; the wire tag is stream<<20 | cpi.
+const (
+	tagRaw = iota
+	tagEasyTrain
+	tagHardTrain
+	tagEasyBFData
+	tagHardBFData
+	tagEasyW
+	tagHardW
+	tagEasyBeam
+	tagHardBeam
+	tagPower
+	tagDet
+)
+
+func tag(stream, cpi int) int { return stream<<20 | cpi }
+
+// topology precomputes every partitioning and routing decision shared by
+// the workers.
+type topology struct {
+	p      radar.Params
+	groups [NumTasks]mp.Group
+	driver int // driver rank (feeds input, collects reports)
+
+	kBlocks []cube.Block // Doppler task's range blocks
+
+	easyBins []int // global easy bins, ascending
+	hardBins []int // global hard bins, ascending
+
+	easyWPos  []cube.Block // easy weight workers' position blocks in easyBins
+	hardWPos  []cube.Block
+	easyBFPos []cube.Block
+	hardBFPos []cube.Block
+	pcBlocks  []cube.Block // over global bin space [0, N)
+	cfBlocks  []cube.Block
+}
+
+func newTopology(p radar.Params, a Assignment) *topology {
+	t := &topology{p: p}
+	groups := mp.Layout(a[:])
+	copy(t.groups[:], groups)
+	t.driver = a.Total()
+	t.kBlocks = cube.BlockPartition(p.K, a[TaskDoppler])
+	t.easyBins = p.EasyBins()
+	t.hardBins = p.HardBins()
+	t.easyWPos = cube.BlockPartition(len(t.easyBins), a[TaskEasyWeight])
+	t.hardWPos = cube.BlockPartition(len(t.hardBins), a[TaskHardWeight])
+	t.easyBFPos = cube.BlockPartition(len(t.easyBins), a[TaskEasyBF])
+	t.hardBFPos = cube.BlockPartition(len(t.hardBins), a[TaskHardBF])
+	t.pcBlocks = cube.BlockPartition(p.N, a[TaskPulseComp])
+	t.cfBlocks = cube.BlockPartition(p.N, a[TaskCFAR])
+	return t
+}
+
+// binsAt returns list[blk.Lo:blk.Hi].
+func binsAt(list []int, blk cube.Block) []int { return list[blk.Lo:blk.Hi] }
+
+// sortDetections orders a merged report like stap.CFAR does.
+func sortDetections(dets []stap.Detection) {
+	sort.Slice(dets, func(i, j int) bool {
+		a, b := dets[i], dets[j]
+		if a.DopplerBin != b.DopplerBin {
+			return a.DopplerBin < b.DopplerBin
+		}
+		if a.Beam != b.Beam {
+			return a.Beam < b.Beam
+		}
+		return a.Range < b.Range
+	})
+}
+
+// Run executes the pipeline and blocks until every CPI has been processed.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("pipeline: nil scene")
+	}
+	if err := cfg.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assign.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumCPIs <= 0 {
+		return nil, fmt.Errorf("pipeline: NumCPIs %d", cfg.NumCPIs)
+	}
+	if cfg.Warmup+cfg.Cooldown >= cfg.NumCPIs {
+		return nil, fmt.Errorf("pipeline: warmup %d + cooldown %d >= CPIs %d",
+			cfg.Warmup, cfg.Cooldown, cfg.NumCPIs)
+	}
+
+	p := cfg.Scene.Params
+	topo := newTopology(p, cfg.Assign)
+	world := mp.NewWorld(cfg.Assign.Total() + 1)
+	n := cfg.NumCPIs
+	beamAz := cfg.Scene.BeamAzimuths()
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 1 / cfg.Scene.RangeGain(r)
+	}
+
+	// Timing collection: per task, per worker, per CPI.
+	var spans [NumTasks][][]Span
+	for ti := range spans {
+		spans[ti] = make([][]Span, cfg.Assign[ti])
+		for w := range spans[ti] {
+			spans[ti][w] = make([]Span, n)
+		}
+	}
+	// Per-Doppler-worker input-ready timestamps for latency measurement.
+	ready := make([][]time.Time, cfg.Assign[TaskDoppler])
+	for i := range ready {
+		ready[i] = make([]time.Time, n)
+	}
+	// Per-CFAR-worker report timestamps; a CPI is complete when its last
+	// CFAR worker has emitted its report (timestamping at the workers
+	// avoids collector-goroutine scheduling noise).
+	cfarDone := make([][]time.Time, cfg.Assign[TaskCFAR])
+	for i := range cfarDone {
+		cfarDone[i] = make([]time.Time, n)
+	}
+	detections := make([][]stap.Detection, n)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	// Input feeder: plays the phased-array front end, slicing each CPI
+	// across the Doppler task's range blocks. A credit semaphore bounds
+	// the CPIs in flight so the system behaves as a pipeline in steady
+	// state instead of batching through unbounded buffers.
+	window := cfg.Window
+	if window <= 0 {
+		window = 8
+	}
+	credits := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		credits <- struct{}{}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		feeder := world.Comm(topo.driver)
+		mapCPI := cfg.CPIMap
+		if mapCPI == nil {
+			mapCPI = func(i int) int { return i }
+		}
+		source := cfg.RawSource
+		if source == nil {
+			source = cfg.Scene.GenerateCPI
+		}
+		for cpi := 0; cpi < n; cpi++ {
+			<-credits
+			raw := source(mapCPI(cpi))
+			for w, blk := range topo.kBlocks {
+				feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{slab: raw.SliceAxis0(blk)})
+			}
+		}
+	}()
+
+	for w := 0; w < cfg.Assign[TaskDoppler]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dopplerWorker(world, topo, cfg, gain, w, spans[TaskDoppler][w], ready[w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskEasyWeight]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			easyWeightWorker(world, topo, cfg, beamAz, w, spans[TaskEasyWeight][w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskHardWeight]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hardWeightWorker(world, topo, cfg, beamAz, w, spans[TaskHardWeight][w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskEasyBF]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			easyBFWorker(world, topo, cfg, beamAz, w, spans[TaskEasyBF][w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskHardBF]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hardBFWorker(world, topo, cfg, beamAz, w, spans[TaskHardBF][w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskPulseComp]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pulseCompWorker(world, topo, cfg, w, spans[TaskPulseComp][w])
+		}(w)
+	}
+	for w := 0; w < cfg.Assign[TaskCFAR]; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfarWorker(world, topo, cfg, w, spans[TaskCFAR][w], cfarDone[w])
+		}(w)
+	}
+
+	// Report collector (the pipeline output).
+	collector := world.Comm(topo.driver)
+	for cpi := 0; cpi < n; cpi++ {
+		var merged []stap.Detection
+		for _, src := range topo.groups[TaskCFAR].Ranks() {
+			msg := collector.Recv(src, tag(tagDet, cpi)).(detMsg)
+			merged = append(merged, msg.dets...)
+		}
+		sortDetections(merged)
+		detections[cpi] = merged
+		credits <- struct{}{}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	complete := make([]time.Time, n)
+	for cpi := 0; cpi < n; cpi++ {
+		for w := range cfarDone {
+			if cfarDone[w][cpi].After(complete[cpi]) {
+				complete[cpi] = cfarDone[w][cpi]
+			}
+		}
+	}
+
+	res := &Result{
+		Detections: detections,
+		Elapsed:    elapsed,
+		BytesSent:  world.BytesSent(),
+		Messages:   world.MessagesSent(),
+		Spans:      spans,
+		Start:      start,
+	}
+	lo, hi := cfg.Warmup, n-cfg.Cooldown
+	for ti := 0; ti < NumTasks; ti++ {
+		var sum TaskStats
+		count := 0
+		for w := range spans[ti] {
+			for cpi := lo; cpi < hi; cpi++ {
+				tt := spans[ti][w][cpi].Times()
+				sum.Recv += tt.Recv
+				sum.Comp += tt.Comp
+				sum.Send += tt.Send
+				count++
+			}
+		}
+		if count > 0 {
+			res.Stats[ti] = TaskStats{
+				Recv: sum.Recv / time.Duration(count),
+				Comp: sum.Comp / time.Duration(count),
+				Send: sum.Send / time.Duration(count),
+			}
+		}
+	}
+	// Measured throughput: completion gaps inside the window.
+	if hi-lo >= 2 {
+		span := complete[hi-1].Sub(complete[lo])
+		if span > 0 {
+			res.Throughput = float64(hi-lo-1) / span.Seconds()
+		}
+	}
+	// Measured latency: first-task-ready to report, averaged.
+	var latSum time.Duration
+	for cpi := lo; cpi < hi; cpi++ {
+		first := ready[0][cpi]
+		for w := 1; w < len(ready); w++ {
+			if ready[w][cpi].Before(first) {
+				first = ready[w][cpi]
+			}
+		}
+		if !first.IsZero() {
+			l := complete[cpi].Sub(first)
+			res.Latencies = append(res.Latencies, l)
+			latSum += l
+		}
+	}
+	if len(res.Latencies) > 0 {
+		res.Latency = latSum / time.Duration(len(res.Latencies))
+	}
+	return res, nil
+}
+
+// LatencyPercentile returns the q-quantile (0..1) of the measured per-CPI
+// latencies, 0 when none were measured.
+func (r *Result) LatencyPercentile(q float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pstap/internal/stap"
+)
+
+// ReplicatedConfig runs R independent copies of the parallel pipeline
+// with CPIs dispatched round-robin across them — the "multiple pipelines"
+// extension the paper's conclusion proposes, and the technique of the
+// related work it cites ("replication of pipeline stages"): throughput
+// multiplies by the replica count while per-CPI latency stays at one
+// pipeline's latency. Each replica trains its weights on the CPI
+// subsequence it sees.
+type ReplicatedConfig struct {
+	Config
+	Replicas int
+}
+
+// ReplicatedResult aggregates the replica runs.
+type ReplicatedResult struct {
+	// Detections[i] is CPI i's report (produced by replica i % Replicas).
+	Detections [][]stap.Detection
+	// PerReplica holds each replica's own pipeline result.
+	PerReplica []*Result
+	// Throughput is the aggregate rate: completed CPIs per second across
+	// all replicas over the full run.
+	Throughput float64
+	// Latency is the mean per-CPI latency (unchanged by replication).
+	Latency time.Duration
+	Elapsed time.Duration
+}
+
+// RunReplicated executes the replicated system. The replicas are fully
+// independent (separate worlds), exactly like running R copies of the
+// paper's pipeline on disjoint node partitions.
+func RunReplicated(cfg ReplicatedConfig) (*ReplicatedResult, error) {
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("pipeline: replicas %d", cfg.Replicas)
+	}
+	if cfg.NumCPIs < cfg.Replicas {
+		return nil, fmt.Errorf("pipeline: %d CPIs < %d replicas", cfg.NumCPIs, cfg.Replicas)
+	}
+	// Each replica processes ceil(n/R) or floor(n/R) CPIs; warmup/cooldown
+	// apply within each replica's subsequence.
+	results := make([]*Result, cfg.Replicas)
+	errs := make([]error, cfg.Replicas)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < cfg.Replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sub := cfg.Config
+			// Replica r sees CPIs r, r+R, r+2R, ... as its local stream.
+			sub.CPIMap = func(local int) int { return r + local*cfg.Replicas }
+			sub.NumCPIs = (cfg.NumCPIs - r + cfg.Replicas - 1) / cfg.Replicas
+			if sub.Warmup+sub.Cooldown >= sub.NumCPIs {
+				sub.Warmup, sub.Cooldown = 0, 0
+			}
+			results[r], errs[r] = Run(sub)
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &ReplicatedResult{
+		PerReplica: results,
+		Detections: make([][]stap.Detection, cfg.NumCPIs),
+		Elapsed:    elapsed,
+	}
+	var latSum time.Duration
+	latN := 0
+	for r := 0; r < cfg.Replicas; r++ {
+		for k, dets := range results[r].Detections {
+			out.Detections[r+k*cfg.Replicas] = dets
+		}
+		if results[r].Latency > 0 {
+			latSum += results[r].Latency
+			latN++
+		}
+	}
+	if latN > 0 {
+		out.Latency = latSum / time.Duration(latN)
+	}
+	if elapsed > 0 {
+		out.Throughput = float64(cfg.NumCPIs) / elapsed.Seconds()
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// runSerialStride produces the reference reports for a replica that sees
+// CPIs offset, offset+stride, ... — each replica trains on its own
+// subsequence.
+func runSerialStride(sc *radar.Scene, n, offset, stride int) [][]stap.Detection {
+	pr := stap.NewProcessor(sc)
+	var out [][]stap.Detection
+	for i := offset; i < n; i += stride {
+		out = append(out, pr.Process(sc.GenerateCPI(i)).Detections)
+	}
+	return out
+}
+
+func TestReplicatedMatchesPerReplicaSerial(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	n, reps := 10, 2
+	res, err := RunReplicated(ReplicatedConfig{
+		Config: Config{
+			Scene:   sc,
+			Assign:  NewAssignment(1, 1, 1, 1, 1, 1, 1),
+			NumCPIs: n,
+			Warmup:  1, Cooldown: 1,
+		},
+		Replicas: reps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != n {
+		t.Fatalf("detections for %d CPIs", len(res.Detections))
+	}
+	for r := 0; r < reps; r++ {
+		want := runSerialStride(sc, n, r, reps)
+		for k, dets := range want {
+			got := res.Detections[r+k*reps]
+			if !sameDetections(got, dets) {
+				t.Errorf("replica %d local CPI %d: %d dets vs serial %d",
+					r, k, len(got), len(dets))
+			}
+		}
+	}
+	if res.Throughput <= 0 || res.Latency <= 0 {
+		t.Error("metrics not populated")
+	}
+	if len(res.PerReplica) != reps {
+		t.Error("per-replica results missing")
+	}
+}
+
+func TestReplicatedSingleEqualsPlain(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	n := 6
+	plain, err := Run(Config{
+		Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		NumCPIs: n, Warmup: 1, Cooldown: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunReplicated(ReplicatedConfig{
+		Config: Config{
+			Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1),
+			NumCPIs: n, Warmup: 1, Cooldown: 1,
+		},
+		Replicas: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !sameDetections(plain.Detections[i], rep.Detections[i]) {
+			t.Fatalf("CPI %d differs between plain and 1-replica runs", i)
+		}
+	}
+}
+
+func TestReplicatedValidation(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	base := Config{Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1), NumCPIs: 4}
+	if _, err := RunReplicated(ReplicatedConfig{Config: base, Replicas: 0}); err == nil {
+		t.Error("zero replicas should fail")
+	}
+	if _, err := RunReplicated(ReplicatedConfig{Config: base, Replicas: 8}); err == nil {
+		t.Error("more replicas than CPIs should fail")
+	}
+}
+
+func TestCPIMapFeedsCorrectData(t *testing.T) {
+	// With CPIMap shifting by +3, the pipeline must produce the serial
+	// reports of CPIs 3, 4, 5, ...
+	sc := radar.DefaultScene(radar.Small())
+	pr := stap.NewProcessor(sc)
+	var want [][]stap.Detection
+	for i := 3; i < 8; i++ {
+		want = append(want, pr.Process(sc.GenerateCPI(i)).Detections)
+	}
+	res, err := Run(Config{
+		Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		NumCPIs: 5, Warmup: 1, Cooldown: 1,
+		CPIMap: func(i int) int { return i + 3 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if !sameDetections(res.Detections[k], want[k]) {
+			t.Errorf("shifted CPI %d differs", k)
+		}
+	}
+}

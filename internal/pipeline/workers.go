@@ -1,0 +1,337 @@
+package pipeline
+
+import (
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/mp"
+	"pstap/internal/radar"
+	"pstap/internal/redist"
+	"pstap/internal/stap"
+)
+
+// dopplerWorker is one processor of task 0. Per CPI: receive its raw range
+// slab, Doppler-filter it, then perform data collection (training subsets
+// for the weight tasks) and reorganization (Doppler-major pieces for the
+// beamforming tasks) and send — the all-to-all personalized phase.
+func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, w int, spans []Span, ready []time.Time) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskDoppler].Global(w))
+	blk := topo.kBlocks[w]
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		ready[cpi] = t0
+		raw := comm.Recv(topo.driver, tag(tagRaw, cpi)).(rawMsg).slab
+		t1 := time.Now()
+		stag := stap.DopplerFilterBlockThreaded(p, raw, gain, blk, cfg.Threads)
+		t2 := time.Now()
+		for dw, pos := range topo.easyWPos {
+			rows := stap.ExtractEasyRows(p, stag, blk, binsAt(topo.easyBins, pos))
+			comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{rows: rows})
+		}
+		for dw, pos := range topo.hardWPos {
+			rows := stap.ExtractHardRows(p, stag, blk, binsAt(topo.hardBins, pos))
+			comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{rows: rows})
+		}
+		for dw, pos := range topo.easyBFPos {
+			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.easyBins, pos), p.J)
+			comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{piece: piece})
+		}
+		for dw, pos := range topo.hardBFPos {
+			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.hardBins, pos), 2*p.J)
+			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece})
+		}
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// easyWeightWorker is one processor of task 1: assemble training rows from
+// every Doppler processor (stacked in rank order = ascending range order),
+// update the training history, solve the constrained least squares for its
+// bins, and ship the weights to the easy beamforming workers that own
+// those bins — for the *next* CPI (temporal dependency TD(1,3)).
+func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskEasyWeight].Global(w))
+	pos := topo.easyWPos[w]
+	bins := binsAt(topo.easyBins, pos)
+	state := stap.NewEasyWeightStateForBins(p, beamAz, bins)
+	p0 := topo.groups[TaskDoppler].N
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		perSrc := make([][]*linalg.Matrix, p0)
+		for s := 0; s < p0; s++ {
+			perSrc[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyTrain, cpi)).(easyTrainMsg).rows
+		}
+		stacked := make([]*linalg.Matrix, len(bins))
+		parts := make([]*linalg.Matrix, p0)
+		for bi := range bins {
+			for s := 0; s < p0; s++ {
+				parts[s] = perSrc[s][bi]
+			}
+			stacked[bi] = linalg.VStack(parts...)
+		}
+		t1 := time.Now()
+		state.ObserveRows(stacked)
+		ws := state.Compute()
+		t2 := time.Now()
+		if cpi+1 < cfg.NumCPIs {
+			for bw, bfPos := range topo.easyBFPos {
+				ov := redist.Intersect(pos, bfPos)
+				if ov.Size() == 0 {
+					continue
+				}
+				comm.Send(topo.groups[TaskEasyBF].Global(bw), tag(tagEasyW, cpi+1),
+					easyWeightsMsg{ws: ws[ov.Lo-pos.Lo : ov.Hi-pos.Lo]})
+			}
+		}
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// hardWeightWorker is one processor of task 2: the recursive QR update
+// with exponential forgetting per (segment, bin), then the constrained
+// solves, shipping 2J x M weights to the hard beamforming workers for the
+// next CPI (TD(2,4)).
+func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskHardWeight].Global(w))
+	pos := topo.hardWPos[w]
+	bins := binsAt(topo.hardBins, pos)
+	state := stap.NewHardWeightStateForBins(p, beamAz, bins)
+	p0 := topo.groups[TaskDoppler].N
+	nSeg := p.NumSegments()
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		perSrc := make([][][]*linalg.Matrix, p0)
+		for s := 0; s < p0; s++ {
+			perSrc[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardTrain, cpi)).(hardTrainMsg).rows
+		}
+		stacked := make([][]*linalg.Matrix, nSeg)
+		parts := make([]*linalg.Matrix, p0)
+		for seg := 0; seg < nSeg; seg++ {
+			stacked[seg] = make([]*linalg.Matrix, len(bins))
+			for bi := range bins {
+				for s := 0; s < p0; s++ {
+					parts[s] = perSrc[s][seg][bi]
+				}
+				stacked[seg][bi] = linalg.VStack(parts...)
+			}
+		}
+		t1 := time.Now()
+		state.ObserveRows(stacked)
+		ws := state.Compute()
+		t2 := time.Now()
+		if cpi+1 < cfg.NumCPIs {
+			for bw, bfPos := range topo.hardBFPos {
+				ov := redist.Intersect(pos, bfPos)
+				if ov.Size() == 0 {
+					continue
+				}
+				sub := make([][]*linalg.Matrix, nSeg)
+				for seg := 0; seg < nSeg; seg++ {
+					sub[seg] = ws[seg][ov.Lo-pos.Lo : ov.Hi-pos.Lo]
+				}
+				comm.Send(topo.groups[TaskHardBF].Global(bw), tag(tagHardW, cpi+1), hardWeightsMsg{ws: sub})
+			}
+		}
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// easyBFWorker is one processor of task 3: assemble its bins' Doppler-major
+// data from every Doppler processor, receive this CPI's weights (steering
+// for CPI 0), beamform, and forward rows to the pulse-compression workers
+// that own them.
+func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskEasyBF].Global(w))
+	pos := topo.easyBFPos[w]
+	bins := binsAt(topo.easyBins, pos)
+	steer := stap.SteeringWeights(p, beamAz)
+	p0 := topo.groups[TaskDoppler].N
+	pieces := make([]*cube.Cube, p0)
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		ws := make([]*linalg.Matrix, len(bins))
+		if cpi == 0 {
+			copy(ws, steer.Easy[pos.Lo:pos.Hi])
+		} else {
+			for ww, wPos := range topo.easyWPos {
+				ov := redist.Intersect(pos, wPos)
+				if ov.Size() == 0 {
+					continue
+				}
+				msg := comm.Recv(topo.groups[TaskEasyWeight].Global(ww), tag(tagEasyW, cpi)).(easyWeightsMsg)
+				copy(ws[ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws)
+			}
+		}
+		for s := 0; s < p0; s++ {
+			pieces[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyBFData, cpi)).(bfDataMsg).piece
+		}
+		slab := redist.AssembleBeamformInput(p, pieces, topo.kBlocks, p.J)
+		t1 := time.Now()
+		out := cube.New(radar.BeamOrder, len(bins), p.M, p.K)
+		stap.BeamformEasySlabThreaded(p, slab, ws, out, cfg.Threads)
+		t2 := time.Now()
+		sendBeamRows(comm, topo, TaskEasyBeamStream, cpi, bins, out)
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// TaskEasyBeamStream and TaskHardBeamStream alias the wire streams used by
+// sendBeamRows.
+const (
+	TaskEasyBeamStream = tagEasyBeam
+	TaskHardBeamStream = tagHardBeam
+)
+
+// sendBeamRows routes a beamforming worker's output rows to the
+// pulse-compression workers owning the corresponding global bins. Both
+// sides partition along N, so this transfer needs no reorganization (the
+// paper's observation in Section 5.4).
+func sendBeamRows(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, out *cube.Cube) {
+	for pw, blk := range topo.pcBlocks {
+		lo, hi := redist.IntersectList(bins, blk)
+		if lo >= hi {
+			continue
+		}
+		comm.Send(topo.groups[TaskPulseComp].Global(pw), tag(stream, cpi), beamMsg{
+			slab:       redist.SliceBins(out, lo, hi),
+			globalBins: bins[lo:hi],
+		})
+	}
+}
+
+// hardBFWorker is one processor of task 4: like easyBFWorker but with 2J
+// channels and per-segment weights.
+func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskHardBF].Global(w))
+	pos := topo.hardBFPos[w]
+	bins := binsAt(topo.hardBins, pos)
+	steer := stap.SteeringWeights(p, beamAz)
+	p0 := topo.groups[TaskDoppler].N
+	nSeg := p.NumSegments()
+	pieces := make([]*cube.Cube, p0)
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		ws := make([][]*linalg.Matrix, nSeg)
+		for seg := range ws {
+			ws[seg] = make([]*linalg.Matrix, len(bins))
+		}
+		if cpi == 0 {
+			for seg := 0; seg < nSeg; seg++ {
+				copy(ws[seg], steer.Hard[seg][pos.Lo:pos.Hi])
+			}
+		} else {
+			for ww, wPos := range topo.hardWPos {
+				ov := redist.Intersect(pos, wPos)
+				if ov.Size() == 0 {
+					continue
+				}
+				msg := comm.Recv(topo.groups[TaskHardWeight].Global(ww), tag(tagHardW, cpi)).(hardWeightsMsg)
+				for seg := 0; seg < nSeg; seg++ {
+					copy(ws[seg][ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws[seg])
+				}
+			}
+		}
+		for s := 0; s < p0; s++ {
+			pieces[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardBFData, cpi)).(bfDataMsg).piece
+		}
+		slab := redist.AssembleBeamformInput(p, pieces, topo.kBlocks, 2*p.J)
+		t1 := time.Now()
+		out := cube.New(radar.BeamOrder, len(bins), p.M, p.K)
+		stap.BeamformHardSlabThreaded(p, slab, ws, out, cfg.Threads)
+		t2 := time.Now()
+		sendBeamRows(comm, topo, TaskHardBeamStream, cpi, bins, out)
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// pulseCompWorker is one processor of task 5: assemble its global-bin
+// block from the beamforming workers, fast-convolve with the matched
+// filter, square to power, and forward to the CFAR workers.
+func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskPulseComp].Global(w))
+	blk := topo.pcBlocks[w]
+	mf := stap.NewMatchedFilter(p.K, cfg.Scene.Chirp())
+
+	// Which beamforming workers send to this block, and on which stream?
+	type pcSrc struct{ rank, stream int }
+	var senders []pcSrc
+	for bw, bfPos := range topo.easyBFPos {
+		if lo, hi := redist.IntersectList(binsAt(topo.easyBins, bfPos), blk); lo < hi {
+			senders = append(senders, pcSrc{rank: topo.groups[TaskEasyBF].Global(bw), stream: tagEasyBeam})
+		}
+	}
+	for bw, bfPos := range topo.hardBFPos {
+		if lo, hi := redist.IntersectList(binsAt(topo.hardBins, bfPos), blk); lo < hi {
+			senders = append(senders, pcSrc{rank: topo.groups[TaskHardBF].Global(bw), stream: tagHardBeam})
+		}
+	}
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		local := cube.New(radar.BeamOrder, blk.Size(), p.M, p.K)
+		for _, s := range senders {
+			msg := comm.Recv(s.rank, tag(s.stream, cpi)).(beamMsg)
+			for i, d := range msg.globalBins {
+				for m := 0; m < p.M; m++ {
+					copy(local.Vec(d-blk.Lo, m), msg.slab.Vec(i, m))
+				}
+			}
+		}
+		t1 := time.Now()
+		power := cube.NewReal(radar.BeamOrder, blk.Size(), p.M, p.K)
+		stap.PulseCompressRowsThreaded(p, local, mf, power, 0, blk.Size(), cfg.Threads)
+		t2 := time.Now()
+		for cw, cblk := range topo.cfBlocks {
+			ov := redist.Intersect(blk, cblk)
+			if ov.Size() == 0 {
+				continue
+			}
+			sub := power.SliceAxis0(cube.Block{Lo: ov.Lo - blk.Lo, Hi: ov.Hi - blk.Lo})
+			comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{slab: sub, blk: ov})
+		}
+		t3 := time.Now()
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}
+
+// cfarWorker is one processor of task 6: assemble power rows, run the
+// sliding-window detector, and emit the detection report to the pipeline
+// output.
+func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span, done []time.Time) {
+	p := topo.p
+	comm := world.Comm(topo.groups[TaskCFAR].Global(w))
+	blk := topo.cfBlocks[w]
+	var senders []int
+	for pw, pblk := range topo.pcBlocks {
+		if redist.Intersect(pblk, blk).Size() > 0 {
+			senders = append(senders, topo.groups[TaskPulseComp].Global(pw))
+		}
+	}
+	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+		t0 := time.Now()
+		local := cube.NewReal(radar.BeamOrder, blk.Size(), p.M, p.K)
+		for _, src := range senders {
+			msg := comm.Recv(src, tag(tagPower, cpi)).(powerMsg)
+			local.PasteAxis0(cube.Block{Lo: msg.blk.Lo - blk.Lo, Hi: msg.blk.Hi - blk.Lo}, msg.slab)
+		}
+		t1 := time.Now()
+		var dets []stap.Detection
+		stap.CFARRowsThreaded(p, local, blk.Lo, blk.Hi, true, &dets, cfg.Threads)
+		t2 := time.Now()
+		comm.Send(topo.driver, tag(tagDet, cpi), detMsg{dets: dets})
+		t3 := time.Now()
+		done[cpi] = t3
+		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+	}
+}

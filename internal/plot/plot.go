@@ -1,0 +1,105 @@
+// Package plot renders small ASCII charts for the benchmark tooling —
+// enough to draw Figure 11's computation-time and speedup curves in a
+// terminal without any graphics dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycle per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LogLog renders the series on log10/log10 axes in a width x height
+// character grid with axis annotations. Non-positive values are skipped.
+// A power law y ~ x^a appears as a straight line with slope -a.
+func LogLog(series []Series, width, height int) string {
+	return render(series, width, height, true)
+}
+
+// Linear renders the series on linear axes.
+func Linear(series []Series, width, height int) string {
+	return render(series, width, height, false)
+}
+
+func render(series []Series, width, height int, logScale bool) string {
+	if width < 8 || height < 4 {
+		return "plot: canvas too small\n"
+	}
+	tx := func(v float64) (float64, bool) {
+		if logScale {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := tx(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if !any {
+		return "plot: no plottable points\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := tx(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((y-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = mark
+		}
+	}
+	var b strings.Builder
+	inv := func(v float64) float64 {
+		if logScale {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", inv(maxY), string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", inv(minY), string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%11s%-*.3g%*.3g\n", "", width/2, inv(minX), width-width/2, inv(maxX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%11s%c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}

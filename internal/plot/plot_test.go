@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogLogRendersAllSeries(t *testing.T) {
+	s := []Series{
+		{Name: "alpha", X: []float64{1, 10, 100}, Y: []float64{100, 10, 1}},
+		{Name: "beta", X: []float64{1, 10, 100}, Y: []float64{1, 1, 1}},
+	}
+	out := LogLog(s, 40, 10)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height rows + axis + x labels + 2 legend rows
+	if len(lines) != 10+1+1+2 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestLogLogStraightLineForPowerLaw(t *testing.T) {
+	// y = 1/x on log-log is a straight diagonal: marker column should
+	// increase while marker row increases monotonically.
+	xs := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 / x
+	}
+	out := LogLog([]Series{{Name: "t", X: xs, Y: ys}}, 64, 16)
+	var rows, cols []int
+	for r, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "└") {
+			break // axis reached; ignore legend markers below
+		}
+		for c, ch := range line {
+			if ch == '*' {
+				rows = append(rows, r)
+				cols = append(cols, c)
+			}
+		}
+	}
+	if len(rows) < 6 {
+		t.Fatalf("only %d markers:\n%s", len(rows), out)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] < rows[i-1] || cols[i] < cols[i-1] {
+			t.Fatalf("power law not monotone diagonal:\n%s", out)
+		}
+	}
+}
+
+func TestLinear(t *testing.T) {
+	out := Linear([]Series{{Name: "l", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}}, 20, 6)
+	if !strings.Contains(out, "l") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if out := LogLog(nil, 40, 10); !strings.Contains(out, "no plottable") {
+		t.Errorf("empty series: %q", out)
+	}
+	if out := LogLog([]Series{{Name: "neg", X: []float64{-1}, Y: []float64{-2}}}, 40, 10); !strings.Contains(out, "no plottable") {
+		t.Errorf("negative-only points on log axes: %q", out)
+	}
+	if out := LogLog([]Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}, 2, 2); !strings.Contains(out, "too small") {
+		t.Errorf("tiny canvas: %q", out)
+	}
+	// single point: degenerate ranges padded, must not panic
+	out := Linear([]Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}, 20, 5)
+	if !strings.Contains(out, "p") {
+		t.Error("single point render")
+	}
+}

@@ -1,0 +1,251 @@
+package radar
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"pstap/internal/cube"
+)
+
+// Target is a point scatterer injected into the synthetic CPI stream.
+type Target struct {
+	Range   int     // range cell of the leading edge of the return
+	Azimuth float64 // radians off boresight
+	Doppler float64 // normalized Doppler, cycles per pulse, in (-0.5, 0.5)
+	Power   float64 // per-sample signal power relative to unit noise
+}
+
+// DopplerBin returns the Doppler FFT bin (0..n-1) where the target lands.
+func (t Target) DopplerBin(n int) int {
+	b := int(math.Round(t.Doppler*float64(n))) % n
+	if b < 0 {
+		b += n
+	}
+	return b
+}
+
+// ClutterModel describes the synthetic ground-clutter ridge. For a
+// side-looking airborne array, a clutter patch at azimuth az has spatial
+// frequency sin(az)/2 and normalized Doppler Beta*sin(az)/2; the analog
+// receiver in the paper centers the ridge at zero Doppler, which the model
+// reproduces by construction (az=0 -> fd=0).
+type ClutterModel struct {
+	Patches int     // number of discrete azimuth patches across the ridge
+	CNR     float64 // clutter-to-noise power ratio per range cell (linear)
+	Beta    float64 // Doppler slope: fd = Beta * sin(az) / 2
+	// Spread is the intrinsic clutter motion (ICM): a per-patch,
+	// per-range-cell Gaussian Doppler jitter in cycles/pulse that widens
+	// the ridge, stressing the width of the hard Doppler region.
+	Spread float64
+}
+
+// Jammer is a broadband noise source at a fixed azimuth: white across
+// pulses (so it lands in every Doppler bin) with a deterministic spatial
+// signature — the canonical stressor for adaptive spatial nulling in the
+// easy Doppler region.
+type Jammer struct {
+	Azimuth float64
+	Power   float64 // per-sample power relative to unit noise (linear JNR)
+}
+
+// Scene bundles everything needed to synthesize a deterministic CPI
+// stream: the processing parameters, targets, clutter, jammer and noise
+// models, and the transmit-beam geometry defining the receive beams.
+type Scene struct {
+	Params  Params
+	Targets []Target
+	Clutter ClutterModel
+	Jammers []Jammer
+	// NoisePower is the per-sample receiver noise power (0 disables noise).
+	NoisePower float64
+	// TransmitAz/TransmitWidth define the transmit illumination region;
+	// receive beams are spread across it (paper: five 25-degree beams, six
+	// receive beams each).
+	TransmitAz    float64
+	TransmitWidth float64
+	// RangeRef, when positive, enables 1/R^2 style amplitude decay with
+	// reference range RangeRef cells before cell 0; the Doppler filter's
+	// range correction undoes it.
+	RangeRef float64
+	Seed     int64
+}
+
+// DefaultScene returns a scene with the given parameters, a clutter ridge
+// spanning the hard Doppler region, moderate noise, and two detectable
+// targets in easy and hard Doppler bins respectively.
+func DefaultScene(p Params) *Scene {
+	beamAz := ReceiveBeamAzimuths(p.M, 0, 25*math.Pi/180)
+	return &Scene{
+		Params: p,
+		Targets: []Target{
+			{Range: p.K / 4, Azimuth: beamAz[p.M/2], Doppler: 0.30, Power: 4.0},
+			{Range: (3 * p.K) / 5, Azimuth: beamAz[0], Doppler: 1.5 / float64(p.N), Power: 25.0},
+		},
+		Clutter:       ClutterModel{Patches: 2*p.J + 1, CNR: 100, Beta: 0.5 * float64(p.Nhard) / float64(p.N)},
+		NoisePower:    1,
+		TransmitAz:    0,
+		TransmitWidth: 25 * math.Pi / 180,
+		Seed:          1,
+	}
+}
+
+// BeamAzimuths returns the receive-beam pointing angles of the scene.
+func (s *Scene) BeamAzimuths() []float64 {
+	return ReceiveBeamAzimuths(s.Params.M, s.TransmitAz, s.TransmitWidth)
+}
+
+// RangeGain returns the two-way amplitude attenuation at range cell r
+// relative to cell 0 (1.0 when RangeRef is disabled). The Doppler filter's
+// range correction multiplies by 1/RangeGain.
+func (s *Scene) RangeGain(r int) float64 {
+	if s.RangeRef <= 0 {
+		return 1
+	}
+	return (s.RangeRef / (s.RangeRef + float64(r))) * (s.RangeRef / (s.RangeRef + float64(r)))
+}
+
+// Chirp returns the unit-energy linear-FM transmit replica of length
+// Params.WaveformLen used for pulse compression.
+func (s *Scene) Chirp() []complex128 {
+	l := s.Params.WaveformLen
+	c := make([]complex128, l)
+	// Sweep half the sampled band: phase = pi * kappa * t^2 with
+	// kappa = 0.5/L so the instantaneous frequency spans [0, 0.5).
+	kappa := 0.5 / float64(l)
+	norm := complex(1/math.Sqrt(float64(l)), 0)
+	for t := 0; t < l; t++ {
+		c[t] = cmplx.Exp(complex(0, math.Pi*kappa*float64(t)*float64(t))) * norm
+	}
+	return c
+}
+
+// GenerateCPI synthesizes CPI number i of the stream. The result is a raw
+// cube in RawOrder (K x J x N, pulses unit stride). Generation is
+// deterministic in (Seed, i): clutter and noise are independent draws per
+// CPI with identical statistics (the i.i.d.-looks assumption the paper's
+// recursive weight training relies on), while targets persist across CPIs.
+func (s *Scene) GenerateCPI(i int) *cube.Cube {
+	p := s.Params
+	rng := rand.New(rand.NewSource(s.Seed*1000003 + int64(i)))
+	c := cube.New(RawOrder, p.K, p.J, p.N)
+
+	// Receiver noise.
+	if s.NoisePower > 0 {
+		sigma := math.Sqrt(s.NoisePower / 2)
+		for idx := range c.Data {
+			c.Data[idx] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+	}
+
+	// Ground clutter ridge: patches across the visible azimuth span with
+	// per-(patch, range-cell) complex Gaussian amplitudes redrawn each CPI.
+	if s.Clutter.Patches > 0 && s.Clutter.CNR > 0 {
+		nP := s.Clutter.Patches
+		patchSigma := math.Sqrt(s.Clutter.CNR / float64(nP) / 2)
+		for pi := 0; pi < nP; pi++ {
+			az := -math.Pi/2 + math.Pi*(float64(pi)+0.5)/float64(nP)
+			fd := s.Clutter.Beta * math.Sin(az) / 2
+			spatial := make([]complex128, p.J)
+			sv := SteeringVector(p.J, az)
+			// Undo the 1/sqrt(J) normalization so per-channel clutter power
+			// equals the patch power.
+			for j := 0; j < p.J; j++ {
+				spatial[j] = sv[j] * complex(math.Sqrt(float64(p.J)), 0)
+			}
+			temporal := DopplerSteer(p.N, fd)
+			for r := 0; r < p.K; r++ {
+				amp := complex(rng.NormFloat64()*patchSigma, rng.NormFloat64()*patchSigma)
+				amp *= complex(s.RangeGain(r), 0)
+				if amp == 0 {
+					continue
+				}
+				tvec := temporal
+				if s.Clutter.Spread > 0 {
+					tvec = DopplerSteer(p.N, fd+s.Clutter.Spread*rng.NormFloat64())
+				}
+				for j := 0; j < p.J; j++ {
+					a := amp * spatial[j]
+					vec := c.Vec(r, j)
+					for t := 0; t < p.N; t++ {
+						vec[t] += a * tvec[t]
+					}
+				}
+			}
+		}
+	}
+
+	// Jammers: temporally white noise with a fixed array signature.
+	for _, jam := range s.Jammers {
+		if jam.Power <= 0 {
+			continue
+		}
+		sv := SteeringVector(p.J, jam.Azimuth)
+		spatial := make([]complex128, p.J)
+		for j := 0; j < p.J; j++ {
+			spatial[j] = sv[j] * complex(math.Sqrt(float64(p.J)), 0)
+		}
+		sigma := math.Sqrt(jam.Power / 2)
+		for r := 0; r < p.K; r++ {
+			for t := 0; t < p.N; t++ {
+				w := complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+				for j := 0; j < p.J; j++ {
+					c.Vec(r, j)[t] += w * spatial[j]
+				}
+			}
+		}
+	}
+
+	// Targets: chirp-spread point returns (circular in range so the
+	// matched filter in pulse compression collapses them back to Range).
+	chirp := s.Chirp()
+	for _, tgt := range s.Targets {
+		amp := math.Sqrt(tgt.Power)
+		sv := SteeringVector(p.J, tgt.Azimuth)
+		spatial := make([]complex128, p.J)
+		for j := 0; j < p.J; j++ {
+			spatial[j] = sv[j] * complex(math.Sqrt(float64(p.J)), 0)
+		}
+		temporal := DopplerSteer(p.N, tgt.Doppler)
+		for l, cl := range chirp {
+			r := (tgt.Range + l) % p.K
+			a := complex(amp*s.RangeGain(tgt.Range), 0) * cl
+			for j := 0; j < p.J; j++ {
+				aj := a * spatial[j]
+				vec := c.Vec(r, j)
+				for t := 0; t < p.N; t++ {
+					vec[t] += aj * temporal[t]
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Validate checks the scene for consistency.
+func (s *Scene) Validate() error {
+	if err := s.Params.Validate(); err != nil {
+		return err
+	}
+	for i, t := range s.Targets {
+		if t.Range < 0 || t.Range >= s.Params.K {
+			return fmt.Errorf("radar: target %d range %d out of [0,%d)", i, t.Range, s.Params.K)
+		}
+		if t.Doppler <= -0.5 || t.Doppler >= 0.5 {
+			return fmt.Errorf("radar: target %d doppler %g out of (-0.5,0.5)", i, t.Doppler)
+		}
+		if t.Power < 0 {
+			return fmt.Errorf("radar: target %d negative power", i)
+		}
+	}
+	if s.NoisePower < 0 {
+		return fmt.Errorf("radar: negative noise power")
+	}
+	for i, j := range s.Jammers {
+		if j.Power < 0 {
+			return fmt.Errorf("radar: jammer %d negative power", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package radar
+
+import (
+	"math"
+	"math/cmplx"
+
+	"pstap/internal/linalg"
+)
+
+// SteeringVector returns the J-element array response of a uniform linear
+// array with half-wavelength element spacing for a target at azimuth az
+// (radians off boresight): a[j] = exp(j*pi*j*sin(az)) / sqrt(J).
+func SteeringVector(j int, az float64) []complex128 {
+	v := make([]complex128, j)
+	s := math.Sin(az)
+	norm := complex(1/math.Sqrt(float64(j)), 0)
+	for n := 0; n < j; n++ {
+		v[n] = cmplx.Exp(complex(0, math.Pi*float64(n)*s)) * norm
+	}
+	return v
+}
+
+// SteeringMatrix returns a J x M matrix whose columns are the steering
+// vectors of the M receive beams at the given azimuths.
+func SteeringMatrix(j int, azimuths []float64) *linalg.Matrix {
+	m := linalg.NewMatrix(j, len(azimuths))
+	for b, az := range azimuths {
+		col := SteeringVector(j, az)
+		for n := 0; n < j; n++ {
+			m.Set(n, b, col[n])
+		}
+	}
+	return m
+}
+
+// ReceiveBeamAzimuths returns M beam pointing angles evenly spread across a
+// transmit beam of the given width (radians) centered at center. The paper
+// forms six receive beams within each 25-degree transmit beam.
+func ReceiveBeamAzimuths(m int, center, width float64) []float64 {
+	az := make([]float64, m)
+	if m == 1 {
+		az[0] = center
+		return az
+	}
+	step := width / float64(m)
+	start := center - width/2 + step/2
+	for i := 0; i < m; i++ {
+		az[i] = start + float64(i)*step
+	}
+	return az
+}
+
+// DopplerSteer returns the N-pulse temporal steering phase ramp for a
+// normalized Doppler frequency fd in cycles/pulse.
+func DopplerSteer(n int, fd float64) []complex128 {
+	v := make([]complex128, n)
+	for p := 0; p < n; p++ {
+		v[p] = cmplx.Exp(complex(0, 2*math.Pi*fd*float64(p)))
+	}
+	return v
+}
+
+// StaggeredSteeringVector returns the 2J-element steering vector for a
+// PRI-staggered pair of Doppler windows at Doppler bin d: the first J
+// entries are the spatial steering vector, the second J entries are the
+// same vector advanced by `stagger` pulses at that bin's Doppler
+// frequency, i.e. multiplied by exp(+i 2 pi d stagger / n). The sign
+// follows this repository's conventions: forward FFT kernel e^{-i2πkt/n},
+// second Doppler window drawn from pulses [stagger, n) and packed at the
+// front of the FFT buffer, so an on-bin target's second-window response
+// leads the first window's by that phase (the frequency-constraint phase
+// of the MATLAB computeRecurHardWts, transcribed to our conventions).
+func StaggeredSteeringVector(j int, az float64, d, stagger, n int) []complex128 {
+	base := SteeringVector(j, az)
+	out := make([]complex128, 2*j)
+	phase := cmplx.Exp(complex(0, 2*math.Pi*float64(d)*float64(stagger)/float64(n)))
+	for i := 0; i < j; i++ {
+		out[i] = base[i]
+		out[i+j] = base[i] * phase
+	}
+	return out
+}

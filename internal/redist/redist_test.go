@@ -1,0 +1,356 @@
+package redist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+func TestIntersect(t *testing.T) {
+	cases := []struct{ a, b, want cube.Block }{
+		{cube.Block{Lo: 0, Hi: 10}, cube.Block{Lo: 5, Hi: 15}, cube.Block{Lo: 5, Hi: 10}},
+		{cube.Block{Lo: 0, Hi: 10}, cube.Block{Lo: 10, Hi: 20}, cube.Block{Lo: 10, Hi: 10}},
+		{cube.Block{Lo: 0, Hi: 10}, cube.Block{Lo: 20, Hi: 30}, cube.Block{Lo: 20, Hi: 20}},
+		{cube.Block{Lo: 5, Hi: 8}, cube.Block{Lo: 0, Hi: 100}, cube.Block{Lo: 5, Hi: 8}},
+	}
+	for _, c := range cases {
+		got := Intersect(c.a, c.b)
+		if got.Size() != c.want.Size() || (got.Size() > 0 && got != c.want) {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIntersectList(t *testing.T) {
+	list := []int{2, 5, 8, 11, 14}
+	lo, hi := IntersectList(list, cube.Block{Lo: 5, Hi: 12})
+	if lo != 1 || hi != 4 {
+		t.Errorf("got [%d,%d)", lo, hi)
+	}
+	lo, hi = IntersectList(list, cube.Block{Lo: 100, Hi: 200})
+	if lo != hi {
+		t.Errorf("empty intersection got [%d,%d)", lo, hi)
+	}
+	lo, hi = IntersectList(list, cube.Block{Lo: 0, Hi: 100})
+	if lo != 0 || hi != 5 {
+		t.Errorf("full intersection got [%d,%d)", lo, hi)
+	}
+}
+
+func TestIntersectListCoverageQuick(t *testing.T) {
+	// For any partition of the global bin space, the per-destination
+	// position intervals of a bin list must tile the whole list.
+	p := radar.Small()
+	easy := p.EasyBins()
+	f := func(pRaw uint8) bool {
+		parts := 1 + int(pRaw)%8
+		covered := 0
+		prev := 0
+		for _, blk := range cube.BlockPartition(p.N, parts) {
+			lo, hi := IntersectList(easy, blk)
+			if lo == hi {
+				continue // this destination owns no easy bins
+			}
+			if lo < prev {
+				return false
+			}
+			covered += hi - lo
+			prev = hi
+		}
+		return covered == len(easy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackAssembleRoundTrip(t *testing.T) {
+	// Packing from every Doppler K-slab and assembling at the destination
+	// must reproduce the serial Reorder exactly (both easy J-channel and
+	// hard 2J-channel variants).
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := stap.DopplerFilter(p, sc.GenerateCPI(0), nil)
+	want := dopp.Reorder(radar.BeamformInOrder)
+
+	for _, channels := range []int{p.J, 2 * p.J} {
+		for _, p0 := range []int{1, 3, 4} {
+			blocks := cube.BlockPartition(p.K, p0)
+			bins := []int{0, 3, 7, p.N - 1}
+			pieces := make([]*cube.Cube, p0)
+			for i, blk := range blocks {
+				slab := dopp.SliceAxis0(blk)
+				pieces[i] = PackForBeamform(p, slab, blk, bins, channels)
+			}
+			got := AssembleBeamformInput(p, pieces, blocks, channels)
+			for bi, d := range bins {
+				for r := 0; r < p.K; r++ {
+					for j := 0; j < channels; j++ {
+						if got.At(bi, r, j) != want.At(d, r, j) {
+							t.Fatalf("channels=%d p0=%d mismatch at bin %d r %d j %d", channels, p0, d, r, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackForBeamformPanics(t *testing.T) {
+	p := radar.Small()
+	slab := cube.New(radar.StaggeredOrder, 8, 2*p.J, p.N)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("block size mismatch should panic")
+			}
+		}()
+		PackForBeamform(p, slab, cube.Block{Lo: 0, Hi: 9}, []int{0}, p.J)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("too many channels should panic")
+			}
+		}()
+		PackForBeamform(p, slab, cube.Block{Lo: 0, Hi: 8}, []int{0}, 3*p.J)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong order should panic")
+			}
+		}()
+		PackForBeamform(p, cube.New(radar.RawOrder, 8, p.J, p.N), cube.Block{Lo: 0, Hi: 8}, []int{0}, p.J)
+	}()
+}
+
+func TestAssemblePanicsOnBadPieces(t *testing.T) {
+	p := radar.Small()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty pieces should panic")
+			}
+		}()
+		AssembleBeamformInput(p, nil, nil, p.J)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dim mismatch should panic")
+			}
+		}()
+		pieces := []*cube.Cube{cube.New(radar.BeamformInOrder, 2, 5, p.J)}
+		AssembleBeamformInput(p, pieces, []cube.Block{{Lo: 0, Hi: 6}}, p.J)
+	}()
+}
+
+func TestExtractRowsParallelMatchesSerial(t *testing.T) {
+	// Collecting training rows per K-block and stacking in rank order must
+	// equal the serial extraction over the full cube.
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := stap.DopplerFilter(p, sc.GenerateCPI(2), nil)
+	easyBins := p.EasyBins()
+
+	serialRows := stap.ExtractEasyRows(p, dopp, cube.Block{Lo: 0, Hi: p.K}, easyBins)
+	for _, p0 := range []int{1, 2, 5} {
+		blocks := cube.BlockPartition(p.K, p0)
+		parts := make([][]*linalg.Matrix, p0)
+		for i, blk := range blocks {
+			parts[i] = stap.ExtractEasyRows(p, dopp.SliceAxis0(blk), blk, easyBins)
+		}
+		for bi := range easyBins {
+			var stack []*linalg.Matrix
+			for i := range parts {
+				stack = append(stack, parts[bi2(parts, i, bi)]...)
+			}
+			_ = stack
+			var blocksRows []*linalg.Matrix
+			for i := 0; i < p0; i++ {
+				blocksRows = append(blocksRows, parts[i][bi])
+			}
+			got := linalg.VStack(blocksRows...)
+			if !got.Equalish(serialRows[bi], 0) {
+				t.Fatalf("p0=%d bin %d rows differ", p0, bi)
+			}
+		}
+	}
+}
+
+// bi2 is a no-op helper kept to exercise slice indexing in the stacking
+// loop above without extra allocations.
+func bi2(_ [][]*linalg.Matrix, i, _ int) int { return i }
+
+func TestExtractHardRowsParallelMatchesSerial(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := stap.DopplerFilter(p, sc.GenerateCPI(2), nil)
+	hardBins := p.HardBins()
+	serial := stap.ExtractHardRows(p, dopp, cube.Block{Lo: 0, Hi: p.K}, hardBins)
+	for _, p0 := range []int{2, 3} {
+		blocks := cube.BlockPartition(p.K, p0)
+		parts := make([][][]*linalg.Matrix, p0)
+		for i, blk := range blocks {
+			parts[i] = stap.ExtractHardRows(p, dopp.SliceAxis0(blk), blk, hardBins)
+		}
+		for seg := 0; seg < p.NumSegments(); seg++ {
+			for bi := range hardBins {
+				var rows []*linalg.Matrix
+				for i := 0; i < p0; i++ {
+					rows = append(rows, parts[i][seg][bi])
+				}
+				got := linalg.VStack(rows...)
+				if !got.Equalish(serial[seg][bi], 0) {
+					t.Fatalf("p0=%d seg %d bin %d rows differ", p0, seg, bi)
+				}
+			}
+		}
+	}
+}
+
+func TestNoReorgPathMatchesReorgPath(t *testing.T) {
+	// Sender-side reorganization and receiver-side reorganization must
+	// produce the same assembled beamforming input.
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := stap.DopplerFilter(p, sc.GenerateCPI(1), nil)
+	bins := []int{1, 4, 9}
+	for _, channels := range []int{p.J, 2 * p.J} {
+		for _, p0 := range []int{1, 3} {
+			blocks := cube.BlockPartition(p.K, p0)
+			reorgPieces := make([]*cube.Cube, p0)
+			rawPieces := make([]*cube.Cube, p0)
+			for i, blk := range blocks {
+				slab := dopp.SliceAxis0(blk)
+				reorgPieces[i] = PackForBeamform(p, slab, blk, bins, channels)
+				rawPieces[i] = PackForBeamformNoReorg(p, slab, blk, bins, channels)
+			}
+			want := AssembleBeamformInput(p, reorgPieces, blocks, channels)
+			got := AssembleWithReorg(p, rawPieces, blocks, channels)
+			if !got.Equalish(want, 0) {
+				t.Fatalf("channels=%d p0=%d: receiver-side reorg differs", channels, p0)
+			}
+		}
+	}
+}
+
+func TestNoReorgPanics(t *testing.T) {
+	p := radar.Small()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong order should panic")
+			}
+		}()
+		PackForBeamformNoReorg(p, cube.New(radar.RawOrder, 4, p.J, p.N), cube.Block{Lo: 0, Hi: 4}, []int{0}, p.J)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad piece dims should panic")
+			}
+		}()
+		AssembleWithReorg(p, []*cube.Cube{cube.New(radar.StaggeredOrder, 3, p.J, 2)},
+			[]cube.Block{{Lo: 0, Hi: 4}}, p.J)
+	}()
+}
+
+// The ablation pair: where does the strided copy cost land?
+func BenchmarkPackSenderSideReorg(b *testing.B) {
+	p := radar.Paper()
+	blk := cube.Block{Lo: 0, Hi: p.K / 8}
+	slab := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	bins := make([]int, p.N/16)
+	for i := range bins {
+		bins[i] = i * 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackForBeamform(p, slab, blk, bins, 2*p.J)
+	}
+}
+
+func BenchmarkPackSenderSideNoReorg(b *testing.B) {
+	p := radar.Paper()
+	blk := cube.Block{Lo: 0, Hi: p.K / 8}
+	slab := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	bins := make([]int, p.N/16)
+	for i := range bins {
+		bins[i] = i * 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackForBeamformNoReorg(p, slab, blk, bins, 2*p.J)
+	}
+}
+
+// Data-collection ablation: sending only the weight tasks' training
+// subsets vs shipping the whole staggered slab.
+func BenchmarkCollectTrainingSubset(b *testing.B) {
+	p := radar.Paper()
+	blk := cube.Block{Lo: 0, Hi: p.K / 8}
+	slab := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	bins := radar.Paper().EasyBins()
+	b.ReportAllocs()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		rows := stap.ExtractEasyRows(p, slab, blk, bins)
+		bytes = RowsBytes(rows)
+	}
+	b.ReportMetric(float64(bytes), "collected-bytes")
+	b.ReportMetric(float64(slab.Bytes()), "fullslab-bytes")
+}
+
+func TestSliceBins(t *testing.T) {
+	p := radar.Small()
+	c := cube.New(radar.BeamOrder, p.N, p.M, p.K)
+	for i := range c.Data {
+		c.Data[i] = complex(float64(i), 0)
+	}
+	s := SliceBins(c, 3, 7)
+	if s.Dim[0] != 4 {
+		t.Fatalf("dim %v", s.Dim)
+	}
+	for d := 3; d < 7; d++ {
+		for m := 0; m < p.M; m++ {
+			for r := 0; r < p.K; r++ {
+				if s.At(d-3, m, r) != c.At(d, m, r) {
+					t.Fatal("slice mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	ms := []*linalg.Matrix{linalg.NewMatrix(3, 4), nil, linalg.NewMatrix(1, 2)}
+	if got := WeightsBytes(ms); got != (12+2)*8 {
+		t.Errorf("WeightsBytes = %d", got)
+	}
+	if RowsBytes(ms[:1]) != 96 {
+		t.Error("RowsBytes")
+	}
+}
+
+func BenchmarkPackForBeamformPaper(b *testing.B) {
+	p := radar.Paper()
+	blk := cube.Block{Lo: 0, Hi: p.K / 8} // one of 8 Doppler nodes
+	slab := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	for i := range slab.Data {
+		slab.Data[i] = complex(float64(i%13), float64(i%7))
+	}
+	bins := make([]int, p.N/16) // destination owning 1/16 of bins
+	for i := range bins {
+		bins[i] = i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackForBeamform(p, slab, blk, bins, 2*p.J)
+	}
+}

@@ -1,0 +1,204 @@
+// Package sched implements the task-scheduling and processor-assignment
+// analysis of Section 4.1.2: given a node budget, split the nodes among
+// the seven pipeline tasks to maximize throughput (eq. 1) or minimize
+// latency (eq. 2/3), using the Paragon cost model to evaluate candidate
+// assignments. The paper performs this tradeoff by hand (Tables 7, 9,
+// 10); this package automates it with a greedy marginal-allocation search
+// plus hill-climbing refinement.
+package sched
+
+import (
+	"fmt"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+)
+
+// Objective selects what the assignment search optimizes.
+type Objective int
+
+const (
+	// MaxThroughput maximizes CPIs/second (eq. 1): processing must not
+	// fall behind the radar's input data rate.
+	MaxThroughput Objective = iota
+	// MinLatency minimizes the response time for one CPI (eq. 3).
+	MinLatency
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MaxThroughput:
+		return "max-throughput"
+	case MinLatency:
+		return "min-latency"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// score returns a value where higher is better.
+func score(res paragon.SimResult, obj Objective) float64 {
+	switch obj {
+	case MaxThroughput:
+		return res.Throughput
+	case MinLatency:
+		return -res.RealLatency
+	}
+	panic("sched: unknown objective")
+}
+
+// Optimize searches for a node assignment within the budget. It starts
+// from one node per task, then repeatedly grants a node to the task whose
+// gain is largest (breaking ties toward the busiest task), and finally
+// hill-climbs by moving single nodes between tasks until no move helps.
+// budget must be at least the number of tasks.
+func Optimize(mo *paragon.Model, budget int, obj Objective) (pipeline.Assignment, paragon.SimResult, error) {
+	if budget < pipeline.NumTasks {
+		return pipeline.Assignment{}, paragon.SimResult{}, fmt.Errorf("sched: budget %d < %d tasks", budget, pipeline.NumTasks)
+	}
+	var a pipeline.Assignment
+	for i := range a {
+		a[i] = 1
+	}
+	for used := pipeline.NumTasks; used < budget; used++ {
+		best := -1
+		bestScore := 0.0
+		bestBusy := 0.0
+		for t := 0; t < pipeline.NumTasks; t++ {
+			a[t]++
+			s := score(mo.Simulate(a), obj)
+			busy := mo.Busy(t, a)
+			a[t]--
+			if best == -1 || s > bestScore+1e-12 || (s > bestScore-1e-12 && busy > bestBusy) {
+				best, bestScore, bestBusy = t, s, busy
+			}
+		}
+		a[best]++
+	}
+	a = hillClimb(mo, a, obj)
+	return a, mo.Simulate(a), nil
+}
+
+// hillClimb moves single nodes between task pairs while that improves the
+// objective.
+func hillClimb(mo *paragon.Model, a pipeline.Assignment, obj Objective) pipeline.Assignment {
+	cur := score(mo.Simulate(a), obj)
+	for improved := true; improved; {
+		improved = false
+		for from := 0; from < pipeline.NumTasks; from++ {
+			if a[from] <= 1 {
+				continue
+			}
+			for to := 0; to < pipeline.NumTasks; to++ {
+				if to == from {
+					continue
+				}
+				a[from]--
+				a[to]++
+				if s := score(mo.Simulate(a), obj); s > cur+1e-12 {
+					cur = s
+					improved = true
+				} else {
+					a[from]++
+					a[to]--
+				}
+			}
+		}
+	}
+	return a
+}
+
+// OptimizeLatencyWithFloor minimizes latency subject to a minimum
+// throughput (the realistic radar requirement: latency matters, but the
+// processing must not fall behind the input data rate — Section 4.1.2's
+// throughput requirement). Assignments below the floor are rejected; if
+// no assignment meets the floor, the best-throughput assignment is
+// returned with an error.
+func OptimizeLatencyWithFloor(mo *paragon.Model, budget int, minThroughput float64) (pipeline.Assignment, paragon.SimResult, error) {
+	aThr, resThr, err := Optimize(mo, budget, MaxThroughput)
+	if err != nil {
+		return aThr, resThr, err
+	}
+	if resThr.Throughput < minThroughput {
+		return aThr, resThr, fmt.Errorf("sched: budget %d cannot reach %.3f CPI/s (max %.3f)",
+			budget, minThroughput, resThr.Throughput)
+	}
+	// Greedy from the throughput-optimal point: move nodes toward the
+	// latency path while the floor holds.
+	a := aThr
+	cur := mo.Simulate(a)
+	for improved := true; improved; {
+		improved = false
+		for from := 0; from < pipeline.NumTasks; from++ {
+			if a[from] <= 1 {
+				continue
+			}
+			for to := 0; to < pipeline.NumTasks; to++ {
+				if to == from {
+					continue
+				}
+				a[from]--
+				a[to]++
+				cand := mo.Simulate(a)
+				if cand.Throughput >= minThroughput && cand.RealLatency < cur.RealLatency-1e-12 {
+					cur = cand
+					improved = true
+				} else {
+					a[from]++
+					a[to]--
+				}
+			}
+		}
+	}
+	return a, cur, nil
+}
+
+// Point is one entry of a budget sweep.
+type Point struct {
+	Budget     int
+	Assign     pipeline.Assignment
+	Throughput float64
+	Latency    float64
+}
+
+// Sweep optimizes across a range of budgets, producing the
+// throughput/latency scaling curve of the design (the data behind the
+// paper's linear-scalability claim).
+func Sweep(mo *paragon.Model, budgets []int, obj Objective) ([]Point, error) {
+	out := make([]Point, 0, len(budgets))
+	for _, b := range budgets {
+		a, res, err := Optimize(mo, b, obj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{
+			Budget: b, Assign: a,
+			Throughput: res.Throughput, Latency: res.RealLatency,
+		})
+	}
+	return out, nil
+}
+
+// Throughput evaluates eq. (1) on per-task total times.
+func Throughput(totals [pipeline.NumTasks]float64) float64 {
+	maxT := 0.0
+	for _, t := range totals {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if maxT == 0 {
+		return 0
+	}
+	return 1 / maxT
+}
+
+// Latency evaluates eq. (2) on per-task total times: T0 + max(T3,T4) + T5
+// + T6; the weight tasks are excluded because of the temporal decoupling.
+func Latency(totals [pipeline.NumTasks]float64) float64 {
+	bf := totals[pipeline.TaskEasyBF]
+	if totals[pipeline.TaskHardBF] > bf {
+		bf = totals[pipeline.TaskHardBF]
+	}
+	return totals[pipeline.TaskDoppler] + bf + totals[pipeline.TaskPulseComp] + totals[pipeline.TaskCFAR]
+}

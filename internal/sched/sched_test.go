@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func model() *paragon.Model {
+	return paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
+}
+
+func TestOptimizeBeatsPaperCase1(t *testing.T) {
+	mo := model()
+	paperAssign := pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16)
+	paperRes := mo.Simulate(paperAssign)
+	a, res, err := Optimize(mo, 236, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 236 {
+		t.Fatalf("assignment uses %d of 236 nodes", a.Total())
+	}
+	if res.Throughput < paperRes.Throughput*0.999 {
+		t.Errorf("optimizer throughput %.3f below paper assignment's %.3f",
+			res.Throughput, paperRes.Throughput)
+	}
+	t.Logf("optimizer: %v -> %.3f CPI/s (paper case 1: %.3f)", a, res.Throughput, paperRes.Throughput)
+}
+
+func TestOptimizeMinLatency(t *testing.T) {
+	mo := model()
+	paperRes := mo.Simulate(pipeline.NewAssignment(32, 16, 112, 16, 28, 16, 16))
+	a, res, err := Optimize(mo, 236, MinLatency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 236 {
+		t.Fatalf("uses %d nodes", a.Total())
+	}
+	if res.RealLatency > paperRes.RealLatency {
+		t.Errorf("min-latency %.4f worse than paper's throughput-oriented %.4f",
+			res.RealLatency, paperRes.RealLatency)
+	}
+	// Latency objective should starve the weight tasks (they are off the
+	// latency path) relative to the throughput objective.
+	at, _, err := Optimize(mo, 236, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLat := a[pipeline.TaskEasyWeight] + a[pipeline.TaskHardWeight]
+	wThr := at[pipeline.TaskEasyWeight] + at[pipeline.TaskHardWeight]
+	if wLat > wThr {
+		t.Errorf("latency objective gave weight tasks %d nodes, throughput gave %d", wLat, wThr)
+	}
+}
+
+func TestOptimizeGivesHardWeightMostNodesForThroughput(t *testing.T) {
+	// The paper assigns by far the most nodes to hard weight computation
+	// (112 of 236); the optimizer must reproduce that structural choice.
+	mo := model()
+	a, _, err := Optimize(mo, 236, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for task := 0; task < pipeline.NumTasks; task++ {
+		if task == pipeline.TaskHardWeight {
+			continue
+		}
+		if a[task] > a[pipeline.TaskHardWeight] {
+			t.Errorf("task %d got %d nodes > hard weight's %d", task, a[task], a[pipeline.TaskHardWeight])
+		}
+	}
+}
+
+func TestOptimizeMonotoneInBudget(t *testing.T) {
+	mo := model()
+	prev := 0.0
+	for _, budget := range []int{7, 15, 30, 59, 118, 236} {
+		_, res, err := Optimize(mo, budget, MaxThroughput)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput < prev*0.999 {
+			t.Errorf("budget %d throughput %.3f below smaller budget's %.3f", budget, res.Throughput, prev)
+		}
+		prev = res.Throughput
+	}
+}
+
+func TestOptimizeNearLinearScaling(t *testing.T) {
+	// The paper's core claim: optimized throughput scales ~linearly from
+	// 59 to 236 nodes.
+	mo := model()
+	_, r59, err := Optimize(mo, 59, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r236, err := Optimize(mo, 236, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r236.Throughput / r59.Throughput
+	if ratio < 3.2 || ratio > 4.8 {
+		t.Errorf("236/59-node throughput ratio %.2f, want ~4", ratio)
+	}
+}
+
+func TestOptimizeBudgetTooSmall(t *testing.T) {
+	if _, _, err := Optimize(model(), 3, MaxThroughput); err == nil {
+		t.Error("budget below task count should fail")
+	}
+}
+
+func TestOptimizeLatencyWithFloor(t *testing.T) {
+	mo := model()
+	a, res, err := OptimizeLatencyWithFloor(mo, 236, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 236 {
+		t.Fatalf("uses %d nodes", a.Total())
+	}
+	if res.Throughput < 5.0 {
+		t.Errorf("floor violated: %.3f", res.Throughput)
+	}
+	// With the floor it must do no worse on latency than the pure
+	// throughput optimum.
+	_, thrRes, _ := Optimize(mo, 236, MaxThroughput)
+	if res.RealLatency > thrRes.RealLatency+1e-12 {
+		t.Errorf("floored latency %.4f worse than throughput-optimal %.4f",
+			res.RealLatency, thrRes.RealLatency)
+	}
+	// Unreachable floor errors out.
+	if _, _, err := OptimizeLatencyWithFloor(mo, 10, 100.0); err == nil {
+		t.Error("unreachable floor should error")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	mo := model()
+	pts, err := Sweep(mo, []int{59, 118, 236}, MaxThroughput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput <= pts[i-1].Throughput {
+			t.Error("sweep throughput not increasing")
+		}
+		if pts[i].Latency >= pts[i-1].Latency {
+			t.Error("sweep latency not decreasing")
+		}
+	}
+}
+
+func TestEquations(t *testing.T) {
+	totals := [pipeline.NumTasks]float64{.1, .2, .25, .12, .15, .11, .09}
+	if got := Throughput(totals); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("eq1 = %g, want 4", got)
+	}
+	// eq2 = .1 + max(.12,.15) + .11 + .09 = .45
+	if got := Latency(totals); math.Abs(got-0.45) > 1e-12 {
+		t.Errorf("eq2 = %g, want .45", got)
+	}
+	if Throughput([pipeline.NumTasks]float64{}) != 0 {
+		t.Error("zero totals should give zero throughput")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MaxThroughput.String() == "" || MinLatency.String() == "" || Objective(9).String() == "" {
+		t.Error("objective names")
+	}
+}

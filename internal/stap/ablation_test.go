@@ -1,0 +1,182 @@
+package stap
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+func TestPulseCompressChannelsMatchesMatchedFilter(t *testing.T) {
+	// Per-channel compression then ideal (steering, clutter-free)
+	// beamforming must put the same target peak at the same range cell as
+	// the paper's compress-after-beamform ordering.
+	p := radar.Small()
+	sc := &radar.Scene{
+		Params:  p,
+		Targets: []radar.Target{{Range: 20, Azimuth: 0, Doppler: 0.25, Power: 1}},
+		Seed:    1,
+	}
+	mf := NewMatchedFilter(p.K, sc.Chirp())
+	dopp := DopplerFilter(p, sc.GenerateCPI(0), nil).Reorder(radar.BeamformInOrder)
+	beamAz := []float64{0, 0.4}
+	w := SteeringWeights(p, beamAz)
+
+	// Paper ordering: beamform, then compress.
+	after := PulseCompress(p, Beamform(p, dopp, w), mf)
+
+	// Ablation ordering: compress channels, then beamform, then |.|^2.
+	compressed := PulseCompressChannels(p, dopp, mf)
+	beamed := Beamform(p, compressed, w)
+	before := cube.NewReal(radar.BeamOrder, p.N, p.M, p.K)
+	for i, v := range beamed.Data {
+		before.Data[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+
+	// Compare at the target's bin/beam: both orderings are linear in the
+	// range dimension, so with range-independent weights they commute.
+	d := sc.Targets[0].DopplerBin(p.N)
+	for m := 0; m < p.M; m++ {
+		for r := 0; r < p.K; r++ {
+			a, b := after.At(d, m, r), before.At(d, m, r)
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("orderings disagree at m=%d r=%d: %g vs %g", m, r, a, b)
+			}
+		}
+	}
+}
+
+func TestPulseCompressChannelsCostRatio(t *testing.T) {
+	// The saving the paper's mainbeam constraint buys: per-channel
+	// compression costs ~2J/M times the per-beam version.
+	p := radar.Paper()
+	perChannel := FlopsPulseCompPerChannel(p)
+	perBeam := CountFlops(p).PulseComp
+	ratio := float64(perChannel) / float64(perBeam)
+	wantLow := float64(2*p.J) / float64(p.M) * 0.8
+	wantHigh := float64(2*p.J) / float64(p.M) * 1.2
+	if ratio < wantLow || ratio > wantHigh {
+		t.Errorf("per-channel/per-beam flop ratio %.2f, want ~%.2f", ratio, float64(2*p.J)/float64(p.M))
+	}
+}
+
+func TestPulseCompressChannelsPanics(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	mf := NewMatchedFilter(p.K, sc.Chirp())
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong order should panic")
+		}
+	}()
+	PulseCompressChannels(p, cube.New(radar.StaggeredOrder, p.K, 2*p.J, p.N), mf)
+}
+
+func TestHardWeightFullMatchesRecursive(t *testing.T) {
+	// The recursive QR update must be algebraically identical to
+	// re-factorizing the whole exponentially-weighted history.
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	beamAz := sc.BeamAzimuths()
+	rec := NewHardWeightState(p, beamAz)
+	full := NewHardWeightFullState(p, beamAz)
+	for i := 0; i < 5; i++ {
+		d := DopplerFilter(p, sc.GenerateCPI(i), nil)
+		rec.Observe(d)
+		full.Observe(d)
+	}
+	wRec := rec.Compute()
+	wFull, err := full.Compute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seg := range wRec {
+		for i := range wRec[seg] {
+			for b := 0; b < p.M; b++ {
+				for j := 0; j < 2*p.J; j++ {
+					a := wRec[seg][i].At(j, b)
+					c := wFull[seg][i].At(j, b)
+					if cmplx.Abs(a-c) > 1e-7 {
+						t.Fatalf("seg %d bin %d beam %d: recursive %v vs full %v", seg, i, b, a, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHardWeightFullHistoryGrows(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	full := NewHardWeightFullState(p, sc.BeamAzimuths())
+	for i := 0; i < 4; i++ {
+		full.Observe(DopplerFilter(p, sc.GenerateCPI(i), nil))
+	}
+	if len(full.history) != 4 {
+		t.Errorf("history length %d", len(full.history))
+	}
+	full.MaxHistory = 2
+	full.Observe(DopplerFilter(p, sc.GenerateCPI(4), nil))
+	if len(full.history) != 2 {
+		t.Errorf("bounded history length %d", len(full.history))
+	}
+}
+
+// The recursive update's cost is constant per CPI; the full
+// re-factorization grows with history. These benches quantify the paper's
+// "substantially less training data and improved efficiency" claim.
+func BenchmarkHardWeightRecursiveUpdate(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	rec := NewHardWeightState(p, sc.BeamAzimuths())
+	d := DopplerFilter(p, sc.GenerateCPI(0), nil)
+	for i := 0; i < 6; i++ {
+		rec.Observe(d)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Observe(d)
+		rec.Compute()
+	}
+}
+
+func BenchmarkHardWeightFullRefactor(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	full := NewHardWeightFullState(p, sc.BeamAzimuths())
+	d := DopplerFilter(p, sc.GenerateCPI(0), nil)
+	for i := 0; i < 6; i++ {
+		full.Observe(d)
+	}
+	full.MaxHistory = 7
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		full.Observe(d)
+		if _, err := full.Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPulseCompressPerBeam(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	mf := NewMatchedFilter(p.K, sc.Chirp())
+	beams := cube.New(radar.BeamOrder, p.N, p.M, p.K)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PulseCompress(p, beams, mf)
+	}
+}
+
+func BenchmarkPulseCompressPerChannel(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	mf := NewMatchedFilter(p.K, sc.Chirp())
+	dopp := cube.New(radar.BeamformInOrder, p.N, p.K, 2*p.J)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PulseCompressChannels(p, dopp, mf)
+	}
+}

@@ -1,0 +1,88 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// buildInterferenceRows creates conjugated training snapshots containing
+// strong interference near the mainbeam edge plus noise.
+func buildInterferenceRows(p radar.Params, interfAz float64, inr float64, nRows int, seed int64) *linalg.Matrix {
+	sv := radar.SteeringVector(p.J, interfAz)
+	rows := linalg.NewMatrix(nRows, p.J)
+	rng := newTestRng(seed)
+	amp := math.Sqrt(inr)
+	for r := 0; r < nRows; r++ {
+		ph := cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+		for j := 0; j < p.J; j++ {
+			x := complex(amp, 0)*ph*sv[j]*complex(math.Sqrt(float64(p.J)), 0) +
+				complex(rng.NormFloat64()/math.Sqrt2, rng.NormFloat64()/math.Sqrt2)
+			rows.Set(r, j, cmplx.Conj(x))
+		}
+	}
+	return rows
+}
+
+func TestConventionalVsConstrainedMainbeamShape(t *testing.T) {
+	// Appendix A's claim: the conventional unit-response constraint lets
+	// clutter near the mainbeam distort the adapted beam, while the
+	// Figure 13 shape constraint keeps w close to the steering vector.
+	p := radar.Small()
+	p.J = 8
+	look := 0.0
+	interfAz := 0.28 // just off the mainbeam of an 8-element array
+	rows := buildInterferenceRows(p, interfAz, 2000, 48, 7)
+	ws := radar.SteeringVector(p.J, look)
+	steer := [][]complex128{ws}
+
+	conv, err := ConventionalWeights(rows, steer, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := constrainedWeights(rows, steer, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colConv := make([]complex128, p.J)
+	colCons := make([]complex128, p.J)
+	for j := 0; j < p.J; j++ {
+		colConv[j] = conv.At(j, 0)
+		colCons[j] = cons.At(j, 0)
+	}
+	// Similarity to the steering vector (mainbeam shape preservation):
+	simConv := cmplx.Abs(linalg.Dot(colConv, ws))
+	simCons := cmplx.Abs(linalg.Dot(colCons, ws))
+	t.Logf("similarity to steering: conventional %.3f, constrained %.3f", simConv, simCons)
+	if simCons <= simConv {
+		t.Errorf("shape constraint should preserve the mainbeam better: %.3f vs %.3f", simCons, simConv)
+	}
+	if simCons < 0.7 {
+		t.Errorf("constrained solution strayed from the mainbeam: %.3f", simCons)
+	}
+	// Both must still null the interference.
+	iv := radar.SteeringVector(p.J, interfAz)
+	if g := cmplx.Abs(linalg.Dot(colCons, iv)); g > 0.15 {
+		t.Errorf("constrained interference gain %.3f", g)
+	}
+	if g := cmplx.Abs(linalg.Dot(colConv, iv)); g > 0.15 {
+		t.Errorf("conventional interference gain %.3f", g)
+	}
+}
+
+func TestConventionalErrors(t *testing.T) {
+	if _, err := ConventionalWeights(linalg.NewMatrix(0, 4), nil, 0.5); err == nil {
+		t.Error("empty rows should fail")
+	}
+	rows := linalg.NewMatrix(3, 4)
+	if _, err := ConventionalWeights(rows, [][]complex128{{1, 0, 0, 0}}, 0.5); err == nil {
+		t.Error("zero training data should fail")
+	}
+	rows.Set(0, 0, 1)
+	if _, err := ConventionalWeights(rows, [][]complex128{{1, 0}}, 0.5); err == nil {
+		t.Error("steering length mismatch should fail")
+	}
+}

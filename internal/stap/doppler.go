@@ -1,0 +1,115 @@
+// Package stap implements the five processing steps of the PRI-staggered
+// post-Doppler STAP algorithm the paper parallelizes — Doppler filter
+// processing, easy/hard weight computation, beamforming, pulse compression
+// and CFAR — plus a serial reference processor that chains them with the
+// paper's temporal semantics (weights trained on CPI i-1 are applied to
+// CPI i). The parallel pipeline in internal/pipeline decomposes exactly
+// these functions across worker groups.
+package stap
+
+import (
+	"fmt"
+
+	"pstap/internal/cube"
+	"pstap/internal/fft"
+	"pstap/internal/radar"
+)
+
+// DopplerFilter performs the first pipeline task: per range cell and
+// channel, optional range correction, tapering window, and a pair of
+// PRI-staggered N-point FFTs over the pulse axis.
+//
+// Input is a raw CPI cube in radar.RawOrder (K x J x N). Output is the
+// staggered CPI cube in radar.StaggeredOrder (K x 2J x N): output channel
+// c < J holds the Doppler spectrum of pulses [0, N-stagger) of input
+// channel c; output channel J+c holds the spectrum of pulses
+// [stagger, N) of input channel c. Both windows are tapered with
+// Window(kind, N-stagger) and zero-padded to N, matching the MATLAB
+// rawToFFT.
+//
+// rangeGain, when non-nil, must have K entries; each range cell's pulses
+// are scaled by rangeGain[r] before windowing (the paper's "range
+// correction").
+func DopplerFilter(p radar.Params, raw *cube.Cube, rangeGain []float64) *cube.Cube {
+	if raw.Axes != radar.RawOrder {
+		panic(fmt.Sprintf("stap: DopplerFilter wants %v, got %v", radar.RawOrder, raw.Axes))
+	}
+	if raw.Dim != [3]int{p.K, p.J, p.N} {
+		panic(fmt.Sprintf("stap: DopplerFilter dims %v, want [%d %d %d]", raw.Dim, p.K, p.J, p.N))
+	}
+	if rangeGain != nil && len(rangeGain) != p.K {
+		panic("stap: rangeGain length mismatch")
+	}
+	out := cube.New(radar.StaggeredOrder, p.K, 2*p.J, p.N)
+	filterRangeBlock(p, raw, rangeGain, out, cube.Block{Lo: 0, Hi: p.K}, nil)
+	return out
+}
+
+// filterRangeBlock runs the Doppler filter over range cells [blk.Lo,
+// blk.Hi), writing into out at the same global range indices. out may be a
+// full-size cube or a block-local cube when outBlk is non-nil (then output
+// rows are written at r-blk.Lo). plan may be nil (allocated internally).
+// This is the unit of work one Doppler-task processor executes in the
+// parallel pipeline, where the CPI cube is partitioned across dimension K.
+func filterRangeBlock(p radar.Params, raw *cube.Cube, rangeGain []float64, out *cube.Cube, blk cube.Block, plan *fft.Plan) {
+	if plan == nil {
+		plan = fft.MustCachedPlan(p.N)
+	}
+	win := fft.Window(p.Window, p.N-p.Stagger)
+	buf := make([]complex128, p.N)
+	outLocal := out.Dim[0] != p.K
+	inLocal := raw.Dim[0] != p.K
+	for r := blk.Lo; r < blk.Hi; r++ {
+		outR := r
+		if outLocal {
+			outR = r - blk.Lo
+		}
+		inR := r
+		if inLocal {
+			inR = r - blk.Lo
+		}
+		gain := 1.0
+		if rangeGain != nil {
+			gain = rangeGain[r]
+		}
+		for j := 0; j < p.J; j++ {
+			in := raw.Vec(inR, j)
+			// First window: pulses [0, N-stagger).
+			for t := 0; t < p.N-p.Stagger; t++ {
+				buf[t] = in[t] * complex(gain*win[t], 0)
+			}
+			for t := p.N - p.Stagger; t < p.N; t++ {
+				buf[t] = 0
+			}
+			plan.Forward(buf)
+			copy(out.Vec(outR, j), buf)
+			// Second (staggered) window: pulses [stagger, N).
+			for t := 0; t < p.N-p.Stagger; t++ {
+				buf[t] = in[t+p.Stagger] * complex(gain*win[t], 0)
+			}
+			for t := p.N - p.Stagger; t < p.N; t++ {
+				buf[t] = 0
+			}
+			plan.Forward(buf)
+			copy(out.Vec(outR, j+p.J), buf)
+		}
+	}
+}
+
+// DopplerFilterBlock computes the Doppler filter output for one range
+// block only, returning a block-local staggered cube of
+// blk.Size() x 2J x N. raw may be the full K-range cube or a block-local
+// slab of blk.Size() ranges (the form a parallel Doppler-task processor
+// receives). rangeGain is always indexed by global range cell. This is
+// the per-processor kernel of task 0.
+func DopplerFilterBlock(p radar.Params, raw *cube.Cube, rangeGain []float64, blk cube.Block, plan *fft.Plan) *cube.Cube {
+	if raw.Axes != radar.RawOrder {
+		panic(fmt.Sprintf("stap: DopplerFilterBlock wants %v, got %v", radar.RawOrder, raw.Axes))
+	}
+	if raw.Dim[0] != p.K && raw.Dim[0] != blk.Size() {
+		panic(fmt.Sprintf("stap: DopplerFilterBlock raw dim0 %d, want %d or %d", raw.Dim[0], p.K, blk.Size()))
+	}
+	out := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	filterRangeBlock(p, raw, rangeGain, out, blk, plan)
+	return out
+}

@@ -1,0 +1,196 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/cube"
+	"pstap/internal/fft"
+	"pstap/internal/radar"
+)
+
+func TestDopplerFilterShape(t *testing.T) {
+	p := radar.Small()
+	s := radar.DefaultScene(p)
+	out := DopplerFilter(p, s.GenerateCPI(0), nil)
+	if out.Axes != radar.StaggeredOrder {
+		t.Fatalf("order %v", out.Axes)
+	}
+	if out.Dim != [3]int{p.K, 2 * p.J, p.N} {
+		t.Fatalf("dims %v", out.Dim)
+	}
+}
+
+func TestDopplerFilterConcentratesTone(t *testing.T) {
+	// A pure on-bin tone must put (almost) all its windowed energy in the
+	// target bin; the Hanning taper leaks into adjacent bins only.
+	p := radar.Small()
+	s := &radar.Scene{
+		Params:  p,
+		Targets: []radar.Target{{Range: 7, Azimuth: 0, Doppler: 0.25, Power: 1}},
+		Seed:    1,
+	}
+	out := DopplerFilter(p, s.GenerateCPI(0), nil)
+	bin := s.Targets[0].DopplerBin(p.N)
+	vec := out.Vec(7, 0)
+	peak := cmplx.Abs(vec[bin])
+	for d := 0; d < p.N; d++ {
+		dd := (d - bin + p.N) % p.N
+		if dd <= 1 || dd >= p.N-1 {
+			continue
+		}
+		if a := cmplx.Abs(vec[d]); a > peak*0.2 {
+			t.Errorf("bin %d leakage %g vs peak %g", d, a, peak)
+		}
+	}
+}
+
+func TestDopplerFilterStaggerPhase(t *testing.T) {
+	// For an on-bin tone, the staggered channel's response leads the
+	// unstaggered one by exp(+i 2 pi d stagger / N) — the convention the
+	// staggered steering vector encodes.
+	p := radar.Small()
+	s := &radar.Scene{
+		Params:  p,
+		Targets: []radar.Target{{Range: 3, Azimuth: 0.2, Doppler: 4.0 / float64(p.N), Power: 1}},
+		Seed:    1,
+	}
+	out := DopplerFilter(p, s.GenerateCPI(0), nil)
+	d := s.Targets[0].DopplerBin(p.N)
+	if d != 4 {
+		t.Fatalf("bin %d", d)
+	}
+	wantPhase := cmplx.Exp(complex(0, 2*math.Pi*float64(d)*float64(p.Stagger)/float64(p.N)))
+	for j := 0; j < p.J; j++ {
+		a := out.At(3, j, d)
+		b := out.At(3, j+p.J, d)
+		if cmplx.Abs(a) < 1e-9 {
+			t.Fatal("no signal in bin")
+		}
+		if cmplx.Abs(b-a*wantPhase) > 1e-9*cmplx.Abs(a) {
+			t.Errorf("channel %d stagger phase: got %v want %v", j, b/a, wantPhase)
+		}
+	}
+}
+
+func TestDopplerFilterRangeCorrection(t *testing.T) {
+	p := radar.Small()
+	s := &radar.Scene{Params: p, NoisePower: 1, Seed: 3}
+	raw := s.GenerateCPI(0)
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 2
+	}
+	plain := DopplerFilter(p, raw, nil)
+	corrected := DopplerFilter(p, raw, gain)
+	for i := range plain.Data {
+		if cmplx.Abs(corrected.Data[i]-2*plain.Data[i]) > 1e-12 {
+			t.Fatal("range correction must scale linearly")
+		}
+	}
+}
+
+func TestDopplerFilterBlockMatchesFull(t *testing.T) {
+	p := radar.Small()
+	s := radar.DefaultScene(p)
+	raw := s.GenerateCPI(1)
+	full := DopplerFilter(p, raw, nil)
+	for _, blk := range cube.BlockPartition(p.K, 3) {
+		part := DopplerFilterBlock(p, raw, nil, blk, fft.MustPlan(p.N))
+		for r := blk.Lo; r < blk.Hi; r++ {
+			for j := 0; j < 2*p.J; j++ {
+				for d := 0; d < p.N; d++ {
+					if part.At(r-blk.Lo, j, d) != full.At(r, j, d) {
+						t.Fatalf("block output differs at r=%d j=%d d=%d", r, j, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDopplerFilterPanicsOnBadInput(t *testing.T) {
+	p := radar.Small()
+	bad := cube.New(radar.StaggeredOrder, p.K, 2*p.J, p.N)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong order should panic")
+			}
+		}()
+		DopplerFilter(p, bad, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong dims should panic")
+			}
+		}()
+		DopplerFilter(p, cube.New(radar.RawOrder, p.K+1, p.J, p.N), nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad gain length should panic")
+			}
+		}()
+		DopplerFilter(p, cube.New(radar.RawOrder, p.K, p.J, p.N), make([]float64, 3))
+	}()
+}
+
+func TestDopplerFilterZeroPadTail(t *testing.T) {
+	// Only the first N-stagger pulses of each window may contribute: a raw
+	// cube whose energy sits entirely in the last `stagger` pulses of the
+	// first window's span and before the second window's span must produce
+	// different outputs than zero only through the staggered window.
+	p := radar.Small()
+	raw := cube.New(radar.RawOrder, p.K, p.J, p.N)
+	// put energy only in the final stagger pulses [N-stagger, N)
+	for r := 0; r < p.K; r++ {
+		for j := 0; j < p.J; j++ {
+			for tt := p.N - p.Stagger; tt < p.N; tt++ {
+				raw.Set(r, j, tt, 1)
+			}
+		}
+	}
+	out := DopplerFilter(p, raw, nil)
+	// First window ignores pulses >= N-stagger entirely: channels < J all zero.
+	for j := 0; j < p.J; j++ {
+		for d := 0; d < p.N; d++ {
+			if cmplx.Abs(out.At(0, j, d)) > 1e-12 {
+				t.Fatalf("unstaggered window saw tail pulses (ch %d bin %d)", j, d)
+			}
+		}
+	}
+	// Second window covers pulses [stagger, N) so it must see them.
+	var e float64
+	for d := 0; d < p.N; d++ {
+		e += real(out.At(0, p.J, d))*real(out.At(0, p.J, d)) + imag(out.At(0, p.J, d))*imag(out.At(0, p.J, d))
+	}
+	if e == 0 {
+		t.Fatal("staggered window should see tail pulses")
+	}
+}
+
+func BenchmarkDopplerFilterSmall(b *testing.B) {
+	p := radar.Small()
+	s := radar.DefaultScene(p)
+	raw := s.GenerateCPI(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DopplerFilter(p, raw, nil)
+	}
+}
+
+func BenchmarkDopplerFilterPaper(b *testing.B) {
+	p := radar.Paper()
+	raw := cube.New(radar.RawOrder, p.K, p.J, p.N)
+	for i := range raw.Data {
+		raw.Data[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DopplerFilter(p, raw, nil)
+	}
+}

@@ -1,0 +1,113 @@
+package stap
+
+import (
+	"pstap/internal/fft"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// FlopCounts models the floating-point operations each task performs per
+// CPI (the paper's Table 1). Conventions, chosen so the paper's published
+// numbers reproduce (exactly for Doppler, both beamforming tasks, pulse
+// compression and CFAR; within ~1% for the weight tasks — see
+// EXPERIMENTS.md):
+//
+//   - complex N-point FFT: 5 N log2 N
+//   - window + range correction: 3 flops per input sample
+//   - complex matrix multiply (m x k)(k x n): 8 m k n
+//   - complex Householder QR of m x n in the weight tasks: 4 n^2 (m - n/3)
+//     (the paper's counting, half the textbook complex count)
+//   - triangular solve of size n: 4 n^2 per right-hand side
+//   - CFAR: 5 flops per usable test cell + 1 per (bin, beam) row, with
+//     usable = K - 2(ref+guard)
+type FlopCounts struct {
+	Doppler    int64
+	EasyWeight int64
+	HardWeight int64
+	EasyBF     int64
+	HardBF     int64
+	PulseComp  int64
+	CFAR       int64
+}
+
+// Total sums all tasks.
+func (f FlopCounts) Total() int64 {
+	return f.Doppler + f.EasyWeight + f.HardWeight + f.EasyBF + f.HardBF + f.PulseComp + f.CFAR
+}
+
+// PerTask returns the counts in pipeline task order: Doppler, easy weight,
+// hard weight, easy BF, hard BF, pulse compression, CFAR (tasks 0..6).
+func (f FlopCounts) PerTask() [7]int64 {
+	return [7]int64{f.Doppler, f.EasyWeight, f.HardWeight, f.EasyBF, f.HardBF, f.PulseComp, f.CFAR}
+}
+
+// TaskNames are the pipeline task labels in PerTask order.
+var TaskNames = [7]string{
+	"Doppler filter", "easy weight", "hard weight",
+	"easy BF", "hard BF", "pulse compr", "CFAR",
+}
+
+// flopsQRWeights is the paper's QR counting convention for the weight
+// tasks: 4 n^2 (m - n/3), evaluated as 4n^2 m - 4n^3/3 in integer
+// arithmetic.
+func flopsQRWeights(m, n int) int64 {
+	return 4*int64(n)*int64(n)*int64(m) - 4*int64(n)*int64(n)*int64(n)/3
+}
+
+// CountFlops evaluates the model for a parameter set.
+func CountFlops(p radar.Params) FlopCounts {
+	var f FlopCounts
+	n64 := int64(p.N)
+
+	// Task 0: K*2J FFTs of length N plus 3 flops/sample window+correction.
+	f.Doppler = int64(p.K) * int64(2*p.J) * (fft.FlopsForward(p.N) + 3*n64)
+
+	// Task 1: per easy bin, one QR of the stacked training matrix
+	// (3 CPIs worth of samples x J), a block update folding the J
+	// constraint rows into R (4 J^3), and M triangular solves.
+	nsEasy := p.EasyTrainingCPIs * p.EasySamplesPerCPI
+	perEasy := flopsQRWeights(nsEasy, p.J) +
+		4*int64(p.J)*int64(p.J)*int64(p.J) +
+		int64(p.M)*linalg.FlopsBackSub(p.J)
+	f.EasyWeight = int64(p.Neasy) * perEasy
+
+	// Task 2: per (segment, hard bin), one recursive QR update of
+	// [lambda R (2J rows); fresh samples; constraint block (2J rows)] and
+	// M triangular solves.
+	rows := 2*p.J + p.HardSamplesPerSegment + 2*p.J
+	perHard := flopsQRWeights(rows, 2*p.J) + int64(p.M)*linalg.FlopsBackSub(2*p.J)
+	f.HardWeight = int64(p.NumSegments()) * int64(p.Nhard) * perHard
+
+	// Task 3: Neasy multiplies of (M x J)(J x K).
+	f.EasyBF = int64(p.Neasy) * linalg.FlopsMatMul(p.M, p.J, p.K)
+
+	// Task 4: per hard bin, segment multiplies of (M x 2J)(2J x Kseg)
+	// summing to (M x 2J)(2J x K).
+	f.HardBF = int64(p.Nhard) * linalg.FlopsMatMul(p.M, 2*p.J, p.K)
+
+	// Task 5: per (bin, beam): forward + inverse K-point FFT, pointwise
+	// complex multiply (6 flops) and magnitude-squared (3 flops) per cell.
+	f.PulseComp = n64 * int64(p.M) * (2*fft.FlopsForward(p.K) + 9*int64(p.K))
+
+	// Task 6: sliding-window CFAR over the usable range extent.
+	usable := p.K - 2*(p.CFARRef+p.CFARGuard)
+	if usable < 0 {
+		usable = 0
+	}
+	f.CFAR = n64 * int64(p.M) * (5*int64(usable) + 1)
+
+	return f
+}
+
+// PaperTable1 returns the paper's published Table 1 values for comparison.
+func PaperTable1() FlopCounts {
+	return FlopCounts{
+		Doppler:    79691776,
+		HardWeight: 197038464,
+		EasyWeight: 13851792,
+		EasyBF:     28311552,
+		HardBF:     44040192,
+		PulseComp:  38928384,
+		CFAR:       1690368,
+	}
+}

@@ -1,0 +1,19 @@
+package stap
+
+import (
+	mrand "math/rand"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+// cubeT abbreviates the cube type in tests.
+type cubeT = cube.Cube
+
+// newStag allocates an empty staggered-order cube for a parameter set.
+func newStag(p radar.Params) *cubeT {
+	return cube.New(radar.StaggeredOrder, p.K, 2*p.J, p.N)
+}
+
+// newTestRng returns a seeded math/rand source for deterministic tests.
+func newTestRng(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

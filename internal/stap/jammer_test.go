@@ -1,0 +1,133 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// jammerScene builds a scene with one strong off-boresight jammer, no
+// clutter, and a single easy-Doppler target.
+func jammerScene(p radar.Params) *radar.Scene {
+	sc := radar.DefaultScene(p)
+	sc.Clutter.CNR = 0
+	sc.Jammers = []radar.Jammer{{Azimuth: 0.9, Power: 500}}
+	sc.Targets = []radar.Target{{
+		Range: p.K / 3, Azimuth: sc.BeamAzimuths()[0], Doppler: 0.3, Power: 50,
+	}}
+	return sc
+}
+
+func TestJammerPowerInGeneratedData(t *testing.T) {
+	p := radar.Small()
+	sc := &radar.Scene{
+		Params:     p,
+		NoisePower: 1,
+		Jammers:    []radar.Jammer{{Azimuth: 0.5, Power: 100}},
+		Seed:       3,
+	}
+	c := sc.GenerateCPI(0)
+	perSample := c.Power() / float64(c.Len())
+	// jammer contributes ~Power per channel sample (steering un-normalized
+	// by sqrt(J) in generation), plus unit noise.
+	if perSample < 50 || perSample > 220 {
+		t.Errorf("per-sample power %g, want ~101", perSample)
+	}
+}
+
+func TestJammerSpatialSignature(t *testing.T) {
+	// With noise off, snapshots across channels must be proportional to
+	// the jammer's steering vector.
+	p := radar.Small()
+	sc := &radar.Scene{
+		Params:  p,
+		Jammers: []radar.Jammer{{Azimuth: 0.7, Power: 10}},
+		Seed:    4,
+	}
+	c := sc.GenerateCPI(0)
+	sv := radar.SteeringVector(p.J, 0.7)
+	for r := 0; r < 4; r++ {
+		for tt := 0; tt < 4; tt++ {
+			ref := c.At(r, 0, tt) / sv[0]
+			for j := 1; j < p.J; j++ {
+				if cmplx.Abs(c.At(r, j, tt)-ref*sv[j]) > 1e-9*cmplx.Abs(ref) {
+					t.Fatalf("snapshot (%d,%d) not rank-1 in jammer direction", r, tt)
+				}
+			}
+		}
+	}
+}
+
+func TestEasyWeightsNullJammer(t *testing.T) {
+	// The adaptive easy weights must place a spatial null on the jammer
+	// while the steering weights leak it through the sidelobes.
+	p := radar.Small()
+	sc := jammerScene(p)
+	sc.Targets = nil
+	beamAz := sc.BeamAzimuths()
+	es := NewEasyWeightState(p, beamAz)
+	for i := 0; i < p.EasyTrainingCPIs; i++ {
+		es.Observe(DopplerFilter(p, sc.GenerateCPI(i), nil))
+	}
+	w := es.Compute()
+	jamSV := radar.SteeringVector(p.J, sc.Jammers[0].Azimuth)
+	steer := radar.SteeringMatrix(p.J, beamAz)
+	var worstAdaptive, worstSteering float64
+	for i := range w {
+		for b := 0; b < p.M; b++ {
+			wa := make([]complex128, p.J)
+			wsv := make([]complex128, p.J)
+			for j := 0; j < p.J; j++ {
+				wa[j] = w[i].At(j, b)
+				wsv[j] = steer.At(j, b)
+			}
+			linalg.Normalize(wsv)
+			ga := cmplx.Abs(linalg.Dot(wa, jamSV))
+			gs := cmplx.Abs(linalg.Dot(wsv, jamSV))
+			if ga > worstAdaptive {
+				worstAdaptive = ga
+			}
+			if gs > worstSteering {
+				worstSteering = gs
+			}
+		}
+	}
+	t.Logf("jammer gain: adaptive worst %.4f, steering worst %.4f (%.1f dB null)",
+		worstAdaptive, worstSteering, 20*math.Log10(worstSteering/worstAdaptive))
+	if worstAdaptive > worstSteering/3 {
+		t.Errorf("adaptive null too shallow: %.4f vs steering %.4f", worstAdaptive, worstSteering)
+	}
+}
+
+func TestEndToEndDetectsTargetUnderJamming(t *testing.T) {
+	p := radar.Small()
+	sc := jammerScene(p)
+	pr := NewProcessor(sc)
+	var last *Result
+	for i := 0; i < 6; i++ {
+		last = pr.Process(sc.GenerateCPI(i))
+	}
+	found := false
+	for _, det := range last.Detections {
+		if MatchesTarget(p, det, sc.Targets[0], sc.BeamAzimuths()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("target lost under jamming; detections: %v", last.Detections)
+	}
+}
+
+func TestSceneValidateJammer(t *testing.T) {
+	sc := jammerScene(radar.Small())
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Jammers[0].Power = -1
+	if sc.Validate() == nil {
+		t.Error("negative jammer power should fail")
+	}
+}

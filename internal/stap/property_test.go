@@ -1,0 +1,200 @@
+package stap
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// Property: the Doppler filter is linear — filtering a*x + b*y equals
+// a*filter(x) + b*filter(y).
+func TestDopplerFilterLinearityProperty(t *testing.T) {
+	p := radar.Small()
+	f := func(seed int64, aRaw, bRaw int8) bool {
+		a := complex(float64(aRaw)/16, float64(-aRaw)/32)
+		b := complex(float64(bRaw)/16, float64(bRaw)/64)
+		scX := &radar.Scene{Params: p, NoisePower: 1, Seed: seed}
+		scY := &radar.Scene{Params: p, NoisePower: 1, Seed: seed + 1000}
+		x := scX.GenerateCPI(0)
+		y := scY.GenerateCPI(0)
+		comb := cube.New(radar.RawOrder, p.K, p.J, p.N)
+		for i := range comb.Data {
+			comb.Data[i] = a*x.Data[i] + b*y.Data[i]
+		}
+		fx := DopplerFilter(p, x, nil)
+		fy := DopplerFilter(p, y, nil)
+		fc := DopplerFilter(p, comb, nil)
+		for i := range fc.Data {
+			want := a*fx.Data[i] + b*fy.Data[i]
+			if cmplx.Abs(fc.Data[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CFAR detections are invariant under a positive scaling of the
+// whole power cube (the constant-false-alarm-rate property: thresholds
+// scale with the data).
+func TestCFARScaleInvarianceProperty(t *testing.T) {
+	p := radar.Small()
+	f := func(seed int64, scaleRaw uint8) bool {
+		scale := 0.01 + float64(scaleRaw)*3
+		rng := rand.New(rand.NewSource(seed))
+		pw := cube.NewReal(radar.BeamOrder, p.N, p.M, p.K)
+		for i := range pw.Data {
+			v := rng.ExpFloat64()
+			pw.Data[i] = v
+		}
+		// a few strong cells
+		for k := 0; k < 4; k++ {
+			pw.Set(rng.Intn(p.N), rng.Intn(p.M), rng.Intn(p.K), 1e5*rng.Float64()+1e3)
+		}
+		base := CFAR(p, pw)
+		scaled := pw.Clone()
+		for i := range scaled.Data {
+			scaled.Data[i] *= scale
+		}
+		got := CFAR(p, scaled)
+		if len(got) != len(base) {
+			return false
+		}
+		for i := range base {
+			if got[i].Range != base[i].Range || got[i].DopplerBin != base[i].DopplerBin || got[i].Beam != base[i].Beam {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weight vectors are invariant (up to normalization) under a
+// uniform scaling of the training data — the adaptive constraint weight
+// k_eff tracks the data RMS, so the solution direction cannot depend on
+// absolute signal level.
+func TestWeightsScaleInvarianceProperty(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	beamAz := sc.BeamAzimuths()
+	f := func(seed int64, scaleRaw uint8) bool {
+		scale := complex(0.25+float64(scaleRaw)/8, 0)
+		d := DopplerFilter(p, (&radar.Scene{
+			Params: p, NoisePower: 1,
+			Clutter: sc.Clutter,
+			Seed:    seed,
+		}).GenerateCPI(0), nil)
+		dScaled := d.Clone()
+		for i := range dScaled.Data {
+			dScaled.Data[i] *= scale
+		}
+		s1 := NewEasyWeightState(p, beamAz)
+		s2 := NewEasyWeightState(p, beamAz)
+		s1.Observe(d)
+		s2.Observe(dScaled)
+		w1 := s1.Compute()
+		w2 := s2.Compute()
+		for i := range w1 {
+			for b := 0; b < p.M; b++ {
+				for j := 0; j < p.J; j++ {
+					// identical up to a global phase of |1| per column; with
+					// real positive scale, exactly identical.
+					if cmplx.Abs(w1[i].At(j, b)-w2[i].At(j, b)) > 1e-8 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Doppler filter output energy is bounded by the window energy
+// times input energy per (range, channel) — Parseval with a taper.
+func TestDopplerFilterEnergyBound(t *testing.T) {
+	p := radar.Small()
+	sc := &radar.Scene{Params: p, NoisePower: 1, Seed: 9}
+	raw := sc.GenerateCPI(0)
+	out := DopplerFilter(p, raw, nil)
+	// max window coefficient <= 1, two windows, FFT unnormalized: energy
+	// per (r,c) pair of output channels <= 2 * N * input energy.
+	for r := 0; r < p.K; r++ {
+		for j := 0; j < p.J; j++ {
+			var ein, eout float64
+			for _, v := range raw.Vec(r, j) {
+				ein += real(v)*real(v) + imag(v)*imag(v)
+			}
+			for _, v := range out.Vec(r, j) {
+				eout += real(v)*real(v) + imag(v)*imag(v)
+			}
+			for _, v := range out.Vec(r, j+p.J) {
+				eout += real(v)*real(v) + imag(v)*imag(v)
+			}
+			if eout > 2*float64(p.N)*ein+1e-9 {
+				t.Fatalf("energy bound violated at r=%d j=%d: %g > %g", r, j, eout, 2*float64(p.N)*ein)
+			}
+		}
+	}
+}
+
+// Property: pulse compression preserves total power ordering for
+// unit-energy replicas: compressing white noise neither creates nor
+// destroys energy (Parseval through the matched filter with |H|<=1 per
+// bin... the chirp spectrum is not flat, so just check total power is
+// finite and positive and the filter is norm-bounded).
+func TestMatchedFilterNormBound(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	mf := NewMatchedFilter(p.K, sc.Chirp())
+	// |Hat[k]| <= sqrt(K)*replica_norm = sqrt(K) for unit-energy replica.
+	bound := math.Sqrt(float64(p.K)) + 1e-9
+	for k, h := range mf.Hat {
+		if cmplx.Abs(h) > bound {
+			t.Fatalf("bin %d filter gain %g exceeds %g", k, cmplx.Abs(h), bound)
+		}
+	}
+}
+
+// Property: steering weights are the fixed point of zero training data —
+// and any weights computed from noise-only data keep at least half the
+// mainbeam gain of the steering weights.
+func TestWeightsMainbeamGainFloor(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	beamAz := sc.BeamAzimuths()
+	hs := NewHardWeightState(p, beamAz)
+	for i := 0; i < 4; i++ {
+		hs.Observe(DopplerFilter(p, (&radar.Scene{Params: p, NoisePower: 1, Seed: int64(40 + i)}).GenerateCPI(i), nil))
+	}
+	w := hs.Compute()
+	for seg := range w {
+		for i, d := range hs.Bins() {
+			for b, az := range beamAz {
+				target := radar.StaggeredSteeringVector(p.J, az, d, p.Stagger, p.N)
+				linalg.Normalize(target)
+				col := make([]complex128, 2*p.J)
+				for j := range col {
+					col[j] = w[seg][i].At(j, b)
+				}
+				if g := cmplx.Abs(linalg.Dot(col, target)); g < 0.3 {
+					t.Fatalf("seg %d bin %d beam %d: noise-only mainbeam gain %g", seg, d, b, g)
+				}
+			}
+		}
+	}
+}

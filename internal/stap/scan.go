@@ -1,0 +1,96 @@
+package stap
+
+import (
+	"fmt"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+// ScanProcessor models the flight experiment's transmit scanning
+// (Section 3): the radar cycles through several transmit beam positions
+// (five 25-degree beams spaced 20 degrees apart, revisited at 1-2 Hz),
+// and the weight training is *per azimuth position* — the hard task uses
+// "past looks at the same azimuth, exponentially forgotten" and the easy
+// task draws from the three preceding CPIs in the same direction. The
+// processor therefore keeps an independent weight state pair per transmit
+// position and applies the position's weights when its turn comes around.
+type ScanProcessor struct {
+	Params    radar.Params
+	Positions []ScanPosition
+
+	mf       *MatchedFilter
+	rangeGain []float64
+	cpiCount int
+}
+
+// ScanPosition is one transmit beam position with its receive-beam fan
+// and temporal weight state.
+type ScanPosition struct {
+	TransmitAz float64
+	BeamAz     []float64
+	easy       *EasyWeightState
+	hard       *HardWeightState
+	next       *Weights
+}
+
+// NewScanProcessor builds a processor cycling over the given transmit
+// azimuths, each with the scene's transmit beamwidth of receive beams.
+func NewScanProcessor(s *radar.Scene, transmitAz []float64) (*ScanProcessor, error) {
+	if len(transmitAz) == 0 {
+		return nil, fmt.Errorf("stap: scan needs at least one transmit position")
+	}
+	p := s.Params
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 1 / s.RangeGain(r)
+	}
+	sp := &ScanProcessor{
+		Params:    p,
+		mf:        NewMatchedFilter(p.K, s.Chirp()),
+		rangeGain: gain,
+	}
+	for _, az := range transmitAz {
+		beamAz := radar.ReceiveBeamAzimuths(p.M, az, s.TransmitWidth)
+		sp.Positions = append(sp.Positions, ScanPosition{
+			TransmitAz: az,
+			BeamAz:     beamAz,
+			easy:       NewEasyWeightState(p, beamAz),
+			hard:       NewHardWeightState(p, beamAz),
+			next:       SteeringWeights(p, beamAz),
+		})
+	}
+	return sp, nil
+}
+
+// PositionFor returns the transmit position index used for CPI i (the
+// scan cycles round-robin, matching the 1-2 Hz revisit pattern).
+func (sp *ScanProcessor) PositionFor(cpi int) int { return cpi % len(sp.Positions) }
+
+// Process runs one CPI through the chain using — and then updating — the
+// weight state of the transmit position whose turn it is. The raw cube is
+// expected to have been generated for that position's illumination.
+func (sp *ScanProcessor) Process(raw *cube.Cube) *Result {
+	p := sp.Params
+	pos := &sp.Positions[sp.PositionFor(sp.cpiCount)]
+	res := &Result{CPI: sp.cpiCount}
+	res.Doppler = DopplerFilter(p, raw, sp.rangeGain)
+	res.Applied = pos.next
+	bfIn := res.Doppler.Reorder(radar.BeamformInOrder)
+	res.Beamformed = Beamform(p, bfIn, pos.next)
+	res.Power = PulseCompress(p, res.Beamformed, sp.mf)
+	res.Detections = CFAR(p, res.Power)
+
+	pos.easy.Observe(res.Doppler)
+	pos.hard.Observe(res.Doppler)
+	pos.next = &Weights{Easy: pos.easy.Compute(), Hard: pos.hard.Compute()}
+	sp.cpiCount++
+	return res
+}
+
+// FiveBeamAzimuths returns the flight experiment's transmit fan: five
+// beams spaced 20 degrees apart centered on boresight.
+func FiveBeamAzimuths() []float64 {
+	const deg = 3.14159265358979323846 / 180
+	return []float64{-40 * deg, -20 * deg, 0, 20 * deg, 40 * deg}
+}

@@ -1,0 +1,119 @@
+package stap
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/radar"
+)
+
+func scanScene(p radar.Params, transmitAz float64) *radar.Scene {
+	sc := radar.DefaultScene(p)
+	sc.TransmitAz = transmitAz
+	return sc
+}
+
+func TestScanProcessorCyclesPositions(t *testing.T) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	azs := FiveBeamAzimuths()
+	sp, err := NewScanProcessor(sc, azs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Positions) != 5 {
+		t.Fatal("positions")
+	}
+	for i := 0; i < 12; i++ {
+		if got := sp.PositionFor(i); got != i%5 {
+			t.Fatalf("cpi %d -> position %d", i, got)
+		}
+	}
+	// Receive fans point near their transmit azimuths.
+	for _, pos := range sp.Positions {
+		mid := pos.BeamAz[p.M/2]
+		if math.Abs(mid-pos.TransmitAz) > 15*math.Pi/180 {
+			t.Errorf("position %.2f: mid beam at %.2f", pos.TransmitAz, mid)
+		}
+	}
+}
+
+func TestScanProcessorMatchesSingleWhenOnePosition(t *testing.T) {
+	// A 1-position scan is exactly the plain serial processor.
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	plain := NewProcessor(sc)
+	sp, err := NewScanProcessor(sc, []float64{sc.TransmitAz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		raw := sc.GenerateCPI(i)
+		a := plain.Process(raw.Clone())
+		b := sp.Process(raw)
+		if len(a.Detections) != len(b.Detections) {
+			t.Fatalf("CPI %d: %d vs %d detections", i, len(a.Detections), len(b.Detections))
+		}
+		for j := range a.Detections {
+			if a.Detections[j] != b.Detections[j] {
+				t.Fatalf("CPI %d detection %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestScanProcessorPerPositionTraining(t *testing.T) {
+	// Each position's weight state must train only on its own looks: a
+	// target in position 0's sector must be detected on position-0
+	// revisits even though other positions' CPIs (different scenes)
+	// interleave.
+	p := radar.Small()
+	azs := []float64{0, 20 * math.Pi / 180}
+	scenes := []*radar.Scene{scanScene(p, azs[0]), scanScene(p, azs[1])}
+	// keep the targets only in position 0's scene
+	scenes[1].Targets = nil
+	scenes[1].Seed = 99
+	sp, err := NewScanProcessor(scenes[0], azs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastPos0 *Result
+	for i := 0; i < 12; i++ {
+		pos := sp.PositionFor(i)
+		res := sp.Process(scenes[pos].GenerateCPI(i))
+		if pos == 0 {
+			lastPos0 = res
+		}
+	}
+	found := 0
+	for _, tgt := range scenes[0].Targets {
+		for _, det := range lastPos0.Detections {
+			if MatchesTarget(p, det, tgt, sp.Positions[0].BeamAz) {
+				found++
+				break
+			}
+		}
+	}
+	if found != len(scenes[0].Targets) {
+		t.Errorf("position-0 targets found %d/%d after interleaved scanning",
+			found, len(scenes[0].Targets))
+	}
+}
+
+func TestScanProcessorNeedsPositions(t *testing.T) {
+	if _, err := NewScanProcessor(radar.DefaultScene(radar.Small()), nil); err == nil {
+		t.Error("empty positions should fail")
+	}
+}
+
+func TestFiveBeamAzimuths(t *testing.T) {
+	azs := FiveBeamAzimuths()
+	if len(azs) != 5 || azs[2] != 0 {
+		t.Fatalf("azimuths %v", azs)
+	}
+	for i := 1; i < 5; i++ {
+		if d := azs[i] - azs[i-1]; math.Abs(d-20*math.Pi/180) > 1e-9 {
+			t.Fatalf("spacing %v", d)
+		}
+	}
+}

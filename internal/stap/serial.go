@@ -1,0 +1,93 @@
+package stap
+
+import (
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+// Processor is the serial reference implementation of the full STAP chain
+// with the paper's temporal semantics: the weights applied to CPI i were
+// computed from the Doppler-filtered data of CPI i-1 (and older history);
+// the first CPI is processed with pure steering weights. The parallel
+// pipeline must produce bit-comparable output (see pipeline tests).
+type Processor struct {
+	Params radar.Params
+	BeamAz []float64
+
+	rangeGain []float64
+	mf        *MatchedFilter
+
+	easy *EasyWeightState
+	hard *HardWeightState
+
+	// weights to apply to the *next* CPI (already trained on all previous
+	// CPIs).
+	next *Weights
+
+	cpiCount int
+}
+
+// Result bundles everything one pipeline pass produces for a CPI, for
+// tests and reporting.
+type Result struct {
+	CPI        int
+	Doppler    *cube.Cube     // staggered CPI, K x 2J x N
+	Beamformed *cube.Cube     // N x M x K
+	Power      *cube.RealCube // N x M x K
+	Detections []Detection
+	Applied    *Weights // the weights used for this CPI
+}
+
+// NewProcessor builds a serial processor for the scene's parameters,
+// replica and range-correction profile.
+func NewProcessor(s *radar.Scene) *Processor {
+	p := s.Params
+	beamAz := s.BeamAzimuths()
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 1 / s.RangeGain(r)
+	}
+	return &Processor{
+		Params:    p,
+		BeamAz:    beamAz,
+		rangeGain: gain,
+		mf:        NewMatchedFilter(p.K, s.Chirp()),
+		easy:      NewEasyWeightState(p, beamAz),
+		hard:      NewHardWeightState(p, beamAz),
+		next:      SteeringWeights(p, beamAz),
+	}
+}
+
+// Process runs one CPI through the full chain and advances the weight
+// state for the next CPI.
+func (pr *Processor) Process(raw *cube.Cube) *Result {
+	p := pr.Params
+	res := &Result{CPI: pr.cpiCount}
+
+	// Task 0: Doppler filter processing.
+	res.Doppler = DopplerFilter(p, raw, pr.rangeGain)
+
+	// Tasks 3/4: beamforming with the weights trained on previous CPIs.
+	res.Applied = pr.next
+	bfIn := res.Doppler.Reorder(radar.BeamformInOrder)
+	res.Beamformed = Beamform(p, bfIn, pr.next)
+
+	// Task 5: pulse compression.
+	res.Power = PulseCompress(p, res.Beamformed, pr.mf)
+
+	// Task 6: CFAR.
+	res.Detections = CFAR(p, res.Power)
+
+	// Tasks 1/2: weight computation for the next CPI from this CPI's
+	// Doppler output (temporal dependency TD(1,3)/TD(2,4)).
+	pr.easy.Observe(res.Doppler)
+	pr.hard.Observe(res.Doppler)
+	pr.next = &Weights{Easy: pr.easy.Compute(), Hard: pr.hard.Compute()}
+
+	pr.cpiCount++
+	return res
+}
+
+// NextWeights exposes the weights that will be applied to the next CPI
+// (for pipeline cross-validation).
+func (pr *Processor) NextWeights() *Weights { return pr.next }

@@ -1,0 +1,121 @@
+package stap
+
+import (
+	"fmt"
+	"math"
+
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// SMIWeights is the covariance-based alternative the paper's Appendix A
+// argues against: form the sample covariance estimate from the training
+// snapshots, then solve R_hat w = ws per beam via Cholesky (sample matrix
+// inversion with diagonal loading). Algebraically, SMI with loading
+// delta = k_eff^2 / n_samples produces the same weight directions as the
+// constrained least squares (both solve (S^H S + k^2 I) w ∝ ws); the
+// difference is cost and conditioning — the covariance's condition number
+// is the square of the data matrix's, and forming it costs an extra
+// O(m n^2) pass, which is why the paper works directly on the data matrix
+// with QR.
+//
+// rows are conjugated snapshots (as produced by ExtractEasyRows /
+// ExtractHardRows); steer lists one steering vector per beam; loading is
+// the diagonal load as a fraction of the average element power. Returns
+// the nch x M weight matrix with unit-norm columns.
+func SMIWeights(rows *linalg.Matrix, steer [][]complex128, loading float64) (*linalg.Matrix, error) {
+	if rows.Rows == 0 {
+		return nil, fmt.Errorf("stap: SMI needs training rows")
+	}
+	nch := rows.Cols
+	avgPow := linalg.FrobNorm(rows)
+	avgPow = avgPow * avgPow / float64(rows.Rows*nch)
+	cov := linalg.Covariance(rows, loading*avgPow)
+	l, err := linalg.Cholesky(cov)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewMatrix(nch, len(steer))
+	for b, ws := range steer {
+		if len(ws) != nch {
+			return nil, fmt.Errorf("stap: steering length %d, want %d", len(ws), nch)
+		}
+		w, err := linalg.CholeskySolve(l, ws)
+		if err != nil {
+			return nil, err
+		}
+		linalg.Normalize(w)
+		for j := 0; j < nch; j++ {
+			out.Set(j, b, w[j])
+		}
+	}
+	return out, nil
+}
+
+// SMILoadingForConstraint converts the paper's constraint weight into the
+// equivalent SMI diagonal loading fraction: the constrained least squares
+// minimizes ||S w||^2 + k_eff^2 ||w - ws||^2 with k_eff = wt * rms(S), so
+// the matched covariance load is k_eff^2 / n_rows, i.e. a fraction
+// wt^2 / n_rows of the average element power.
+func SMILoadingForConstraint(constraintWt float64, nRows int) float64 {
+	if nRows <= 0 {
+		return math.Inf(1)
+	}
+	return constraintWt * constraintWt / float64(nRows)
+}
+
+// ConventionalWeights solves Appendix A's Figure 12 problem — the
+// conventional least squares with a unit-response constraint instead of
+// the mainbeam-shape constraint: minimize ||S w|| subject (softly) to
+// ws^H w = 1, implemented as the least squares solution of
+// [S; k ws^H] w = [0; k]. The paper notes this "often produces an adapted
+// pattern with a highly distorted main beam with a peak response far
+// removed from the target"; the pattern tests quantify that against the
+// Figure 13 constrained version. Columns are normalized like the rest of
+// the weight computations.
+func ConventionalWeights(rows *linalg.Matrix, steer [][]complex128, constraintWt float64) (*linalg.Matrix, error) {
+	if rows.Rows == 0 {
+		return nil, fmt.Errorf("stap: conventional LS needs training rows")
+	}
+	nch := rows.Cols
+	rms := linalg.FrobNorm(rows) / math.Sqrt(float64(rows.Rows*nch))
+	if rms == 0 {
+		return nil, fmt.Errorf("stap: zero training data")
+	}
+	k := complex(constraintWt*rms*math.Sqrt(float64(rows.Rows)), 0)
+	out := linalg.NewMatrix(nch, len(steer))
+	for b, ws := range steer {
+		if len(ws) != nch {
+			return nil, fmt.Errorf("stap: steering length %d, want %d", len(ws), nch)
+		}
+		// Augment with the single constraint row k * ws^H.
+		a := linalg.NewMatrix(rows.Rows+1, nch)
+		copy(a.Data, rows.Data)
+		for j := 0; j < nch; j++ {
+			a.Set(rows.Rows, j, k*conj(ws[j]))
+		}
+		rhs := make([]complex128, rows.Rows+1)
+		rhs[rows.Rows] = k
+		w, err := linalg.LeastSquares(a, rhs)
+		if err != nil {
+			return nil, err
+		}
+		linalg.Normalize(w)
+		for j := 0; j < nch; j++ {
+			out.Set(j, b, w[j])
+		}
+	}
+	return out, nil
+}
+
+// FlopsEasyWeightSMI models the per-CPI cost of the easy weight task under
+// the SMI formulation: per easy bin, covariance formation from the stacked
+// training rows, one Cholesky, and M pairs of triangular solves. Compare
+// with CountFlops(p).EasyWeight (the QR path).
+func FlopsEasyWeightSMI(p radar.Params) int64 {
+	ns := p.EasyTrainingCPIs * p.EasySamplesPerCPI
+	per := linalg.FlopsCovariance(ns, p.J) +
+		linalg.FlopsCholesky(p.J) +
+		int64(p.M)*2*linalg.FlopsBackSub(p.J)
+	return int64(p.Neasy) * per
+}

@@ -1,0 +1,165 @@
+package stap
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+func TestSMIMatchesConstrainedLeastSquares(t *testing.T) {
+	// With the matched diagonal loading, SMI and the paper's constrained
+	// least squares solve the same normal equations — the weight columns
+	// must agree to numerical precision (up to the common normalization).
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	beamAz := sc.BeamAzimuths()
+	dopp := DopplerFilter(p, sc.GenerateCPI(0), nil)
+	bins := p.EasyBins()
+	rowsPerBin := ExtractEasyRows(p, dopp, cube.Block{Lo: 0, Hi: p.K}, bins)
+
+	steer := make([][]complex128, p.M)
+	sm := radar.SteeringMatrix(p.J, beamAz)
+	for b := 0; b < p.M; b++ {
+		col := make([]complex128, p.J)
+		for j := 0; j < p.J; j++ {
+			col[j] = sm.At(j, b)
+		}
+		steer[b] = col
+	}
+
+	for bi := range bins {
+		rows := rowsPerBin[bi]
+		wLS, err := constrainedWeights(rows, steer, p.BeamConstraintWt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wSMI, err := SMIWeights(rows, steer, SMILoadingForConstraint(p.BeamConstraintWt, rows.Rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < p.M; b++ {
+			// compare directions: |<w1, w2>| ~ 1 (unit norm both)
+			a := make([]complex128, p.J)
+			c := make([]complex128, p.J)
+			for j := 0; j < p.J; j++ {
+				a[j] = wLS.At(j, b)
+				c[j] = wSMI.At(j, b)
+			}
+			if corr := cmplx.Abs(linalg.Dot(a, c)); corr < 1-1e-8 {
+				t.Fatalf("bin %d beam %d: |<LS,SMI>| = %.12f", bi, b, corr)
+			}
+		}
+	}
+}
+
+func TestSMINullsInterferer(t *testing.T) {
+	p := radar.Small()
+	intSV := radar.SteeringVector(p.J, 0.9)
+	rows := linalg.NewMatrix(40, p.J)
+	for r := 0; r < 40; r++ {
+		phase := cmplx.Exp(complex(0, float64((r*37)%100)/7))
+		for j := 0; j < p.J; j++ {
+			// conjugated snapshot of a 100x interferer
+			rows.Set(r, j, cmplx.Conj(complex(100, 0)*phase*intSV[j]))
+		}
+	}
+	ws := radar.SteeringVector(p.J, 0.0)
+	w, err := SMIWeights(rows, [][]complex128{ws}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]complex128, p.J)
+	for j := range col {
+		col[j] = w.At(j, 0)
+	}
+	gInt := cmplx.Abs(linalg.Dot(col, intSV))
+	gMain := cmplx.Abs(linalg.Dot(col, ws))
+	if gMain < 0.3 {
+		t.Errorf("mainbeam gain %g collapsed", gMain)
+	}
+	if gInt > 0.05*gMain {
+		t.Errorf("no null: interferer %g vs mainbeam %g", gInt, gMain)
+	}
+}
+
+func TestSMIErrors(t *testing.T) {
+	if _, err := SMIWeights(linalg.NewMatrix(0, 4), nil, 0.1); err == nil {
+		t.Error("empty rows should fail")
+	}
+	rows := linalg.NewMatrix(3, 4)
+	rows.Set(0, 0, 1)
+	if _, err := SMIWeights(rows, [][]complex128{{1, 0}}, 0.1); err == nil {
+		t.Error("steering length mismatch should fail")
+	}
+}
+
+func TestSMILoadingForConstraint(t *testing.T) {
+	if got := SMILoadingForConstraint(0.5, 25); got != 0.01 {
+		t.Errorf("loading %g, want 0.01", got)
+	}
+	if !isInf(SMILoadingForConstraint(1, 0)) {
+		t.Error("zero rows should give +Inf")
+	}
+}
+
+func isInf(x float64) bool { return x > 1e308 }
+
+func TestFlopsSMIvsQR(t *testing.T) {
+	// The paper's motivation: the covariance route costs more than working
+	// on the data matrix directly.
+	p := radar.Paper()
+	qr := CountFlops(p).EasyWeight
+	smi := FlopsEasyWeightSMI(p)
+	if smi <= qr {
+		t.Errorf("SMI flops %d should exceed QR flops %d", smi, qr)
+	}
+	t.Logf("easy weights per CPI: QR %d flops, SMI %d flops (%.2fx)", qr, smi, float64(smi)/float64(qr))
+}
+
+func BenchmarkEasyWeightsQRPath(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := DopplerFilter(p, sc.GenerateCPI(0), nil)
+	rows := ExtractEasyRows(p, dopp, cube.Block{Lo: 0, Hi: p.K}, p.EasyBins())
+	steer := steerList(p, sc.BeamAzimuths())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for bi := range rows {
+			if _, err := constrainedWeights(rows[bi], steer, p.BeamConstraintWt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkEasyWeightsSMIPath(b *testing.B) {
+	p := radar.Small()
+	sc := radar.DefaultScene(p)
+	dopp := DopplerFilter(p, sc.GenerateCPI(0), nil)
+	rows := ExtractEasyRows(p, dopp, cube.Block{Lo: 0, Hi: p.K}, p.EasyBins())
+	steer := steerList(p, sc.BeamAzimuths())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for bi := range rows {
+			if _, err := SMIWeights(rows[bi], steer, 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func steerList(p radar.Params, beamAz []float64) [][]complex128 {
+	sm := radar.SteeringMatrix(p.J, beamAz)
+	steer := make([][]complex128, p.M)
+	for b := 0; b < p.M; b++ {
+		col := make([]complex128, p.J)
+		for j := 0; j < p.J; j++ {
+			col[j] = sm.At(j, b)
+		}
+		steer[b] = col
+	}
+	return steer
+}

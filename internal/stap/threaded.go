@@ -1,0 +1,116 @@
+package stap
+
+import (
+	"pstap/internal/cube"
+	"pstap/internal/fft"
+	"pstap/internal/linalg"
+	"pstap/internal/par"
+	"pstap/internal/radar"
+)
+
+// Threaded kernel variants: a pipeline worker can spread its share of each
+// data-parallel step across a fixed number of threads, modeling the three
+// i860 processors per Paragon compute node (the multi-threading
+// optimization the paper's conclusion plans). Every variant partitions
+// iterations with disjoint outputs and preserves the per-iteration
+// operation order, so results are bit-identical to the single-threaded
+// kernels for any thread count.
+
+// DopplerFilterBlockThreaded is DopplerFilterBlock with the block's range
+// cells spread over `threads` threads (each with its own FFT plan and
+// window buffers).
+func DopplerFilterBlockThreaded(p radar.Params, raw *cube.Cube, rangeGain []float64, blk cube.Block, threads int) *cube.Cube {
+	if threads <= 1 {
+		return DopplerFilterBlock(p, raw, rangeGain, blk, fft.MustCachedPlan(p.N))
+	}
+	out := cube.New(radar.StaggeredOrder, blk.Size(), 2*p.J, p.N)
+	inLocal := raw.Dim[0] != p.K
+	par.ForBlocks(blk.Size(), threads, func(lo, hi int) {
+		sub := cube.Block{Lo: blk.Lo + lo, Hi: blk.Lo + hi}
+		src := raw
+		if inLocal {
+			src = raw.SliceAxis0(cube.Block{Lo: lo, Hi: hi})
+		}
+		slab := DopplerFilterBlock(p, src, rangeGain, sub, fft.MustCachedPlan(p.N))
+		out.PasteAxis0(cube.Block{Lo: lo, Hi: hi}, slab)
+	})
+	return out
+}
+
+// BeamformEasySlabThreaded is BeamformEasySlab with slab rows spread over
+// threads.
+func BeamformEasySlabThreaded(p radar.Params, slab *cube.Cube, ws []*linalg.Matrix, out *cube.Cube, threads int) {
+	if threads <= 1 {
+		BeamformEasySlab(p, slab, ws, out)
+		return
+	}
+	nb := slab.Dim[0]
+	if len(ws) != nb || out.Dim[0] != nb {
+		panic("stap: easy slab shape mismatch")
+	}
+	par.ForBlocks(nb, threads, func(lo, hi int) {
+		beamformEasyRows(p, slab, ws, out, lo, hi)
+	})
+}
+
+// BeamformHardSlabThreaded is BeamformHardSlab with slab rows spread over
+// threads.
+func BeamformHardSlabThreaded(p radar.Params, slab *cube.Cube, ws [][]*linalg.Matrix, out *cube.Cube, threads int) {
+	if threads <= 1 {
+		BeamformHardSlab(p, slab, ws, out)
+		return
+	}
+	nb := slab.Dim[0]
+	if len(ws) != p.NumSegments() || out.Dim[0] != nb {
+		panic("stap: hard slab shape mismatch")
+	}
+	par.ForBlocks(nb, threads, func(lo, hi int) {
+		beamformHardRows(p, slab, ws, out, lo, hi)
+	})
+}
+
+// PulseCompressRowsThreaded is PulseCompressRows with the Doppler rows
+// spread over threads (each with its own FFT work buffer).
+func PulseCompressRowsThreaded(p radar.Params, beams *cube.Cube, mf *MatchedFilter, out *cube.RealCube, lo, hi, threads int) {
+	if threads <= 1 {
+		PulseCompressRows(p, beams, mf, out, lo, hi)
+		return
+	}
+	par.ForBlocks(hi-lo, threads, func(a, b int) {
+		PulseCompressRows(p, beams, mf, out, lo+a, lo+b)
+	})
+}
+
+// CFARRowsThreaded is CFARRows with the Doppler rows spread over threads;
+// per-thread detection lists are concatenated in row order, preserving the
+// single-threaded scan order.
+func CFARRowsThreaded(p radar.Params, power *cube.RealCube, lo, hi int, local bool, out *[]Detection, threads int) {
+	if threads <= 1 {
+		CFARRows(p, power, lo, hi, local, out)
+		return
+	}
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	parts := make([][]Detection, threads)
+	par.For(threads, threads, func(t int) {
+		chunk := n / threads
+		rem := n % threads
+		a := lo + t*chunk + min(t, rem)
+		size := chunk
+		if t < rem {
+			size++
+		}
+		var dets []Detection
+		cfarScan(p, power, lo, a, a+size, local, &dets)
+		parts[t] = dets
+	})
+	for _, dets := range parts {
+		*out = append(*out, dets...)
+	}
+}
+

@@ -1,0 +1,442 @@
+package stap
+
+import (
+	"fmt"
+	"math"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+)
+
+// Weights holds the adaptive weight vectors computed for one CPI.
+type Weights struct {
+	// Easy[i] is a J x M matrix of beamforming weights (columns are beams)
+	// for easy Doppler bin radar.Params.EasyBins()[i].
+	Easy []*linalg.Matrix
+	// Hard[s][i] is a 2J x M matrix for range segment s and hard Doppler
+	// bin radar.Params.HardBins()[i].
+	Hard [][]*linalg.Matrix
+}
+
+// SteeringWeights returns non-adaptive weights equal to the (staggered)
+// steering vectors: the cold-start weights applied to the first CPI before
+// any training data exists.
+func SteeringWeights(p radar.Params, beamAz []float64) *Weights {
+	if len(beamAz) != p.M {
+		panic(fmt.Sprintf("stap: %d beam azimuths, want %d", len(beamAz), p.M))
+	}
+	w := &Weights{}
+	easyBins := p.EasyBins()
+	w.Easy = make([]*linalg.Matrix, len(easyBins))
+	st := radar.SteeringMatrix(p.J, beamAz)
+	for i := range easyBins {
+		w.Easy[i] = st.Clone()
+	}
+	hardBins := p.HardBins()
+	w.Hard = make([][]*linalg.Matrix, p.NumSegments())
+	for s := range w.Hard {
+		w.Hard[s] = make([]*linalg.Matrix, len(hardBins))
+		for i, d := range hardBins {
+			m := linalg.NewMatrix(2*p.J, p.M)
+			for b, az := range beamAz {
+				sv := radar.StaggeredSteeringVector(p.J, az, d, p.Stagger, p.N)
+				linalg.Normalize(sv)
+				for r, v := range sv {
+					m.Set(r, b, v)
+				}
+			}
+			w.Hard[s][i] = m
+		}
+	}
+	return w
+}
+
+// EasyWeightState accumulates the easy task's training history: per easy
+// Doppler bin, the snapshot matrices drawn from the last EasyTrainingCPIs
+// CPIs (the paper trains the weights for CPI i on data from the three
+// preceding CPIs in the same azimuth direction).
+type EasyWeightState struct {
+	p      radar.Params
+	beamAz []float64
+	bins   []int // global easy Doppler bins this state owns
+	// hist[age][binIdx]: training rows (EasySamplesPerCPI x J) from the
+	// CPI `age+1` steps in the past; hist[0] is the most recent.
+	hist [][]*linalg.Matrix
+}
+
+// NewEasyWeightState creates empty training history covering all easy
+// bins.
+func NewEasyWeightState(p radar.Params, beamAz []float64) *EasyWeightState {
+	return NewEasyWeightStateForBins(p, beamAz, p.EasyBins())
+}
+
+// NewEasyWeightStateForBins creates state restricted to a subset of easy
+// Doppler bins — the per-processor state of the parallel easy weight task,
+// which partitions the work along the Doppler dimension.
+func NewEasyWeightStateForBins(p radar.Params, beamAz []float64, bins []int) *EasyWeightState {
+	return &EasyWeightState{p: p, beamAz: beamAz, bins: bins}
+}
+
+// Bins returns the global easy Doppler bins this state owns.
+func (s *EasyWeightState) Bins() []int { return s.bins }
+
+// EasyTrainingRanges returns the range cells training snapshots are drawn
+// from: EasySamplesPerCPI cells evenly spaced over the first third of the
+// range extent.
+func EasyTrainingRanges(p radar.Params) []int {
+	return cube.EvenlySpaced(p.K/3, p.EasySamplesPerCPI)
+}
+
+// ExtractEasyRows builds the conjugated training snapshot matrix for each
+// requested easy bin from a staggered cube slab covering global range
+// cells [slabBlk.Lo, slabBlk.Hi). Only the training ranges falling inside
+// the slab contribute; rows appear in ascending global range order. This
+// is the "data collection" a Doppler-task processor performs before
+// sending to the weight tasks. Returns nil matrices replaced by 0-row
+// matrices when no training cell falls in the slab.
+func ExtractEasyRows(p radar.Params, slab *cube.Cube, slabBlk cube.Block, bins []int) []*linalg.Matrix {
+	ranges := EasyTrainingRanges(p)
+	var local []int
+	for _, r := range ranges {
+		if slabBlk.Contains(r) {
+			local = append(local, r)
+		}
+	}
+	out := make([]*linalg.Matrix, len(bins))
+	for i, d := range bins {
+		m := linalg.NewMatrix(len(local), p.J)
+		for row, r := range local {
+			for j := 0; j < p.J; j++ {
+				// Rows are conjugated snapshots so that minimizing ||S w||
+				// minimizes the beamformer output |w^H x| on the training
+				// data (the beamformer applies the Hermitian of the weight).
+				m.Set(row, j, conj(slab.At(r-slabBlk.Lo, j, d)))
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Observe folds the Doppler-filtered CPI (staggered order, full K range
+// extent) into the training history. Only the first J channels (the
+// unstaggered Doppler spectrum, "the first half of the staggered CPI
+// data") are used by the easy task.
+func (s *EasyWeightState) Observe(doppler *cube.Cube) {
+	if doppler.Axes != radar.StaggeredOrder {
+		panic(fmt.Sprintf("stap: easy Observe wants %v, got %v", radar.StaggeredOrder, doppler.Axes))
+	}
+	s.ObserveRows(ExtractEasyRows(s.p, doppler, cube.Block{Lo: 0, Hi: s.p.K}, s.bins))
+}
+
+// ObserveRows folds pre-collected training rows into the history; rows[i]
+// corresponds to Bins()[i]. In the parallel pipeline the rows arrive from
+// the Doppler task processors and are stacked in rank order (equal to
+// ascending range order), which leaves the least squares solution
+// unchanged.
+func (s *EasyWeightState) ObserveRows(rows []*linalg.Matrix) {
+	if len(rows) != len(s.bins) {
+		panic(fmt.Sprintf("stap: ObserveRows got %d row sets for %d bins", len(rows), len(s.bins)))
+	}
+	s.hist = append([][]*linalg.Matrix{rows}, s.hist...)
+	if len(s.hist) > s.p.EasyTrainingCPIs {
+		s.hist = s.hist[:s.p.EasyTrainingCPIs]
+	}
+}
+
+// Ready reports whether any training data has been observed.
+func (s *EasyWeightState) Ready() bool { return len(s.hist) > 0 }
+
+// Compute solves the beam-constrained least squares problem for every
+// owned easy Doppler bin and returns the J x M weight matrices (indexed
+// like Bins()). Falls back to pure steering weights for bins with no
+// history.
+func (s *EasyWeightState) Compute() []*linalg.Matrix {
+	p := s.p
+	out := make([]*linalg.Matrix, len(s.bins))
+	steer := radar.SteeringMatrix(p.J, s.beamAz)
+	for i := range s.bins {
+		if len(s.hist) == 0 {
+			out[i] = steer.Clone()
+			continue
+		}
+		blocks := make([]*linalg.Matrix, 0, len(s.hist))
+		for _, snap := range s.hist {
+			blocks = append(blocks, snap[i])
+		}
+		train := linalg.VStack(blocks...)
+		ws := make([][]complex128, p.M)
+		for b := 0; b < p.M; b++ {
+			col := make([]complex128, p.J)
+			for j := 0; j < p.J; j++ {
+				col[j] = steer.At(j, b)
+			}
+			ws[b] = col
+		}
+		w, err := constrainedWeights(train, ws, p.BeamConstraintWt)
+		if err != nil {
+			// Degenerate training data: keep the non-adaptive weights.
+			out[i] = steer.Clone()
+			continue
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// constrainedWeights solves the Figure 13 problem: minimize ||S w||^2 +
+// k_eff^2 ||w - ws||^2 for each steering vector, sharing one QR
+// factorization across all beams (the paper's multi-beam saving: the data
+// matrix is independent of the pointing angle). k_eff scales the raw
+// constraint weight by the RMS magnitude of the training data (the MATLAB
+// `avg * diagWts`). Each weight column is normalized to unit length.
+func constrainedWeights(train *linalg.Matrix, steer [][]complex128, constraintWt float64) (*linalg.Matrix, error) {
+	nch := train.Cols
+	rms := linalg.FrobNorm(train) / math.Sqrt(float64(train.Rows*nch))
+	if rms == 0 {
+		return nil, fmt.Errorf("stap: zero training data")
+	}
+	kEff := complex(constraintWt*rms, 0)
+	a := linalg.VStack(train, linalg.Identity(nch).Scale(kEff))
+	qr, err := linalg.QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewMatrix(nch, len(steer))
+	// rhs is zero on the data rows, so Q^H b only touches the constraint
+	// block: (Q^H b)[c] = sum_j conj(Q[train.Rows+j, c]) * kEff * ws[j].
+	for b, ws := range steer {
+		if len(ws) != nch {
+			return nil, fmt.Errorf("stap: steering length %d, want %d", len(ws), nch)
+		}
+		qhb := make([]complex128, nch)
+		for c := 0; c < nch; c++ {
+			var sum complex128
+			for j := 0; j < nch; j++ {
+				sum += conj(qr.Q.At(train.Rows+j, c)) * kEff * ws[j]
+			}
+			qhb[c] = sum
+		}
+		w, err := linalg.BackSubstitute(qr.R, qhb)
+		if err != nil {
+			return nil, err
+		}
+		linalg.Normalize(w)
+		for j := 0; j < nch; j++ {
+			out.Set(j, b, w[j])
+		}
+	}
+	return out, nil
+}
+
+func conj(v complex128) complex128 { return complex(real(v), -imag(v)) }
+
+// HardWeightState carries the recursive QR state of the hard task: one
+// triangular factor per (range segment, hard Doppler bin), exponentially
+// forgotten across CPIs.
+type HardWeightState struct {
+	p      radar.Params
+	beamAz []float64
+	bins   []int // global hard Doppler bins this state owns
+	// r[s][binIdx] is the 2J x 2J triangular factor, nil before the first
+	// observation.
+	r [][]*linalg.Matrix
+	// rms[s][binIdx] tracks the running RMS element magnitude of observed
+	// training data for constraint scaling.
+	rms [][]float64
+}
+
+// NewHardWeightState creates empty recursive state covering all hard bins.
+func NewHardWeightState(p radar.Params, beamAz []float64) *HardWeightState {
+	return NewHardWeightStateForBins(p, beamAz, p.HardBins())
+}
+
+// NewHardWeightStateForBins creates state restricted to a subset of hard
+// Doppler bins — the per-processor state of the parallel hard weight task.
+func NewHardWeightStateForBins(p radar.Params, beamAz []float64, bins []int) *HardWeightState {
+	s := &HardWeightState{p: p, beamAz: beamAz, bins: bins}
+	s.r = make([][]*linalg.Matrix, p.NumSegments())
+	s.rms = make([][]float64, p.NumSegments())
+	for seg := range s.r {
+		s.r[seg] = make([]*linalg.Matrix, len(bins))
+		s.rms[seg] = make([]float64, len(bins))
+	}
+	return s
+}
+
+// Bins returns the global hard Doppler bins this state owns.
+func (s *HardWeightState) Bins() []int { return s.bins }
+
+// HardTrainingRanges returns the cells sampled within segment s:
+// HardSamplesPerSegment cells evenly spaced across the segment.
+func HardTrainingRanges(p radar.Params, seg int) []int {
+	lo, hi := p.Segment(seg)
+	idx := cube.EvenlySpaced(hi-lo, p.HardSamplesPerSegment)
+	for i := range idx {
+		idx[i] += lo
+	}
+	return idx
+}
+
+// ExtractHardRows builds the conjugated 2J-channel training snapshots per
+// (segment, requested bin) from a staggered slab covering global ranges
+// [slabBlk.Lo, slabBlk.Hi). Result is indexed [segment][binIdx]; segments
+// whose training cells all fall outside the slab yield 0-row matrices.
+func ExtractHardRows(p radar.Params, slab *cube.Cube, slabBlk cube.Block, bins []int) [][]*linalg.Matrix {
+	out := make([][]*linalg.Matrix, p.NumSegments())
+	for seg := 0; seg < p.NumSegments(); seg++ {
+		var local []int
+		for _, r := range HardTrainingRanges(p, seg) {
+			if slabBlk.Contains(r) {
+				local = append(local, r)
+			}
+		}
+		out[seg] = make([]*linalg.Matrix, len(bins))
+		for i, d := range bins {
+			m := linalg.NewMatrix(len(local), 2*p.J)
+			for row, r := range local {
+				for j := 0; j < 2*p.J; j++ {
+					// Conjugated snapshots; see the easy task's Observe.
+					m.Set(row, j, conj(slab.At(r-slabBlk.Lo, j, d)))
+				}
+			}
+			out[seg][i] = m
+		}
+	}
+	return out
+}
+
+// Observe performs the recursive QR update with the forgetting factor for
+// every (segment, owned hard bin) pair, drawing fresh 2J-channel snapshots
+// from the staggered CPI (hard bins use the full staggered data, all 2J
+// channels).
+func (s *HardWeightState) Observe(doppler *cube.Cube) {
+	if doppler.Axes != radar.StaggeredOrder {
+		panic(fmt.Sprintf("stap: hard Observe wants %v, got %v", radar.StaggeredOrder, doppler.Axes))
+	}
+	s.ObserveRows(ExtractHardRows(s.p, doppler, cube.Block{Lo: 0, Hi: s.p.K}, s.bins))
+}
+
+// ObserveRows folds pre-collected training rows (indexed [segment][binIdx]
+// like ExtractHardRows) into the recursive QR state.
+func (s *HardWeightState) ObserveRows(rows [][]*linalg.Matrix) {
+	p := s.p
+	if len(rows) != p.NumSegments() {
+		panic(fmt.Sprintf("stap: ObserveRows got %d segments, want %d", len(rows), p.NumSegments()))
+	}
+	for seg := 0; seg < p.NumSegments(); seg++ {
+		if len(rows[seg]) != len(s.bins) {
+			panic(fmt.Sprintf("stap: segment %d has %d row sets for %d bins", seg, len(rows[seg]), len(s.bins)))
+		}
+		for i := range s.bins {
+			blk := rows[seg][i]
+			newR, err := linalg.UpdateR(s.r[seg][i], p.ForgettingFactor, blk)
+			if err != nil {
+				continue // keep previous state on degenerate update
+			}
+			s.r[seg][i] = newR
+			if blk.Rows == 0 {
+				continue
+			}
+			rms := linalg.FrobNorm(blk) / math.Sqrt(float64(blk.Rows*blk.Cols))
+			if s.rms[seg][i] == 0 {
+				s.rms[seg][i] = rms
+			} else {
+				f := p.ForgettingFactor
+				s.rms[seg][i] = math.Sqrt(f*f*s.rms[seg][i]*s.rms[seg][i] + (1-f*f)*rms*rms)
+			}
+		}
+	}
+}
+
+// Ready reports whether recursive state exists for all (segment, bin)
+// pairs.
+func (s *HardWeightState) Ready() bool {
+	for seg := range s.r {
+		for _, r := range s.r[seg] {
+			if r == nil {
+				return false
+			}
+		}
+	}
+	return len(s.r) > 0
+}
+
+// Compute solves the constrained problem against the current triangular
+// factors and returns the per-(segment, owned bin) 2J x M weight matrices.
+// Segments/bins with no state yet fall back to staggered steering weights.
+func (s *HardWeightState) Compute() [][]*linalg.Matrix {
+	p := s.p
+	hardAll := p.HardBins()
+	globalIdx := make(map[int]int, len(hardAll))
+	for i, d := range hardAll {
+		globalIdx[d] = i
+	}
+	out := make([][]*linalg.Matrix, p.NumSegments())
+	var fallback *Weights
+	for seg := range out {
+		out[seg] = make([]*linalg.Matrix, len(s.bins))
+		for i, d := range s.bins {
+			r := s.r[seg][i]
+			if r == nil {
+				if fallback == nil {
+					fallback = SteeringWeights(p, s.beamAz)
+				}
+				out[seg][i] = fallback.Hard[seg][globalIdx[d]].Clone()
+				continue
+			}
+			steer := make([][]complex128, p.M)
+			for b, az := range s.beamAz {
+				steer[b] = radar.StaggeredSteeringVector(p.J, az, d, p.Stagger, p.N)
+			}
+			// The data term is fully summarized by R: ||S w||^2 = ||R w||^2.
+			w, err := constrainedWeightsFromR(r, steer, p.BeamConstraintWt*s.rms[seg][i])
+			if err != nil {
+				if fallback == nil {
+					fallback = SteeringWeights(p, s.beamAz)
+				}
+				out[seg][i] = fallback.Hard[seg][globalIdx[d]].Clone()
+				continue
+			}
+			out[seg][i] = w
+		}
+	}
+	return out
+}
+
+// constrainedWeightsFromR is constrainedWeights with the data block already
+// reduced to its triangular factor (the hard task's block update: stack
+// [R; k_eff I] and solve). kEff is an absolute scale here.
+func constrainedWeightsFromR(r *linalg.Matrix, steer [][]complex128, kEff float64) (*linalg.Matrix, error) {
+	nch := r.Cols
+	if kEff <= 0 {
+		return nil, fmt.Errorf("stap: non-positive constraint scale")
+	}
+	k := complex(kEff, 0)
+	a := linalg.VStack(r, linalg.Identity(nch).Scale(k))
+	qr, err := linalg.QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewMatrix(nch, len(steer))
+	for b, ws := range steer {
+		qhb := make([]complex128, nch)
+		for c := 0; c < nch; c++ {
+			var sum complex128
+			for j := 0; j < nch; j++ {
+				sum += conj(qr.Q.At(r.Rows+j, c)) * k * ws[j]
+			}
+			qhb[c] = sum
+		}
+		w, err := linalg.BackSubstitute(qr.R, qhb)
+		if err != nil {
+			return nil, err
+		}
+		linalg.Normalize(w)
+		for j := 0; j < nch; j++ {
+			out.Set(j, b, w[j])
+		}
+	}
+	return out, nil
+}

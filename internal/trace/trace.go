@@ -1,0 +1,186 @@
+// Package trace renders pipeline execution traces. A Gantt view of the
+// per-worker phase spans recorded by internal/pipeline makes the steady
+// state of the pipeline visible: staggered CPIs flowing through the seven
+// tasks, receive phases absorbing idle time, and bottleneck tasks running
+// back to back — the behaviour the paper's Tables 7-10 summarize in
+// numbers.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/stap"
+)
+
+// Phase classifies an instant within a worker's loop.
+type Phase byte
+
+const (
+	// Idle marks time outside any recorded span.
+	Idle Phase = '.'
+	// Recv marks the receive/wait/unpack phase.
+	Recv Phase = 'r'
+	// Comp marks the compute phase.
+	Comp Phase = 'C'
+	// Send marks the pack/post phase.
+	Send Phase = 's'
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width is the number of time buckets (default 100).
+	Width int
+	// From/To bound the rendered window; zero values mean the full run.
+	From, To time.Time
+}
+
+// Gantt renders one row per worker ("task/worker") over the run's time
+// axis. Each column shows the phase the worker spent the majority of that
+// bucket in.
+func Gantt(res *pipeline.Result, opt Options) string {
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	from, to := opt.From, opt.To
+	if from.IsZero() || to.IsZero() {
+		f, t := bounds(res)
+		if from.IsZero() {
+			from = f
+		}
+		if to.IsZero() {
+			to = t
+		}
+	}
+	total := to.Sub(from)
+	if total <= 0 {
+		return "trace: empty window\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline trace: %v window, %v/column  (r=recv C=comp s=send .=idle)\n",
+		total.Round(time.Microsecond), (total / time.Duration(width)).Round(time.Nanosecond))
+	for task := 0; task < pipeline.NumTasks; task++ {
+		for w, spans := range res.Spans[task] {
+			row := renderRow(spans, from, total, width)
+			fmt.Fprintf(&b, "%-14s#%-3d %s\n", strings.ReplaceAll(stap.TaskNames[task], " ", ""), w, row)
+		}
+	}
+	return b.String()
+}
+
+// bounds returns the earliest T0 and latest T3 across all spans.
+func bounds(res *pipeline.Result) (time.Time, time.Time) {
+	var from, to time.Time
+	for task := range res.Spans {
+		for _, spans := range res.Spans[task] {
+			for _, s := range spans {
+				if s.T0.IsZero() {
+					continue
+				}
+				if from.IsZero() || s.T0.Before(from) {
+					from = s.T0
+				}
+				if s.T3.After(to) {
+					to = s.T3
+				}
+			}
+		}
+	}
+	return from, to
+}
+
+func renderRow(spans []pipeline.Span, from time.Time, total time.Duration, width int) string {
+	row := make([]byte, width)
+	occupancy := make([]time.Duration, width) // how much phase time each bucket holds
+	for i := range row {
+		row[i] = byte(Idle)
+	}
+	bucket := total / time.Duration(width)
+	if bucket <= 0 {
+		bucket = time.Nanosecond
+	}
+	paint := func(a, b time.Time, ph Phase) {
+		if !b.After(a) {
+			return
+		}
+		lo := int(a.Sub(from) / bucket)
+		hi := int(b.Sub(from) / bucket)
+		for i := lo; i <= hi && i < width; i++ {
+			if i < 0 {
+				continue
+			}
+			// Majority phase per bucket: a later phase overwrites only if
+			// it covers at least as much of the bucket.
+			bStart := from.Add(time.Duration(i) * bucket)
+			bEnd := bStart.Add(bucket)
+			ovl := overlap(a, b, bStart, bEnd)
+			if ovl >= occupancy[i] {
+				occupancy[i] = ovl
+				row[i] = byte(ph)
+			}
+		}
+	}
+	for _, s := range spans {
+		if s.T0.IsZero() {
+			continue
+		}
+		paint(s.T0, s.T1, Recv)
+		paint(s.T1, s.T2, Comp)
+		paint(s.T2, s.T3, Send)
+	}
+	return string(row)
+}
+
+func overlap(a0, a1, b0, b1 time.Time) time.Duration {
+	lo := a0
+	if b0.After(lo) {
+		lo = b0
+	}
+	hi := a1
+	if b1.Before(hi) {
+		hi = b1
+	}
+	if hi.Before(lo) {
+		return 0
+	}
+	return hi.Sub(lo)
+}
+
+// Utilization summarizes each task's fraction of wall time spent in each
+// phase over the whole run — a compact complement to the Gantt.
+func Utilization(res *pipeline.Result) string {
+	from, to := bounds(res)
+	total := to.Sub(from)
+	if total <= 0 {
+		return "trace: empty window\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s\n", "task", "recv%", "comp%", "send%", "idle%")
+	for task := 0; task < pipeline.NumTasks; task++ {
+		var recv, comp, send time.Duration
+		workers := len(res.Spans[task])
+		if workers == 0 {
+			continue
+		}
+		for _, spans := range res.Spans[task] {
+			for _, s := range spans {
+				if s.T0.IsZero() {
+					continue
+				}
+				t := s.Times()
+				recv += t.Recv
+				comp += t.Comp
+				send += t.Send
+			}
+		}
+		wall := total * time.Duration(workers)
+		pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(wall) }
+		fmt.Fprintf(&b, "%-16s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			stap.TaskNames[task], pct(recv), pct(comp), pct(send),
+			100-pct(recv)-pct(comp)-pct(send))
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func runPipeline(t *testing.T) *pipeline.Result {
+	t.Helper()
+	sc := radar.DefaultScene(radar.Small())
+	res, err := pipeline.Run(pipeline.Config{
+		Scene:   sc,
+		Assign:  pipeline.NewAssignment(2, 1, 1, 1, 1, 1, 1),
+		NumCPIs: 6,
+		Warmup:  1, Cooldown: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGanttRendersAllWorkers(t *testing.T) {
+	res := runPipeline(t)
+	out := Gantt(res, Options{Width: 80})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + one row per worker (8 workers)
+	if len(lines) != 1+8 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	// every phase letter should occur somewhere
+	for _, ph := range []string{"r", "C", "s"} {
+		if !strings.Contains(out, ph) {
+			t.Errorf("phase %q missing from trace:\n%s", ph, out)
+		}
+	}
+	// Doppler has two workers
+	if !strings.Contains(out, "Dopplerfilter #0") && !strings.Contains(out, "Dopplerfilter#0") {
+		t.Errorf("worker labels missing:\n%s", lines[1])
+	}
+}
+
+func TestGanttRowWidth(t *testing.T) {
+	res := runPipeline(t)
+	for _, width := range []int{40, 100, 200} {
+		out := Gantt(res, Options{Width: width})
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		for _, line := range lines[1:] {
+			// label is 19 chars ("%-14s#%-3d " = 14+1+3+1)
+			if got := len(line) - 19; got != width {
+				t.Fatalf("width %d row has %d columns: %q", width, got, line)
+			}
+		}
+	}
+}
+
+func TestGanttEmptyWindow(t *testing.T) {
+	res := &pipeline.Result{}
+	if out := Gantt(res, Options{}); !strings.Contains(out, "empty") {
+		t.Errorf("empty result should render empty-window notice, got %q", out)
+	}
+}
+
+func TestGanttExplicitWindow(t *testing.T) {
+	res := runPipeline(t)
+	mid := res.Start.Add(res.Elapsed / 2)
+	out := Gantt(res, Options{Width: 50, From: res.Start, To: mid})
+	if !strings.Contains(out, "trace:") {
+		t.Errorf("missing header: %q", out)
+	}
+}
+
+func TestUtilizationSumsToHundred(t *testing.T) {
+	res := runPipeline(t)
+	out := Utilization(res)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+pipeline.NumTasks {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	for _, line := range lines[1:] {
+		name := line[:16]
+		fields := strings.Fields(line[16:])
+		if len(fields) != 4 {
+			t.Fatalf("parse %q", line)
+		}
+		var vals [4]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(f, "%"), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", f, err)
+			}
+			vals[i] = v
+		}
+		recv, comp, send, idle := vals[0], vals[1], vals[2], vals[3]
+		sum := recv + comp + send + idle
+		if sum < 99.0 || sum > 101.0 {
+			t.Errorf("%s: phases sum to %.1f%%", strings.TrimSpace(name), sum)
+		}
+		if recv < 0 || comp <= 0 {
+			t.Errorf("%s: suspicious phases %v", name, line)
+		}
+	}
+}
+
+func TestSpanTimes(t *testing.T) {
+	base := time.Now()
+	s := pipeline.Span{T0: base, T1: base.Add(time.Millisecond), T2: base.Add(3 * time.Millisecond), T3: base.Add(4 * time.Millisecond)}
+	tt := s.Times()
+	if tt.Recv != time.Millisecond || tt.Comp != 2*time.Millisecond || tt.Send != time.Millisecond {
+		t.Errorf("Times() = %+v", tt)
+	}
+}
