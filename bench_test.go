@@ -11,13 +11,16 @@ package pstap_test
 // values side by side.
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"pstap/internal/cube"
 	"pstap/internal/paragon"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/sched"
+	"pstap/internal/serve"
 	"pstap/internal/stap"
 )
 
@@ -209,6 +212,52 @@ func BenchmarkRealPipeline(b *testing.B) {
 	b.ReportMetric(res.Throughput, "throughput-CPI/s")
 	b.ReportMetric(res.Latency.Seconds(), "latency-s")
 	b.ReportMetric(float64(res.BytesSent), "bytes")
+}
+
+// BenchmarkServeThroughput measures the stapd serving stack end to end
+// over loopback TCP: gob framing, admission queue, replica pool dispatch
+// and response demultiplexing. Each iteration is one 2-CPI job submitted
+// through a shared client; parallel submitters keep the replicas busy.
+// The committed reference numbers live in BENCH_serve.json.
+func BenchmarkServeThroughput(b *testing.B) {
+	sc := radar.DefaultScene(radar.Small())
+	s, err := serve.New(serve.Config{
+		Scene:      sc,
+		Assign:     pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas:   2,
+		QueueDepth: 8,
+		Window:     2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	cl, err := serve.Dial(s.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	const jobCPIs = 2
+	cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1)}
+	if _, err := cl.Submit(cpis); err != nil { // warm the replicas
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cl.SubmitRetry(cpis, 1000); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+	b.ReportMetric(float64(b.N*jobCPIs)/b.Elapsed().Seconds(), "CPI/s")
 }
 
 // BenchmarkRealDopplerPaperSize runs the Doppler filter kernel at the full

@@ -1,0 +1,132 @@
+// Command stapd runs the STAP pipeline as a network service: it listens
+// on TCP for CPI-cube jobs (length-prefixed gob frames, see
+// internal/serve), processes them on a pool of persistent warm pipeline
+// replicas, and streams detection reports back. A bounded admission queue
+// pushes back with busy/retry-after replies when the replicas fall behind
+// — the daemon never buffers without bound. A JSON metrics endpoint
+// exposes queue depth, accept/reject/complete counters, per-replica
+// utilization and latency percentiles.
+//
+// Usage:
+//
+//	stapd -listen :7431 -metrics :7432 -size small -replicas 2
+//	stapd -nodes 4,2,4,2,2,4,2 -queue 8 -tracedir /tmp/traces
+//
+// Stop with SIGINT/SIGTERM; in-flight jobs drain within -drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/serve"
+)
+
+var (
+	flagListen   = flag.String("listen", ":7431", "job service listen address")
+	flagMetrics  = flag.String("metrics", ":7432", "metrics HTTP listen address (empty disables)")
+	flagNodes    = flag.String("nodes", "2,1,2,1,1,2,1", "worker counts for the 7 tasks of each replica")
+	flagSize     = flag.String("size", "small", "problem size: small | medium | paper")
+	flagSeed     = flag.Int64("seed", 1, "scene random seed")
+	flagReplicas = flag.Int("replicas", 1, "pipeline replicas (warm instances)")
+	flagQueue    = flag.Int("queue", 0, "admission queue depth (0 = 2 per replica)")
+	flagWindow   = flag.Int("window", 0, "per-replica flow-control window (0 = default)")
+	flagThreads  = flag.Int("threads", 1, "threads per worker")
+	flagRetry    = flag.Duration("retry", 100*time.Millisecond, "retry-after hint in busy replies")
+	flagTraceDir = flag.String("tracedir", "", "directory for per-job Gantt traces (empty disables)")
+	flagDrain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+)
+
+func parseNodes(s string) (pipeline.Assignment, error) {
+	parts := strings.Split(s, ",")
+	var a pipeline.Assignment
+	if len(parts) != pipeline.NumTasks {
+		return a, fmt.Errorf("-nodes needs %d counts, got %d", pipeline.NumTasks, len(parts))
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return a, fmt.Errorf("bad node count: %v", err)
+		}
+		a[i] = n
+	}
+	return a, nil
+}
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("stapd: ")
+	log.SetFlags(log.Ldate | log.Ltime)
+
+	var p radar.Params
+	switch *flagSize {
+	case "small":
+		p = radar.Small()
+	case "medium":
+		p = radar.Medium()
+	case "paper":
+		p = radar.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *flagSize)
+		os.Exit(2)
+	}
+	a, err := parseNodes(*flagNodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc := radar.DefaultScene(p)
+	sc.Seed = *flagSeed
+
+	srv, err := serve.New(serve.Config{
+		Scene:      sc,
+		Assign:     a,
+		Replicas:   *flagReplicas,
+		QueueDepth: *flagQueue,
+		Window:     *flagWindow,
+		Threads:    *flagThreads,
+		RetryAfter: *flagRetry,
+		TraceDir:   *flagTraceDir,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(*flagListen); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scene %s (%dx%dx%d), %d replicas x %d workers",
+		*flagSize, p.K, p.J, p.N, *flagReplicas, a.Total())
+
+	if *flagMetrics != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		go func() {
+			if err := http.ListenAndServe(*flagMetrics, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", *flagMetrics)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("signal received, draining (deadline %v)", *flagDrain)
+	ctx, cancel := context.WithTimeout(context.Background(), *flagDrain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+// Command stapload is an open-loop load generator for stapd: it submits
+// CPI-cube jobs at a fixed arrival rate over a pool of connections —
+// without waiting for completions, so a saturated server sees true
+// overload — and reports client-side goodput, busy rejections and
+// end-to-end latency percentiles. With -check each accepted job's
+// detections are verified against the serial reference processor. With
+// -scrape the server's metrics endpoint is fetched and printed after the
+// run, pairing the server's view with the client's.
+//
+// Usage:
+//
+//	stapload -addr localhost:7431 -rate 5 -jobs 50 -cpis 3
+//	stapload -rate 20 -conns 8 -scrape http://localhost:7432/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+	"pstap/internal/serve"
+	"pstap/internal/stap"
+)
+
+var (
+	flagAddr   = flag.String("addr", "localhost:7431", "stapd address")
+	flagRate   = flag.Float64("rate", 5, "job arrival rate (jobs/sec, open loop)")
+	flagJobs   = flag.Int("jobs", 50, "total jobs to submit")
+	flagCPIs   = flag.Int("cpis", 3, "CPIs per job")
+	flagConns  = flag.Int("conns", 4, "client connections")
+	flagSize   = flag.String("size", "small", "problem size: small | medium | paper (must match the server)")
+	flagSeed   = flag.Int64("seed", 1, "scene random seed (must match the server for -check)")
+	flagPool   = flag.Int("pool", 8, "distinct pre-generated jobs to cycle through")
+	flagCheck  = flag.Bool("check", false, "verify detections against the serial reference")
+	flagTrace  = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
+	flagScrape = flag.String("scrape", "", "metrics URL to fetch and print after the run")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("stapload: ")
+	log.SetFlags(0)
+
+	var p radar.Params
+	switch *flagSize {
+	case "small":
+		p = radar.Small()
+	case "medium":
+		p = radar.Medium()
+	case "paper":
+		p = radar.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *flagSize)
+		os.Exit(2)
+	}
+	if *flagRate <= 0 || *flagJobs <= 0 || *flagCPIs <= 0 || *flagConns <= 0 || *flagPool <= 0 {
+		fmt.Fprintln(os.Stderr, "rate, jobs, cpis, conns and pool must be positive")
+		os.Exit(2)
+	}
+	sc := radar.DefaultScene(p)
+	sc.Seed = *flagSeed
+
+	// Pre-generate a pool of distinct jobs so synthesis cost stays out of
+	// the submission path; references are computed only under -check.
+	log.Printf("generating %d jobs of %d CPIs (%dx%dx%d)...", *flagPool, *flagCPIs, p.K, p.J, p.N)
+	jobs := make([][]*cube.Cube, *flagPool)
+	var refs [][][]stap.Detection
+	if *flagCheck {
+		refs = make([][][]stap.Detection, *flagPool)
+	}
+	for i := range jobs {
+		for k := 0; k < *flagCPIs; k++ {
+			jobs[i] = append(jobs[i], sc.GenerateCPI(i*(*flagCPIs)+k))
+		}
+		if *flagCheck {
+			pr := stap.NewProcessor(sc)
+			for _, c := range jobs[i] {
+				refs[i] = append(refs[i], pr.Process(c).Detections)
+			}
+		}
+	}
+
+	clients := make([]*serve.Client, *flagConns)
+	for i := range clients {
+		cl, err := serve.Dial(*flagAddr)
+		if err != nil {
+			log.Fatalf("dial %s: %v", *flagAddr, err)
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	var (
+		ok, busy, failed, mismatched atomic.Int64
+		latMu                        sync.Mutex
+		lats                         []time.Duration
+		wg                           sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / *flagRate)
+	log.Printf("open loop: %d jobs at %.1f/s over %d conns", *flagJobs, *flagRate, *flagConns)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	for n := 0; n < *flagJobs; n++ {
+		if n > 0 {
+			<-tick.C
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			ji := n % *flagPool
+			t0 := time.Now()
+			dets, traceFile, err := submit(clients[n%*flagConns], jobs[ji])
+			d := time.Since(t0)
+			switch err.(type) {
+			case nil:
+				ok.Add(1)
+				latMu.Lock()
+				lats = append(lats, d)
+				latMu.Unlock()
+				if *flagCheck && !sameAsRef(dets, refs[ji]) {
+					mismatched.Add(1)
+				}
+				if traceFile != "" {
+					log.Printf("job %d: trace written to %s", n, traceFile)
+				}
+			case *serve.BusyError:
+				busy.Add(1)
+			default:
+				failed.Add(1)
+				log.Printf("job %d: %v", n, err)
+			}
+		}(n)
+	}
+	tick.Stop()
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("\nsubmitted   %8d jobs in %v (offered %.2f/s)\n", *flagJobs, wall.Round(time.Millisecond),
+		float64(*flagJobs)/wall.Seconds())
+	fmt.Printf("completed   %8d (goodput %.2f jobs/s, %.2f CPI/s)\n", ok.Load(),
+		float64(ok.Load())/wall.Seconds(), float64(ok.Load()*int64(*flagCPIs))/wall.Seconds())
+	fmt.Printf("rejected    %8d (busy backpressure)\n", busy.Load())
+	fmt.Printf("failed      %8d\n", failed.Load())
+	if *flagCheck {
+		fmt.Printf("mismatched  %8d (vs serial reference)\n", mismatched.Load())
+	}
+	latMu.Lock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		fmt.Printf("latency     p50 %v  p95 %v  p99 %v  max %v\n",
+			q(lats, 0.50), q(lats, 0.95), q(lats, 0.99), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	latMu.Unlock()
+
+	if *flagScrape != "" {
+		resp, err := http.Get(*flagScrape)
+		if err != nil {
+			log.Fatalf("scrape %s: %v", *flagScrape, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Printf("\nserver metrics (%s):\n%s", *flagScrape, body)
+	}
+	if mismatched.Load() > 0 || failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// submit sends one job, requesting a trace when -trace is set, and maps
+// the reply the same way Client.Submit does.
+func submit(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, error) {
+	if !*flagTrace {
+		dets, err := cl.Submit(cpis)
+		return dets, "", err
+	}
+	resp, err := cl.Do(&serve.Request{CPIs: cpis, Trace: true})
+	if err != nil {
+		return nil, "", err
+	}
+	switch resp.Status {
+	case serve.StatusOK:
+		return resp.Detections, resp.TraceFile, nil
+	case serve.StatusBusy:
+		return nil, "", &serve.BusyError{RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond}
+	default:
+		return nil, "", fmt.Errorf("serve: job failed: %s", resp.Err)
+	}
+}
+
+// q returns the q-quantile of sorted latencies (nearest rank).
+func q(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx].Round(time.Microsecond)
+}
+
+// sameAsRef compares a job's served detections with the serial reference.
+func sameAsRef(got, want [][]stap.Detection) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			return false
+		}
+		for j := range want[i] {
+			a, b := got[i][j], want[i][j]
+			if a.Range != b.Range || a.DopplerBin != b.DopplerBin || a.Beam != b.Beam {
+				return false
+			}
+		}
+	}
+	return true
+}

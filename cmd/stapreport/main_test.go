@@ -12,7 +12,7 @@ func TestReportContainsEverySection(t *testing.T) {
 	for _, section := range []string{
 		"## Table 1", "## Table 7", "## Table 8", "## Tables 9 & 10",
 		"## Table 2", "## Cross-validation",
-		"79691776",      // exact Doppler flops
+		"79691776",       // exact Doppler flops
 		"Discrete-event", // DES line
 		"Round-robin baseline",
 	} {

@@ -1,10 +1,19 @@
-// Package cpifile defines the on-disk format for recorded CPI streams:
-// the gob-encoded stand-in for the RTMCARM flight tapes. cmd/stapgen
-// writes these files; cmd/stappipe -replay and library users feed them
-// back through the pipeline.
+// Package cpifile defines the gob encodings for CPI data: the on-disk
+// format for recorded CPI streams (the stand-in for the RTMCARM flight
+// tapes) and the length-prefixed frame codec the stapd network protocol
+// reuses. cmd/stapgen writes recording files; cmd/stappipe -replay and
+// library users feed them back through the pipeline; internal/serve
+// exchanges frames over TCP.
+//
+// All decoding paths are hardened against corrupt or truncated input:
+// they return descriptive errors, never panic, and refuse frames whose
+// declared length exceeds MaxFrameBytes (a corrupt prefix must not drive
+// an allocation).
 package cpifile
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -69,16 +78,77 @@ func (f *File) Write(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(f)
 }
 
-// Read decodes a file from r and validates it.
-func Read(r io.Reader) (*File, error) {
-	var f File
-	if err := gob.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("cpifile: decode: %w", err)
+// Read decodes a file from r and validates it. A truncated or corrupt
+// stream yields a descriptive error, never a panic.
+func Read(r io.Reader) (f *File, err error) {
+	defer guard(&err, "decode recording")
+	f = &File{}
+	if derr := gob.NewDecoder(r).Decode(f); derr != nil {
+		return nil, fmt.Errorf("cpifile: decode recording: %w", derr)
 	}
-	if err := f.Validate(); err != nil {
-		return nil, err
+	if verr := f.Validate(); verr != nil {
+		return nil, verr
 	}
-	return &f, nil
+	return f, nil
+}
+
+// guard converts a decoding panic (gob on adversarial bytes) into an
+// error, so no corrupt input can crash a caller.
+func guard(err *error, what string) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("cpifile: %s: malformed input: %v", what, r)
+	}
+}
+
+// MaxFrameBytes bounds one frame's payload (1 GiB). A length prefix above
+// it is treated as corruption instead of a request to allocate.
+const MaxFrameBytes = 1 << 30
+
+// WriteFrame gob-encodes v and writes it to w as a single length-prefixed
+// frame. Each frame is a self-contained gob stream, so frames can be
+// decoded independently (and a receiver can resynchronize per frame).
+func WriteFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 8)) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("cpifile: encode frame: %w", err)
+	}
+	n := buf.Len() - 8
+	if n > MaxFrameBytes {
+		return fmt.Errorf("cpifile: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	binary.BigEndian.PutUint64(buf.Bytes()[:8], uint64(n))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("cpifile: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r and gob-decodes it into
+// v (a pointer). It returns io.EOF — and only io.EOF — when the stream
+// ends cleanly at a frame boundary; any mid-frame truncation or corrupt
+// content yields a descriptive error and never a panic.
+func ReadFrame(r io.Reader, v any) (err error) {
+	defer guard(&err, "decode frame")
+	var hdr [8]byte
+	if _, herr := io.ReadFull(r, hdr[:]); herr != nil {
+		if herr == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("cpifile: read frame header: %w", herr)
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("cpifile: frame length %d exceeds limit %d (corrupt header?)", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, perr := io.ReadFull(r, payload); perr != nil {
+		return fmt.Errorf("cpifile: frame truncated (want %d bytes): %w", n, perr)
+	}
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); derr != nil {
+		return fmt.Errorf("cpifile: decode frame: %w", derr)
+	}
+	return nil
 }
 
 // Save writes the file to path.

@@ -94,11 +94,11 @@ type Traffic map[Link]int64
 
 // LoadReport summarizes link utilization for a traffic pattern.
 type LoadReport struct {
-	TotalBytes   int64 // sum over transfers
-	ByteHops     int64 // sum of bytes x hops (network work)
-	MaxLinkLoad  int64 // bytes crossing the busiest link
-	UsedLinks    int   // links carrying any traffic
-	AvgHops      float64
+	TotalBytes  int64 // sum over transfers
+	ByteHops    int64 // sum of bytes x hops (network work)
+	MaxLinkLoad int64 // bytes crossing the busiest link
+	UsedLinks   int   // links carrying any traffic
+	AvgHops     float64
 	// Contention is MaxLinkLoad / (ByteHops / UsedLinks): 1.0 means
 	// perfectly balanced traffic, larger means hot links.
 	Contention float64

@@ -13,6 +13,7 @@
 package mp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,18 @@ import (
 
 // AnySource matches messages from every rank in Recv/Irecv.
 const AnySource = -1
+
+// ErrAborted is the panic value raised by blocking operations (Recv,
+// Request.Wait, Barrier) on an aborted world — the runtime's analogue of
+// MPI_Abort tearing down a communicator. Rank goroutines written in the
+// straight-line MPI style have no error-return path for cancellation, so
+// the abort propagates as a panic; wrap each rank's body in Protect to
+// convert it back into a normal goroutine exit.
+var ErrAborted = errors.New("mp: world aborted")
+
+// abortSentinel marks an aborted non-blocking operation inside a
+// Request's completion channel.
+type abortSentinel struct{}
 
 // Sizer lets payloads report their wire size for accounting. cube.Cube and
 // cube.RealCube implement it via their Bytes methods.
@@ -45,6 +58,10 @@ type World struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 
+	aborted   atomic.Bool
+	done      chan struct{}
+	abortOnce sync.Once
+
 	barMu    sync.Mutex
 	barCond  *sync.Cond
 	barCount int
@@ -56,7 +73,7 @@ func NewWorld(n int) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mp: world size %d", n))
 	}
-	w := &World{boxes: make([]*mailbox, n)}
+	w := &World{boxes: make([]*mailbox, n), done: make(chan struct{})}
 	for i := range w.boxes {
 		b := &mailbox{}
 		b.cond = sync.NewCond(&b.mu)
@@ -64,6 +81,49 @@ func NewWorld(n int) *World {
 	}
 	w.barCond = sync.NewCond(&w.barMu)
 	return w
+}
+
+// Abort tears the world down: every rank blocked in Recv, Request.Wait or
+// Barrier — and every such call made afterwards — panics with ErrAborted,
+// and subsequent Sends are dropped. Safe to call from any goroutine and
+// idempotent.
+func (w *World) Abort() {
+	w.abortOnce.Do(func() {
+		w.aborted.Store(true)
+		close(w.done)
+		for _, b := range w.boxes {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+		w.barMu.Lock()
+		w.barCond.Broadcast()
+		w.barMu.Unlock()
+	})
+}
+
+// Aborted reports whether Abort has been called.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// Done returns a channel closed when the world is aborted, for use in
+// select statements alongside ordinary channel operations.
+func (w *World) Done() <-chan struct{} { return w.done }
+
+// Protect runs f, converting an ErrAborted panic raised by a blocking
+// operation on an aborted world into a normal return. Any other panic
+// propagates. It returns true when f was cut short by an abort.
+func Protect(f func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == ErrAborted {
+				aborted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return false
 }
 
 // Size returns the number of ranks.
@@ -96,8 +156,12 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.Size() }
 
-// Send delivers data to dst's mailbox asynchronously (never blocks).
+// Send delivers data to dst's mailbox asynchronously (never blocks). On an
+// aborted world the message is dropped.
 func (c *Comm) Send(dst, tag int, data any) {
+	if c.w.aborted.Load() {
+		return
+	}
 	box := c.w.boxes[dst]
 	box.mu.Lock()
 	box.seq++
@@ -112,12 +176,15 @@ func (c *Comm) Send(dst, tag int, data any) {
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
 // payload. src may be AnySource. Among matching messages the earliest
-// arrival wins.
+// arrival wins. Recv panics with ErrAborted when the world is aborted.
 func (c *Comm) Recv(src, tag int) any {
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for {
+		if c.w.aborted.Load() {
+			panic(ErrAborted)
+		}
 		best := -1
 		for i, m := range box.queue {
 			if (src == AnySource || m.src == src) && m.tag == tag {
@@ -165,13 +232,16 @@ type Request struct {
 }
 
 // Wait blocks until the operation completes and returns the received
-// payload (nil for sends).
+// payload (nil for sends). Wait panics with ErrAborted when the operation
+// was cut short by a world abort.
 func (r *Request) Wait() any {
-	if r.got {
-		return r.data
+	if !r.got {
+		r.data = <-r.done
+		r.got = true
 	}
-	r.data = <-r.done
-	r.got = true
+	if _, aborted := r.data.(abortSentinel); aborted {
+		panic(ErrAborted)
+	}
 	return r.data
 }
 
@@ -205,13 +275,24 @@ func (c *Comm) Isend(dst, tag int, data any) *Request {
 // so this never happens there).
 func (c *Comm) Irecv(src, tag int) *Request {
 	r := &Request{done: make(chan any, 1)}
-	go func() { r.done <- c.Recv(src, tag) }()
+	go func() {
+		var data any
+		if Protect(func() { data = c.Recv(src, tag) }) {
+			data = abortSentinel{}
+		}
+		r.done <- data
+	}()
 	return r
 }
 
-// Barrier blocks until every rank of the world has entered it.
+// Barrier blocks until every rank of the world has entered it. Barrier
+// panics with ErrAborted when the world is aborted.
 func (w *World) Barrier() {
 	w.barMu.Lock()
+	if w.aborted.Load() {
+		w.barMu.Unlock()
+		panic(ErrAborted)
+	}
 	gen := w.barGen
 	w.barCount++
 	if w.barCount == len(w.boxes) {
@@ -222,6 +303,10 @@ func (w *World) Barrier() {
 		return
 	}
 	for gen == w.barGen {
+		if w.aborted.Load() {
+			w.barMu.Unlock()
+			panic(ErrAborted)
+		}
 		w.barCond.Wait()
 	}
 	w.barMu.Unlock()

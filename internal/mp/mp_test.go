@@ -248,3 +248,49 @@ func BenchmarkSendRecv(b *testing.B) {
 		c1.Recv(0, i)
 	}
 }
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	w := NewWorld(3)
+	var wg sync.WaitGroup
+	aborted := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			aborted[i] = Protect(func() {
+				w.Comm(i).Recv(2, 7) // never sent
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	w.Abort()
+	wg.Wait()
+	for i, a := range aborted {
+		if !a {
+			t.Errorf("rank %d: Recv returned without abort", i)
+		}
+	}
+	if !w.Aborted() {
+		t.Error("Aborted() = false after Abort")
+	}
+	// Post-abort operations: Send is dropped, Recv panics immediately.
+	w.Comm(2).Send(0, 1, "late")
+	if !Protect(func() { w.Comm(0).Recv(2, 1) }) {
+		t.Error("Recv on aborted world should panic ErrAborted")
+	}
+}
+
+func TestAbortUnblocksIrecvAndBarrier(t *testing.T) {
+	w := NewWorld(2)
+	req := w.Comm(0).Irecv(1, 3)
+	done := make(chan bool, 1)
+	go func() { done <- Protect(func() { w.Barrier() }) }()
+	time.Sleep(10 * time.Millisecond)
+	w.Abort()
+	if !Protect(func() { req.Wait() }) {
+		t.Error("Wait on aborted Irecv should panic ErrAborted")
+	}
+	if !<-done {
+		t.Error("Barrier on aborted world should panic ErrAborted")
+	}
+}

@@ -31,11 +31,11 @@ const Table1Total int64 = 403552528
 
 // SystemCase holds one Table 8 row.
 type SystemCase struct {
-	Nodes                int
-	ThroughputEq         float64
-	ThroughputReal       float64
-	LatencyEq            float64
-	LatencyReal          float64
+	Nodes          int
+	ThroughputEq   float64
+	ThroughputReal float64
+	LatencyEq      float64
+	LatencyReal    float64
 }
 
 // Table8 is the published integrated-system performance.

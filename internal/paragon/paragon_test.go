@@ -92,12 +92,12 @@ func TestFigure11LinearSpeedup(t *testing.T) {
 func TestTable8ThroughputAndLatency(t *testing.T) {
 	mo := paperModel()
 	cases := []struct {
-		name       string
-		a          pipeline.Assignment
-		thrReal    float64
-		latReal    float64
-		thrEq      float64
-		latEq      float64
+		name    string
+		a       pipeline.Assignment
+		thrReal float64
+		latReal float64
+		thrEq   float64
+		latEq   float64
 	}{
 		{"case1/236", case1, 7.2659, .3622, 7.1019, .5362},
 		{"case2/118", case2, 3.7959, .6805, 3.7919, 1.0346},

@@ -10,22 +10,47 @@ import (
 // Message payloads. Every type reports its wire size (mp.Sizer) so the
 // world can account communication volume against the Paragon cost model.
 
+// ctl carries per-CPI stream control alongside the data. Reset marks the
+// first CPI of an independent job: weight state restarts and steering
+// weights apply, so a long-lived pipeline (see Stream) produces output for
+// each job bit-identical to a fresh run. EOF marks the end of the input
+// stream: each task forwards it downstream and its workers exit — the
+// graceful-drain path of a persistent pipeline. Batch runs set Reset on
+// CPI 0 and never send EOF (workers exit on the NumCPIs bound instead).
+type ctl struct {
+	Reset, EOF bool
+}
+
 // rawMsg carries one Doppler worker's range slab of a raw CPI.
-type rawMsg struct{ slab *cube.Cube }
+type rawMsg struct {
+	slab *cube.Cube
+	ctl  ctl
+}
 
 // Bytes implements mp.Sizer.
-func (m rawMsg) Bytes() int64 { return m.slab.Bytes() }
+func (m rawMsg) Bytes() int64 {
+	if m.slab == nil {
+		return 0
+	}
+	return m.slab.Bytes()
+}
 
 // easyTrainMsg carries collected easy training rows, one matrix per
 // destination-owned easy bin (the paper's irregular "data collection"
 // transfer, Figure 6b).
-type easyTrainMsg struct{ rows []*linalg.Matrix }
+type easyTrainMsg struct {
+	rows []*linalg.Matrix
+	ctl  ctl
+}
 
 // Bytes implements mp.Sizer.
 func (m easyTrainMsg) Bytes() int64 { return redist.RowsBytes(m.rows) }
 
 // hardTrainMsg carries collected hard training rows, [segment][binIdx].
-type hardTrainMsg struct{ rows [][]*linalg.Matrix }
+type hardTrainMsg struct {
+	rows [][]*linalg.Matrix
+	ctl  ctl
+}
 
 // Bytes implements mp.Sizer.
 func (m hardTrainMsg) Bytes() int64 {
@@ -38,10 +63,18 @@ func (m hardTrainMsg) Bytes() int64 {
 
 // bfDataMsg carries a reorganized Doppler-major piece of the staggered CPI
 // for a beamforming worker (Figure 8).
-type bfDataMsg struct{ piece *cube.Cube }
+type bfDataMsg struct {
+	piece *cube.Cube
+	ctl   ctl
+}
 
 // Bytes implements mp.Sizer.
-func (m bfDataMsg) Bytes() int64 { return m.piece.Bytes() }
+func (m bfDataMsg) Bytes() int64 {
+	if m.piece == nil {
+		return 0
+	}
+	return m.piece.Bytes()
+}
 
 // easyWeightsMsg carries J x M weight matrices for a contiguous run of
 // easy bins.
@@ -67,23 +100,38 @@ func (m hardWeightsMsg) Bytes() int64 {
 type beamMsg struct {
 	slab       *cube.Cube
 	globalBins []int
+	ctl        ctl
 }
 
 // Bytes implements mp.Sizer.
-func (m beamMsg) Bytes() int64 { return m.slab.Bytes() }
+func (m beamMsg) Bytes() int64 {
+	if m.slab == nil {
+		return 0
+	}
+	return m.slab.Bytes()
+}
 
 // powerMsg carries pulse-compressed power rows covering global bins
 // [blk.Lo, blk.Hi).
 type powerMsg struct {
 	slab *cube.RealCube
 	blk  cube.Block
+	ctl  ctl
 }
 
 // Bytes implements mp.Sizer.
-func (m powerMsg) Bytes() int64 { return m.slab.Bytes() }
+func (m powerMsg) Bytes() int64 {
+	if m.slab == nil {
+		return 0
+	}
+	return m.slab.Bytes()
+}
 
 // detMsg carries one CFAR worker's detections for a CPI.
-type detMsg struct{ dets []stap.Detection }
+type detMsg struct {
+	dets []stap.Detection
+	ctl  ctl
+}
 
 // Bytes implements mp.Sizer; a detection report entry is 3 int32 plus 2
 // float32 on the wire (20 bytes).

@@ -17,6 +17,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -109,6 +110,11 @@ type Config struct {
 	// (the Paragon had three i860s per node). 0 or 1 means single
 	// threaded. Results are bit-identical for any value.
 	Threads int
+	// Context, when non-nil, cancels the run: on Done the message-passing
+	// world is aborted, every task goroutine unwinds (no leaks), and Run
+	// returns the context's error. Detections and timing of a cancelled
+	// run are discarded.
+	Context context.Context
 }
 
 // Span is one worker's absolute phase timestamps for one CPI, following
@@ -211,7 +217,12 @@ const (
 	tagDet
 )
 
-func tag(stream, cpi int) int { return stream<<20 | cpi }
+// tagCPIMask wraps the CPI index into the tag's low bits. Streaming runs
+// count CPIs without bound; the wraparound is safe because far fewer than
+// 2^20 CPIs can ever be in flight (the window bounds them).
+const tagCPIMask = 1<<20 - 1
+
+func tag(stream, cpi int) int { return stream<<20 | (cpi & tagCPIMask) }
 
 // topology precomputes every partitioning and routing decision shared by
 // the workers.
@@ -321,6 +332,20 @@ func Run(cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 
+	// Cancellation: when the context fires mid-run, abort the world so
+	// every blocked Recv unwinds and all task goroutines exit.
+	if cfg.Context != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-cfg.Context.Done():
+				world.Abort()
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	// Input feeder: plays the phased-array front end, slicing each CPI
 	// across the Doppler task's range blocks. A credit semaphore bounds
 	// the CPIs in flight so the system behaves as a pipeline in steady
@@ -346,77 +371,71 @@ func Run(cfg Config) (*Result, error) {
 			source = cfg.Scene.GenerateCPI
 		}
 		for cpi := 0; cpi < n; cpi++ {
-			<-credits
+			select {
+			case <-credits:
+			case <-world.Done():
+				return
+			}
 			raw := source(mapCPI(cpi))
 			for w, blk := range topo.kBlocks {
-				feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{slab: raw.SliceAxis0(blk)})
+				feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
+					rawMsg{slab: raw.SliceAxis0(blk), ctl: ctl{Reset: cpi == 0}})
 			}
 		}
 	}()
 
-	for w := 0; w < cfg.Assign[TaskDoppler]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			dopplerWorker(world, topo, cfg, gain, w, spans[TaskDoppler][w], ready[w])
-		}(w)
+	spawn := func(count int, run func(w int)) {
+		for w := 0; w < count; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				mp.Protect(func() { run(w) })
+			}(w)
+		}
 	}
-	for w := 0; w < cfg.Assign[TaskEasyWeight]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			easyWeightWorker(world, topo, cfg, beamAz, w, spans[TaskEasyWeight][w])
-		}(w)
-	}
-	for w := 0; w < cfg.Assign[TaskHardWeight]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			hardWeightWorker(world, topo, cfg, beamAz, w, spans[TaskHardWeight][w])
-		}(w)
-	}
-	for w := 0; w < cfg.Assign[TaskEasyBF]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			easyBFWorker(world, topo, cfg, beamAz, w, spans[TaskEasyBF][w])
-		}(w)
-	}
-	for w := 0; w < cfg.Assign[TaskHardBF]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			hardBFWorker(world, topo, cfg, beamAz, w, spans[TaskHardBF][w])
-		}(w)
-	}
-	for w := 0; w < cfg.Assign[TaskPulseComp]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			pulseCompWorker(world, topo, cfg, w, spans[TaskPulseComp][w])
-		}(w)
-	}
-	for w := 0; w < cfg.Assign[TaskCFAR]; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			cfarWorker(world, topo, cfg, w, spans[TaskCFAR][w], cfarDone[w])
-		}(w)
-	}
+	spawn(cfg.Assign[TaskDoppler], func(w int) {
+		dopplerWorker(world, topo, cfg, gain, w, spans[TaskDoppler][w], ready[w])
+	})
+	spawn(cfg.Assign[TaskEasyWeight], func(w int) {
+		easyWeightWorker(world, topo, cfg, beamAz, w, spans[TaskEasyWeight][w])
+	})
+	spawn(cfg.Assign[TaskHardWeight], func(w int) {
+		hardWeightWorker(world, topo, cfg, beamAz, w, spans[TaskHardWeight][w])
+	})
+	spawn(cfg.Assign[TaskEasyBF], func(w int) {
+		easyBFWorker(world, topo, cfg, beamAz, w, spans[TaskEasyBF][w])
+	})
+	spawn(cfg.Assign[TaskHardBF], func(w int) {
+		hardBFWorker(world, topo, cfg, beamAz, w, spans[TaskHardBF][w])
+	})
+	spawn(cfg.Assign[TaskPulseComp], func(w int) {
+		pulseCompWorker(world, topo, cfg, w, spans[TaskPulseComp][w])
+	})
+	spawn(cfg.Assign[TaskCFAR], func(w int) {
+		cfarWorker(world, topo, cfg, w, spans[TaskCFAR][w], cfarDone[w])
+	})
 
 	// Report collector (the pipeline output).
-	collector := world.Comm(topo.driver)
-	for cpi := 0; cpi < n; cpi++ {
-		var merged []stap.Detection
-		for _, src := range topo.groups[TaskCFAR].Ranks() {
-			msg := collector.Recv(src, tag(tagDet, cpi)).(detMsg)
-			merged = append(merged, msg.dets...)
+	aborted := mp.Protect(func() {
+		collector := world.Comm(topo.driver)
+		for cpi := 0; cpi < n; cpi++ {
+			var merged []stap.Detection
+			for _, src := range topo.groups[TaskCFAR].Ranks() {
+				msg := collector.Recv(src, tag(tagDet, cpi)).(detMsg)
+				merged = append(merged, msg.dets...)
+			}
+			sortDetections(merged)
+			detections[cpi] = merged
+			credits <- struct{}{}
 		}
-		sortDetections(merged)
-		detections[cpi] = merged
-		credits <- struct{}{}
-	}
+	})
 	wg.Wait()
+	if aborted || world.Aborted() {
+		if cfg.Context != nil && cfg.Context.Err() != nil {
+			return nil, fmt.Errorf("pipeline: run cancelled: %w", cfg.Context.Err())
+		}
+		return nil, fmt.Errorf("pipeline: run aborted")
+	}
 	elapsed := time.Since(start)
 
 	complete := make([]time.Time, n)

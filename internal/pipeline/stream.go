@@ -1,0 +1,262 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pstap/internal/cube"
+	"pstap/internal/mp"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// ErrStreamClosed is returned by Stream.ProcessJob when the stream was
+// closed or aborted before the job's results were produced.
+var ErrStreamClosed = errors.New("pipeline: stream closed")
+
+// StreamConfig describes a persistent pipeline instance.
+type StreamConfig struct {
+	Scene   *radar.Scene
+	Assign  Assignment
+	Window  int
+	Threads int
+}
+
+// Stream is a long-lived instance of the parallel pipeline: the seven task
+// groups stay warm as goroutines and are fed jobs on demand instead of a
+// fixed CPI stream — the serving building block behind internal/serve's
+// replica pool. A job is an independent CPI sequence; the job boundary
+// resets the adaptive weight state, so each job's detections are
+// bit-identical to a fresh batch run (and to the serial reference) no
+// matter what the instance processed before.
+//
+// ProcessJob must not be called concurrently: a Stream is owned by one
+// submitting goroutine at a time (a serve replica). Close drains
+// gracefully; Abort tears the instance down immediately.
+type Stream struct {
+	world *mp.World
+	in    chan streamInput
+	out   chan []stap.Detection
+	quit  chan struct{} // closed by Close, before in
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+
+	// CPIsProcessed counts CPIs that produced a detection report.
+	cpis int64
+	mu   sync.Mutex
+}
+
+type streamInput struct {
+	raw   *cube.Cube
+	reset bool
+}
+
+// NewStream validates the configuration, starts the worker goroutines and
+// returns the warm instance.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("pipeline: nil scene")
+	}
+	if err := cfg.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assign.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Scene.Params
+	topo := newTopology(p, cfg.Assign)
+	world := mp.NewWorld(cfg.Assign.Total() + 1)
+	beamAz := cfg.Scene.BeamAzimuths()
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 1 / cfg.Scene.RangeGain(r)
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = 8
+	}
+	// NumCPIs == 0 puts the workers in open-ended streaming mode: they
+	// exit on the EOF control message Close injects.
+	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads}
+
+	s := &Stream{
+		world: world,
+		in:    make(chan streamInput),
+		out:   make(chan []stap.Detection, window),
+		quit:  make(chan struct{}),
+	}
+	credits := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		credits <- struct{}{}
+	}
+
+	// Feeder: slices each submitted CPI across the Doppler workers'
+	// range blocks; a closed input channel becomes the EOF message that
+	// drains the task chain.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		feeder := world.Comm(topo.driver)
+		cpi := 0
+		for {
+			select {
+			case item, ok := <-s.in:
+				if !ok {
+					for w := range topo.kBlocks {
+						feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{ctl: ctl{EOF: true}})
+					}
+					return
+				}
+				select {
+				case <-credits:
+				case <-world.Done():
+					return
+				}
+				for w, blk := range topo.kBlocks {
+					feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
+						rawMsg{slab: item.raw.SliceAxis0(blk), ctl: ctl{Reset: item.reset}})
+				}
+				cpi++
+			case <-world.Done():
+				return
+			}
+		}
+	}()
+
+	spawn := func(count int, run func(w int)) {
+		for w := 0; w < count; w++ {
+			s.wg.Add(1)
+			go func(w int) {
+				defer s.wg.Done()
+				mp.Protect(func() { run(w) })
+			}(w)
+		}
+	}
+	spawn(cfg.Assign[TaskDoppler], func(w int) {
+		dopplerWorker(world, topo, wcfg, gain, w, nil, nil)
+	})
+	spawn(cfg.Assign[TaskEasyWeight], func(w int) {
+		easyWeightWorker(world, topo, wcfg, beamAz, w, nil)
+	})
+	spawn(cfg.Assign[TaskHardWeight], func(w int) {
+		hardWeightWorker(world, topo, wcfg, beamAz, w, nil)
+	})
+	spawn(cfg.Assign[TaskEasyBF], func(w int) {
+		easyBFWorker(world, topo, wcfg, beamAz, w, nil)
+	})
+	spawn(cfg.Assign[TaskHardBF], func(w int) {
+		hardBFWorker(world, topo, wcfg, beamAz, w, nil)
+	})
+	spawn(cfg.Assign[TaskPulseComp], func(w int) {
+		pulseCompWorker(world, topo, wcfg, w, nil)
+	})
+	spawn(cfg.Assign[TaskCFAR], func(w int) {
+		cfarWorker(world, topo, wcfg, w, nil, nil)
+	})
+
+	// Collector: merges per-CFAR-worker reports into per-CPI detection
+	// lists, in submission order.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(s.out)
+		mp.Protect(func() {
+			collector := world.Comm(topo.driver)
+			for cpi := 0; ; cpi++ {
+				var merged []stap.Detection
+				eof := false
+				for _, src := range topo.groups[TaskCFAR].Ranks() {
+					msg := collector.Recv(src, tag(tagDet, cpi)).(detMsg)
+					if msg.ctl.EOF {
+						eof = true
+						continue
+					}
+					merged = append(merged, msg.dets...)
+				}
+				if eof {
+					return
+				}
+				sortDetections(merged)
+				s.mu.Lock()
+				s.cpis++
+				s.mu.Unlock()
+				select {
+				case s.out <- merged:
+				case <-world.Done():
+					return
+				}
+				credits <- struct{}{}
+			}
+		})
+	}()
+	return s, nil
+}
+
+// ProcessJob runs one independent job — a CPI sequence sharing the
+// stream's scene parameters — through the warm pipeline and returns the
+// per-CPI detection reports. The adaptive weights restart at the job
+// boundary, so the output equals processing the same cubes with a fresh
+// serial stap.Processor. Returns ErrStreamClosed if the stream is closed
+// or aborted mid-job.
+func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
+	if len(cpis) == 0 {
+		return nil, fmt.Errorf("pipeline: empty job")
+	}
+	select {
+	case <-s.quit:
+		return nil, ErrStreamClosed
+	default:
+	}
+	// Submit from a separate goroutine so the bounded in-flight window
+	// cannot deadlock submission against result collection. The submitter
+	// always finishes before the final result arrives (the feeder must
+	// consume the last CPI before CFAR can report it), so ProcessJob's
+	// return synchronizes with it on the success path; on the abort path
+	// it exits via the world's done channel.
+	go func() {
+		for i, c := range cpis {
+			select {
+			case s.in <- streamInput{raw: c, reset: i == 0}:
+			case <-s.world.Done():
+				return
+			}
+		}
+	}()
+	out := make([][]stap.Detection, 0, len(cpis))
+	for range cpis {
+		dets, ok := <-s.out
+		if !ok {
+			return nil, ErrStreamClosed
+		}
+		out = append(out, dets)
+	}
+	return out, nil
+}
+
+// CPIsProcessed returns the number of CPIs the stream has fully processed.
+func (s *Stream) CPIsProcessed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpis
+}
+
+// Close drains the stream gracefully: everything already submitted is
+// processed, then the worker goroutines exit. Close blocks until the
+// teardown completes and must not race a ProcessJob in flight.
+func (s *Stream) Close() {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		close(s.in)
+	})
+	s.wg.Wait()
+}
+
+// Abort tears the stream down immediately, discarding in-flight work, and
+// blocks until every goroutine has exited. A ProcessJob in flight returns
+// ErrStreamClosed.
+func (s *Stream) Abort() {
+	s.world.Abort()
+	s.wg.Wait()
+}

@@ -1,0 +1,149 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// waitGoroutines polls until the goroutine count drops to at most want,
+// failing the test after a deadline (goroutine exits lag the observable
+// completion slightly).
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d > %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunContextCancelMidStream(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := radar.DefaultScene(radar.Small())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(Config{
+			Scene:   sc,
+			Assign:  NewAssignment(2, 1, 2, 1, 1, 2, 1),
+			NumCPIs: 500, // far more than can finish before the cancel
+			Window:  2,
+			Context: ctx,
+		})
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the pipeline reach steady state
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("cancelled run returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+	waitGoroutines(t, before)
+}
+
+func TestRunContextAlreadyDone(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Config{
+		Scene:   sc,
+		Assign:  NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		NumCPIs: 3,
+		Context: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamJobsMatchSerial verifies the serving contract: every job
+// processed by a warm Stream yields detections bit-identical to a fresh
+// serial reference run over that job's cubes, regardless of the jobs
+// processed before it.
+func TestStreamJobsMatchSerial(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	st, err := NewStream(StreamConfig{Scene: sc, Assign: NewAssignment(2, 1, 2, 1, 1, 2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Three jobs of different lengths drawn from different parts of the
+	// scene's CPI stream (so their data differs).
+	jobs := [][]*cube.Cube{}
+	next := 0
+	for _, n := range []int{3, 1, 4} {
+		job := make([]*cube.Cube, n)
+		for i := range job {
+			job[i] = sc.GenerateCPI(next)
+			next++
+		}
+		jobs = append(jobs, job)
+	}
+	for j, job := range jobs {
+		got, err := st.ProcessJob(job)
+		if err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+		pr := stap.NewProcessor(sc)
+		for i, raw := range job {
+			want := pr.Process(raw).Detections
+			if !sameDetections(got[i], want) {
+				t.Errorf("job %d CPI %d: stream %v != serial %v", j, i, got[i], want)
+			}
+		}
+	}
+	if n := st.CPIsProcessed(); n != 8 {
+		t.Errorf("CPIsProcessed = %d, want 8", n)
+	}
+}
+
+func TestStreamCloseAndAbortStopGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := radar.DefaultScene(radar.Small())
+
+	st, err := NewStream(StreamConfig{Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ProcessJob([]*cube.Cube{sc.GenerateCPI(0)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	waitGoroutines(t, before)
+	if _, err := st.ProcessJob([]*cube.Cube{sc.GenerateCPI(1)}); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("ProcessJob after Close: err = %v, want ErrStreamClosed", err)
+	}
+
+	st2, err := NewStream(StreamConfig{Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Abort()
+	waitGoroutines(t, before)
+	if _, err := st2.ProcessJob([]*cube.Cube{sc.GenerateCPI(2)}); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("ProcessJob after Abort: err = %v, want ErrStreamClosed", err)
+	}
+}

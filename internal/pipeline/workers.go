@@ -11,39 +11,79 @@ import (
 	"pstap/internal/stap"
 )
 
+// more reports whether a worker's loop continues at CPI index cpi. Batch
+// runs bound the loop with NumCPIs; streaming runs (NumCPIs == 0, see
+// Stream) run until an EOF control message arrives.
+func (c Config) more(cpi int) bool { return c.NumCPIs == 0 || cpi < c.NumCPIs }
+
+// streaming reports whether the run is open-ended.
+func (c Config) streaming() bool { return c.NumCPIs == 0 }
+
+// record stores a span when the run collects timing (batch mode; streaming
+// runs pass nil slices).
+func record(spans []Span, cpi int, s Span) {
+	if cpi < len(spans) {
+		spans[cpi] = s
+	}
+}
+
+// stamp stores a timestamp when the run collects them.
+func stamp(ts []time.Time, cpi int, t time.Time) {
+	if cpi < len(ts) {
+		ts[cpi] = t
+	}
+}
+
 // dopplerWorker is one processor of task 0. Per CPI: receive its raw range
 // slab, Doppler-filter it, then perform data collection (training subsets
 // for the weight tasks) and reorganization (Doppler-major pieces for the
-// beamforming tasks) and send — the all-to-all personalized phase.
+// beamforming tasks) and send — the all-to-all personalized phase. The
+// control flags of the incoming slab (job reset, stream EOF) are forwarded
+// verbatim to every successor worker.
 func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, w int, spans []Span, ready []time.Time) {
 	p := topo.p
 	comm := world.Comm(topo.groups[TaskDoppler].Global(w))
 	blk := topo.kBlocks[w]
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
-		ready[cpi] = t0
-		raw := comm.Recv(topo.driver, tag(tagRaw, cpi)).(rawMsg).slab
+		stamp(ready, cpi, t0)
+		msg := comm.Recv(topo.driver, tag(tagRaw, cpi)).(rawMsg)
+		if msg.ctl.EOF {
+			for dw := range topo.easyWPos {
+				comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{ctl: msg.ctl})
+			}
+			for dw := range topo.hardWPos {
+				comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{ctl: msg.ctl})
+			}
+			for dw := range topo.easyBFPos {
+				comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{ctl: msg.ctl})
+			}
+			for dw := range topo.hardBFPos {
+				comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{ctl: msg.ctl})
+			}
+			return
+		}
 		t1 := time.Now()
-		stag := stap.DopplerFilterBlockThreaded(p, raw, gain, blk, cfg.Threads)
+		stag := stap.DopplerFilterBlockThreaded(p, msg.slab, gain, blk, cfg.Threads)
 		t2 := time.Now()
 		for dw, pos := range topo.easyWPos {
 			rows := stap.ExtractEasyRows(p, stag, blk, binsAt(topo.easyBins, pos))
-			comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{rows: rows})
+			comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{rows: rows, ctl: msg.ctl})
 		}
 		for dw, pos := range topo.hardWPos {
 			rows := stap.ExtractHardRows(p, stag, blk, binsAt(topo.hardBins, pos))
-			comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{rows: rows})
+			comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{rows: rows, ctl: msg.ctl})
 		}
 		for dw, pos := range topo.easyBFPos {
 			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.easyBins, pos), p.J)
-			comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{piece: piece})
+			comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{piece: piece, ctl: msg.ctl})
 		}
 		for dw, pos := range topo.hardBFPos {
 			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.hardBins, pos), 2*p.J)
-			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece})
+			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece, ctl: msg.ctl})
 		}
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -51,7 +91,9 @@ func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, 
 // every Doppler processor (stacked in rank order = ascending range order),
 // update the training history, solve the constrained least squares for its
 // bins, and ship the weights to the easy beamforming workers that own
-// those bins — for the *next* CPI (temporal dependency TD(1,3)).
+// those bins — for the *next* CPI (temporal dependency TD(1,3)). A job
+// reset re-creates the training state so independent jobs in a stream see
+// exactly the fresh-start semantics of a batch run.
 func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
 	p := topo.p
 	comm := world.Comm(topo.groups[TaskEasyWeight].Global(w))
@@ -59,11 +101,20 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 	bins := binsAt(topo.easyBins, pos)
 	state := stap.NewEasyWeightStateForBins(p, beamAz, bins)
 	p0 := topo.groups[TaskDoppler].N
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
 		perSrc := make([][]*linalg.Matrix, p0)
 		for s := 0; s < p0; s++ {
-			perSrc[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyTrain, cpi)).(easyTrainMsg).rows
+			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyTrain, cpi)).(easyTrainMsg)
+			perSrc[s] = msg.rows
+			c = msg.ctl
+		}
+		if c.EOF {
+			return
+		}
+		if c.Reset && cpi > 0 {
+			state = stap.NewEasyWeightStateForBins(p, beamAz, bins)
 		}
 		stacked := make([]*linalg.Matrix, len(bins))
 		parts := make([]*linalg.Matrix, p0)
@@ -77,7 +128,7 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 		state.ObserveRows(stacked)
 		ws := state.Compute()
 		t2 := time.Now()
-		if cpi+1 < cfg.NumCPIs {
+		if cfg.streaming() || cpi+1 < cfg.NumCPIs {
 			for bw, bfPos := range topo.easyBFPos {
 				ov := redist.Intersect(pos, bfPos)
 				if ov.Size() == 0 {
@@ -88,7 +139,7 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -104,11 +155,20 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 	state := stap.NewHardWeightStateForBins(p, beamAz, bins)
 	p0 := topo.groups[TaskDoppler].N
 	nSeg := p.NumSegments()
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
 		perSrc := make([][][]*linalg.Matrix, p0)
 		for s := 0; s < p0; s++ {
-			perSrc[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardTrain, cpi)).(hardTrainMsg).rows
+			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardTrain, cpi)).(hardTrainMsg)
+			perSrc[s] = msg.rows
+			c = msg.ctl
+		}
+		if c.EOF {
+			return
+		}
+		if c.Reset && cpi > 0 {
+			state = stap.NewHardWeightStateForBins(p, beamAz, bins)
 		}
 		stacked := make([][]*linalg.Matrix, nSeg)
 		parts := make([]*linalg.Matrix, p0)
@@ -125,7 +185,7 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 		state.ObserveRows(stacked)
 		ws := state.Compute()
 		t2 := time.Now()
-		if cpi+1 < cfg.NumCPIs {
+		if cfg.streaming() || cpi+1 < cfg.NumCPIs {
 			for bw, bfPos := range topo.hardBFPos {
 				ov := redist.Intersect(pos, bfPos)
 				if ov.Size() == 0 {
@@ -139,14 +199,15 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
 // easyBFWorker is one processor of task 3: assemble its bins' Doppler-major
 // data from every Doppler processor, receive this CPI's weights (steering
-// for CPI 0), beamform, and forward rows to the pulse-compression workers
-// that own them.
+// on a job reset), beamform, and forward rows to the pulse-compression
+// workers that own them. Weights shipped across a job boundary are
+// received and discarded to keep the per-CPI streams aligned.
 func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
 	p := topo.p
 	comm := world.Comm(topo.groups[TaskEasyBF].Global(w))
@@ -155,23 +216,33 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 	steer := stap.SteeringWeights(p, beamAz)
 	p0 := topo.groups[TaskDoppler].N
 	pieces := make([]*cube.Cube, p0)
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
+		for s := 0; s < p0; s++ {
+			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyBFData, cpi)).(bfDataMsg)
+			pieces[s] = msg.piece
+			c = msg.ctl
+		}
+		if c.EOF {
+			sendBeamEOF(comm, topo, TaskEasyBeamStream, cpi, bins, c)
+			return
+		}
 		ws := make([]*linalg.Matrix, len(bins))
-		if cpi == 0 {
-			copy(ws, steer.Easy[pos.Lo:pos.Hi])
-		} else {
+		if cpi > 0 {
 			for ww, wPos := range topo.easyWPos {
 				ov := redist.Intersect(pos, wPos)
 				if ov.Size() == 0 {
 					continue
 				}
 				msg := comm.Recv(topo.groups[TaskEasyWeight].Global(ww), tag(tagEasyW, cpi)).(easyWeightsMsg)
-				copy(ws[ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws)
+				if !c.Reset {
+					copy(ws[ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws)
+				}
 			}
 		}
-		for s := 0; s < p0; s++ {
-			pieces[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyBFData, cpi)).(bfDataMsg).piece
+		if c.Reset {
+			copy(ws, steer.Easy[pos.Lo:pos.Hi])
 		}
 		slab := redist.AssembleBeamformInput(p, pieces, topo.kBlocks, p.J)
 		t1 := time.Now()
@@ -180,7 +251,7 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		t2 := time.Now()
 		sendBeamRows(comm, topo, TaskEasyBeamStream, cpi, bins, out)
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -208,6 +279,17 @@ func sendBeamRows(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, ou
 	}
 }
 
+// sendBeamEOF forwards stream EOF to exactly the pulse-compression workers
+// this beamforming worker would otherwise feed (the sender sets of
+// sendBeamRows).
+func sendBeamEOF(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, c ctl) {
+	for pw, blk := range topo.pcBlocks {
+		if lo, hi := redist.IntersectList(bins, blk); lo < hi {
+			comm.Send(topo.groups[TaskPulseComp].Global(pw), tag(stream, cpi), beamMsg{ctl: c})
+		}
+	}
+}
+
 // hardBFWorker is one processor of task 4: like easyBFWorker but with 2J
 // channels and per-segment weights.
 func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64, w int, spans []Span) {
@@ -219,30 +301,40 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 	p0 := topo.groups[TaskDoppler].N
 	nSeg := p.NumSegments()
 	pieces := make([]*cube.Cube, p0)
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
+		for s := 0; s < p0; s++ {
+			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardBFData, cpi)).(bfDataMsg)
+			pieces[s] = msg.piece
+			c = msg.ctl
+		}
+		if c.EOF {
+			sendBeamEOF(comm, topo, TaskHardBeamStream, cpi, bins, c)
+			return
+		}
 		ws := make([][]*linalg.Matrix, nSeg)
 		for seg := range ws {
 			ws[seg] = make([]*linalg.Matrix, len(bins))
 		}
-		if cpi == 0 {
-			for seg := 0; seg < nSeg; seg++ {
-				copy(ws[seg], steer.Hard[seg][pos.Lo:pos.Hi])
-			}
-		} else {
+		if cpi > 0 {
 			for ww, wPos := range topo.hardWPos {
 				ov := redist.Intersect(pos, wPos)
 				if ov.Size() == 0 {
 					continue
 				}
 				msg := comm.Recv(topo.groups[TaskHardWeight].Global(ww), tag(tagHardW, cpi)).(hardWeightsMsg)
-				for seg := 0; seg < nSeg; seg++ {
-					copy(ws[seg][ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws[seg])
+				if !c.Reset {
+					for seg := 0; seg < nSeg; seg++ {
+						copy(ws[seg][ov.Lo-pos.Lo:ov.Hi-pos.Lo], msg.ws[seg])
+					}
 				}
 			}
 		}
-		for s := 0; s < p0; s++ {
-			pieces[s] = comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardBFData, cpi)).(bfDataMsg).piece
+		if c.Reset {
+			for seg := 0; seg < nSeg; seg++ {
+				copy(ws[seg], steer.Hard[seg][pos.Lo:pos.Hi])
+			}
 		}
 		slab := redist.AssembleBeamformInput(p, pieces, topo.kBlocks, 2*p.J)
 		t1 := time.Now()
@@ -251,7 +343,7 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		t2 := time.Now()
 		sendBeamRows(comm, topo, TaskHardBeamStream, cpi, bins, out)
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -277,16 +369,29 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 			senders = append(senders, pcSrc{rank: topo.groups[TaskHardBF].Global(bw), stream: tagHardBeam})
 		}
 	}
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
 		local := cube.New(radar.BeamOrder, blk.Size(), p.M, p.K)
 		for _, s := range senders {
 			msg := comm.Recv(s.rank, tag(s.stream, cpi)).(beamMsg)
+			if msg.ctl.EOF {
+				c = msg.ctl
+				continue
+			}
 			for i, d := range msg.globalBins {
 				for m := 0; m < p.M; m++ {
 					copy(local.Vec(d-blk.Lo, m), msg.slab.Vec(i, m))
 				}
 			}
+		}
+		if c.EOF {
+			for cw, cblk := range topo.cfBlocks {
+				if redist.Intersect(blk, cblk).Size() > 0 {
+					comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{ctl: c})
+				}
+			}
+			return
 		}
 		t1 := time.Now()
 		power := cube.NewReal(radar.BeamOrder, blk.Size(), p.M, p.K)
@@ -301,7 +406,7 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 			comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{slab: sub, blk: ov})
 		}
 		t3 := time.Now()
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -318,12 +423,21 @@ func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span
 			senders = append(senders, topo.groups[TaskPulseComp].Global(pw))
 		}
 	}
-	for cpi := 0; cpi < cfg.NumCPIs; cpi++ {
+	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		var c ctl
 		local := cube.NewReal(radar.BeamOrder, blk.Size(), p.M, p.K)
 		for _, src := range senders {
 			msg := comm.Recv(src, tag(tagPower, cpi)).(powerMsg)
+			if msg.ctl.EOF {
+				c = msg.ctl
+				continue
+			}
 			local.PasteAxis0(cube.Block{Lo: msg.blk.Lo - blk.Lo, Hi: msg.blk.Hi - blk.Lo}, msg.slab)
+		}
+		if c.EOF {
+			comm.Send(topo.driver, tag(tagDet, cpi), detMsg{ctl: c})
+			return
 		}
 		t1 := time.Now()
 		var dets []stap.Detection
@@ -331,7 +445,7 @@ func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span
 		t2 := time.Now()
 		comm.Send(topo.driver, tag(tagDet, cpi), detMsg{dets: dets})
 		t3 := time.Now()
-		done[cpi] = t3
-		spans[cpi] = Span{T0: t0, T1: t1, T2: t2, T3: t3}
+		stamp(done, cpi, t3)
+		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }

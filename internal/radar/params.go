@@ -48,14 +48,14 @@ type Params struct {
 	HardSamplesPerSegment int
 
 	// CFAR sliding-window parameters.
-	CFARGuard   int     // guard cells on each side of the test cell
-	CFARRef     int     // reference (averaging) cells on each side
-	CFARScale   float64 // probability-of-false-alarm threshold factor
+	CFARGuard int     // guard cells on each side of the test cell
+	CFARRef   int     // reference (averaging) cells on each side
+	CFARScale float64 // probability-of-false-alarm threshold factor
 	// CFARKind selects the reference-level estimator (stap.CFARKind
 	// values: 0 = cell averaging, the paper's detector; 1 = greatest-of,
 	// 2 = smallest-of, 3 = ordered statistic).
-	CFARKind int
-	WaveformLen int     // transmit pulse replica length in range samples
+	CFARKind    int
+	WaveformLen int // transmit pulse replica length in range samples
 }
 
 // Paper returns the exact parameter set of Section 7 of the paper.

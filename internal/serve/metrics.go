@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent end-to-end job latencies the metrics
+// keep for percentile estimation (a sliding window, not a full history, so
+// a long-lived daemon's memory stays bounded).
+const latencyWindow = 4096
+
+// Metrics is the server's observability surface: monotonic counters,
+// gauges and a sliding latency window, all safe for concurrent use.
+type Metrics struct {
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cpis      atomic.Int64
+
+	queueDepth func() int
+	start      time.Time
+
+	mu     sync.Mutex
+	lat    []time.Duration // ring buffer
+	latPos int
+	latN   int
+
+	replicas []*ReplicaStats
+}
+
+// ReplicaStats tracks one pipeline replica's work.
+type ReplicaStats struct {
+	jobs   atomic.Int64
+	busyNs atomic.Int64
+}
+
+// newMetrics builds the metrics for a replica pool of the given size.
+func newMetrics(replicas int, queueDepth func() int) *Metrics {
+	m := &Metrics{
+		queueDepth: queueDepth,
+		start:      time.Now(),
+		lat:        make([]time.Duration, latencyWindow),
+		replicas:   make([]*ReplicaStats, replicas),
+	}
+	for i := range m.replicas {
+		m.replicas[i] = &ReplicaStats{}
+	}
+	return m
+}
+
+// observe records one completed job's end-to-end (enqueue-to-reply)
+// latency.
+func (m *Metrics) observe(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.latPos] = d
+	m.latPos = (m.latPos + 1) % len(m.lat)
+	if m.latN < len(m.lat) {
+		m.latN++
+	}
+	m.mu.Unlock()
+}
+
+// ReplicaSnapshot is one replica's row in a Snapshot.
+type ReplicaSnapshot struct {
+	Jobs int64 `json:"jobs"`
+	// Utilization is the fraction of the server's lifetime this replica
+	// spent processing jobs (busy time / wall time).
+	Utilization float64 `json:"utilization"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the metrics — the
+// payload of the /metrics endpoint.
+type Snapshot struct {
+	UptimeSec     float64           `json:"uptime_sec"`
+	QueueDepth    int               `json:"queue_depth"`
+	Accepted      int64             `json:"accepted"`
+	Rejected      int64             `json:"rejected"`
+	Completed     int64             `json:"completed"`
+	Failed        int64             `json:"failed"`
+	CPIsProcessed int64             `json:"cpis_processed"`
+	JobsPerSec    float64           `json:"jobs_per_sec"`
+	LatencyP50Ms  float64           `json:"latency_p50_ms"`
+	LatencyP95Ms  float64           `json:"latency_p95_ms"`
+	LatencyP99Ms  float64           `json:"latency_p99_ms"`
+	Replicas      []ReplicaSnapshot `json:"replicas"`
+}
+
+// Snapshot assembles the current view.
+func (m *Metrics) Snapshot() Snapshot {
+	up := time.Since(m.start)
+	s := Snapshot{
+		UptimeSec:     up.Seconds(),
+		Accepted:      m.accepted.Load(),
+		Rejected:      m.rejected.Load(),
+		Completed:     m.completed.Load(),
+		Failed:        m.failed.Load(),
+		CPIsProcessed: m.cpis.Load(),
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	if up > 0 {
+		s.JobsPerSec = float64(s.Completed) / up.Seconds()
+	}
+	m.mu.Lock()
+	window := make([]time.Duration, m.latN)
+	if m.latN < len(m.lat) {
+		copy(window, m.lat[:m.latN])
+	} else {
+		copy(window, m.lat)
+	}
+	m.mu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	s.LatencyP50Ms = quantileMs(window, 0.50)
+	s.LatencyP95Ms = quantileMs(window, 0.95)
+	s.LatencyP99Ms = quantileMs(window, 0.99)
+	for _, r := range m.replicas {
+		rs := ReplicaSnapshot{Jobs: r.jobs.Load()}
+		if up > 0 {
+			rs.Utilization = float64(r.busyNs.Load()) / float64(up.Nanoseconds())
+		}
+		s.Replicas = append(s.Replicas, rs)
+	}
+	return s
+}
+
+// quantileMs returns the q-quantile of a sorted window in milliseconds,
+// with the same nearest-rank convention as pipeline.LatencyPercentile.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// Handler returns an http.Handler serving the snapshot as JSON (an
+// expvar-style endpoint, scraped by cmd/stapload -metrics).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(m.Snapshot())
+	})
+}

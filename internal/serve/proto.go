@@ -1,0 +1,99 @@
+// Package serve turns the parallel pipelined STAP system into a network
+// service: stapd (cmd/stapd) listens on TCP, accepts CPI-cube jobs over a
+// length-prefixed gob protocol (internal/cpifile frames), queues them in a
+// bounded admission queue with explicit backpressure, and processes them
+// on a pool of persistent pipeline replicas (pipeline.Stream) — the
+// serving-layer realization of the replicated-pipelines extension the
+// paper's conclusion proposes. A JSON metrics endpoint exposes queue
+// depth, accept/reject/complete counters, per-replica utilization and
+// end-to-end latency percentiles, turning the paper's eq. (1)–(3)
+// steady-state analysis into a measurable SLO.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/stap"
+)
+
+// Wire protocol: the client sends Request frames and the server answers
+// with one Response frame per request, matched by ID. Responses may
+// arrive out of submission order (jobs run on different replicas), so a
+// client must demultiplex by ID. Frames are encoded by
+// cpifile.WriteFrame/ReadFrame; each frame is a self-contained gob
+// stream, hardened against truncation and corrupt length prefixes.
+
+// Request is one client frame: a job holding an independent CPI sequence.
+// The cubes must match the server scene's dimensions (K x J x N in raw
+// axis order). The job is processed with fresh adaptive-weight state, so
+// its detections are bit-identical to the serial reference processing of
+// the same cubes.
+type Request struct {
+	// ID is the client's correlation token, echoed in the Response.
+	ID uint64
+	// CPIs is the job payload, processed as one temporal sequence.
+	CPIs []*cube.Cube
+	// Trace requests a per-job Gantt execution trace. It is honored only
+	// when the server was started with a trace directory; the Response
+	// names the file written.
+	Trace bool
+}
+
+// Status classifies a Response.
+type Status int
+
+const (
+	// StatusOK means the job completed and Detections is valid.
+	StatusOK Status = iota
+	// StatusBusy means the admission queue was full and the job was
+	// rejected without queueing — the backpressure signal. The client
+	// should retry after RetryAfterMs.
+	StatusBusy
+	// StatusError means the job was invalid or the server failed or is
+	// shutting down; Err describes why.
+	StatusError
+)
+
+// String renders the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBusy:
+		return "busy"
+	case StatusError:
+		return "error"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Response is one server frame, answering the Request with matching ID.
+type Response struct {
+	ID     uint64
+	Status Status
+	// RetryAfterMs is the suggested backoff when Status is StatusBusy.
+	RetryAfterMs int64
+	// Err describes a StatusError.
+	Err string
+	// Detections[i] is the report for the job's CPI i.
+	Detections [][]stap.Detection
+	// QueueNs and ServiceNs split the server-side residence time of the
+	// job: time waiting in the admission queue and time on a replica.
+	QueueNs, ServiceNs int64
+	// TraceFile is the server-side path of the Gantt trace, when requested
+	// and enabled.
+	TraceFile string
+}
+
+// BusyError is returned by Client.Submit when the server rejected the job
+// with backpressure; RetryAfter is the server's suggested backoff.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: server busy, retry after %v", e.RetryAfter)
+}

@@ -1,0 +1,389 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing with a stack dump if it never does — the leak detector
+// for drain tests.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// serialReference processes a job with a fresh serial processor — the
+// ground truth every served job must reproduce bit-exactly.
+func serialReference(sc *radar.Scene, cpis []*cube.Cube) [][]stap.Detection {
+	pr := stap.NewProcessor(sc)
+	var out [][]stap.Detection
+	for _, c := range cpis {
+		out = append(out, pr.Process(c).Detections)
+	}
+	return out
+}
+
+func sameDetections(a, b []stap.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Range != b[i].Range || a[i].DopplerBin != b[i].DopplerBin || a[i].Beam != b[i].Beam {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeMatchesSerial is the end-to-end loopback test: concurrent
+// clients submit independent jobs to a replicated server and every reply
+// must match the serial reference for that job, regardless of which
+// replica ran it or how jobs interleaved.
+func TestServeMatchesSerial(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas: 2,
+		Window:   2,
+	})
+	defer s.Shutdown(context.Background())
+
+	const clients = 3
+	const jobsPerClient = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*jobsPerClient)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := Dial(s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for ji := 0; ji < jobsPerClient; ji++ {
+				n := 1 + (ci+ji)%3 // job lengths 1..3
+				var cpis []*cube.Cube
+				for k := 0; k < n; k++ {
+					cpis = append(cpis, sc.GenerateCPI(ci*100+ji*10+k))
+				}
+				got, err := cl.SubmitRetry(cpis, 50)
+				if err != nil {
+					errs <- fmt.Errorf("client %d job %d: %w", ci, ji, err)
+					return
+				}
+				want := serialReference(sc, cpis)
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("client %d job %d: %d CPI reports, want %d", ci, ji, len(got), len(want))
+					return
+				}
+				for i := range want {
+					if !sameDetections(got[i], want[i]) {
+						errs <- fmt.Errorf("client %d job %d CPI %d: detections differ from serial reference", ci, ji, i)
+						return
+					}
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.Completed != clients*jobsPerClient {
+		t.Errorf("completed = %d, want %d", snap.Completed, clients*jobsPerClient)
+	}
+	if snap.Failed != 0 {
+		t.Errorf("failed = %d, want 0", snap.Failed)
+	}
+	var replicaJobs int64
+	for _, r := range snap.Replicas {
+		replicaJobs += r.Jobs
+	}
+	if replicaJobs != snap.Completed {
+		t.Errorf("replica jobs %d != completed %d", replicaJobs, snap.Completed)
+	}
+}
+
+// TestServeBackpressure floods a Replicas=1, QueueDepth=1 server and
+// requires the bounded queue to push back with StatusBusy instead of
+// buffering: at least one rejection must be observed, every rejection
+// must carry a retry hint, and accepted jobs must still succeed.
+func TestServeBackpressure(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:      sc,
+		Assign:     pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas:   1,
+		QueueDepth: 1,
+		Window:     2,
+		RetryAfter: 5 * time.Millisecond,
+	})
+	defer s.Shutdown(context.Background())
+
+	cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1), sc.GenerateCPI(2)}
+	want := serialReference(sc, cpis)
+
+	var busy, ok int
+	for round := 0; round < 20 && busy == 0; round++ {
+		const burst = 8
+		var wg sync.WaitGroup
+		results := make(chan error, burst)
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl, err := Dial(s.Addr().String())
+				if err != nil {
+					results <- err
+					return
+				}
+				defer cl.Close()
+				got, err := cl.Submit(cpis)
+				if err != nil {
+					results <- err
+					return
+				}
+				if !sameDetections(got[len(got)-1], want[len(want)-1]) {
+					results <- errors.New("accepted job differs from serial reference")
+					return
+				}
+				results <- nil
+			}()
+		}
+		wg.Wait()
+		close(results)
+		for err := range results {
+			var be *BusyError
+			switch {
+			case err == nil:
+				ok++
+			case errors.As(err, &be):
+				busy++
+				if be.RetryAfter <= 0 {
+					t.Errorf("busy rejection without retry hint: %v", be)
+				}
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+	}
+	if busy == 0 {
+		t.Error("flooding a depth-1 queue never produced a busy rejection")
+	}
+	if ok == 0 {
+		t.Error("no job was accepted during the flood")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Rejected != int64(busy) {
+		t.Errorf("metrics rejected = %d, observed %d", snap.Rejected, busy)
+	}
+	if snap.Completed != int64(ok) {
+		t.Errorf("metrics completed = %d, observed %d", snap.Completed, ok)
+	}
+}
+
+// TestServeShutdownDrain checks the graceful path: a shutdown issued
+// while jobs are in flight lets them finish (their replies arrive and
+// match the reference), then every server goroutine exits.
+func TestServeShutdownDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas: 2,
+		Window:   2,
+	})
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1)}
+	want := serialReference(sc, cpis)
+
+	type result struct {
+		dets [][]stap.Detection
+		err  error
+	}
+	results := make(chan result, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			dets, err := cl.Submit(cpis)
+			results <- result{dets, err}
+		}()
+	}
+	// Let the jobs get admitted, then shut down underneath them.
+	time.Sleep(20 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	var served int
+	for i := 0; i < 4; i++ {
+		r := <-results
+		if r.err != nil {
+			continue // submitted too late: rejected or connection closed
+		}
+		served++
+		if !sameDetections(r.dets[len(r.dets)-1], want[len(want)-1]) {
+			t.Error("drained job differs from serial reference")
+		}
+	}
+	if snap := s.Metrics().Snapshot(); int64(served) != snap.Completed {
+		t.Errorf("served %d replies, metrics completed = %d", served, snap.Completed)
+	}
+	cl.Close()
+	waitGoroutines(t, before)
+
+	// The server refuses work after shutdown.
+	if _, err := Dial(s.Addr().String()); err == nil {
+		t.Error("dial after shutdown should fail")
+	}
+}
+
+// TestServeValidation covers malformed jobs: they are answered with a
+// descriptive error, not processed and not counted as completed.
+func TestServeValidation(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:  sc,
+		Assign: pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Window: 2,
+	})
+	defer s.Shutdown(context.Background())
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Submit(nil); err == nil || !strings.Contains(err.Error(), "empty job") {
+		t.Errorf("empty job: err = %v", err)
+	}
+	bad := cube.New(radar.RawOrder, 1, 1, 1)
+	if _, err := cl.Submit([]*cube.Cube{bad}); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Errorf("bad shape: err = %v", err)
+	}
+	if snap := s.Metrics().Snapshot(); snap.Accepted != 0 {
+		t.Errorf("invalid jobs were admitted: accepted = %d", snap.Accepted)
+	}
+}
+
+// TestServeTraceCapture submits a traced job and checks the server wrote
+// a Gantt file while still returning reference-exact detections.
+func TestServeTraceCapture(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	dir := t.TempDir()
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Window:   2,
+		TraceDir: dir,
+	})
+	defer s.Shutdown(context.Background())
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1), sc.GenerateCPI(2)}
+	resp, err := cl.Do(&Request{CPIs: cpis, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("traced job: %s (%s)", resp.Status, resp.Err)
+	}
+	if resp.TraceFile == "" {
+		t.Fatal("traced job returned no trace file")
+	}
+	body, err := os.ReadFile(resp.TraceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Doppler") {
+		t.Error("trace file does not mention the Doppler task")
+	}
+	want := serialReference(sc, cpis)
+	for i := range want {
+		if !sameDetections(resp.Detections[i], want[i]) {
+			t.Errorf("traced job CPI %d differs from serial reference", i)
+		}
+	}
+}
+
+// TestMetricsHandler scrapes the JSON endpoint the way cmd/stapload does.
+func TestMetricsHandler(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:  sc,
+		Assign: pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Window: 2,
+	})
+	defer s.Shutdown(context.Background())
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Submit([]*cube.Cube{sc.GenerateCPI(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, key := range []string{"queue_depth", "accepted", "completed", "latency_p95_ms", "replicas", "utilization"} {
+		if !strings.Contains(body, key) {
+			t.Errorf("metrics JSON missing %q:\n%s", key, body)
+		}
+	}
+	if !strings.Contains(body, `"completed": 1`) {
+		t.Errorf("metrics JSON should report 1 completed job:\n%s", body)
+	}
+}

@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstap/internal/cpifile"
+	"pstap/internal/cube"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+	"pstap/internal/trace"
+)
+
+// Config describes a stapd server.
+type Config struct {
+	// Scene supplies the processing parameters, beam geometry, chirp
+	// replica and range-gain profile. Submitted cubes must match its
+	// dimensions.
+	Scene *radar.Scene
+	// Assign is the per-task worker count of each pipeline replica.
+	Assign pipeline.Assignment
+	// Replicas is the number of warm pipeline instances (default 1).
+	// Throughput scales with the replica count while per-job latency
+	// stays at one pipeline's latency — the paper's replicated-pipelines
+	// extension as a serving knob.
+	Replicas int
+	// QueueDepth bounds the admission queue (default 2 per replica).
+	// When the queue is full, jobs are rejected with StatusBusy and a
+	// retry-after hint instead of buffering without bound.
+	QueueDepth int
+	// Window and Threads are passed through to each replica's pipeline.
+	Window, Threads int
+	// RetryAfter is the backoff hint in busy replies (default 100ms).
+	RetryAfter time.Duration
+	// TraceDir, when set, enables per-job Gantt capture: jobs submitted
+	// with Request.Trace run through an instrumented batch pipeline and
+	// the rendered trace is written here.
+	TraceDir string
+	// Logf, when non-nil, receives server log lines.
+	Logf func(format string, args ...any)
+}
+
+// job is one admitted request flowing from a connection to a replica.
+type job struct {
+	req  *Request
+	enq  time.Time
+	done chan *Response // buffered; the replica's reply
+}
+
+// Server is the stapd daemon core: listener, admission queue, replica
+// pool and metrics. Create with New, start with Start or Serve, stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	queue   chan *job
+	streams []*pipeline.Stream
+
+	ln        net.Listener
+	admitting atomic.Bool
+	traceSeq  atomic.Uint64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	readerWG sync.WaitGroup // connection read loops
+	writerWG sync.WaitGroup // connection write loops
+	acceptWG sync.WaitGroup
+	replWG   sync.WaitGroup
+
+	// hardCtx cancels traced batch runs when a shutdown deadline forces
+	// an abort.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New validates the configuration and builds the server with its replica
+// pool warm. The listener is not started yet.
+func New(cfg Config) (*Server, error) {
+	if cfg.Scene == nil {
+		return nil, fmt.Errorf("serve: nil scene")
+	}
+	if err := cfg.Scene.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Assign.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Replicas
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 100 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.metrics = newMetrics(cfg.Replicas, func() int { return len(s.queue) })
+	for i := 0; i < cfg.Replicas; i++ {
+		st, err := pipeline.NewStream(pipeline.StreamConfig{
+			Scene:   cfg.Scene,
+			Assign:  cfg.Assign,
+			Window:  cfg.Window,
+			Threads: cfg.Threads,
+		})
+		if err != nil {
+			for _, prev := range s.streams {
+				prev.Abort()
+			}
+			return nil, err
+		}
+		s.streams = append(s.streams, st)
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		s.replWG.Add(1)
+		go s.replicaLoop(i)
+	}
+	s.admitting.Store(true)
+	return s, nil
+}
+
+// Metrics returns the server's observability surface (serve its Handler
+// over HTTP for scraping).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start listens on addr and serves connections in the background.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve accepts connections from ln in the background.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed (shutdown)
+			}
+			s.connMu.Lock()
+			s.conns[conn] = struct{}{}
+			s.connMu.Unlock()
+			s.readerWG.Add(1)
+			go s.handleConn(conn)
+		}
+	}()
+	s.cfg.Logf("stapd: listening on %v (%d replicas, queue %d)", ln.Addr(), s.cfg.Replicas, s.cfg.QueueDepth)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// handleConn is one connection's read loop. A paired writer goroutine
+// serializes the response frames, so replies from different replicas can
+// complete out of order without interleaving on the wire.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.readerWG.Done()
+	replies := make(chan *Response, 16)
+	var inflight sync.WaitGroup
+	s.writerWG.Add(1)
+	go func() {
+		defer s.writerWG.Done()
+		defer conn.Close()
+		broken := false
+		for r := range replies {
+			if broken {
+				continue // keep draining so job forwarders never block
+			}
+			if err := cpifile.WriteFrame(conn, r); err != nil {
+				broken = true
+			}
+		}
+	}()
+	for {
+		var req Request
+		if err := cpifile.ReadFrame(conn, &req); err != nil {
+			break // clean EOF, shutdown deadline, or corrupt frame
+		}
+		if resp := s.admit(&req, replies, &inflight); resp != nil {
+			replies <- resp
+		}
+	}
+	// Replies for jobs already admitted still flow; then the writer
+	// closes the connection.
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	inflight.Wait()
+	close(replies)
+}
+
+// admit validates a request and tries to enqueue it. It returns an
+// immediate response (rejection or validation error) or nil when the job
+// was queued — in which case a forwarder goroutine relays the replica's
+// reply to the connection writer.
+func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.WaitGroup) *Response {
+	if err := s.validate(req); err != nil {
+		return &Response{ID: req.ID, Status: StatusError, Err: err.Error()}
+	}
+	if !s.admitting.Load() {
+		return &Response{ID: req.ID, Status: StatusError, Err: "serve: shutting down"}
+	}
+	j := &job{req: req, enq: time.Now(), done: make(chan *Response, 1)}
+	select {
+	case s.queue <- j:
+		s.metrics.accepted.Add(1)
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			replies <- <-j.done
+		}()
+		return nil
+	default:
+		// Backpressure: the queue is full. Reject now with a retry hint
+		// rather than buffering without bound.
+		s.metrics.rejected.Add(1)
+		return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
+	}
+}
+
+// validate checks a job against the server's scene before admission.
+func (s *Server) validate(req *Request) error {
+	if len(req.CPIs) == 0 {
+		return fmt.Errorf("serve: empty job")
+	}
+	p := s.cfg.Scene.Params
+	want := [3]int{p.K, p.J, p.N}
+	for i, c := range req.CPIs {
+		if c == nil {
+			return fmt.Errorf("serve: job CPI %d is nil", i)
+		}
+		if c.Axes != radar.RawOrder || c.Dim != want {
+			return fmt.Errorf("serve: job CPI %d shape %v %v, want %v %v", i, c.Axes, c.Dim, radar.RawOrder, want)
+		}
+	}
+	return nil
+}
+
+// replicaLoop is one replica's job pump: it pulls from the shared
+// admission queue and runs each job on its warm pipeline instance.
+func (s *Server) replicaLoop(idx int) {
+	defer s.replWG.Done()
+	stats := s.metrics.replicas[idx]
+	for j := range s.queue {
+		svcStart := time.Now()
+		dets, traceFile, err := s.process(idx, j.req)
+		svc := time.Since(svcStart)
+		stats.jobs.Add(1)
+		stats.busyNs.Add(int64(svc))
+		resp := &Response{
+			ID:        j.req.ID,
+			QueueNs:   int64(svcStart.Sub(j.enq)),
+			ServiceNs: int64(svc),
+		}
+		if err != nil {
+			s.metrics.failed.Add(1)
+			resp.Status = StatusError
+			resp.Err = err.Error()
+		} else {
+			s.metrics.completed.Add(1)
+			s.metrics.cpis.Add(int64(len(j.req.CPIs)))
+			resp.Status = StatusOK
+			resp.Detections = dets
+			resp.TraceFile = traceFile
+		}
+		s.metrics.observe(time.Since(j.enq))
+		j.done <- resp
+	}
+}
+
+// process runs one job: on the warm stream normally, or through an
+// instrumented batch pipeline when a Gantt trace was requested.
+func (s *Server) process(idx int, req *Request) (dets [][]stap.Detection, traceFile string, err error) {
+	if req.Trace && s.cfg.TraceDir != "" {
+		return s.processTraced(req)
+	}
+	d, err := s.streams[idx].ProcessJob(req.CPIs)
+	return d, "", err
+}
+
+// processTraced runs the job through pipeline.Run with span collection
+// enabled and writes the rendered Gantt + utilization report to TraceDir.
+// Detections are identical to the stream path (both reproduce the serial
+// reference).
+func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error) {
+	cpis := req.CPIs
+	res, err := pipeline.Run(pipeline.Config{
+		Scene:     s.cfg.Scene,
+		Assign:    s.cfg.Assign,
+		NumCPIs:   len(cpis),
+		RawSource: func(i int) *cube.Cube { return cpis[i] },
+		Window:    s.cfg.Window,
+		Threads:   s.cfg.Threads,
+		Context:   s.hardCtx,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	name := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job%06d.trace.txt", s.traceSeq.Add(1)))
+	body := trace.Gantt(res, trace.Options{Width: 100}) + "\n" + trace.Utilization(res)
+	if werr := os.WriteFile(name, []byte(body), 0o644); werr != nil {
+		return nil, "", fmt.Errorf("serve: write trace: %w", werr)
+	}
+	return res.Detections, name, nil
+}
+
+// Shutdown stops the server gracefully: it stops accepting connections
+// and admitting jobs, lets every already-admitted job complete and its
+// reply flush, then drains the pipeline replicas and returns. If ctx
+// expires first, the replicas are aborted and connections force-closed;
+// Shutdown still waits for every goroutine to exit before returning the
+// context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.admitting.Store(false)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.acceptWG.Wait()
+
+		done := make(chan struct{})
+		var hard atomic.Bool
+		watcher := make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				hard.Store(true)
+				s.hardCancel()
+				for _, st := range s.streams {
+					st.Abort()
+				}
+				s.closeConns()
+			case <-done:
+			}
+		}()
+
+		// Unblock connection readers; in-flight jobs still complete and
+		// their replies flush before each connection closes.
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.SetReadDeadline(time.Now())
+		}
+		s.connMu.Unlock()
+		s.readerWG.Wait()
+		s.writerWG.Wait()
+
+		// All producers are gone: close the queue, drain the replicas,
+		// retire the warm pipelines.
+		close(s.queue)
+		s.replWG.Wait()
+		for _, st := range s.streams {
+			st.Close()
+		}
+		close(done)
+		<-watcher
+		if hard.Load() {
+			s.shutdownErr = ctx.Err()
+		}
+		s.cfg.Logf("stapd: shutdown complete (%d jobs served, %d rejected)",
+			s.metrics.completed.Load(), s.metrics.rejected.Load())
+	})
+	return s.shutdownErr
+}
+
+// closeConns force-closes every tracked connection (hard shutdown).
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		c.Close()
+	}
+}

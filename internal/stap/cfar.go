@@ -11,11 +11,11 @@ import (
 // Detection is one entry of the pipeline's output report: a threshold
 // crossing at a specific range cell, Doppler bin and look direction.
 type Detection struct {
-	Range     int
+	Range      int
 	DopplerBin int
-	Beam      int
-	Power     float64
-	Threshold float64
+	Beam       int
+	Power      float64
+	Threshold  float64
 }
 
 // String formats a detection for reports.

@@ -19,9 +19,9 @@ type ScanProcessor struct {
 	Params    radar.Params
 	Positions []ScanPosition
 
-	mf       *MatchedFilter
+	mf        *MatchedFilter
 	rangeGain []float64
-	cpiCount int
+	cpiCount  int
 }
 
 // ScanPosition is one transmit beam position with its receive-beam fan

@@ -113,4 +113,3 @@ func CFARRowsThreaded(p radar.Params, power *cube.RealCube, lo, hi int, local bo
 		*out = append(*out, dets...)
 	}
 }
-
