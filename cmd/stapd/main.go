@@ -3,26 +3,34 @@
 // internal/serve), processes them on a pool of persistent warm pipeline
 // replicas, and streams detection reports back. A bounded admission queue
 // pushes back with busy/retry-after replies when the replicas fall behind
-// — the daemon never buffers without bound. A JSON metrics endpoint
-// exposes queue depth, accept/reject/complete counters, per-replica
-// utilization and latency percentiles.
+// — the daemon never buffers without bound.
+//
+// The metrics HTTP listener exposes the full observability surface:
+// /metrics (JSON snapshot), /metrics.prom (Prometheus text exposition with
+// the live paper eq. 1-3 gauges), /trace.json (Perfetto-loadable Chrome
+// trace of the replicas' recent spans) and /debug/pprof (Go profiles).
 //
 // Usage:
 //
 //	stapd -listen :7431 -metrics :7432 -size small -replicas 2
 //	stapd -nodes 4,2,4,2,2,4,2 -queue 8 -tracedir /tmp/traces
 //
-// Stop with SIGINT/SIGTERM; in-flight jobs drain within -drain.
+// Stop with SIGINT/SIGTERM; in-flight jobs drain within -drain, then a
+// final metrics snapshot goes to stderr (and a final trace to -tracedir
+// when set) before exit.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -44,8 +52,10 @@ var (
 	flagWindow   = flag.Int("window", 0, "per-replica flow-control window (0 = default)")
 	flagThreads  = flag.Int("threads", 1, "threads per worker")
 	flagRetry    = flag.Duration("retry", 100*time.Millisecond, "retry-after hint in busy replies")
-	flagTraceDir = flag.String("tracedir", "", "directory for per-job Gantt traces (empty disables)")
+	flagTraceDir = flag.String("tracedir", "", "directory for per-job traces (empty disables)")
 	flagDrain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
+	flagObsWin   = flag.Int("obswindow", 0, "live gauge window in CPIs (0 = default 32)")
+	flagSlowMult = flag.Float64("slowmult", 0, "log worker spans slower than this multiple of the task median (0 disables)")
 )
 
 func parseNodes(s string) (pipeline.Assignment, error) {
@@ -90,15 +100,17 @@ func main() {
 	sc.Seed = *flagSeed
 
 	srv, err := serve.New(serve.Config{
-		Scene:      sc,
-		Assign:     a,
-		Replicas:   *flagReplicas,
-		QueueDepth: *flagQueue,
-		Window:     *flagWindow,
-		Threads:    *flagThreads,
-		RetryAfter: *flagRetry,
-		TraceDir:   *flagTraceDir,
-		Logf:       log.Printf,
+		Scene:        sc,
+		Assign:       a,
+		Replicas:     *flagReplicas,
+		QueueDepth:   *flagQueue,
+		Window:       *flagWindow,
+		Threads:      *flagThreads,
+		RetryAfter:   *flagRetry,
+		TraceDir:     *flagTraceDir,
+		ObsWindow:    *flagObsWin,
+		SlowMultiple: *flagSlowMult,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -112,12 +124,21 @@ func main() {
 	if *flagMetrics != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.Metrics().Handler())
+		mux.Handle("/metrics.prom", srv.PromHandler())
+		mux.Handle("/trace.json", srv.TraceHandler())
+		// net/http/pprof registers only on http.DefaultServeMux; mount the
+		// same profiles on this mux explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*flagMetrics, mux); err != nil {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
-		log.Printf("metrics on http://%s/metrics", *flagMetrics)
+		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /debug/pprof for profiles)", *flagMetrics)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -126,7 +147,33 @@ func main() {
 	log.Printf("signal received, draining (deadline %v)", *flagDrain)
 	ctx, cancel := context.WithTimeout(context.Background(), *flagDrain)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	err = srv.Shutdown(ctx)
+
+	// Flush the final observability state: the JSON metrics snapshot to
+	// stderr, and (when tracing) a last merged Perfetto trace to disk, so
+	// the run's telemetry survives the daemon.
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if eerr := enc.Encode(srv.Metrics().Snapshot()); eerr != nil {
+		log.Printf("final snapshot: %v", eerr)
+	}
+	if *flagTraceDir != "" {
+		name := filepath.Join(*flagTraceDir, "final.trace.json")
+		if f, ferr := os.Create(name); ferr != nil {
+			log.Printf("final trace: %v", ferr)
+		} else {
+			werr := srv.WriteTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				log.Printf("final trace: %v", werr)
+			} else {
+				log.Printf("final trace written to %s", name)
+			}
+		}
+	}
+	if err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
 }

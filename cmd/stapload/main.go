@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"pstap/internal/cube"
+	"pstap/internal/obs"
 	"pstap/internal/radar"
 	"pstap/internal/serve"
 	"pstap/internal/stap"
@@ -198,8 +199,7 @@ func submit(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, er
 
 // q returns the q-quantile of sorted latencies (nearest rank).
 func q(sorted []time.Duration, p float64) time.Duration {
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx].Round(time.Microsecond)
+	return obs.Quantile(sorted, p).Round(time.Microsecond)
 }
 
 // sameAsRef compares a job's served detections with the serial reference.

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"pstap/internal/cpifile"
+	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
@@ -27,14 +28,15 @@ import (
 )
 
 var (
-	flagNodes   = flag.String("nodes", "2,1,2,1,1,2,1", "worker counts for the 7 tasks")
-	flagCPIs    = flag.Int("cpis", 25, "number of CPIs to stream")
-	flagSize    = flag.String("size", "small", "problem size: small | medium | paper")
-	flagSeed    = flag.Int64("seed", 1, "scene random seed")
-	flagVerbose = flag.Bool("v", false, "print every detection")
-	flagReplay  = flag.String("replay", "", "replay a recorded CPI stream (stapgen output) instead of synthesizing")
-	flagTrace   = flag.Bool("trace", false, "print a Gantt execution trace and per-task utilization")
-	flagThreads = flag.Int("threads", 1, "threads per worker (the Paragon had 3 processors per node)")
+	flagNodes    = flag.String("nodes", "2,1,2,1,1,2,1", "worker counts for the 7 tasks")
+	flagCPIs     = flag.Int("cpis", 25, "number of CPIs to stream")
+	flagSize     = flag.String("size", "small", "problem size: small | medium | paper")
+	flagSeed     = flag.Int64("seed", 1, "scene random seed")
+	flagVerbose  = flag.Bool("v", false, "print every detection")
+	flagReplay   = flag.String("replay", "", "replay a recorded CPI stream (stapgen output) instead of synthesizing")
+	flagTrace    = flag.Bool("trace", false, "print a Gantt execution trace and per-task utilization")
+	flagPerfetto = flag.String("perfetto", "", "write a Perfetto-loadable Chrome trace of the run to this file")
+	flagThreads  = flag.Int("threads", 1, "threads per worker (the Paragon had 3 processors per node)")
 )
 
 func main() {
@@ -114,6 +116,22 @@ func main() {
 	if *flagTrace {
 		fmt.Println(trace.Gantt(res, trace.Options{Width: 100}))
 		fmt.Println(trace.Utilization(res))
+	}
+	if *flagPerfetto != "" {
+		f, err := os.Create(*flagPerfetto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfetto:", err)
+			os.Exit(1)
+		}
+		err = obs.WriteChromeTrace(f, res.Events(), res.TaskMeta())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfetto:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perfetto trace written to %s (open at https://ui.perfetto.dev)\n\n", *flagPerfetto)
 	}
 
 	beamAz := sc.BeamAzimuths()

@@ -58,6 +58,12 @@ type World struct {
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 
+	// observer, when non-nil, is called on every Send with the payload's
+	// wire size (0 for non-Sizer payloads) — the hook the observability
+	// layer (internal/obs) uses for live message/byte accounting. Set it
+	// with SetObserver before any rank goroutine starts.
+	observer func(bytes int64)
+
 	aborted   atomic.Bool
 	done      chan struct{}
 	abortOnce sync.Once
@@ -136,6 +142,11 @@ func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
 // MessagesSent returns the cumulative message count.
 func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
 
+// SetObserver installs a per-send accounting hook. It must be called
+// before any rank goroutine starts sending; the hook itself must be safe
+// for concurrent use (ranks send in parallel).
+func (w *World) SetObserver(f func(bytes int64)) { w.observer = f }
+
 // Comm is one rank's endpoint.
 type Comm struct {
 	w    *World
@@ -169,8 +180,13 @@ func (c *Comm) Send(dst, tag int, data any) {
 	box.mu.Unlock()
 	box.cond.Broadcast()
 	c.w.msgsSent.Add(1)
+	var size int64
 	if s, ok := data.(Sizer); ok {
-		c.w.bytesSent.Add(s.Bytes())
+		size = s.Bytes()
+		c.w.bytesSent.Add(size)
+	}
+	if c.w.observer != nil {
+		c.w.observer(size)
 	}
 }
 

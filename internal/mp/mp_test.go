@@ -2,6 +2,7 @@ package mp
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -135,6 +136,27 @@ func TestByteAccounting(t *testing.T) {
 	}
 	if w.MessagesSent() != 2 {
 		t.Errorf("messages %d, want 2", w.MessagesSent())
+	}
+}
+
+func TestSendObserver(t *testing.T) {
+	w := NewWorld(2)
+	var msgs, bytes atomic.Int64
+	w.SetObserver(func(b int64) { msgs.Add(1); bytes.Add(b) })
+	c := cube.New(cube.Order{cube.Range, cube.Channel, cube.Pulse}, 2, 2, 2)
+	w.Comm(0).Send(1, 1, c)
+	w.Comm(0).Send(1, 2, "untracked")
+	if msgs.Load() != 2 {
+		t.Errorf("observed messages %d, want 2", msgs.Load())
+	}
+	if bytes.Load() != c.Bytes() {
+		t.Errorf("observed bytes %d, want %d", bytes.Load(), c.Bytes())
+	}
+	// Dropped sends on an aborted world are not observed.
+	w.Abort()
+	w.Comm(0).Send(1, 3, c)
+	if msgs.Load() != 2 {
+		t.Errorf("aborted send observed: %d", msgs.Load())
 	}
 }
 

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: span events become "X" (complete) events in
+// the JSON Object Format understood by Perfetto and chrome://tracing.
+// Each pipeline task renders as one process (pid) named after the task,
+// each worker as one thread (tid), and every CPI's receive/compute/send
+// phases as three slices carrying the CPI index in args — the canonical
+// machine-readable trace format of this repository.
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace accumulates trace events, possibly from several collectors
+// (e.g. the replicas of a serving pool), before writing one JSON object.
+type ChromeTrace struct {
+	events []chromeEvent
+}
+
+// AddEvents appends one event set. tasks labels the task/worker grid the
+// events index into; pidBase offsets the process ids and prefix decorates
+// the process names so several sets (replicas) stay distinguishable in
+// one trace.
+func (ct *ChromeTrace) AddEvents(events []SpanEvent, tasks []TaskMeta, pidBase int, prefix string) {
+	for t, tm := range tasks {
+		pid := pidBase + t
+		ct.events = append(ct.events,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": prefix + tm.Name}},
+			chromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid,
+				Args: map[string]any{"sort_index": pid}})
+		for w := 0; w < tm.Workers; w++ {
+			ct.events = append(ct.events, chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: w,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", w)}})
+		}
+	}
+	for _, ev := range events {
+		pid := pidBase + ev.Task
+		args := map[string]any{"cpi": ev.CPI}
+		phase := func(name string, from, to int64) {
+			if to < from {
+				return
+			}
+			ct.events = append(ct.events, chromeEvent{
+				Name: name, Ph: "X", Pid: pid, Tid: ev.Worker,
+				Ts: float64(from) / 1e3, Dur: float64(to-from) / 1e3, Args: args,
+			})
+		}
+		phase("recv", ev.T0, ev.T1)
+		phase("comp", ev.T1, ev.T2)
+		phase("send", ev.T2, ev.T3)
+	}
+}
+
+// AddCollector appends a collector's journal.
+func (ct *ChromeTrace) AddCollector(c *Collector, pidBase int, prefix string) {
+	ct.AddEvents(c.Journal(), c.Tasks(), pidBase, prefix)
+}
+
+// Write serializes the accumulated trace as a JSON object with a
+// traceEvents array — directly loadable in Perfetto.
+func (ct *ChromeTrace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     ct.events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteChromeTrace writes a single event set as a complete trace — the
+// one-shot convenience over ChromeTrace.
+func WriteChromeTrace(w io.Writer, events []SpanEvent, tasks []TaskMeta) error {
+	var ct ChromeTrace
+	ct.AddEvents(events, tasks, 0, "")
+	return ct.Write(w)
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func journalFor(t *testing.T) *Collector {
+	t.Helper()
+	c := New(testConfig())
+	base := c.Start()
+	for cpi := 0; cpi < 3; cpi++ {
+		off := base.Add(time.Duration(cpi) * 10 * time.Millisecond)
+		record(c, 0, 0, cpi, off, time.Millisecond, 2*time.Millisecond, time.Millisecond)
+		record(c, 1, 0, cpi, off.Add(4*time.Millisecond), time.Millisecond, 3*time.Millisecond, time.Millisecond)
+	}
+	return c
+}
+
+// decode parses the exported JSON object back into generic structures.
+func decode(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	c := journalFor(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, c.Journal(), c.Tasks()); err != nil {
+		t.Fatal(err)
+	}
+	events := decode(t, buf.Bytes())
+
+	var slices, meta int
+	phases := map[string]int{}
+	procNames := map[string]bool{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			meta++
+			if ev["name"] == "process_name" {
+				args := ev["args"].(map[string]any)
+				procNames[args["name"].(string)] = true
+			}
+		case "X":
+			slices++
+			phases[ev["name"].(string)]++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("slice without numeric ts: %v", ev)
+			}
+			args := ev["args"].(map[string]any)
+			if _, ok := args["cpi"].(float64); !ok {
+				t.Fatalf("slice without cpi arg: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	// 6 spans x 3 phases.
+	if slices != 18 {
+		t.Errorf("slice events %d, want 18", slices)
+	}
+	for _, ph := range []string{"recv", "comp", "send"} {
+		if phases[ph] != 6 {
+			t.Errorf("%s slices %d, want 6", ph, phases[ph])
+		}
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		if !procNames[name] {
+			t.Errorf("process %q missing (have %v)", name, procNames)
+		}
+	}
+	if meta == 0 {
+		t.Error("no metadata events")
+	}
+}
+
+func TestChromeTraceMergesReplicasWithDistinctPids(t *testing.T) {
+	c0, c1 := journalFor(t), journalFor(t)
+	var ct ChromeTrace
+	ct.AddCollector(c0, 0, "r0/")
+	ct.AddCollector(c1, len(c0.Tasks()), "r1/")
+	var buf bytes.Buffer
+	if err := ct.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decode(t, buf.Bytes())
+	procNames := map[string]float64{}
+	for _, ev := range events {
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			procNames[args["name"].(string)] = ev["pid"].(float64)
+		}
+	}
+	if procNames["r0/A"] == procNames["r1/A"] {
+		t.Errorf("replica pids collide: %v", procNames)
+	}
+	if _, ok := procNames["r1/C"]; !ok {
+		t.Errorf("second replica processes missing: %v", procNames)
+	}
+}
+
+func TestChromeTraceSkipsNegativePhases(t *testing.T) {
+	// A clock anomaly (t1 < t0) must not produce a negative-duration
+	// slice that breaks the viewer.
+	evs := []SpanEvent{{Task: 0, Worker: 0, CPI: 0, T0: 1000, T1: 500, T2: 2000, T3: 3000}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs, []TaskMeta{{Name: "A", Workers: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decode(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+			t.Errorf("negative duration slice: %v", ev)
+		}
+	}
+}

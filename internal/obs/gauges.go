@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// PhaseMeans is one task's mean per-CPI phase times over the gauge
+// window — the live analogue of pipeline.TaskStats.
+type PhaseMeans struct {
+	Name             string
+	Recv, Comp, Send time.Duration
+	// Samples is the number of worker-CPI spans averaged.
+	Samples int
+}
+
+// Total returns the task's mean per-CPI execution time T_i.
+func (p PhaseMeans) Total() time.Duration { return p.Recv + p.Comp + p.Send }
+
+// GaugeSet is the live derived view over the sliding window: the paper's
+// eq. (1) throughput, eq. (2) latency bound and eq. (3) real latency,
+// computed from the journal exactly as the post-hoc evaluation computes
+// them from a finished run's spans.
+type GaugeSet struct {
+	// WindowCPIs is the number of distinct CPIs the window actually holds.
+	WindowCPIs int
+	// Tasks holds each task's mean phase times over the window.
+	Tasks []PhaseMeans
+	// Eq1Throughput is 1 / max_i T_i in CPIs/second (eq. 1).
+	Eq1Throughput float64
+	// Eq2Latency is the latency-path bound (eq. 2), zero without a
+	// configured LatencyPath.
+	Eq2Latency time.Duration
+	// Eq3Latency is the measured first-task-ready to last-task-report
+	// latency averaged over the window's complete CPIs (eq. 3 "real"
+	// latency).
+	Eq3Latency time.Duration
+	// Eq3Samples is how many complete CPIs Eq3Latency averages.
+	Eq3Samples int
+	// RealThroughput is the measured completion-gap rate over the
+	// window's complete CPIs, in CPIs/second.
+	RealThroughput float64
+}
+
+// Gauges derives the live gauge set from the last Window CPIs present in
+// the journal.
+func (c *Collector) Gauges() GaugeSet {
+	g := GaugeSet{Tasks: make([]PhaseMeans, len(c.cfg.Tasks))}
+	for t, tm := range c.cfg.Tasks {
+		g.Tasks[t].Name = tm.Name
+	}
+	evs := c.Journal()
+	if len(evs) == 0 {
+		return g
+	}
+
+	// The window is the highest Window distinct CPI indices journaled.
+	seen := make(map[int]struct{})
+	for _, ev := range evs {
+		seen[ev.CPI] = struct{}{}
+	}
+	cpis := make([]int, 0, len(seen))
+	for cpi := range seen {
+		cpis = append(cpis, cpi)
+	}
+	sort.Ints(cpis)
+	if len(cpis) > c.cfg.Window {
+		cpis = cpis[len(cpis)-c.cfg.Window:]
+	}
+	keep := make(map[int]struct{}, len(cpis))
+	for _, cpi := range cpis {
+		keep[cpi] = struct{}{}
+	}
+	g.WindowCPIs = len(cpis)
+
+	// Per-task phase sums, and per-CPI ready/done extremes for eq. 3.
+	type ends struct {
+		readyNs, doneNs int64
+		readyN, doneN   int
+		haveReady, have bool
+	}
+	var recv, comp, send = make([]int64, len(g.Tasks)), make([]int64, len(g.Tasks)), make([]int64, len(g.Tasks))
+	firstTasks, finalTasks := c.pathEnds()
+	perCPI := make(map[int]*ends, len(cpis))
+	for _, ev := range evs {
+		if _, ok := keep[ev.CPI]; !ok {
+			continue
+		}
+		recv[ev.Task] += ev.T1 - ev.T0
+		comp[ev.Task] += ev.T2 - ev.T1
+		send[ev.Task] += ev.T3 - ev.T2
+		g.Tasks[ev.Task].Samples++
+		if inSet(firstTasks, ev.Task) {
+			e := perCPI[ev.CPI]
+			if e == nil {
+				e = &ends{}
+				perCPI[ev.CPI] = e
+			}
+			if !e.haveReady || ev.T0 < e.readyNs {
+				e.readyNs = ev.T0
+				e.haveReady = true
+			}
+			e.readyN++
+		}
+		if inSet(finalTasks, ev.Task) {
+			e := perCPI[ev.CPI]
+			if e == nil {
+				e = &ends{}
+				perCPI[ev.CPI] = e
+			}
+			if !e.have || ev.T3 > e.doneNs {
+				e.doneNs = ev.T3
+				e.have = true
+			}
+			e.doneN++
+		}
+	}
+	for t := range g.Tasks {
+		if n := g.Tasks[t].Samples; n > 0 {
+			g.Tasks[t].Recv = time.Duration(recv[t] / int64(n))
+			g.Tasks[t].Comp = time.Duration(comp[t] / int64(n))
+			g.Tasks[t].Send = time.Duration(send[t] / int64(n))
+		}
+	}
+
+	// Eq. 1: 1 / max_i T_i over tasks with samples.
+	var maxT time.Duration
+	for _, pm := range g.Tasks {
+		if pm.Samples > 0 && pm.Total() > maxT {
+			maxT = pm.Total()
+		}
+	}
+	if maxT > 0 {
+		g.Eq1Throughput = 1 / maxT.Seconds()
+	}
+
+	// Eq. 2: sum over the path of each stage's slowest alternative.
+	for _, stage := range c.cfg.LatencyPath {
+		var stageT time.Duration
+		for _, t := range stage {
+			if g.Tasks[t].Samples > 0 && g.Tasks[t].Total() > stageT {
+				stageT = g.Tasks[t].Total()
+			}
+		}
+		g.Eq2Latency += stageT
+	}
+
+	// Eq. 3 and real throughput need complete CPIs: every first-task and
+	// final-task worker's span journaled (a partially-in-flight CPI would
+	// bias ready/done extremes).
+	wantReady, wantDone := c.workerSum(firstTasks), c.workerSum(finalTasks)
+	if wantReady > 0 && wantDone > 0 {
+		var latSum int64
+		var dones []int64
+		for _, cpi := range cpis {
+			e := perCPI[cpi]
+			if e == nil || e.readyN < wantReady || e.doneN < wantDone {
+				continue
+			}
+			latSum += e.doneNs - e.readyNs
+			dones = append(dones, e.doneNs)
+		}
+		if n := len(dones); n > 0 {
+			g.Eq3Latency = time.Duration(latSum / int64(n))
+			g.Eq3Samples = n
+			if n >= 2 {
+				sort.Slice(dones, func(i, j int) bool { return dones[i] < dones[j] })
+				if span := dones[n-1] - dones[0]; span > 0 {
+					g.RealThroughput = float64(n-1) / (time.Duration(span).Seconds())
+				}
+			}
+		}
+	}
+	return g
+}
+
+// pathEnds returns the task sets eq. 3 measures between: the first and
+// last stages of the latency path, defaulting to the first and last
+// configured tasks when no path is set.
+func (c *Collector) pathEnds() (first, final []int) {
+	if len(c.cfg.LatencyPath) > 0 {
+		return c.cfg.LatencyPath[0], c.cfg.LatencyPath[len(c.cfg.LatencyPath)-1]
+	}
+	if n := len(c.cfg.Tasks); n > 0 {
+		return []int{0}, []int{n - 1}
+	}
+	return nil, nil
+}
+
+// workerSum counts the workers across a task set.
+func (c *Collector) workerSum(tasks []int) int {
+	n := 0
+	for _, t := range tasks {
+		n += c.cfg.Tasks[t].Workers
+	}
+	return n
+}
+
+func inSet(set []int, v int) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4) — enough
+// for any Prometheus-compatible scraper without taking a dependency.
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// PromWriter emits exposition lines. Emit each metric's Head exactly once
+// before its samples.
+type PromWriter struct {
+	W io.Writer
+}
+
+// Head writes the # HELP / # TYPE preamble of a metric.
+func (p PromWriter) Head(name, typ, help string) {
+	fmt.Fprintf(p.W, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample line.
+func (p PromWriter) Sample(name string, labels []Label, v float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(p.W, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	fmt.Fprintf(p.W, "%s %s\n", b.String(), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WriteProm writes the collectors' counters and live gauges. Each
+// collector's samples carry a replica="i" label so a serving pool's
+// replicas stay distinguishable under one metric family.
+func WriteProm(w io.Writer, cols []*Collector) {
+	p := PromWriter{W: w}
+	snaps := make([]Snapshot, len(cols))
+	gauges := make([]GaugeSet, len(cols))
+	for i, c := range cols {
+		snaps[i] = c.Snapshot()
+		gauges[i] = c.Gauges()
+	}
+
+	p.Head("stap_cpis_total", "counter", "CPIs processed per task worker.")
+	forEach(cols, func(i int, rep Label) {
+		for _, ts := range snaps[i].Tasks {
+			for wi, ws := range ts.Workers {
+				p.Sample("stap_cpis_total", []Label{rep, taskLabel(ts.Name), workerLabel(wi)}, float64(ws.CPIs))
+			}
+		}
+	})
+
+	p.Head("stap_phase_seconds_total", "counter", "Cumulative receive/compute/send time per task worker (Figure 10 phases).")
+	forEach(cols, func(i int, rep Label) {
+		for _, ts := range snaps[i].Tasks {
+			for wi, ws := range ts.Workers {
+				base := []Label{rep, taskLabel(ts.Name), workerLabel(wi)}
+				p.Sample("stap_phase_seconds_total", with(base, Label{"phase", "recv"}), ws.Recv.Seconds())
+				p.Sample("stap_phase_seconds_total", with(base, Label{"phase", "comp"}), ws.Comp.Seconds())
+				p.Sample("stap_phase_seconds_total", with(base, Label{"phase", "send"}), ws.Send.Seconds())
+			}
+		}
+	})
+
+	p.Head("stap_messages_total", "counter", "Inter-task messages sent through the mp runtime.")
+	forEach(cols, func(i int, rep Label) { p.Sample("stap_messages_total", []Label{rep}, float64(snaps[i].Messages)) })
+
+	p.Head("stap_bytes_sent_total", "counter", "Inter-task payload bytes sent through the mp runtime.")
+	forEach(cols, func(i int, rep Label) { p.Sample("stap_bytes_sent_total", []Label{rep}, float64(snaps[i].Bytes)) })
+
+	p.Head("stap_task_seconds", "gauge", "Mean per-CPI phase time per task over the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		for _, pm := range gauges[i].Tasks {
+			if pm.Samples == 0 {
+				continue
+			}
+			base := []Label{rep, taskLabel(pm.Name)}
+			p.Sample("stap_task_seconds", with(base, Label{"phase", "recv"}), pm.Recv.Seconds())
+			p.Sample("stap_task_seconds", with(base, Label{"phase", "comp"}), pm.Comp.Seconds())
+			p.Sample("stap_task_seconds", with(base, Label{"phase", "send"}), pm.Send.Seconds())
+		}
+	})
+
+	p.Head("stap_eq1_throughput_cpis_per_sec", "gauge", "Paper eq. 1 throughput 1/max_i T_i over the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		p.Sample("stap_eq1_throughput_cpis_per_sec", []Label{rep}, gauges[i].Eq1Throughput)
+	})
+
+	p.Head("stap_eq2_latency_seconds", "gauge", "Paper eq. 2 latency bound over the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		p.Sample("stap_eq2_latency_seconds", []Label{rep}, gauges[i].Eq2Latency.Seconds())
+	})
+
+	p.Head("stap_eq3_latency_seconds", "gauge", "Paper eq. 3 measured (real) latency over the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		p.Sample("stap_eq3_latency_seconds", []Label{rep}, gauges[i].Eq3Latency.Seconds())
+	})
+
+	p.Head("stap_real_throughput_cpis_per_sec", "gauge", "Measured completion-gap throughput over the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		p.Sample("stap_real_throughput_cpis_per_sec", []Label{rep}, gauges[i].RealThroughput)
+	})
+
+	p.Head("stap_obs_window_cpis", "gauge", "Distinct CPIs currently inside the gauge window.")
+	forEach(cols, func(i int, rep Label) {
+		p.Sample("stap_obs_window_cpis", []Label{rep}, float64(gauges[i].WindowCPIs))
+	})
+}
+
+func forEach(cols []*Collector, f func(i int, rep Label)) {
+	for i := range cols {
+		f(i, Label{"replica", strconv.Itoa(i)})
+	}
+}
+
+func taskLabel(name string) Label { return Label{"task", name} }
+func workerLabel(w int) Label     { return Label{"worker", strconv.Itoa(w)} }
+
+// with copies base and appends l, so shared base slices are never aliased.
+func with(base []Label, l Label) []Label {
+	out := make([]Label, len(base), len(base)+1)
+	copy(out, base)
+	return append(out, l)
+}

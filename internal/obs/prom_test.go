@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromExposition(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	for cpi := 0; cpi < 2; cpi++ {
+		off := base.Add(time.Duration(cpi) * 10 * time.Millisecond)
+		record(c, 0, 0, cpi, off, time.Millisecond, 2*time.Millisecond, time.Millisecond)
+		record(c, 0, 1, cpi, off, time.Millisecond, 2*time.Millisecond, time.Millisecond)
+		record(c, 1, 0, cpi, off, time.Millisecond, 4*time.Millisecond, time.Millisecond)
+		record(c, 2, 0, cpi, off.Add(8*time.Millisecond), time.Millisecond, time.Millisecond, time.Millisecond)
+		record(c, 2, 1, cpi, off.Add(8*time.Millisecond), time.Millisecond, time.Millisecond, time.Millisecond)
+	}
+	c.OnSend(512)
+
+	var buf bytes.Buffer
+	WriteProm(&buf, []*Collector{c})
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE stap_cpis_total counter",
+		`stap_cpis_total{replica="0",task="A",worker="0"} 2`,
+		`stap_phase_seconds_total{replica="0",task="B",worker="0",phase="comp"} 0.008`,
+		`stap_messages_total{replica="0"} 1`,
+		`stap_bytes_sent_total{replica="0"} 512`,
+		"# TYPE stap_eq1_throughput_cpis_per_sec gauge",
+		`stap_eq1_throughput_cpis_per_sec{replica="0"}`,
+		`stap_eq2_latency_seconds{replica="0"}`,
+		`stap_eq3_latency_seconds{replica="0"}`,
+		`stap_obs_window_cpis{replica="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Each HELP/TYPE head appears exactly once even with several
+	// collectors (duplicate metadata is invalid exposition).
+	var buf2 bytes.Buffer
+	WriteProm(&buf2, []*Collector{c, New(testConfig())})
+	out2 := buf2.String()
+	if n := strings.Count(out2, "# TYPE stap_cpis_total counter"); n != 1 {
+		t.Errorf("TYPE head repeated %d times", n)
+	}
+	if !strings.Contains(out2, `stap_messages_total{replica="1"} 0`) {
+		t.Errorf("second replica samples missing:\n%s", out2)
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := PromWriter{W: &buf}
+	p.Sample("m", []Label{{"k", "a\"b\\c\nd"}}, 1)
+	if got, want := buf.String(), `m{k="a\"b\\c\nd"} 1`+"\n"; got != want {
+		t.Errorf("escaped sample %q, want %q", got, want)
+	}
+}

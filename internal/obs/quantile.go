@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-quantile (0..1) of an ascending-sorted duration
+// slice using the nearest-rank convention idx = floor(q*(n-1)) shared by
+// every percentile report in this repository (pipeline latencies, serve
+// job latencies, load-generator client latencies). It returns 0 for an
+// empty slice and clamps q outside [0, 1].
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SortedQuantile sorts a copy of the durations and returns the
+// q-quantile — the convenience for callers that do not keep a sorted
+// window.
+func SortedQuantile(durations []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), durations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return Quantile(sorted, q)
+}

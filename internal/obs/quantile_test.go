@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile %v", got)
+	}
+	if got := SortedQuantile(nil, 0.99); got != 0 {
+		t.Errorf("empty sorted quantile %v", got)
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	one := []time.Duration{42 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := Quantile(one, q); got != 42*time.Millisecond {
+			t.Errorf("q=%v: %v", q, got)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	// 10 elements: idx = floor(q*9).
+	var sorted []time.Duration
+	for i := 1; i <= 10; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.5, 5 * time.Millisecond},
+		{0.95, 9 * time.Millisecond},
+		{1, 10 * time.Millisecond},
+		{-1, 1 * time.Millisecond}, // clamped
+		{2, 10 * time.Millisecond}, // clamped
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("q=%v: %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSortedQuantileDoesNotMutate(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	if got := SortedQuantile(in, 1); got != 3 {
+		t.Errorf("max %v", got)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}

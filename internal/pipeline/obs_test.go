@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/obs"
+	"pstap/internal/radar"
+)
+
+// TestObsGaugesAgreeWithResult checks the acceptance property of the
+// telemetry layer: with the gauge window covering the whole run, the live
+// eq. (1)/(2)/(3) gauges computed from the journal must agree with the
+// post-hoc numbers the Result derives from the very same spans.
+func TestObsGaugesAgreeWithResult(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(2, 1, 1, 1, 1, 1, 1)
+	ocfg := DefaultObsConfig(a)
+	ocfg.Window = 64 // cover the whole run
+	col := obs.New(ocfg)
+	res, err := Run(Config{
+		Scene:   sc,
+		Assign:  a,
+		NumCPIs: 8,
+		Obs:     col,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := col.Gauges()
+	if g.WindowCPIs != 8 {
+		t.Fatalf("window CPIs %d, want 8", g.WindowCPIs)
+	}
+	relClose := func(name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			t.Fatalf("%s: reference value is 0", name)
+		}
+		if math.Abs(got-want)/math.Abs(want) > tol {
+			t.Errorf("%s: live %v vs post-hoc %v", name, got, want)
+		}
+	}
+	relClose("eq1 throughput", g.Eq1Throughput, res.EquationThroughput(), 0.01)
+	relClose("eq2 latency", g.Eq2Latency.Seconds(), res.EquationLatency().Seconds(), 0.01)
+	relClose("eq3 latency", g.Eq3Latency.Seconds(), res.Latency.Seconds(), 0.01)
+	relClose("real throughput", g.RealThroughput, res.Throughput, 0.01)
+	for task := 0; task < NumTasks; task++ {
+		if d := g.Tasks[task].Total() - res.Stats[task].Total(); d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("task %d mean total: live %v vs post-hoc %v", task, g.Tasks[task].Total(), res.Stats[task].Total())
+		}
+	}
+
+	// The mp hook and the world's own accounting must agree exactly.
+	if col.Messages() != res.Messages {
+		t.Errorf("obs messages %d, world %d", col.Messages(), res.Messages)
+	}
+	if col.Bytes() != res.BytesSent {
+		t.Errorf("obs bytes %d, world %d", col.Bytes(), res.BytesSent)
+	}
+}
+
+// TestResultEventsRoundTrip checks Events() mirrors the recorded spans.
+func TestResultEventsRoundTrip(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(2, 1, 1, 1, 1, 1, 1)
+	res, err := Run(Config{Scene: sc, Assign: a, NumCPIs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := res.Events()
+	if want := a.Total() * 4; len(evs) != want {
+		t.Fatalf("events %d, want %d", len(evs), want)
+	}
+	for _, ev := range evs {
+		s := res.Spans[ev.Task][ev.Worker][ev.CPI]
+		if got := s.T0.Sub(res.Start).Nanoseconds(); got != ev.T0 {
+			t.Fatalf("event T0 %d, span %d", ev.T0, got)
+		}
+		if ev.T0 > ev.T1 || ev.T1 > ev.T2 || ev.T2 > ev.T3 {
+			t.Fatalf("non-monotonic event %+v", ev)
+		}
+	}
+	meta := res.TaskMeta()
+	if len(meta) != NumTasks || meta[TaskDoppler].Workers != 2 {
+		t.Fatalf("task meta %+v", meta)
+	}
+}
+
+// TestStreamFeedsObs checks a persistent stream journals spans and
+// messages across jobs, CPIs counting monotonically.
+func TestStreamFeedsObs(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(1, 1, 1, 1, 1, 1, 1)
+	col := obs.New(DefaultObsConfig(a))
+	st, err := NewStream(StreamConfig{Scene: sc, Assign: a, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for job := 0; job < 2; job++ {
+		cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1)}
+		if _, err := st.ProcessJob(cpis); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := col.Snapshot()
+	if got := s.Tasks[TaskCFAR].Workers[0].CPIs; got != 4 {
+		t.Errorf("CFAR CPIs %d, want 4", got)
+	}
+	if s.Messages == 0 || s.Bytes == 0 {
+		t.Errorf("no message accounting: %+v", s)
+	}
+	g := col.Gauges()
+	if g.WindowCPIs != 4 {
+		t.Errorf("window CPIs %d, want 4 (stream CPI indices must span jobs)", g.WindowCPIs)
+	}
+	if g.Eq1Throughput <= 0 || g.Eq3Samples == 0 {
+		t.Errorf("live gauges not populated: %+v", g)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"pstap/internal/cube"
 	"pstap/internal/mp"
+	"pstap/internal/obs"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
 )
@@ -115,6 +116,12 @@ type Config struct {
 	// returns the context's error. Detections and timing of a cancelled
 	// run are discarded.
 	Context context.Context
+	// Obs, when non-nil, receives every worker's span and every inter-task
+	// message as the run executes — the always-on telemetry feed (live
+	// gauges, Prometheus exposition, Perfetto export). Batch runs also
+	// keep their private span slices for Result; streaming runs
+	// (NumCPIs == 0) journal to Obs only.
+	Obs *obs.Collector
 }
 
 // Span is one worker's absolute phase timestamps for one CPI, following
@@ -300,6 +307,9 @@ func Run(cfg Config) (*Result, error) {
 	p := cfg.Scene.Params
 	topo := newTopology(p, cfg.Assign)
 	world := mp.NewWorld(cfg.Assign.Total() + 1)
+	if cfg.Obs != nil {
+		world.SetObserver(cfg.Obs.OnSend)
+	}
 	n := cfg.NumCPIs
 	beamAz := cfg.Scene.BeamAzimuths()
 	gain := make([]float64, p.K)
@@ -507,17 +517,5 @@ func Run(cfg Config) (*Result, error) {
 // LatencyPercentile returns the q-quantile (0..1) of the measured per-CPI
 // latencies, 0 when none were measured.
 func (r *Result) LatencyPercentile(q float64) time.Duration {
-	if len(r.Latencies) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), r.Latencies...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return obs.SortedQuantile(r.Latencies, q)
 }

@@ -7,6 +7,7 @@ import (
 
 	"pstap/internal/cube"
 	"pstap/internal/mp"
+	"pstap/internal/obs"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
 )
@@ -21,6 +22,12 @@ type StreamConfig struct {
 	Assign  Assignment
 	Window  int
 	Threads int
+	// Obs, when non-nil, receives every worker span and inter-task
+	// message for the stream's lifetime — the live telemetry feed of a
+	// serving replica (see internal/obs). The stream's CPI indices grow
+	// monotonically across jobs, so the collector's sliding window spans
+	// job boundaries naturally.
+	Obs *obs.Collector
 }
 
 // Stream is a long-lived instance of the parallel pipeline: the seven task
@@ -79,7 +86,10 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	}
 	// NumCPIs == 0 puts the workers in open-ended streaming mode: they
 	// exit on the EOF control message Close injects.
-	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads}
+	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads, Obs: cfg.Obs}
+	if cfg.Obs != nil {
+		world.SetObserver(cfg.Obs.OnSend)
+	}
 
 	s := &Stream{
 		world: world,

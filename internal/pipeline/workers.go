@@ -19,11 +19,16 @@ func (c Config) more(cpi int) bool { return c.NumCPIs == 0 || cpi < c.NumCPIs }
 // streaming reports whether the run is open-ended.
 func (c Config) streaming() bool { return c.NumCPIs == 0 }
 
-// record stores a span when the run collects timing (batch mode; streaming
-// runs pass nil slices).
-func record(spans []Span, cpi int, s Span) {
+// emit publishes one worker-CPI span: into the run's private span slice
+// when the run collects timing (batch mode; streaming runs pass nil
+// slices), and into the obs collector when one is attached (always-on
+// telemetry, both modes).
+func (c Config) emit(task, w int, spans []Span, cpi int, s Span) {
 	if cpi < len(spans) {
 		spans[cpi] = s
+	}
+	if c.Obs != nil {
+		c.Obs.RecordSpan(task, w, cpi, s.T0, s.T1, s.T2, s.T3)
 	}
 }
 
@@ -83,7 +88,7 @@ func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, 
 			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece, ctl: msg.ctl})
 		}
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskDoppler, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -139,7 +144,7 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskEasyWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -199,7 +204,7 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskHardWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -251,7 +256,7 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		t2 := time.Now()
 		sendBeamRows(comm, topo, TaskEasyBeamStream, cpi, bins, out)
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskEasyBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -343,7 +348,7 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		t2 := time.Now()
 		sendBeamRows(comm, topo, TaskHardBeamStream, cpi, bins, out)
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskHardBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -406,7 +411,7 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 			comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{slab: sub, blk: ov})
 		}
 		t3 := time.Now()
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskPulseComp, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }
 
@@ -446,6 +451,6 @@ func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span
 		comm.Send(topo.driver, tag(tagDet, cpi), detMsg{dets: dets})
 		t3 := time.Now()
 		stamp(done, cpi, t3)
-		record(spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskCFAR, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
 	}
 }

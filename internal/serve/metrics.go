@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pstap/internal/obs"
 )
 
 // latencyWindow is how many recent end-to-end job latencies the metrics
@@ -131,19 +133,10 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // quantileMs returns the q-quantile of a sorted window in milliseconds,
-// with the same nearest-rank convention as pipeline.LatencyPercentile.
+// with the shared nearest-rank convention of obs.Quantile (also behind
+// pipeline.LatencyPercentile).
 func quantileMs(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return float64(sorted[idx]) / float64(time.Millisecond)
+	return float64(obs.Quantile(sorted, q)) / float64(time.Millisecond)
 }
 
 // Handler returns an http.Handler serving the snapshot as JSON (an

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pstap/internal/cube"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+// TestServerPrometheusExposition submits jobs to a two-replica server and
+// checks the text exposition carries both the serving counters and every
+// replica's live pipeline gauges.
+func TestServerPrometheusExposition(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas: 2,
+	})
+	defer s.Shutdown(context.Background())
+
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for job := 0; job < 3; job++ {
+		cpis := []*cube.Cube{sc.GenerateCPI(2 * job), sc.GenerateCPI(2*job + 1)}
+		if _, err := cl.SubmitRetry(cpis, 50); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"stapd_jobs_completed_total 3",
+		"stapd_cpis_processed_total 6",
+		`stapd_job_latency_seconds{quantile="0.5"}`,
+		`stapd_replica_jobs_total{replica="1"}`,
+		`stap_cpis_total{replica="0",task="Doppler filter",worker="0"}`,
+		`stap_eq1_throughput_cpis_per_sec{replica="0"}`,
+		`stap_eq3_latency_seconds`,
+		`stap_messages_total{replica="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every served CPI must appear in exactly one replica's counters.
+	if !strings.Contains(out, "stap_obs_window_cpis") {
+		t.Errorf("missing window gauge:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE stap_cpis_total counter"); n != 1 {
+		t.Errorf("stap_cpis_total TYPE head appears %d times, want 1", n)
+	}
+
+	// The merged live trace must parse as Chrome JSON with both replica
+	// prefixes present.
+	var tb strings.Builder
+	if err := s.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(tb.String()), &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty merged trace")
+	}
+	trace := tb.String()
+	for _, want := range []string{`"r0/Doppler filter"`, `"r1/Doppler filter"`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("merged trace missing replica process %s", want)
+		}
+	}
+	slices := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Error("merged trace has no X slices")
+	}
+}

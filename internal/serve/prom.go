@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pstap/internal/obs"
+)
+
+// Prometheus-style exposition and live trace export for the daemon: the
+// server-level job counters join the per-replica pipeline telemetry
+// (internal/obs) in one scrape, and the replicas' span journals merge into
+// one Perfetto-loadable trace.
+
+// WritePrometheus writes the full exposition: stapd_* serving metrics
+// (jobs, queue, latency quantiles, replica utilization) followed by the
+// stap_* pipeline families from each replica's collector, including the
+// live eq. (1)-(3) gauges.
+func (s *Server) WritePrometheus(w io.Writer) {
+	p := obs.PromWriter{W: w}
+	m := s.metrics
+	snap := m.Snapshot()
+
+	p.Head("stapd_uptime_seconds", "gauge", "Server uptime.")
+	p.Sample("stapd_uptime_seconds", nil, snap.UptimeSec)
+
+	p.Head("stapd_jobs_accepted_total", "counter", "Jobs admitted to the queue.")
+	p.Sample("stapd_jobs_accepted_total", nil, float64(snap.Accepted))
+	p.Head("stapd_jobs_rejected_total", "counter", "Jobs rejected with busy backpressure.")
+	p.Sample("stapd_jobs_rejected_total", nil, float64(snap.Rejected))
+	p.Head("stapd_jobs_completed_total", "counter", "Jobs completed successfully.")
+	p.Sample("stapd_jobs_completed_total", nil, float64(snap.Completed))
+	p.Head("stapd_jobs_failed_total", "counter", "Jobs that failed in processing.")
+	p.Sample("stapd_jobs_failed_total", nil, float64(snap.Failed))
+	p.Head("stapd_cpis_processed_total", "counter", "CPIs processed across all completed jobs.")
+	p.Sample("stapd_cpis_processed_total", nil, float64(snap.CPIsProcessed))
+
+	p.Head("stapd_queue_depth", "gauge", "Jobs waiting in the admission queue.")
+	p.Sample("stapd_queue_depth", nil, float64(snap.QueueDepth))
+
+	p.Head("stapd_job_latency_seconds", "gauge", "End-to-end job latency quantiles over the sliding window.")
+	for _, ql := range []struct {
+		q string
+		v float64
+	}{{"0.5", snap.LatencyP50Ms}, {"0.95", snap.LatencyP95Ms}, {"0.99", snap.LatencyP99Ms}} {
+		p.Sample("stapd_job_latency_seconds", []obs.Label{{Name: "quantile", Value: ql.q}},
+			ql.v*float64(time.Millisecond)/float64(time.Second))
+	}
+
+	p.Head("stapd_replica_jobs_total", "counter", "Jobs processed per replica.")
+	for i, r := range snap.Replicas {
+		p.Sample("stapd_replica_jobs_total", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, float64(r.Jobs))
+	}
+	p.Head("stapd_replica_utilization", "gauge", "Fraction of server lifetime each replica spent processing.")
+	for i, r := range snap.Replicas {
+		p.Sample("stapd_replica_utilization", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, r.Utilization)
+	}
+
+	obs.WriteProm(w, s.obs)
+}
+
+// PromHandler serves WritePrometheus — mount as /metrics.prom next to the
+// JSON Metrics().Handler().
+func (s *Server) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+	})
+}
+
+// WriteTrace writes the replicas' current span journals as one
+// Perfetto-loadable Chrome trace. Each replica's tasks render under a
+// "rN/" process-name prefix with disjoint pid ranges.
+func (s *Server) WriteTrace(w io.Writer) error {
+	var ct obs.ChromeTrace
+	for i, col := range s.obs {
+		ct.AddCollector(col, i*len(col.Tasks()), "r"+strconv.Itoa(i)+"/")
+	}
+	return ct.Write(w)
+}
+
+// TraceHandler serves WriteTrace — mount as /trace.json to download a live
+// snapshot of the pool's recent activity for Perfetto.
+func (s *Server) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="stapd.trace.json"`)
+		_ = s.WriteTrace(w)
+	})
+}

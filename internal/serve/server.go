@@ -12,6 +12,7 @@ import (
 
 	"pstap/internal/cpifile"
 	"pstap/internal/cube"
+	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
@@ -39,10 +40,18 @@ type Config struct {
 	Window, Threads int
 	// RetryAfter is the backoff hint in busy replies (default 100ms).
 	RetryAfter time.Duration
-	// TraceDir, when set, enables per-job Gantt capture: jobs submitted
-	// with Request.Trace run through an instrumented batch pipeline and
-	// the rendered trace is written here.
+	// TraceDir, when set, enables per-job trace capture: jobs submitted
+	// with Request.Trace run through an instrumented batch pipeline and a
+	// Perfetto-loadable Chrome trace (plus a Gantt text companion) is
+	// written here.
 	TraceDir string
+	// ObsWindow is each replica collector's gauge window in CPIs
+	// (default 32): the live eq. (1)-(3) gauges on /metrics.prom are
+	// computed over the last ObsWindow CPIs.
+	ObsWindow int
+	// SlowMultiple, when > 0, logs any worker span slower than this
+	// multiple of its task's recent median through Logf.
+	SlowMultiple float64
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -62,6 +71,7 @@ type Server struct {
 	metrics *Metrics
 	queue   chan *job
 	streams []*pipeline.Stream
+	obs     []*obs.Collector // one per replica, fed by its stream
 
 	ln        net.Listener
 	admitting atomic.Bool
@@ -116,11 +126,17 @@ func New(cfg Config) (*Server, error) {
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.metrics = newMetrics(cfg.Replicas, func() int { return len(s.queue) })
 	for i := 0; i < cfg.Replicas; i++ {
+		ocfg := pipeline.DefaultObsConfig(cfg.Assign)
+		ocfg.Window = cfg.ObsWindow
+		ocfg.SlowMultiple = cfg.SlowMultiple
+		ocfg.SlowLogf = cfg.Logf
+		col := obs.New(ocfg)
 		st, err := pipeline.NewStream(pipeline.StreamConfig{
 			Scene:   cfg.Scene,
 			Assign:  cfg.Assign,
 			Window:  cfg.Window,
 			Threads: cfg.Threads,
+			Obs:     col,
 		})
 		if err != nil {
 			for _, prev := range s.streams {
@@ -129,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.streams = append(s.streams, st)
+		s.obs = append(s.obs, col)
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		s.replWG.Add(1)
@@ -141,6 +158,10 @@ func New(cfg Config) (*Server, error) {
 // Metrics returns the server's observability surface (serve its Handler
 // over HTTP for scraping).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Collectors returns the per-replica telemetry collectors, in replica
+// order — the feed behind WritePrometheus and WriteTrace.
+func (s *Server) Collectors() []*obs.Collector { return s.obs }
 
 // Start listens on addr and serves connections in the background.
 func (s *Server) Start(addr string) error {
@@ -310,9 +331,10 @@ func (s *Server) process(idx int, req *Request) (dets [][]stap.Detection, traceF
 }
 
 // processTraced runs the job through pipeline.Run with span collection
-// enabled and writes the rendered Gantt + utilization report to TraceDir.
-// Detections are identical to the stream path (both reproduce the serial
-// reference).
+// enabled and writes the trace to TraceDir: a Perfetto-loadable Chrome
+// trace (job%06d.trace.json, returned as the response's TraceFile) and a
+// rendered Gantt + utilization text companion. Detections are identical to
+// the stream path (both reproduce the serial reference).
 func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error) {
 	cpis := req.CPIs
 	res, err := pipeline.Run(pipeline.Config{
@@ -327,9 +349,22 @@ func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error)
 	if err != nil {
 		return nil, "", err
 	}
-	name := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job%06d.trace.txt", s.traceSeq.Add(1)))
+	seq := s.traceSeq.Add(1)
+	name := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job%06d.trace.json", seq))
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: write trace: %w", err)
+	}
+	err = obs.WriteChromeTrace(f, res.Events(), res.TaskMeta())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: write trace: %w", err)
+	}
+	txt := filepath.Join(s.cfg.TraceDir, fmt.Sprintf("job%06d.trace.txt", seq))
 	body := trace.Gantt(res, trace.Options{Width: 100}) + "\n" + trace.Utilization(res)
-	if werr := os.WriteFile(name, []byte(body), 0o644); werr != nil {
+	if werr := os.WriteFile(txt, []byte(body), 0o644); werr != nil {
 		return nil, "", fmt.Errorf("serve: write trace: %w", werr)
 	}
 	return res.Detections, name, nil

@@ -4,6 +4,11 @@
 // tasks, receive phases absorbing idle time, and bottleneck tasks running
 // back to back — the behaviour the paper's Tables 7-10 summarize in
 // numbers.
+//
+// The renderers consume the same obs.SpanEvent stream the telemetry layer
+// journals, so a finished batch Result and a live stapd collector produce
+// the same pictures (and the same data feeds obs.WriteChromeTrace for
+// Perfetto).
 package trace
 
 import (
@@ -11,8 +16,8 @@ import (
 	"strings"
 	"time"
 
+	"pstap/internal/obs"
 	"pstap/internal/pipeline"
-	"pstap/internal/stap"
 )
 
 // Phase classifies an instant within a worker's loop.
@@ -41,145 +46,144 @@ type Options struct {
 // axis. Each column shows the phase the worker spent the majority of that
 // bucket in.
 func Gantt(res *pipeline.Result, opt Options) string {
+	return EventGantt(res.Events(), res.TaskMeta(), res.Start, opt)
+}
+
+// EventGantt is Gantt over a raw span-event stream — the form the live
+// telemetry journal (obs.Collector.Journal) provides. Event timestamps are
+// nanoseconds since start; Options.From/To, when set, are interpreted
+// against the same reference.
+func EventGantt(events []obs.SpanEvent, tasks []obs.TaskMeta, start time.Time, opt Options) string {
 	width := opt.Width
 	if width <= 0 {
 		width = 100
 	}
-	from, to := opt.From, opt.To
-	if from.IsZero() || to.IsZero() {
-		f, t := bounds(res)
-		if from.IsZero() {
-			from = f
-		}
-		if to.IsZero() {
-			to = t
-		}
+	from, to := eventBounds(events)
+	if !opt.From.IsZero() {
+		from = opt.From.Sub(start).Nanoseconds()
 	}
-	total := to.Sub(from)
-	if total <= 0 {
+	if !opt.To.IsZero() {
+		to = opt.To.Sub(start).Nanoseconds()
+	}
+	total := to - from
+	if len(events) == 0 || total <= 0 {
 		return "trace: empty window\n"
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "pipeline trace: %v window, %v/column  (r=recv C=comp s=send .=idle)\n",
-		total.Round(time.Microsecond), (total / time.Duration(width)).Round(time.Nanosecond))
-	for task := 0; task < pipeline.NumTasks; task++ {
-		for w, spans := range res.Spans[task] {
-			row := renderRow(spans, from, total, width)
-			fmt.Fprintf(&b, "%-14s#%-3d %s\n", strings.ReplaceAll(stap.TaskNames[task], " ", ""), w, row)
+		time.Duration(total).Round(time.Microsecond),
+		(time.Duration(total) / time.Duration(width)).Round(time.Nanosecond))
+	for task, meta := range tasks {
+		for w := 0; w < meta.Workers; w++ {
+			row := renderRow(events, task, w, from, total, width)
+			fmt.Fprintf(&b, "%-14s#%-3d %s\n", strings.ReplaceAll(meta.Name, " ", ""), w, row)
 		}
 	}
 	return b.String()
 }
 
-// bounds returns the earliest T0 and latest T3 across all spans.
-func bounds(res *pipeline.Result) (time.Time, time.Time) {
-	var from, to time.Time
-	for task := range res.Spans {
-		for _, spans := range res.Spans[task] {
-			for _, s := range spans {
-				if s.T0.IsZero() {
-					continue
-				}
-				if from.IsZero() || s.T0.Before(from) {
-					from = s.T0
-				}
-				if s.T3.After(to) {
-					to = s.T3
-				}
-			}
+// eventBounds returns the earliest T0 and latest T3 across all events.
+func eventBounds(events []obs.SpanEvent) (int64, int64) {
+	var from, to int64
+	for i, ev := range events {
+		if i == 0 || ev.T0 < from {
+			from = ev.T0
+		}
+		if ev.T3 > to {
+			to = ev.T3
 		}
 	}
 	return from, to
 }
 
-func renderRow(spans []pipeline.Span, from time.Time, total time.Duration, width int) string {
+func renderRow(events []obs.SpanEvent, task, worker int, from, total int64, width int) string {
 	row := make([]byte, width)
-	occupancy := make([]time.Duration, width) // how much phase time each bucket holds
+	occupancy := make([]int64, width) // how much phase time each bucket holds
 	for i := range row {
 		row[i] = byte(Idle)
 	}
-	bucket := total / time.Duration(width)
+	bucket := total / int64(width)
 	if bucket <= 0 {
-		bucket = time.Nanosecond
+		bucket = 1
 	}
-	paint := func(a, b time.Time, ph Phase) {
-		if !b.After(a) {
+	paint := func(a, b int64, ph Phase) {
+		if b <= a {
 			return
 		}
-		lo := int(a.Sub(from) / bucket)
-		hi := int(b.Sub(from) / bucket)
+		lo := int((a - from) / bucket)
+		hi := int((b - from) / bucket)
 		for i := lo; i <= hi && i < width; i++ {
 			if i < 0 {
 				continue
 			}
 			// Majority phase per bucket: a later phase overwrites only if
 			// it covers at least as much of the bucket.
-			bStart := from.Add(time.Duration(i) * bucket)
-			bEnd := bStart.Add(bucket)
-			ovl := overlap(a, b, bStart, bEnd)
-			if ovl >= occupancy[i] {
+			bStart := from + int64(i)*bucket
+			ovl := overlap(a, b, bStart, bStart+bucket)
+			if ovl > 0 && ovl >= occupancy[i] {
 				occupancy[i] = ovl
 				row[i] = byte(ph)
 			}
 		}
 	}
-	for _, s := range spans {
-		if s.T0.IsZero() {
+	for _, ev := range events {
+		if ev.Task != task || ev.Worker != worker {
 			continue
 		}
-		paint(s.T0, s.T1, Recv)
-		paint(s.T1, s.T2, Comp)
-		paint(s.T2, s.T3, Send)
+		paint(ev.T0, ev.T1, Recv)
+		paint(ev.T1, ev.T2, Comp)
+		paint(ev.T2, ev.T3, Send)
 	}
 	return string(row)
 }
 
-func overlap(a0, a1, b0, b1 time.Time) time.Duration {
+func overlap(a0, a1, b0, b1 int64) int64 {
 	lo := a0
-	if b0.After(lo) {
+	if b0 > lo {
 		lo = b0
 	}
 	hi := a1
-	if b1.Before(hi) {
+	if b1 < hi {
 		hi = b1
 	}
-	if hi.Before(lo) {
+	if hi < lo {
 		return 0
 	}
-	return hi.Sub(lo)
+	return hi - lo
 }
 
 // Utilization summarizes each task's fraction of wall time spent in each
 // phase over the whole run — a compact complement to the Gantt.
 func Utilization(res *pipeline.Result) string {
-	from, to := bounds(res)
-	total := to.Sub(from)
-	if total <= 0 {
+	return EventUtilization(res.Events(), res.TaskMeta())
+}
+
+// EventUtilization is Utilization over a raw span-event stream.
+func EventUtilization(events []obs.SpanEvent, tasks []obs.TaskMeta) string {
+	from, to := eventBounds(events)
+	total := to - from
+	if len(events) == 0 || total <= 0 {
 		return "trace: empty window\n"
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %8s %8s %8s %8s\n", "task", "recv%", "comp%", "send%", "idle%")
-	for task := 0; task < pipeline.NumTasks; task++ {
-		var recv, comp, send time.Duration
-		workers := len(res.Spans[task])
-		if workers == 0 {
+	for task, meta := range tasks {
+		if meta.Workers == 0 {
 			continue
 		}
-		for _, spans := range res.Spans[task] {
-			for _, s := range spans {
-				if s.T0.IsZero() {
-					continue
-				}
-				t := s.Times()
-				recv += t.Recv
-				comp += t.Comp
-				send += t.Send
+		var recv, comp, send int64
+		for _, ev := range events {
+			if ev.Task != task {
+				continue
 			}
+			recv += ev.T1 - ev.T0
+			comp += ev.T2 - ev.T1
+			send += ev.T3 - ev.T2
 		}
-		wall := total * time.Duration(workers)
-		pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(wall) }
+		wall := total * int64(meta.Workers)
+		pct := func(d int64) float64 { return 100 * float64(d) / float64(wall) }
 		fmt.Fprintf(&b, "%-16s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
-			stap.TaskNames[task], pct(recv), pct(comp), pct(send),
+			meta.Name, pct(recv), pct(comp), pct(send),
 			100-pct(recv)-pct(comp)-pct(send))
 	}
 	return b.String()
