@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"pstap/internal/fault"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/serve"
@@ -56,6 +57,12 @@ var (
 	flagDrain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	flagObsWin   = flag.Int("obswindow", 0, "live gauge window in CPIs (0 = default 32)")
 	flagSlowMult = flag.Float64("slowmult", 0, "log worker spans slower than this multiple of the task median (0 disables)")
+
+	flagCPITimeout = flag.Duration("cpitimeout", 0, "per-CPI processing deadline; a stalled replica is reaped and recycled (0 disables)")
+	flagFaultPlan  = flag.String("faultplan", "", "fault injection plan, e.g. 'doppler:0:3:panic; cfar:*:*:slow(10ms)*@0.1' (see internal/fault)")
+	flagFaultSeed  = flag.Int64("faultseed", 1, "seed for probabilistic fault rules")
+	flagRestarts   = flag.Int("restartbudget", 0, "max automatic restarts per replica slot (0 = default 5)")
+	flagBackoff    = flag.Duration("restartbackoff", 0, "base delay before restarting a dead replica, doubling per restart (0 = default 50ms)")
 )
 
 func parseNodes(s string) (pipeline.Assignment, error) {
@@ -99,18 +106,33 @@ func main() {
 	sc := radar.DefaultScene(p)
 	sc.Seed = *flagSeed
 
+	var plan *fault.Plan
+	if *flagFaultPlan != "" {
+		plan, err = fault.ParsePlan(*flagFaultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		log.Printf("fault injection armed: %s (seed %d)", plan, *flagFaultSeed)
+	}
+
 	srv, err := serve.New(serve.Config{
-		Scene:        sc,
-		Assign:       a,
-		Replicas:     *flagReplicas,
-		QueueDepth:   *flagQueue,
-		Window:       *flagWindow,
-		Threads:      *flagThreads,
-		RetryAfter:   *flagRetry,
-		TraceDir:     *flagTraceDir,
-		ObsWindow:    *flagObsWin,
-		SlowMultiple: *flagSlowMult,
-		Logf:         log.Printf,
+		Scene:          sc,
+		Assign:         a,
+		Replicas:       *flagReplicas,
+		QueueDepth:     *flagQueue,
+		Window:         *flagWindow,
+		Threads:        *flagThreads,
+		RetryAfter:     *flagRetry,
+		TraceDir:       *flagTraceDir,
+		ObsWindow:      *flagObsWin,
+		SlowMultiple:   *flagSlowMult,
+		CPITimeout:     *flagCPITimeout,
+		FaultPlan:      plan,
+		FaultSeed:      *flagFaultSeed,
+		RestartBudget:  *flagRestarts,
+		RestartBackoff: *flagBackoff,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

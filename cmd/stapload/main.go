@@ -14,10 +14,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -33,17 +35,18 @@ import (
 )
 
 var (
-	flagAddr   = flag.String("addr", "localhost:7431", "stapd address")
-	flagRate   = flag.Float64("rate", 5, "job arrival rate (jobs/sec, open loop)")
-	flagJobs   = flag.Int("jobs", 50, "total jobs to submit")
-	flagCPIs   = flag.Int("cpis", 3, "CPIs per job")
-	flagConns  = flag.Int("conns", 4, "client connections")
-	flagSize   = flag.String("size", "small", "problem size: small | medium | paper (must match the server)")
-	flagSeed   = flag.Int64("seed", 1, "scene random seed (must match the server for -check)")
-	flagPool   = flag.Int("pool", 8, "distinct pre-generated jobs to cycle through")
-	flagCheck  = flag.Bool("check", false, "verify detections against the serial reference")
-	flagTrace  = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
-	flagScrape = flag.String("scrape", "", "metrics URL to fetch and print after the run")
+	flagAddr    = flag.String("addr", "localhost:7431", "stapd address")
+	flagRate    = flag.Float64("rate", 5, "job arrival rate (jobs/sec, open loop)")
+	flagJobs    = flag.Int("jobs", 50, "total jobs to submit")
+	flagCPIs    = flag.Int("cpis", 3, "CPIs per job")
+	flagConns   = flag.Int("conns", 4, "client connections")
+	flagSize    = flag.String("size", "small", "problem size: small | medium | paper (must match the server)")
+	flagSeed    = flag.Int64("seed", 1, "scene random seed (must match the server for -check)")
+	flagPool    = flag.Int("pool", 8, "distinct pre-generated jobs to cycle through")
+	flagCheck   = flag.Bool("check", false, "verify detections against the serial reference")
+	flagTrace   = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
+	flagScrape  = flag.String("scrape", "", "metrics URL to fetch and print after the run")
+	flagRetries = flag.Int("maxretries", 0, "retries per job on busy or transient failures (jittered exponential backoff, honoring the server's retry-after hint)")
 )
 
 func main() {
@@ -101,10 +104,10 @@ func main() {
 	}
 
 	var (
-		ok, busy, failed, mismatched atomic.Int64
-		latMu                        sync.Mutex
-		lats                         []time.Duration
-		wg                           sync.WaitGroup
+		ok, retried, busy, failed, mismatched atomic.Int64
+		latMu                                 sync.Mutex
+		lats                                  []time.Duration
+		wg                                    sync.WaitGroup
 	)
 	interval := time.Duration(float64(time.Second) / *flagRate)
 	log.Printf("open loop: %d jobs at %.1f/s over %d conns", *flagJobs, *flagRate, *flagConns)
@@ -119,11 +122,14 @@ func main() {
 			defer wg.Done()
 			ji := n % *flagPool
 			t0 := time.Now()
-			dets, traceFile, err := submit(clients[n%*flagConns], jobs[ji])
+			dets, traceFile, attempts, err := submitWithRetries(clients[n%*flagConns], jobs[ji])
 			d := time.Since(t0)
 			switch err.(type) {
 			case nil:
 				ok.Add(1)
+				if attempts > 0 {
+					retried.Add(1)
+				}
 				latMu.Lock()
 				lats = append(lats, d)
 				latMu.Unlock()
@@ -149,7 +155,10 @@ func main() {
 		float64(*flagJobs)/wall.Seconds())
 	fmt.Printf("completed   %8d (goodput %.2f jobs/s, %.2f CPI/s)\n", ok.Load(),
 		float64(ok.Load())/wall.Seconds(), float64(ok.Load()*int64(*flagCPIs))/wall.Seconds())
-	fmt.Printf("rejected    %8d (busy backpressure)\n", busy.Load())
+	if *flagRetries > 0 {
+		fmt.Printf("retried     %8d (completed after >= 1 retry)\n", retried.Load())
+	}
+	fmt.Printf("rejected    %8d (busy backpressure, retries exhausted)\n", busy.Load())
 	fmt.Printf("failed      %8d\n", failed.Load())
 	if *flagCheck {
 		fmt.Printf("mismatched  %8d (vs serial reference)\n", mismatched.Load())
@@ -193,8 +202,45 @@ func submit(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, er
 	case serve.StatusBusy:
 		return nil, "", &serve.BusyError{RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond}
 	default:
-		return nil, "", fmt.Errorf("serve: job failed: %s", resp.Err)
+		return nil, "", &serve.JobError{Code: resp.Status, Msg: resp.Err}
 	}
+}
+
+// submitWithRetries wraps submit with up to -maxretries retries on busy
+// rejections and transient infrastructure failures (replica lost,
+// timeout), backing off exponentially with jitter and never less than the
+// server's retry-after hint. It returns how many retries the job needed.
+func submitWithRetries(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, int, error) {
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		dets, traceFile, err := submit(cl, cpis)
+		if err == nil || attempt >= *flagRetries || !retryable(err) {
+			return dets, traceFile, attempt, err
+		}
+		d := backoff
+		var be *serve.BusyError
+		if errors.As(err, &be) && be.RetryAfter > d {
+			d = be.RetryAfter
+		}
+		d += time.Duration(rand.Int63n(int64(d)/2 + 1)) // up to +50% jitter
+		time.Sleep(d)
+		backoff *= 2
+	}
+}
+
+// retryable reports whether a submission error is worth retrying: busy
+// backpressure and transient replica failures are; bad requests and
+// shutdown are not.
+func retryable(err error) bool {
+	var be *serve.BusyError
+	if errors.As(err, &be) {
+		return true
+	}
+	var je *serve.JobError
+	if errors.As(err, &je) {
+		return je.Code == serve.StatusReplicaLost || je.Code == serve.StatusTimeout
+	}
+	return false
 }
 
 // q returns the q-quantile of sorted latencies (nearest rank).

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("doppler:0:3:panic; cfar:*:*:slow(10ms)*@0.25, 4:1:2:droppayload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Task: 0, Worker: 0, CPI: 3, Kind: KindPanic, Prob: 1},
+		{Task: 6, Worker: Wildcard, CPI: Wildcard, Kind: KindSlow, Dur: 10 * time.Millisecond, Prob: 0.25, Repeat: true},
+		{Task: 4, Worker: 1, CPI: 2, Kind: KindDropPayload, Prob: 1},
+	}
+	if len(p.Rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(p.Rules), len(want))
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, p.Rules[i], w)
+		}
+	}
+	// The plan round-trips through its String form.
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	for i := range want {
+		if p2.Rules[i] != p.Rules[i] {
+			t.Errorf("round trip rule %d = %+v, want %+v", i, p2.Rules[i], p.Rules[i])
+		}
+	}
+}
+
+func TestParsePlanEmpty(t *testing.T) {
+	p, err := ParsePlan("")
+	if err != nil || len(p.Rules) != 0 {
+		t.Fatalf("empty plan: rules %v err %v", p.Rules, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, s := range []string{
+		"doppler:0:3",          // too few fields
+		"nosuchtask:0:0:panic", // bad task
+		"7:0:0:panic",          // task index out of range
+		"doppler:-1:0:panic",   // negative worker
+		"doppler:0:x:panic",    // bad cpi
+		"doppler:0:0:explode",  // unknown kind
+		"doppler:0:0:slow(ms)", // bad duration
+		"doppler:0:0:panic@2",  // probability out of range
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+// fires reports whether Compute panics for the given point (recovering
+// the injected panic).
+func fires(in *Injector, task, worker, cpi int) (fired bool) {
+	defer func() {
+		if recover() != nil {
+			fired = true
+		}
+	}()
+	in.Compute(task, worker, cpi)
+	return false
+}
+
+func TestOnceSemantics(t *testing.T) {
+	plan := MustParsePlan("doppler:0:1:panic")
+	in := plan.Injector(1)
+	if fires(in, 0, 0, 0) {
+		t.Error("fired on a non-matching cpi")
+	}
+	if !fires(in, 0, 0, 1) {
+		t.Error("did not fire on the matching point")
+	}
+	if fires(in, 0, 0, 1) {
+		t.Error("once-rule fired twice")
+	}
+	// The spent state is shared with a fresh injector of the same plan —
+	// a restarted replica does not re-die on the same rule.
+	in2 := plan.Injector(1)
+	if fires(in2, 0, 0, 1) {
+		t.Error("once-rule re-fired on a restarted injector")
+	}
+}
+
+func TestRepeatSemantics(t *testing.T) {
+	in := MustParsePlan("doppler:0:*:panic*").Injector(1)
+	for i := 0; i < 3; i++ {
+		if !fires(in, 0, 0, i) {
+			t.Errorf("repeat rule did not fire at cpi %d", i)
+		}
+	}
+}
+
+func TestErrKindIsTyped(t *testing.T) {
+	in := MustParsePlan("cfar:0:0:err").Injector(1)
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Errorf("err fault raised %v, want ErrInjected", r)
+		}
+	}()
+	in.Compute(6, 0, 0)
+	t.Error("err fault did not fire")
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	decide := func(seed int64) string {
+		in := MustParsePlan("*:*:*:panic*@0.5").Injector(seed)
+		var b strings.Builder
+		for cpi := 0; cpi < 200; cpi++ {
+			if fires(in, 0, 0, cpi) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	a, b := decide(42), decide(42)
+	if a != b {
+		t.Errorf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	if c := decide(43); c == a {
+		t.Errorf("different seeds produced the same 200-point schedule")
+	}
+	if !strings.Contains(a, "1") || !strings.Contains(a, "0") {
+		t.Errorf("p=0.5 schedule is degenerate: %s", a)
+	}
+}
+
+func TestMessageDropPayload(t *testing.T) {
+	in := MustParsePlan("easybf:0:2:droppayload").Injector(1)
+	if got := in.Message(3, 0, 1, "payload"); got != "payload" {
+		t.Errorf("non-matching message corrupted: %v", got)
+	}
+	if got := in.Message(3, 0, 2, "payload"); got != nil {
+		t.Errorf("matching message not dropped: %v", got)
+	}
+	if got := in.Message(3, 0, 2, "payload"); got != "payload" {
+		t.Errorf("once-rule dropped a second payload: %v", got)
+	}
+	if n := in.Fires(); n != 1 {
+		t.Errorf("Fires = %d, want 1", n)
+	}
+}
+
+func TestSlowDelays(t *testing.T) {
+	in := MustParsePlan("pulse:0:0:slow(30ms)").Injector(1)
+	done := make(chan struct{})
+	in.Bind(done)
+	t0 := time.Now()
+	in.Compute(5, 0, 0)
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Errorf("slow(30ms) returned after %v", d)
+	}
+}
+
+func TestHangReapedByAbort(t *testing.T) {
+	in := MustParsePlan("pulse:0:0:hang").Injector(1)
+	done := make(chan struct{})
+	in.Bind(done)
+	unwound := make(chan any, 1)
+	go func() {
+		defer func() { unwound <- recover() }()
+		in.Compute(5, 0, 0)
+	}()
+	select {
+	case r := <-unwound:
+		t.Fatalf("hang returned before abort: %v", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(done) // the world aborts
+	select {
+	case r := <-unwound:
+		if err, ok := r.(error); !ok || err.Error() != "mp: world aborted" {
+			t.Errorf("hang unwound with %v, want mp.ErrAborted", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hang not reaped by abort")
+	}
+}

@@ -1,0 +1,59 @@
+// Package leakcheck verifies tests leave no goroutines behind. The model
+// is a simple count snapshot/diff: record the goroutine count before the
+// test body runs, then after it (and its cleanups) finish, poll until the
+// count returns to the baseline or a deadline passes — goroutine exits
+// lag the observable completion of the work they did, so an immediate
+// comparison would flake.
+//
+// Usage:
+//
+//	func TestServer(t *testing.T) {
+//		leakcheck.Check(t)       // first line: snapshot + deferred verify
+//		srv := start(t)
+//		t.Cleanup(srv.Shutdown)  // registered after, so it runs before the verify
+//		...
+//	}
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// timeout bounds how long Wait polls before declaring a leak.
+const timeout = 10 * time.Second
+
+// Snapshot returns the current goroutine count, the baseline for a later
+// Wait.
+func Snapshot() int { return runtime.NumGoroutine() }
+
+// Check snapshots the goroutine count and registers a cleanup that waits
+// for the count to return to it. Call it first in the test, before
+// registering the cleanups that stop the machinery under test —
+// t.Cleanup runs in reverse order, so the leak verification runs last.
+func Check(t testing.TB) {
+	t.Helper()
+	before := Snapshot()
+	t.Cleanup(func() { Wait(t, before) })
+}
+
+// Wait polls until the goroutine count drops to at most want, reporting a
+// leak with a full stack dump after a deadline. It fails with Errorf, not
+// Fatalf, so it is safe inside t.Cleanup.
+func Wait(t testing.TB, want int) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutine leak: %d > %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,66 @@
+package mp
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSendHookReplaceAndDrop exercises the fault-injection send plane:
+// the hook sees every message and can corrupt the payload or discard the
+// message before delivery.
+func TestSendHookReplaceAndDrop(t *testing.T) {
+	w := NewWorld(2)
+	w.SetSendHook(func(src, dst, tag int, data any) (any, bool) {
+		switch tag {
+		case 1: // corrupt: payload replaced with nil
+			return nil, false
+		case 2: // drop the message entirely
+			return data, true
+		}
+		return data, false
+	})
+	tx, rx := w.Comm(0), w.Comm(1)
+
+	tx.Send(1, 0, "intact")
+	if got := rx.Recv(0, 0); got != "intact" {
+		t.Errorf("untouched message = %v", got)
+	}
+	tx.Send(1, 1, "corrupt me")
+	if got := rx.Recv(0, 1); got != nil {
+		t.Errorf("corrupted payload = %v, want nil", got)
+	}
+	sent := w.MessagesSent()
+	tx.Send(1, 2, "drop me")
+	if _, ok := rx.TryRecv(0, 2); ok {
+		t.Error("dropped message was delivered")
+	}
+	if w.MessagesSent() != sent {
+		t.Error("dropped message was counted as sent")
+	}
+}
+
+// TestRecvHookDelays checks the receive-side hook fires with the
+// receiver's view of the match and that sleeping in it delays receipt.
+func TestRecvHookDelays(t *testing.T) {
+	w := NewWorld(2)
+	var calls atomic.Int64
+	w.SetRecvHook(func(rank, src, tag int) {
+		if rank != 1 || src != 0 || tag != 7 {
+			t.Errorf("recv hook saw (%d, %d, %d), want (1, 0, 7)", rank, src, tag)
+		}
+		calls.Add(1)
+		time.Sleep(20 * time.Millisecond)
+	})
+	w.Comm(0).Send(1, 7, "x")
+	t0 := time.Now()
+	if got := w.Comm(1).Recv(0, 7); got != "x" {
+		t.Errorf("Recv = %v", got)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Errorf("recv hook delay not applied: %v", d)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("recv hook called %d times, want 1", calls.Load())
+	}
+}

@@ -64,6 +64,15 @@ type World struct {
 	// with SetObserver before any rank goroutine starts.
 	observer func(bytes int64)
 
+	// sendHook and recvHook, when non-nil, intercept the message plane for
+	// fault injection (internal/fault): sendHook may corrupt or drop a
+	// message before delivery (or sleep, delaying the sender), recvHook
+	// runs on entry to every blocking Recv (sleeping there delays the
+	// receiver). Set them with SetSendHook/SetRecvHook before any rank
+	// goroutine starts.
+	sendHook func(src, dst, tag int, data any) (any, bool)
+	recvHook func(rank, src, tag int)
+
 	aborted   atomic.Bool
 	done      chan struct{}
 	abortOnce sync.Once
@@ -147,6 +156,20 @@ func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
 // for concurrent use (ranks send in parallel).
 func (w *World) SetObserver(f func(bytes int64)) { w.observer = f }
 
+// SetSendHook installs a send interceptor: it receives every message's
+// (src, dst, tag, payload) before delivery and returns the payload to
+// deliver — possibly replaced or corrupted — plus drop=true to discard
+// the message entirely (a dropped message is neither delivered nor
+// counted). Sleeping in the hook delays the sender. Same timing and
+// concurrency rules as SetObserver.
+func (w *World) SetSendHook(f func(src, dst, tag int, data any) (any, bool)) { w.sendHook = f }
+
+// SetRecvHook installs a receive interceptor, called on entry to every
+// blocking Recv with the receiver's rank and requested (src, tag).
+// Sleeping in the hook delays receipt. Same timing and concurrency rules
+// as SetObserver.
+func (w *World) SetRecvHook(f func(rank, src, tag int)) { w.recvHook = f }
+
 // Comm is one rank's endpoint.
 type Comm struct {
 	w    *World
@@ -173,6 +196,12 @@ func (c *Comm) Send(dst, tag int, data any) {
 	if c.w.aborted.Load() {
 		return
 	}
+	if h := c.w.sendHook; h != nil {
+		var drop bool
+		if data, drop = h(c.rank, dst, tag, data); drop {
+			return
+		}
+	}
 	box := c.w.boxes[dst]
 	box.mu.Lock()
 	box.seq++
@@ -194,6 +223,9 @@ func (c *Comm) Send(dst, tag int, data any) {
 // payload. src may be AnySource. Among matching messages the earliest
 // arrival wins. Recv panics with ErrAborted when the world is aborted.
 func (c *Comm) Recv(src, tag int) any {
+	if h := c.w.recvHook; h != nil {
+		h(c.rank, src, tag)
+	}
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()

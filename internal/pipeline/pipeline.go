@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pstap/internal/cube"
+	"pstap/internal/fault"
 	"pstap/internal/mp"
 	"pstap/internal/obs"
 	"pstap/internal/radar"
@@ -122,6 +123,16 @@ type Config struct {
 	// keep their private span slices for Result; streaming runs
 	// (NumCPIs == 0) journal to Obs only.
 	Obs *obs.Collector
+	// Fault, when non-nil, is the run's fault-injection plane
+	// (internal/fault): compute faults fire at the top of each worker's
+	// CPI loop and droppayload rules corrupt inter-task messages. The
+	// injector must be fresh (one injector per pipeline world).
+	Fault *fault.Injector
+
+	// sup is the run's supervisor, created by Run/NewStream; workers
+	// report loop progress to it and the recover wrappers file
+	// WorkerFaults with it.
+	sup *supervisor
 }
 
 // Span is one worker's absolute phase timestamps for one CPI, following
@@ -268,6 +279,17 @@ func newTopology(p radar.Params, a Assignment) *topology {
 	return t
 }
 
+// locate resolves a global rank to its (task, worker-local) position;
+// (-1, -1) for the driver rank.
+func (t *topology) locate(rank int) (task, worker int) {
+	for ti, g := range t.groups {
+		if g.Contains(rank) {
+			return ti, g.Local(rank)
+		}
+	}
+	return -1, -1
+}
+
 // binsAt returns list[blk.Lo:blk.Hi].
 func binsAt(list []int, blk cube.Block) []int { return list[blk.Lo:blk.Hi] }
 
@@ -309,6 +331,10 @@ func Run(cfg Config) (*Result, error) {
 	world := mp.NewWorld(cfg.Assign.Total() + 1)
 	if cfg.Obs != nil {
 		world.SetObserver(cfg.Obs.OnSend)
+	}
+	cfg.sup = newSupervisor(cfg.Assign)
+	if cfg.Fault != nil {
+		installFaultHooks(world, topo, cfg.Fault)
 	}
 	n := cfg.NumCPIs
 	beamAz := cfg.Scene.BeamAzimuths()
@@ -394,34 +420,36 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}()
 
-	spawn := func(count int, run func(w int)) {
-		for w := 0; w < count; w++ {
+	// Workers run supervised: a panic becomes a recorded WorkerFault plus
+	// a world abort instead of a process crash.
+	spawn := func(task int, run func(w int)) {
+		for w := 0; w < cfg.Assign[task]; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				mp.Protect(func() { run(w) })
+				superviseWorker(world, cfg.sup, task, w, func() { run(w) })
 			}(w)
 		}
 	}
-	spawn(cfg.Assign[TaskDoppler], func(w int) {
+	spawn(TaskDoppler, func(w int) {
 		dopplerWorker(world, topo, cfg, gain, w, spans[TaskDoppler][w], ready[w])
 	})
-	spawn(cfg.Assign[TaskEasyWeight], func(w int) {
+	spawn(TaskEasyWeight, func(w int) {
 		easyWeightWorker(world, topo, cfg, beamAz, w, spans[TaskEasyWeight][w])
 	})
-	spawn(cfg.Assign[TaskHardWeight], func(w int) {
+	spawn(TaskHardWeight, func(w int) {
 		hardWeightWorker(world, topo, cfg, beamAz, w, spans[TaskHardWeight][w])
 	})
-	spawn(cfg.Assign[TaskEasyBF], func(w int) {
+	spawn(TaskEasyBF, func(w int) {
 		easyBFWorker(world, topo, cfg, beamAz, w, spans[TaskEasyBF][w])
 	})
-	spawn(cfg.Assign[TaskHardBF], func(w int) {
+	spawn(TaskHardBF, func(w int) {
 		hardBFWorker(world, topo, cfg, beamAz, w, spans[TaskHardBF][w])
 	})
-	spawn(cfg.Assign[TaskPulseComp], func(w int) {
+	spawn(TaskPulseComp, func(w int) {
 		pulseCompWorker(world, topo, cfg, w, spans[TaskPulseComp][w])
 	})
-	spawn(cfg.Assign[TaskCFAR], func(w int) {
+	spawn(TaskCFAR, func(w int) {
 		cfarWorker(world, topo, cfg, w, spans[TaskCFAR][w], cfarDone[w])
 	})
 
@@ -440,6 +468,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	})
 	wg.Wait()
+	if f, ok := cfg.sup.first(); ok {
+		return nil, &FaultError{Fault: f}
+	}
 	if aborted || world.Aborted() {
 		if cfg.Context != nil && cfg.Context.Err() != nil {
 			return nil, fmt.Errorf("pipeline: run cancelled: %w", cfg.Context.Err())

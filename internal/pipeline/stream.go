@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"pstap/internal/cube"
+	"pstap/internal/fault"
 	"pstap/internal/mp"
 	"pstap/internal/obs"
 	"pstap/internal/radar"
@@ -15,6 +17,12 @@ import (
 // ErrStreamClosed is returned by Stream.ProcessJob when the stream was
 // closed or aborted before the job's results were produced.
 var ErrStreamClosed = errors.New("pipeline: stream closed")
+
+// ErrCPITimeout is returned by Stream.ProcessJob when a CPI's results did
+// not arrive within StreamConfig.CPITimeout. The watchdog aborts the
+// pipeline world first, so a stuck worker unwinds instead of leaking; the
+// stream is unusable afterwards (a serving layer recycles the replica).
+var ErrCPITimeout = errors.New("pipeline: CPI timeout exceeded")
 
 // StreamConfig describes a persistent pipeline instance.
 type StreamConfig struct {
@@ -28,6 +36,13 @@ type StreamConfig struct {
 	// monotonically across jobs, so the collector's sliding window spans
 	// job boundaries naturally.
 	Obs *obs.Collector
+	// CPITimeout, when positive, bounds the gap between consecutive CPI
+	// results during ProcessJob. When it elapses the watchdog aborts the
+	// world (reaping hung workers) and ProcessJob returns ErrCPITimeout.
+	CPITimeout time.Duration
+	// Fault, when non-nil, injects deterministic faults into this
+	// instance's workers and message plane (see internal/fault).
+	Fault *fault.Injector
 }
 
 // Stream is a long-lived instance of the parallel pipeline: the seven task
@@ -40,13 +55,17 @@ type StreamConfig struct {
 //
 // ProcessJob must not be called concurrently: a Stream is owned by one
 // submitting goroutine at a time (a serve replica). Close drains
-// gracefully; Abort tears the instance down immediately.
+// gracefully; Abort tears the instance down immediately. Both are
+// idempotent and safe to call concurrently with a ProcessJob in flight
+// and with each other.
 type Stream struct {
-	world *mp.World
-	in    chan streamInput
-	out   chan []stap.Detection
-	quit  chan struct{} // closed by Close, before in
-	wg    sync.WaitGroup
+	world      *mp.World
+	sup        *supervisor
+	cpiTimeout time.Duration
+	in         chan streamInput
+	out        chan []stap.Detection
+	quit       chan struct{} // closed once by Close or Abort
+	wg         sync.WaitGroup
 
 	closeOnce sync.Once
 
@@ -84,27 +103,34 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	if window <= 0 {
 		window = 8
 	}
+	sup := newSupervisor(cfg.Assign)
 	// NumCPIs == 0 puts the workers in open-ended streaming mode: they
 	// exit on the EOF control message Close injects.
-	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads, Obs: cfg.Obs}
+	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads, Obs: cfg.Obs, Fault: cfg.Fault, sup: sup}
 	if cfg.Obs != nil {
 		world.SetObserver(cfg.Obs.OnSend)
 	}
+	if cfg.Fault != nil {
+		installFaultHooks(world, topo, cfg.Fault)
+	}
 
 	s := &Stream{
-		world: world,
-		in:    make(chan streamInput),
-		out:   make(chan []stap.Detection, window),
-		quit:  make(chan struct{}),
+		world:      world,
+		sup:        sup,
+		cpiTimeout: cfg.CPITimeout,
+		in:         make(chan streamInput),
+		out:        make(chan []stap.Detection, window),
+		quit:       make(chan struct{}),
 	}
 	credits := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		credits <- struct{}{}
 	}
 
-	// Feeder: slices each submitted CPI across the Doppler workers'
-	// range blocks; a closed input channel becomes the EOF message that
-	// drains the task chain.
+	// Feeder: slices each submitted CPI across the Doppler workers' range
+	// blocks; a closed quit channel becomes the EOF message that drains
+	// the task chain. The input channel itself is never closed, so a
+	// submitter racing Close can never send on a closed channel.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -112,13 +138,7 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		cpi := 0
 		for {
 			select {
-			case item, ok := <-s.in:
-				if !ok {
-					for w := range topo.kBlocks {
-						feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{ctl: ctl{EOF: true}})
-					}
-					return
-				}
+			case item := <-s.in:
 				select {
 				case <-credits:
 				case <-world.Done():
@@ -129,40 +149,47 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 						rawMsg{slab: item.raw.SliceAxis0(blk), ctl: ctl{Reset: item.reset}})
 				}
 				cpi++
+			case <-s.quit:
+				for w := range topo.kBlocks {
+					feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{ctl: ctl{EOF: true}})
+				}
+				return
 			case <-world.Done():
 				return
 			}
 		}
 	}()
 
-	spawn := func(count int, run func(w int)) {
-		for w := 0; w < count; w++ {
+	// Workers run supervised (see superviseWorker): a panic is recorded
+	// and aborts this instance's world instead of crashing the process.
+	spawn := func(task int, run func(w int)) {
+		for w := 0; w < cfg.Assign[task]; w++ {
 			s.wg.Add(1)
 			go func(w int) {
 				defer s.wg.Done()
-				mp.Protect(func() { run(w) })
+				superviseWorker(world, sup, task, w, func() { run(w) })
 			}(w)
 		}
 	}
-	spawn(cfg.Assign[TaskDoppler], func(w int) {
+	spawn(TaskDoppler, func(w int) {
 		dopplerWorker(world, topo, wcfg, gain, w, nil, nil)
 	})
-	spawn(cfg.Assign[TaskEasyWeight], func(w int) {
+	spawn(TaskEasyWeight, func(w int) {
 		easyWeightWorker(world, topo, wcfg, beamAz, w, nil)
 	})
-	spawn(cfg.Assign[TaskHardWeight], func(w int) {
+	spawn(TaskHardWeight, func(w int) {
 		hardWeightWorker(world, topo, wcfg, beamAz, w, nil)
 	})
-	spawn(cfg.Assign[TaskEasyBF], func(w int) {
+	spawn(TaskEasyBF, func(w int) {
 		easyBFWorker(world, topo, wcfg, beamAz, w, nil)
 	})
-	spawn(cfg.Assign[TaskHardBF], func(w int) {
+	spawn(TaskHardBF, func(w int) {
 		hardBFWorker(world, topo, wcfg, beamAz, w, nil)
 	})
-	spawn(cfg.Assign[TaskPulseComp], func(w int) {
+	spawn(TaskPulseComp, func(w int) {
 		pulseCompWorker(world, topo, wcfg, w, nil)
 	})
-	spawn(cfg.Assign[TaskCFAR], func(w int) {
+	spawn(TaskCFAR, func(w int) {
 		cfarWorker(world, topo, wcfg, w, nil, nil)
 	})
 
@@ -208,42 +235,81 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 // stream's scene parameters — through the warm pipeline and returns the
 // per-CPI detection reports. The adaptive weights restart at the job
 // boundary, so the output equals processing the same cubes with a fresh
-// serial stap.Processor. Returns ErrStreamClosed if the stream is closed
-// or aborted mid-job.
+// serial stap.Processor. When the stream dies mid-job the error states
+// why: *FaultError for a supervised worker fault, ErrCPITimeout when the
+// per-CPI watchdog fired, ErrStreamClosed for a plain close or abort.
 func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
 	if len(cpis) == 0 {
 		return nil, fmt.Errorf("pipeline: empty job")
 	}
 	select {
 	case <-s.quit:
-		return nil, ErrStreamClosed
+		return nil, s.deathErr()
 	default:
+	}
+	if s.world.Aborted() {
+		return nil, s.deathErr()
 	}
 	// Submit from a separate goroutine so the bounded in-flight window
 	// cannot deadlock submission against result collection. The submitter
 	// always finishes before the final result arrives (the feeder must
 	// consume the last CPI before CFAR can report it), so ProcessJob's
-	// return synchronizes with it on the success path; on the abort path
-	// it exits via the world's done channel.
+	// return synchronizes with it on the success path; on the close and
+	// abort paths it exits via the quit or done channel.
 	go func() {
 		for i, c := range cpis {
 			select {
 			case s.in <- streamInput{raw: c, reset: i == 0}:
+			case <-s.quit:
+				return
 			case <-s.world.Done():
 				return
 			}
 		}
 	}()
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	if s.cpiTimeout > 0 {
+		timer = time.NewTimer(s.cpiTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	out := make([][]stap.Detection, 0, len(cpis))
 	for range cpis {
-		dets, ok := <-s.out
-		if !ok {
-			return nil, ErrStreamClosed
+		select {
+		case dets, ok := <-s.out:
+			if !ok {
+				return nil, s.deathErr()
+			}
+			out = append(out, dets)
+			if timer != nil {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				timer.Reset(s.cpiTimeout)
+			}
+		case <-timeout:
+			// Reap whatever is stuck: blocked workers (including an
+			// injected hang) unwind via the abort panic.
+			s.world.Abort()
+			return nil, ErrCPITimeout
 		}
-		out = append(out, dets)
 	}
 	return out, nil
 }
+
+// deathErr explains why the stream died: the first recorded worker fault
+// when supervision caught one, otherwise a plain closed-stream error.
+func (s *Stream) deathErr() error {
+	if f, ok := s.sup.first(); ok {
+		return &FaultError{Fault: f}
+	}
+	return ErrStreamClosed
+}
+
+// Faults returns the worker faults supervision recorded on this instance,
+// in arrival order.
+func (s *Stream) Faults() []WorkerFault { return s.sup.Faults() }
 
 // CPIsProcessed returns the number of CPIs the stream has fully processed.
 func (s *Stream) CPIsProcessed() int64 {
@@ -254,19 +320,19 @@ func (s *Stream) CPIsProcessed() int64 {
 
 // Close drains the stream gracefully: everything already submitted is
 // processed, then the worker goroutines exit. Close blocks until the
-// teardown completes and must not race a ProcessJob in flight.
+// teardown completes. It is idempotent and safe concurrently with Abort
+// and with an in-flight ProcessJob (which returns an error for results it
+// never received).
 func (s *Stream) Close() {
-	s.closeOnce.Do(func() {
-		close(s.quit)
-		close(s.in)
-	})
+	s.closeOnce.Do(func() { close(s.quit) })
 	s.wg.Wait()
 }
 
 // Abort tears the stream down immediately, discarding in-flight work, and
 // blocks until every goroutine has exited. A ProcessJob in flight returns
-// ErrStreamClosed.
+// an error. Idempotent, and safe concurrently with Close.
 func (s *Stream) Abort() {
+	s.closeOnce.Do(func() { close(s.quit) })
 	s.world.Abort()
 	s.wg.Wait()
 }

@@ -3,36 +3,17 @@ package pipeline
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
 	"time"
 
 	"pstap/internal/cube"
+	"pstap/internal/leakcheck"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
 )
 
-// waitGoroutines polls until the goroutine count drops to at most want,
-// failing the test after a deadline (goroutine exits lag the observable
-// completion slightly).
-func waitGoroutines(t *testing.T, want int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= want {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d > %d\n%s", n, want, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
 func TestRunContextCancelMidStream(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leakcheck.Check(t)
 	sc := radar.DefaultScene(radar.Small())
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -60,7 +41,6 @@ func TestRunContextCancelMidStream(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("cancelled run did not return")
 	}
-	waitGoroutines(t, before)
 }
 
 func TestRunContextAlreadyDone(t *testing.T) {
@@ -121,7 +101,7 @@ func TestStreamJobsMatchSerial(t *testing.T) {
 }
 
 func TestStreamCloseAndAbortStopGoroutines(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := leakcheck.Snapshot()
 	sc := radar.DefaultScene(radar.Small())
 
 	st, err := NewStream(StreamConfig{Scene: sc, Assign: NewAssignment(1, 1, 1, 1, 1, 1, 1)})
@@ -132,7 +112,7 @@ func TestStreamCloseAndAbortStopGoroutines(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.Close()
-	waitGoroutines(t, before)
+	leakcheck.Wait(t, before)
 	if _, err := st.ProcessJob([]*cube.Cube{sc.GenerateCPI(1)}); !errors.Is(err, ErrStreamClosed) {
 		t.Fatalf("ProcessJob after Close: err = %v, want ErrStreamClosed", err)
 	}
@@ -142,7 +122,7 @@ func TestStreamCloseAndAbortStopGoroutines(t *testing.T) {
 		t.Fatal(err)
 	}
 	st2.Abort()
-	waitGoroutines(t, before)
+	leakcheck.Wait(t, before)
 	if _, err := st2.ProcessJob([]*cube.Cube{sc.GenerateCPI(2)}); !errors.Is(err, ErrStreamClosed) {
 		t.Fatalf("ProcessJob after Abort: err = %v, want ErrStreamClosed", err)
 	}

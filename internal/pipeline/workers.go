@@ -52,6 +52,7 @@ func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, 
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
 		stamp(ready, cpi, t0)
+		cfg.faultPoint(TaskDoppler, w, cpi)
 		msg := comm.Recv(topo.driver, tag(tagRaw, cpi)).(rawMsg)
 		if msg.ctl.EOF {
 			for dw := range topo.easyWPos {
@@ -108,6 +109,7 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 	p0 := topo.groups[TaskDoppler].N
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskEasyWeight, w, cpi)
 		var c ctl
 		perSrc := make([][]*linalg.Matrix, p0)
 		for s := 0; s < p0; s++ {
@@ -162,6 +164,7 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 	nSeg := p.NumSegments()
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskHardWeight, w, cpi)
 		var c ctl
 		perSrc := make([][][]*linalg.Matrix, p0)
 		for s := 0; s < p0; s++ {
@@ -223,6 +226,7 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 	pieces := make([]*cube.Cube, p0)
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskEasyBF, w, cpi)
 		var c ctl
 		for s := 0; s < p0; s++ {
 			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagEasyBFData, cpi)).(bfDataMsg)
@@ -308,6 +312,7 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 	pieces := make([]*cube.Cube, p0)
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskHardBF, w, cpi)
 		var c ctl
 		for s := 0; s < p0; s++ {
 			msg := comm.Recv(topo.groups[TaskDoppler].Global(s), tag(tagHardBFData, cpi)).(bfDataMsg)
@@ -376,6 +381,7 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 	}
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskPulseComp, w, cpi)
 		var c ctl
 		local := cube.New(radar.BeamOrder, blk.Size(), p.M, p.K)
 		for _, s := range senders {
@@ -430,6 +436,7 @@ func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span
 	}
 	for cpi := 0; cfg.more(cpi); cpi++ {
 		t0 := time.Now()
+		cfg.faultPoint(TaskCFAR, w, cpi)
 		var c ctl
 		local := cube.NewReal(radar.BeamOrder, blk.Size(), p.M, p.K)
 		for _, src := range senders {

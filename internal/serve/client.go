@@ -112,7 +112,8 @@ func (c *Client) Do(req *Request) (*Response, error) {
 
 // Submit processes one job (an independent CPI sequence) and returns the
 // per-CPI detection reports. A backpressure rejection surfaces as a
-// *BusyError; other failures are plain errors.
+// *BusyError; other failures surface as a *JobError carrying the
+// server's typed status code.
 func (c *Client) Submit(cpis []*cube.Cube) ([][]stap.Detection, error) {
 	resp, err := c.Do(&Request{CPIs: cpis})
 	if err != nil {
@@ -124,7 +125,7 @@ func (c *Client) Submit(cpis []*cube.Cube) ([][]stap.Detection, error) {
 	case StatusBusy:
 		return nil, &BusyError{RetryAfter: time.Duration(resp.RetryAfterMs) * time.Millisecond}
 	default:
-		return nil, fmt.Errorf("serve: job failed: %s", resp.Err)
+		return nil, &JobError{Code: resp.Status, Msg: resp.Err}
 	}
 }
 

@@ -25,6 +25,12 @@ type Metrics struct {
 	failed    atomic.Int64
 	cpis      atomic.Int64
 
+	// workerFaults counts supervised worker deaths across all replicas;
+	// replicaRestarts counts replica recycles (both fault- and
+	// timeout-triggered) — the two headline robustness counters.
+	workerFaults    atomic.Int64
+	replicaRestarts atomic.Int64
+
 	queueDepth func() int
 	start      time.Time
 
@@ -36,10 +42,33 @@ type Metrics struct {
 	replicas []*ReplicaStats
 }
 
-// ReplicaStats tracks one pipeline replica's work.
+// Replica health states, stored in ReplicaStats.health. The zero value is
+// live so a fresh pool starts healthy.
+const (
+	replicaLive int32 = iota
+	replicaRestarting
+	replicaDead
+)
+
+// healthName renders a health state for JSON and logs.
+func healthName(h int32) string {
+	switch h {
+	case replicaLive:
+		return "live"
+	case replicaRestarting:
+		return "restarting"
+	case replicaDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// ReplicaStats tracks one pipeline replica's work and lifecycle.
 type ReplicaStats struct {
-	jobs   atomic.Int64
-	busyNs atomic.Int64
+	jobs     atomic.Int64
+	busyNs   atomic.Int64
+	restarts atomic.Int64
+	health   atomic.Int32
 }
 
 // newMetrics builds the metrics for a replica pool of the given size.
@@ -74,35 +103,44 @@ type ReplicaSnapshot struct {
 	// Utilization is the fraction of the server's lifetime this replica
 	// spent processing jobs (busy time / wall time).
 	Utilization float64 `json:"utilization"`
+	// Restarts counts how often this replica slot was recycled.
+	Restarts int64 `json:"restarts"`
+	// Health is "live", "restarting" or "dead".
+	Health string `json:"health"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of the metrics — the
 // payload of the /metrics endpoint.
 type Snapshot struct {
-	UptimeSec     float64           `json:"uptime_sec"`
-	QueueDepth    int               `json:"queue_depth"`
-	Accepted      int64             `json:"accepted"`
-	Rejected      int64             `json:"rejected"`
-	Completed     int64             `json:"completed"`
-	Failed        int64             `json:"failed"`
-	CPIsProcessed int64             `json:"cpis_processed"`
-	JobsPerSec    float64           `json:"jobs_per_sec"`
-	LatencyP50Ms  float64           `json:"latency_p50_ms"`
-	LatencyP95Ms  float64           `json:"latency_p95_ms"`
-	LatencyP99Ms  float64           `json:"latency_p99_ms"`
-	Replicas      []ReplicaSnapshot `json:"replicas"`
+	UptimeSec       float64           `json:"uptime_sec"`
+	QueueDepth      int               `json:"queue_depth"`
+	Accepted        int64             `json:"accepted"`
+	Rejected        int64             `json:"rejected"`
+	Completed       int64             `json:"completed"`
+	Failed          int64             `json:"failed"`
+	CPIsProcessed   int64             `json:"cpis_processed"`
+	WorkerFaults    int64             `json:"worker_faults"`
+	ReplicaRestarts int64             `json:"replica_restarts"`
+	LiveReplicas    int               `json:"live_replicas"`
+	JobsPerSec      float64           `json:"jobs_per_sec"`
+	LatencyP50Ms    float64           `json:"latency_p50_ms"`
+	LatencyP95Ms    float64           `json:"latency_p95_ms"`
+	LatencyP99Ms    float64           `json:"latency_p99_ms"`
+	Replicas        []ReplicaSnapshot `json:"replicas"`
 }
 
 // Snapshot assembles the current view.
 func (m *Metrics) Snapshot() Snapshot {
 	up := time.Since(m.start)
 	s := Snapshot{
-		UptimeSec:     up.Seconds(),
-		Accepted:      m.accepted.Load(),
-		Rejected:      m.rejected.Load(),
-		Completed:     m.completed.Load(),
-		Failed:        m.failed.Load(),
-		CPIsProcessed: m.cpis.Load(),
+		UptimeSec:       up.Seconds(),
+		Accepted:        m.accepted.Load(),
+		Rejected:        m.rejected.Load(),
+		Completed:       m.completed.Load(),
+		Failed:          m.failed.Load(),
+		CPIsProcessed:   m.cpis.Load(),
+		WorkerFaults:    m.workerFaults.Load(),
+		ReplicaRestarts: m.replicaRestarts.Load(),
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
@@ -123,9 +161,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LatencyP95Ms = quantileMs(window, 0.95)
 	s.LatencyP99Ms = quantileMs(window, 0.99)
 	for _, r := range m.replicas {
-		rs := ReplicaSnapshot{Jobs: r.jobs.Load()}
+		h := r.health.Load()
+		rs := ReplicaSnapshot{
+			Jobs:     r.jobs.Load(),
+			Restarts: r.restarts.Load(),
+			Health:   healthName(h),
+		}
 		if up > 0 {
 			rs.Utilization = float64(r.busyNs.Load()) / float64(up.Nanoseconds())
+		}
+		if h == replicaLive {
+			s.LiveReplicas++
 		}
 		s.Replicas = append(s.Replicas, rs)
 	}

@@ -37,6 +37,13 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	p.Head("stapd_cpis_processed_total", "counter", "CPIs processed across all completed jobs.")
 	p.Sample("stapd_cpis_processed_total", nil, float64(snap.CPIsProcessed))
 
+	p.Head("stapd_worker_faults_total", "counter", "Supervised worker goroutine deaths across all replicas.")
+	p.Sample("stapd_worker_faults_total", nil, float64(snap.WorkerFaults))
+	p.Head("stapd_replica_restarts_total", "counter", "Replica recycles after a fault or watchdog timeout.")
+	p.Sample("stapd_replica_restarts_total", nil, float64(snap.ReplicaRestarts))
+	p.Head("stapd_live_replicas", "gauge", "Replicas currently healthy and serving.")
+	p.Sample("stapd_live_replicas", nil, float64(snap.LiveReplicas))
+
 	p.Head("stapd_queue_depth", "gauge", "Jobs waiting in the admission queue.")
 	p.Sample("stapd_queue_depth", nil, float64(snap.QueueDepth))
 
@@ -57,8 +64,20 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	for i, r := range snap.Replicas {
 		p.Sample("stapd_replica_utilization", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, r.Utilization)
 	}
+	p.Head("stapd_replica_up", "gauge", "Replica health (1 live, 0 restarting or dead).")
+	for i, r := range snap.Replicas {
+		up := 0.0
+		if r.Health == "live" {
+			up = 1
+		}
+		p.Sample("stapd_replica_up", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, up)
+	}
+	p.Head("stapd_replica_restarts", "counter", "Recycles per replica slot.")
+	for i, r := range snap.Replicas {
+		p.Sample("stapd_replica_restarts", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, float64(r.Restarts))
+	}
 
-	obs.WriteProm(w, s.obs)
+	obs.WriteProm(w, s.Collectors())
 }
 
 // PromHandler serves WritePrometheus — mount as /metrics.prom next to the
@@ -75,7 +94,7 @@ func (s *Server) PromHandler() http.Handler {
 // "rN/" process-name prefix with disjoint pid ranges.
 func (s *Server) WriteTrace(w io.Writer) error {
 	var ct obs.ChromeTrace
-	for i, col := range s.obs {
+	for i, col := range s.Collectors() {
 		ct.AddCollector(col, i*len(col.Tasks()), "r"+strconv.Itoa(i)+"/")
 	}
 	return ct.Write(w)

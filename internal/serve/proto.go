@@ -51,9 +51,22 @@ const (
 	// rejected without queueing — the backpressure signal. The client
 	// should retry after RetryAfterMs.
 	StatusBusy
-	// StatusError means the job was invalid or the server failed or is
-	// shutting down; Err describes why.
+	// StatusError means the job failed for an unclassified reason; Err
+	// describes why.
 	StatusError
+	// StatusBadRequest means the job failed validation (empty, nil cube,
+	// wrong dimensions) and was never admitted.
+	StatusBadRequest
+	// StatusReplicaLost means the replica processing the job died (a
+	// supervised worker fault); the job's partial work is discarded and
+	// the server recycles the replica. The job itself may be retried.
+	StatusReplicaLost
+	// StatusTimeout means the job exceeded the server's per-CPI deadline
+	// and the replica was reaped by the watchdog.
+	StatusTimeout
+	// StatusAborted means the server is shutting down and the job was cut
+	// short or refused admission.
+	StatusAborted
 )
 
 // String renders the status name.
@@ -65,6 +78,14 @@ func (s Status) String() string {
 		return "busy"
 	case StatusError:
 		return "error"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusReplicaLost:
+		return "replica-lost"
+	case StatusTimeout:
+		return "timeout"
+	case StatusAborted:
+		return "aborted"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }
@@ -96,4 +117,18 @@ type BusyError struct {
 // Error implements error.
 func (e *BusyError) Error() string {
 	return fmt.Sprintf("serve: server busy, retry after %v", e.RetryAfter)
+}
+
+// JobError is returned by Client.Submit when the server answered with a
+// failure status; Code carries the server's typed classification so
+// clients can distinguish a permanently-bad job (StatusBadRequest) from a
+// retryable infrastructure failure (StatusReplicaLost, StatusTimeout).
+type JobError struct {
+	Code Status
+	Msg  string
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("serve: job failed (%s): %s", e.Code, e.Msg)
 }

@@ -6,34 +6,17 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pstap/internal/cube"
+	"pstap/internal/leakcheck"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
 )
-
-// waitGoroutines polls until the goroutine count drops back to at most
-// want, failing with a stack dump if it never does — the leak detector
-// for drain tests.
-func waitGoroutines(t *testing.T, want int) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= want {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
-}
 
 func startServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
@@ -227,7 +210,7 @@ func TestServeBackpressure(t *testing.T) {
 // while jobs are in flight lets them finish (their replies arrive and
 // match the reference), then every server goroutine exits.
 func TestServeShutdownDrain(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := leakcheck.Snapshot()
 	sc := radar.DefaultScene(radar.Small())
 	s := startServer(t, Config{
 		Scene:    sc,
@@ -274,7 +257,7 @@ func TestServeShutdownDrain(t *testing.T) {
 		t.Errorf("served %d replies, metrics completed = %d", served, snap.Completed)
 	}
 	cl.Close()
-	waitGoroutines(t, before)
+	leakcheck.Wait(t, before)
 
 	// The server refuses work after shutdown.
 	if _, err := Dial(s.Addr().String()); err == nil {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"pstap/internal/cpifile"
 	"pstap/internal/cube"
+	"pstap/internal/fault"
 	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
@@ -52,6 +54,24 @@ type Config struct {
 	// SlowMultiple, when > 0, logs any worker span slower than this
 	// multiple of its task's recent median through Logf.
 	SlowMultiple float64
+	// CPITimeout, when positive, bounds each CPI's processing time on a
+	// replica. A job that stalls past it is answered StatusTimeout and
+	// the replica is reaped and recycled — the watchdog against hung
+	// workers.
+	CPITimeout time.Duration
+	// FaultPlan, when non-nil, injects deterministic faults into every
+	// replica (see internal/fault). Fire-once rules are shared across the
+	// pool and across restarts, so a restarted replica does not re-die on
+	// a spent rule. FaultSeed seeds the probabilistic rules.
+	FaultPlan *fault.Plan
+	FaultSeed int64
+	// RestartBudget caps automatic restarts per replica slot (default 5).
+	// A slot that exhausts it is marked dead; when every slot is dead the
+	// server degrades to rejecting jobs.
+	RestartBudget int
+	// RestartBackoff is the delay before the first restart attempt of a
+	// slot (default 50ms), doubling per consecutive restart.
+	RestartBackoff time.Duration
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -63,6 +83,37 @@ type job struct {
 	done chan *Response // buffered; the replica's reply
 }
 
+// replicaSlot is one position in the replica pool. The stream and
+// collector it holds are replaced when the replica is recycled after a
+// fault, so readers must go through the mutex (the slot identity — its
+// index, stats and restart schedule — is stable).
+type replicaSlot struct {
+	idx int
+
+	mu  sync.Mutex
+	st  *pipeline.Stream
+	col *obs.Collector
+
+	// nextAttempt is the unix-nano time of the slot's next restart
+	// attempt while it is restarting — the basis of honest retry-after
+	// hints when no replica is live.
+	nextAttempt atomic.Int64
+}
+
+// stream returns the slot's current pipeline instance.
+func (sl *replicaSlot) stream() *pipeline.Stream {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.st
+}
+
+// collector returns the slot's current telemetry collector.
+func (sl *replicaSlot) collector() *obs.Collector {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.col
+}
+
 // Server is the stapd daemon core: listener, admission queue, replica
 // pool and metrics. Create with New, start with Start or Serve, stop with
 // Shutdown.
@@ -70,8 +121,13 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	queue   chan *job
-	streams []*pipeline.Stream
-	obs     []*obs.Collector // one per replica, fed by its stream
+	slots   []*replicaSlot
+
+	// live is the number of currently healthy replicas; admission
+	// capacity scales with it (graceful degradation).
+	live atomic.Int32
+	// stopping is closed on hard shutdown to interrupt restart backoffs.
+	stopping chan struct{}
 
 	ln        net.Listener
 	admitting atomic.Bool
@@ -115,44 +171,67 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 100 * time.Millisecond
 	}
+	if cfg.RestartBudget <= 0 {
+		cfg.RestartBudget = 5
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = 50 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *job, cfg.QueueDepth),
-		conns: make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		stopping: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.metrics = newMetrics(cfg.Replicas, func() int { return len(s.queue) })
 	for i := 0; i < cfg.Replicas; i++ {
-		ocfg := pipeline.DefaultObsConfig(cfg.Assign)
-		ocfg.Window = cfg.ObsWindow
-		ocfg.SlowMultiple = cfg.SlowMultiple
-		ocfg.SlowLogf = cfg.Logf
-		col := obs.New(ocfg)
-		st, err := pipeline.NewStream(pipeline.StreamConfig{
-			Scene:   cfg.Scene,
-			Assign:  cfg.Assign,
-			Window:  cfg.Window,
-			Threads: cfg.Threads,
-			Obs:     col,
-		})
+		st, col, err := s.newReplica()
 		if err != nil {
-			for _, prev := range s.streams {
-				prev.Abort()
+			for _, prev := range s.slots {
+				prev.stream().Abort()
 			}
 			return nil, err
 		}
-		s.streams = append(s.streams, st)
-		s.obs = append(s.obs, col)
+		s.slots = append(s.slots, &replicaSlot{idx: i, st: st, col: col})
 	}
+	s.live.Store(int32(cfg.Replicas))
 	for i := 0; i < cfg.Replicas; i++ {
 		s.replWG.Add(1)
-		go s.replicaLoop(i)
+		go s.replicaLoop(s.slots[i])
 	}
 	s.admitting.Store(true)
 	return s, nil
+}
+
+// newReplica builds one warm pipeline instance with its telemetry
+// collector and, when the server has a fault plan, a fresh injector
+// sharing the plan's fire-once state.
+func (s *Server) newReplica() (*pipeline.Stream, *obs.Collector, error) {
+	ocfg := pipeline.DefaultObsConfig(s.cfg.Assign)
+	ocfg.Window = s.cfg.ObsWindow
+	ocfg.SlowMultiple = s.cfg.SlowMultiple
+	ocfg.SlowLogf = s.cfg.Logf
+	col := obs.New(ocfg)
+	scfg := pipeline.StreamConfig{
+		Scene:      s.cfg.Scene,
+		Assign:     s.cfg.Assign,
+		Window:     s.cfg.Window,
+		Threads:    s.cfg.Threads,
+		Obs:        col,
+		CPITimeout: s.cfg.CPITimeout,
+	}
+	if s.cfg.FaultPlan != nil {
+		scfg.Fault = s.cfg.FaultPlan.Injector(s.cfg.FaultSeed)
+	}
+	st, err := pipeline.NewStream(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, col, nil
 }
 
 // Metrics returns the server's observability surface (serve its Handler
@@ -160,8 +239,15 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Collectors returns the per-replica telemetry collectors, in replica
-// order — the feed behind WritePrometheus and WriteTrace.
-func (s *Server) Collectors() []*obs.Collector { return s.obs }
+// order — the feed behind WritePrometheus and WriteTrace. A recycled
+// replica contributes its fresh collector.
+func (s *Server) Collectors() []*obs.Collector {
+	out := make([]*obs.Collector, len(s.slots))
+	for i, sl := range s.slots {
+		out[i] = sl.collector()
+	}
+	return out
+}
 
 // Start listens on addr and serves connections in the background.
 func (s *Server) Start(addr string) error {
@@ -244,15 +330,35 @@ func (s *Server) handleConn(conn net.Conn) {
 // admit validates a request and tries to enqueue it. It returns an
 // immediate response (rejection or validation error) or nil when the job
 // was queued — in which case a forwarder goroutine relays the replica's
-// reply to the connection writer.
+// reply to the connection writer. Admission capacity tracks the live
+// replica count: a degraded pool accepts proportionally less, and a pool
+// with nothing live rejects outright — with an honest retry-after hint
+// when a restart is already scheduled.
 func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.WaitGroup) *Response {
 	if err := s.validate(req); err != nil {
-		return &Response{ID: req.ID, Status: StatusError, Err: err.Error()}
+		return &Response{ID: req.ID, Status: StatusBadRequest, Err: err.Error()}
 	}
 	if !s.admitting.Load() {
-		return &Response{ID: req.ID, Status: StatusError, Err: "serve: shutting down"}
+		return &Response{ID: req.ID, Status: StatusAborted, Err: "serve: shutting down"}
+	}
+	live := int(s.live.Load())
+	if live == 0 {
+		if eta, ok := s.restartETA(); ok {
+			s.metrics.rejected.Add(1)
+			return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: eta.Milliseconds(),
+				Err: "serve: no live replicas (restarting)"}
+		}
+		return &Response{ID: req.ID, Status: StatusError, Err: "serve: no live replicas"}
+	}
+	depth := s.cfg.QueueDepth * live / s.cfg.Replicas
+	if depth < 1 {
+		depth = 1
 	}
 	j := &job{req: req, enq: time.Now(), done: make(chan *Response, 1)}
+	if len(s.queue) >= depth {
+		s.metrics.rejected.Add(1)
+		return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
+	}
 	select {
 	case s.queue <- j:
 		s.metrics.accepted.Add(1)
@@ -263,11 +369,34 @@ func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.Wa
 		}()
 		return nil
 	default:
-		// Backpressure: the queue is full. Reject now with a retry hint
-		// rather than buffering without bound.
+		// Backpressure: the queue filled between the depth check and the
+		// send. Reject now with a retry hint rather than buffering
+		// without bound.
 		s.metrics.rejected.Add(1)
 		return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
 	}
+}
+
+// restartETA returns the soonest scheduled restart attempt among
+// restarting slots, as a duration from now (clamped to at least the
+// configured RetryAfter); ok is false when no slot is coming back.
+func (s *Server) restartETA() (time.Duration, bool) {
+	now := time.Now().UnixNano()
+	var best time.Duration
+	found := false
+	for i, r := range s.metrics.replicas {
+		if r.health.Load() != replicaRestarting {
+			continue
+		}
+		eta := time.Duration(s.slots[i].nextAttempt.Load() - now)
+		if eta < s.cfg.RetryAfter {
+			eta = s.cfg.RetryAfter
+		}
+		if !found || eta < best {
+			best, found = eta, true
+		}
+	}
+	return best, found
 }
 
 // validate checks a job against the server's scene before admission.
@@ -289,13 +418,17 @@ func (s *Server) validate(req *Request) error {
 }
 
 // replicaLoop is one replica's job pump: it pulls from the shared
-// admission queue and runs each job on its warm pipeline instance.
-func (s *Server) replicaLoop(idx int) {
+// admission queue and runs each job on the slot's warm pipeline
+// instance. A fatal processing error (worker fault, watchdog timeout)
+// recycles the slot's pipeline under its restart budget; when the slot
+// dies for good and nothing else is live, the loop stays behind as a
+// drainer so every admitted job is still answered.
+func (s *Server) replicaLoop(slot *replicaSlot) {
 	defer s.replWG.Done()
-	stats := s.metrics.replicas[idx]
+	stats := s.metrics.replicas[slot.idx]
 	for j := range s.queue {
 		svcStart := time.Now()
-		dets, traceFile, err := s.process(idx, j.req)
+		dets, traceFile, err := s.process(slot, j.req)
 		svc := time.Since(svcStart)
 		stats.jobs.Add(1)
 		stats.busyNs.Add(int64(svc))
@@ -304,9 +437,12 @@ func (s *Server) replicaLoop(idx int) {
 			QueueNs:   int64(svcStart.Sub(j.enq)),
 			ServiceNs: int64(svc),
 		}
+		fatal := false
 		if err != nil {
+			var code Status
+			code, fatal = s.classify(err)
 			s.metrics.failed.Add(1)
-			resp.Status = StatusError
+			resp.Status = code
 			resp.Err = err.Error()
 		} else {
 			s.metrics.completed.Add(1)
@@ -317,16 +453,102 @@ func (s *Server) replicaLoop(idx int) {
 		}
 		s.metrics.observe(time.Since(j.enq))
 		j.done <- resp
+		if fatal && !s.recycle(slot) {
+			if s.live.Load() == 0 {
+				s.drainDead()
+			}
+			return
+		}
 	}
 }
 
-// process runs one job: on the warm stream normally, or through an
+// classify maps a processing error to its wire status and whether the
+// replica that produced it is unusable and must be recycled.
+func (s *Server) classify(err error) (Status, bool) {
+	var fe *pipeline.FaultError
+	switch {
+	case errors.Is(err, pipeline.ErrCPITimeout):
+		return StatusTimeout, true
+	case errors.As(err, &fe):
+		return StatusReplicaLost, true
+	case errors.Is(err, pipeline.ErrStreamClosed):
+		if !s.admitting.Load() {
+			// Shutdown tore the stream down under the job; the pool's
+			// teardown is already in progress, nothing to recycle.
+			return StatusAborted, false
+		}
+		return StatusReplicaLost, true
+	case errors.Is(err, context.Canceled):
+		return StatusAborted, false
+	default:
+		return StatusError, false
+	}
+}
+
+// recycle replaces a dead slot's pipeline with a fresh warm one, within
+// the slot's restart budget and with exponential backoff between
+// attempts. It reports false when the slot is out of budget (or the
+// server is stopping) — the slot is then permanently dead.
+func (s *Server) recycle(slot *replicaSlot) bool {
+	stats := s.metrics.replicas[slot.idx]
+	stats.health.Store(replicaRestarting)
+	s.live.Add(-1)
+	old := slot.stream()
+	old.Abort()
+	for _, f := range old.Faults() {
+		s.metrics.workerFaults.Add(1)
+		s.cfg.Logf("stapd: replica %d worker fault: %s", slot.idx, f)
+	}
+	for {
+		n := stats.restarts.Load()
+		if int(n) >= s.cfg.RestartBudget {
+			stats.health.Store(replicaDead)
+			s.cfg.Logf("stapd: replica %d dead: restart budget %d exhausted", slot.idx, s.cfg.RestartBudget)
+			return false
+		}
+		backoff := s.cfg.RestartBackoff << uint(min(n, 10))
+		slot.nextAttempt.Store(time.Now().Add(backoff).UnixNano())
+		select {
+		case <-time.After(backoff):
+		case <-s.stopping:
+			stats.health.Store(replicaDead)
+			return false
+		}
+		st, col, err := s.newReplica()
+		stats.restarts.Add(1)
+		s.metrics.replicaRestarts.Add(1)
+		if err != nil {
+			s.cfg.Logf("stapd: replica %d restart failed: %v", slot.idx, err)
+			continue
+		}
+		slot.mu.Lock()
+		slot.st, slot.col = st, col
+		slot.mu.Unlock()
+		stats.health.Store(replicaLive)
+		s.live.Add(1)
+		s.cfg.Logf("stapd: replica %d restarted (restart %d, budget %d)", slot.idx, n+1, s.cfg.RestartBudget)
+		return true
+	}
+}
+
+// drainDead answers queued jobs once no replica is live, so admitted work
+// is never silently dropped: jobs racing past the admission check while
+// the last replica died still get a response. Runs until shutdown closes
+// the queue.
+func (s *Server) drainDead() {
+	for j := range s.queue {
+		s.metrics.failed.Add(1)
+		j.done <- &Response{ID: j.req.ID, Status: StatusError, Err: "serve: no live replicas"}
+	}
+}
+
+// process runs one job: on the slot's warm stream normally, or through an
 // instrumented batch pipeline when a Gantt trace was requested.
-func (s *Server) process(idx int, req *Request) (dets [][]stap.Detection, traceFile string, err error) {
+func (s *Server) process(slot *replicaSlot, req *Request) (dets [][]stap.Detection, traceFile string, err error) {
 	if req.Trace && s.cfg.TraceDir != "" {
 		return s.processTraced(req)
 	}
-	d, err := s.streams[idx].ProcessJob(req.CPIs)
+	d, err := slot.stream().ProcessJob(req.CPIs)
 	return d, "", err
 }
 
@@ -393,8 +615,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			case <-ctx.Done():
 				hard.Store(true)
 				s.hardCancel()
-				for _, st := range s.streams {
-					st.Abort()
+				close(s.stopping) // interrupt restart backoffs
+				for _, sl := range s.slots {
+					sl.stream().Abort()
 				}
 				s.closeConns()
 			case <-done:
@@ -412,11 +635,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.writerWG.Wait()
 
 		// All producers are gone: close the queue, drain the replicas,
-		// retire the warm pipelines.
+		// retire the warm pipelines (Close is idempotent, so slots the
+		// hard path already aborted are fine).
 		close(s.queue)
 		s.replWG.Wait()
-		for _, st := range s.streams {
-			st.Close()
+		for _, sl := range s.slots {
+			sl.stream().Close()
 		}
 		close(done)
 		<-watcher
