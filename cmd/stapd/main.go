@@ -14,6 +14,7 @@
 //
 //	stapd -listen :7431 -metrics :7432 -size small -replicas 2
 //	stapd -nodes 4,2,4,2,2,4,2 -queue 8 -tracedir /tmp/traces
+//	stapd -replicas 0 -distnodes host1:7441,host2:7441 -distsecret s -placement 0-2/3-6
 //
 // Stop with SIGINT/SIGTERM; in-flight jobs drain within -drain, then a
 // final metrics snapshot goes to stderr (and a final trace to -tracedir
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"pstap/internal/dist"
 	"pstap/internal/fault"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
@@ -57,6 +59,11 @@ var (
 	flagDrain    = flag.Duration("drain", 30*time.Second, "graceful shutdown deadline")
 	flagObsWin   = flag.Int("obswindow", 0, "live gauge window in CPIs (0 = default 32)")
 	flagSlowMult = flag.Float64("slowmult", 0, "log worker spans slower than this multiple of the task median (0 disables)")
+
+	flagDistNodes  = flag.String("distnodes", "", "comma-separated stapnode addresses forming one distributed replica (empty disables)")
+	flagPlacement  = flag.String("placement", "", "task ranges per stapnode, e.g. '0-2/3-6' (empty = even split)")
+	flagDistSecret = flag.String("distsecret", "", "shared cluster secret for -distnodes (required with it)")
+	flagHeartbeat  = flag.Duration("heartbeat", 0, "distributed link heartbeat interval (0 = default)")
 
 	flagCPITimeout = flag.Duration("cpitimeout", 0, "per-CPI processing deadline; a stalled replica is reaped and recycled (0 disables)")
 	flagFaultPlan  = flag.String("faultplan", "", "fault injection plan, e.g. 'doppler:0:3:panic; cfar:*:*:slow(10ms)*@0.1' (see internal/fault)")
@@ -116,10 +123,38 @@ func main() {
 		log.Printf("fault injection armed: %s (seed %d)", plan, *flagFaultSeed)
 	}
 
+	var clusters []dist.ClusterConfig
+	if *flagDistNodes != "" {
+		if *flagDistSecret == "" {
+			fmt.Fprintln(os.Stderr, "-distnodes requires -distsecret")
+			os.Exit(2)
+		}
+		nodes := strings.Split(*flagDistNodes, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		placement, perr := dist.ParsePlacement(*flagPlacement, len(nodes))
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(2)
+		}
+		clusters = append(clusters, dist.ClusterConfig{
+			Name:      "dist0",
+			Nodes:     nodes,
+			Placement: placement,
+			Secret:    []byte(*flagDistSecret),
+			Heartbeat: *flagHeartbeat,
+			FaultPlan: *flagFaultPlan,
+			Seed:      *flagFaultSeed,
+		})
+		log.Printf("distributed replica: %d stapnodes, placement %s", len(nodes), placement)
+	}
+
 	srv, err := serve.New(serve.Config{
 		Scene:          sc,
 		Assign:         a,
 		Replicas:       *flagReplicas,
+		DistClusters:   clusters,
 		QueueDepth:     *flagQueue,
 		Window:         *flagWindow,
 		Threads:        *flagThreads,

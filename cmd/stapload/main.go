@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,7 +48,106 @@ var (
 	flagTrace   = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
 	flagScrape  = flag.String("scrape", "", "metrics URL to fetch and print after the run")
 	flagRetries = flag.Int("maxretries", 0, "retries per job on busy or transient failures (jittered exponential backoff, honoring the server's retry-after hint)")
+	flagJSON    = flag.String("json", "", "write a machine-readable run report to this file ('-' for stdout)")
 )
+
+// statusLatency aggregates one final status code's outcomes: how many jobs
+// ended with it and the client-side latency distribution of those jobs —
+// rejections and failures cost wall time too, so every terminal status
+// gets its own percentile row.
+type statusLatency struct {
+	Count   int64   `json:"count"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	Retried int64   `json:"retried,omitempty"`
+}
+
+// report is the -json run summary: the text output's numbers plus the
+// per-status-code latency breakdown.
+type report struct {
+	Jobs        int     `json:"jobs"`
+	CPIsPerJob  int     `json:"cpis_per_job"`
+	Conns       int     `json:"conns"`
+	OfferedRate float64 `json:"offered_rate_jobs_per_sec"`
+	WallSec     float64 `json:"wall_sec"`
+	GoodputJobs float64 `json:"goodput_jobs_per_sec"`
+	GoodputCPIs float64 `json:"goodput_cpis_per_sec"`
+	Completed   int64   `json:"completed"`
+	Rejected    int64   `json:"rejected"`
+	Failed      int64   `json:"failed"`
+	Mismatched  int64   `json:"mismatched,omitempty"`
+	// ByStatus keys are terminal status codes ("ok", "busy",
+	// "replica-lost", "timeout", ...; "transport" for connection-level
+	// errors), each with its count and latency quantiles.
+	ByStatus map[string]statusLatency `json:"by_status"`
+}
+
+// outcomes accumulates per-status terminal results during the run.
+type outcomes struct {
+	mu      sync.Mutex
+	lats    map[string][]time.Duration
+	retried map[string]int64
+}
+
+func newOutcomes() *outcomes {
+	return &outcomes{lats: make(map[string][]time.Duration), retried: make(map[string]int64)}
+}
+
+// record notes one job's terminal status, latency and whether it needed
+// retries.
+func (o *outcomes) record(status string, d time.Duration, retried bool) {
+	o.mu.Lock()
+	o.lats[status] = append(o.lats[status], d)
+	if retried {
+		o.retried[status]++
+	}
+	o.mu.Unlock()
+}
+
+// byStatus folds the accumulated outcomes into the report rows.
+func (o *outcomes) byStatus() map[string]statusLatency {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]statusLatency, len(o.lats))
+	for status, lats := range o.lats {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		out[status] = statusLatency{
+			Count:   int64(len(lats)),
+			P50Ms:   ms(obs.Quantile(lats, 0.50)),
+			P95Ms:   ms(obs.Quantile(lats, 0.95)),
+			P99Ms:   ms(obs.Quantile(lats, 0.99)),
+			MaxMs:   ms(lats[len(lats)-1]),
+			MeanMs:  ms(sum / time.Duration(len(lats))),
+			Retried: o.retried[status],
+		}
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// statusOf names a submission outcome for the per-status breakdown.
+func statusOf(err error) string {
+	if err == nil {
+		return serve.StatusOK.String()
+	}
+	var be *serve.BusyError
+	if errors.As(err, &be) {
+		return serve.StatusBusy.String()
+	}
+	var je *serve.JobError
+	if errors.As(err, &je) {
+		return je.Code.String()
+	}
+	return "transport"
+}
 
 func main() {
 	flag.Parse()
@@ -109,6 +209,7 @@ func main() {
 		lats                                  []time.Duration
 		wg                                    sync.WaitGroup
 	)
+	outc := newOutcomes()
 	interval := time.Duration(float64(time.Second) / *flagRate)
 	log.Printf("open loop: %d jobs at %.1f/s over %d conns", *flagJobs, *flagRate, *flagConns)
 	start := time.Now()
@@ -124,6 +225,7 @@ func main() {
 			t0 := time.Now()
 			dets, traceFile, attempts, err := submitWithRetries(clients[n%*flagConns], jobs[ji])
 			d := time.Since(t0)
+			outc.record(statusOf(err), d, attempts > 0)
 			switch err.(type) {
 			case nil:
 				ok.Add(1)
@@ -170,6 +272,48 @@ func main() {
 			q(lats, 0.50), q(lats, 0.95), q(lats, 0.99), lats[len(lats)-1].Round(time.Microsecond))
 	}
 	latMu.Unlock()
+
+	byStatus := outc.byStatus()
+	statuses := make([]string, 0, len(byStatus))
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	fmt.Printf("by status:\n")
+	for _, s := range statuses {
+		row := byStatus[s]
+		fmt.Printf("  %-12s %6d  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms  max %8.2fms\n",
+			s, row.Count, row.P50Ms, row.P95Ms, row.P99Ms, row.MaxMs)
+	}
+
+	if *flagJSON != "" {
+		rep := report{
+			Jobs:        *flagJobs,
+			CPIsPerJob:  *flagCPIs,
+			Conns:       *flagConns,
+			OfferedRate: *flagRate,
+			WallSec:     wall.Seconds(),
+			GoodputJobs: float64(ok.Load()) / wall.Seconds(),
+			GoodputCPIs: float64(ok.Load()*int64(*flagCPIs)) / wall.Seconds(),
+			Completed:   ok.Load(),
+			Rejected:    busy.Load(),
+			Failed:      failed.Load(),
+			Mismatched:  mismatched.Load(),
+			ByStatus:    byStatus,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("json report: %v", err)
+		}
+		data = append(data, '\n')
+		if *flagJSON == "-" {
+			os.Stdout.Write(data)
+		} else if werr := os.WriteFile(*flagJSON, data, 0o644); werr != nil {
+			log.Fatalf("json report: %v", werr)
+		} else {
+			log.Printf("json report written to %s", *flagJSON)
+		}
+	}
 
 	if *flagScrape != "" {
 		resp, err := http.Get(*flagScrape)

@@ -1,0 +1,71 @@
+// Command stapnode is the distributed STAP worker agent: it listens for
+// a coordinator's signed placement manifest (see internal/dist), hosts
+// the contiguous pipeline task range the manifest assigns it for the
+// session's lifetime, then returns to listening for the next session.
+// Scene, worker assignment and fault plan all arrive in the manifest —
+// the agent itself is configured with nothing but a listen address and
+// the shared cluster secret.
+//
+// Usage:
+//
+//	stapnode -listen :7441 -secret swordfish
+//	stapnode -listen :7442 -secret swordfish -window 128
+//
+// A stapd with matching -distnodes/-distsecret flags (or any
+// dist.ClusterConfig) drives a set of these agents as one pipeline
+// replica. Stop with SIGINT/SIGTERM; a live session is aborted and the
+// coordinator sees the loss through its link.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pstap/internal/dist"
+)
+
+var (
+	flagListen = flag.String("listen", ":7441", "agent listen address")
+	flagSecret = flag.String("secret", "", "shared cluster secret (must match the coordinator)")
+	flagWindow = flag.Int("window", 0, "per-link credit window (0 = default)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("stapnode: ")
+	log.SetFlags(log.Ldate | log.Ltime)
+	if *flagSecret == "" {
+		log.Fatal("-secret is required")
+	}
+
+	ln, err := net.Listen("tcp", *flagListen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := dist.NewNode(ln, dist.NodeConfig{
+		Secret: []byte(*flagSecret),
+		Window: *flagWindow,
+		Logf:   log.Printf,
+	})
+	log.Printf("listening on %v", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- node.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		log.Printf("signal received, shutting down")
+		node.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}

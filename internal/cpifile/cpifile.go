@@ -1,19 +1,18 @@
 // Package cpifile defines the gob encodings for CPI data: the on-disk
 // format for recorded CPI streams (the stand-in for the RTMCARM flight
-// tapes) and the length-prefixed frame codec the stapd network protocol
-// reuses. cmd/stapgen writes recording files; cmd/stappipe -replay and
-// library users feed them back through the pipeline; internal/serve
-// exchanges frames over TCP.
+// tapes). cmd/stapgen writes recording files; cmd/stappipe -replay and
+// library users feed them back through the pipeline. Framed network
+// exchange goes through internal/wire, the shared length-prefixed codec;
+// the frame helpers here are kept as thin forwarders for callers that
+// predate the extraction.
 //
 // All decoding paths are hardened against corrupt or truncated input:
 // they return descriptive errors, never panic, and refuse frames whose
-// declared length exceeds MaxFrameBytes (a corrupt prefix must not drive
-// an allocation).
+// declared length exceeds wire.MaxFrameBytes (a corrupt prefix must not
+// drive an allocation).
 package cpifile
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -21,6 +20,7 @@ import (
 
 	"pstap/internal/cube"
 	"pstap/internal/radar"
+	"pstap/internal/wire"
 )
 
 // File is a recorded CPI stream plus the scene ground truth needed to
@@ -100,56 +100,15 @@ func guard(err *error, what string) {
 	}
 }
 
-// MaxFrameBytes bounds one frame's payload (1 GiB). A length prefix above
-// it is treated as corruption instead of a request to allocate.
-const MaxFrameBytes = 1 << 30
+// MaxFrameBytes mirrors wire.MaxFrameBytes for callers of the forwarders
+// below.
+const MaxFrameBytes = wire.MaxFrameBytes
 
-// WriteFrame gob-encodes v and writes it to w as a single length-prefixed
-// frame. Each frame is a self-contained gob stream, so frames can be
-// decoded independently (and a receiver can resynchronize per frame).
-func WriteFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, 8)) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return fmt.Errorf("cpifile: encode frame: %w", err)
-	}
-	n := buf.Len() - 8
-	if n > MaxFrameBytes {
-		return fmt.Errorf("cpifile: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
-	}
-	binary.BigEndian.PutUint64(buf.Bytes()[:8], uint64(n))
-	if _, err := w.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("cpifile: write frame: %w", err)
-	}
-	return nil
-}
+// WriteFrame forwards to wire.WriteFrame, the shared frame codec.
+func WriteFrame(w io.Writer, v any) error { return wire.WriteFrame(w, v) }
 
-// ReadFrame reads one length-prefixed frame from r and gob-decodes it into
-// v (a pointer). It returns io.EOF — and only io.EOF — when the stream
-// ends cleanly at a frame boundary; any mid-frame truncation or corrupt
-// content yields a descriptive error and never a panic.
-func ReadFrame(r io.Reader, v any) (err error) {
-	defer guard(&err, "decode frame")
-	var hdr [8]byte
-	if _, herr := io.ReadFull(r, hdr[:]); herr != nil {
-		if herr == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("cpifile: read frame header: %w", herr)
-	}
-	n := binary.BigEndian.Uint64(hdr[:])
-	if n > MaxFrameBytes {
-		return fmt.Errorf("cpifile: frame length %d exceeds limit %d (corrupt header?)", n, MaxFrameBytes)
-	}
-	payload := make([]byte, n)
-	if _, perr := io.ReadFull(r, payload); perr != nil {
-		return fmt.Errorf("cpifile: frame truncated (want %d bytes): %w", n, perr)
-	}
-	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); derr != nil {
-		return fmt.Errorf("cpifile: decode frame: %w", derr)
-	}
-	return nil
-}
+// ReadFrame forwards to wire.ReadFrame, the shared frame codec.
+func ReadFrame(r io.Reader, v any) error { return wire.ReadFrame(r, v) }
 
 // Save writes the file to path.
 func (f *File) Save(path string) error {

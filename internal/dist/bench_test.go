@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+// BenchmarkDistLoopback prices the distribution tax: the same replica
+// (small scene, 10-worker assignment) processing the same jobs fully
+// in-process versus split across two node agents over loopback TCP
+// (tasks 0-2 / 3-6) — every hop then pays gob encode, framing, kernel
+// socket and credit accounting. The committed reference numbers live in
+// BENCH_dist.json.
+func BenchmarkDistLoopback(b *testing.B) {
+	sc := radar.DefaultScene(radar.Small())
+	assign := pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1)
+	const jobCPIs = 4
+	var cpis []*cube.Cube
+	for i := 0; i < jobCPIs; i++ {
+		cpis = append(cpis, sc.GenerateCPI(i))
+	}
+	run := func(b *testing.B, rep jobRunner) {
+		if _, err := rep.ProcessJob(cpis); err != nil { // warm up
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rep.ProcessJob(cpis); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N*jobCPIs)/b.Elapsed().Seconds(), "CPI/s")
+	}
+
+	b.Run("inproc", func(b *testing.B) {
+		st, err := pipeline.NewStream(pipeline.StreamConfig{Scene: sc, Assign: assign})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Abort()
+		run(b, st)
+	})
+
+	b.Run("split2", func(b *testing.B) {
+		secret := []byte("bench")
+		var nodes []*Node
+		var addrs []string
+		for i := 0; i < 2; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			node := NewNode(ln, NodeConfig{Secret: secret})
+			go node.Serve()
+			defer node.Close()
+			nodes = append(nodes, node)
+			addrs = append(addrs, ln.Addr().String())
+		}
+		placement, err := ParsePlacement("0-2/3-6", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := ClusterConfig{
+			Name:       "bench",
+			Nodes:      addrs,
+			Placement:  placement,
+			Secret:     secret,
+			Scene:      sc,
+			Assign:     assign,
+			CPITimeout: time.Minute,
+		}
+		rep, err := cfg.Connect()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rep.Abort()
+		run(b, rep)
+	})
+}
+
+// jobRunner is the common surface of the two benchmark arms (mirrors the
+// serving layer's replica contract).
+type jobRunner interface {
+	ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error)
+}

@@ -1,0 +1,93 @@
+// Package dist is the distributed execution plane: it runs one logical
+// pipeline replica across multiple OS processes by implementing the
+// mp.Transport seam over TCP. A replica's world of Assign.Total()+1 ranks
+// is partitioned among members — member 0 is the coordinator process
+// (hosting only the driver rank, i.e. the feeder and collector of a
+// pipeline.Stream), members 1..M are stapnode agents each hosting a
+// contiguous run of task groups per a Placement. Worker code is untouched:
+// internal/pipeline spawns the same worker bodies against a partial
+// mp.World whose non-hosted traffic rides length-prefixed gob frames
+// (internal/wire) with per-link credit-based flow control and heartbeats.
+//
+// Wiring: the coordinator dials every node and sends the HMAC-signed
+// placement Manifest as its hello; node j then dials nodes 1..j-1, so every
+// member pair shares exactly one full-duplex link. A link failure — read
+// error, heartbeat loss, or a peer's goodbye carrying a fault — aborts the
+// local world with a typed *LinkError as its cause; the coordinator's
+// Replica wraps that into *ReplicaLostError, which internal/serve maps to
+// StatusReplicaLost and answers by recycling the slot.
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"pstap/internal/pipeline"
+)
+
+func init() {
+	// Every process moving pipeline traffic across links needs the
+	// payload types registered with gob.
+	pipeline.RegisterWire()
+}
+
+// Defaults for the tunable link timings and window.
+const (
+	DefaultHeartbeat    = 500 * time.Millisecond
+	DefaultWindow       = 64 // per-link, per-direction data-frame credits
+	DefaultDialTimeout  = 5 * time.Second
+	DefaultReadyTimeout = 10 * time.Second
+)
+
+// heartbeatMisses is how many silent heartbeat intervals mark a link dead.
+const heartbeatMisses = 3
+
+// LinkError is the typed connection-loss failure: the first wire-level
+// error observed on the link to a peer member. It becomes the world's
+// abort cause, so a dead TCP connection surfaces through
+// pipeline.Stream.ProcessJob exactly like a local worker fault does.
+type LinkError struct {
+	Member int    // peer member index (0 = coordinator)
+	Addr   string // peer address as dialed or accepted
+	Err    error  // underlying wire error
+}
+
+// Error implements error.
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("dist: link to member %d (%s) lost: %v", e.Member, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying wire error to errors.Is/As.
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// ReplicaLostError is what a distributed replica's ProcessJob returns when
+// the replica died under the job — a node process was killed, a link
+// dropped, or a remote worker faulted. The serving layer treats it as
+// fatal for the slot (StatusReplicaLost) and re-dials the cluster.
+type ReplicaLostError struct {
+	Cluster string // cluster name from the config
+	Session string // the session that died
+	Cause   error  // the typed cause (*LinkError, remote fault, ...)
+}
+
+// Error implements error.
+func (e *ReplicaLostError) Error() string {
+	return fmt.Sprintf("dist: replica %s (session %s) lost: %v", e.Cluster, e.Session, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ReplicaLostError) Unwrap() error { return e.Cause }
+
+// LinkStats is one link's transfer counters, for the observability
+// surfaces (stapd's JSON snapshot and Prometheus exposition).
+type LinkStats struct {
+	Member    int    `json:"member"`
+	Addr      string `json:"addr"`
+	MsgsSent  int64  `json:"msgs_sent"`
+	MsgsRecv  int64  `json:"msgs_recv"`
+	BytesSent int64  `json:"bytes_sent"`
+	BytesRecv int64  `json:"bytes_recv"`
+	// RTTNs is an EWMA of the heartbeat round-trip in nanoseconds (0
+	// until the first pong).
+	RTTNs int64 `json:"rtt_ns"`
+}

@@ -1,0 +1,384 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/fault"
+	"pstap/internal/leakcheck"
+	"pstap/internal/mp"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/stap"
+)
+
+var testSecret = []byte("cluster-secret-for-tests")
+
+// startNodes launches n stapnode agents on loopback and returns them with
+// their dial addresses. Cleanup closes them gracefully.
+func startNodes(t *testing.T, n int) ([]*Node, []string) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewNode(ln, NodeConfig{Secret: testSecret, Logf: t.Logf})
+		nodes[i] = node
+		addrs[i] = ln.Addr().String()
+		go node.Serve()
+		t.Cleanup(node.Close)
+	}
+	return nodes, addrs
+}
+
+// testCluster is the canonical 2-node split: Doppler and the weight tasks
+// on node 1, beamforming through CFAR on node 2.
+func testCluster(t *testing.T, addrs []string, sc *radar.Scene) ClusterConfig {
+	t.Helper()
+	placement := DefaultPlacement(len(addrs))
+	if len(addrs) == 2 {
+		var err error
+		if placement, err = ParsePlacement("0-2/3-6", 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ClusterConfig{
+		Name:       "test",
+		Nodes:      addrs,
+		Placement:  placement,
+		Secret:     testSecret,
+		Scene:      sc,
+		Assign:     pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1),
+		CPITimeout: 30 * time.Second,
+		Heartbeat:  100 * time.Millisecond,
+		Logf:       t.Logf,
+	}
+}
+
+// connectRetry absorbs the window where a node's previous session is
+// still tearing down (it answers "node busy" until it finishes).
+func connectRetry(t *testing.T, cfg ClusterConfig) *Replica {
+	t.Helper()
+	var last error
+	for i := 0; i < 50; i++ {
+		rep, err := cfg.Connect()
+		if err == nil {
+			return rep
+		}
+		last = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("Connect: %v", last)
+	return nil
+}
+
+func runSerial(sc *radar.Scene, n int) [][]stap.Detection {
+	pr := stap.NewProcessor(sc)
+	out := make([][]stap.Detection, n)
+	for i := 0; i < n; i++ {
+		out[i] = pr.Process(sc.GenerateCPI(i)).Detections
+	}
+	return out
+}
+
+func sameDetections(a, b []stap.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Range != b[i].Range || a[i].DopplerBin != b[i].DopplerBin || a[i].Beam != b[i].Beam {
+			return false
+		}
+		if math.Abs(a[i].Power-b[i].Power) > 1e-9*(1+math.Abs(b[i].Power)) {
+			return false
+		}
+	}
+	return true
+}
+
+func makeJob(sc *radar.Scene, n int) []*cube.Cube {
+	cpis := make([]*cube.Cube, n)
+	for i := range cpis {
+		cpis[i] = sc.GenerateCPI(i)
+	}
+	return cpis
+}
+
+// TestSplitReplicaBitExact is the tentpole acceptance test: one replica
+// split across two node processes (in-process agents here, real processes
+// in the e2e smoke test) must reproduce the serial reference exactly,
+// job after job, with zero changes to the worker bodies.
+func TestSplitReplicaBitExact(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	_, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 5
+	want := runSerial(sc, n)
+	for job := 0; job < 2; job++ {
+		dets, err := rep.ProcessJob(makeJob(sc, n))
+		if err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		for i := range want {
+			if !sameDetections(dets[i], want[i]) {
+				t.Errorf("job %d CPI %d: dist %v != serial %v", job, i, dets[i], want[i])
+			}
+		}
+	}
+	for _, ls := range rep.LinkStats() {
+		if ls.MsgsSent == 0 && ls.MsgsRecv == 0 {
+			t.Errorf("link to member %d moved no messages", ls.Member)
+		}
+	}
+	rep.Close()
+
+	// The nodes return to listening: a second session on the same agents
+	// must work — the recycle path of the serving layer.
+	rep2 := connectRetry(t, cfg)
+	dets, err := rep2.ProcessJob(makeJob(sc, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !sameDetections(dets[i], want[i]) {
+			t.Errorf("second session CPI %d: dist %v != serial %v", i, dets[i], want[i])
+		}
+	}
+	rep2.Close()
+}
+
+// TestThreeWaySplit spreads the tasks over three nodes.
+func TestThreeWaySplit(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	_, addrs := startNodes(t, 3)
+	cfg := testCluster(t, addrs, sc)
+	placement, err := ParsePlacement("0/1-4/5-6", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Placement = placement
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	n := 3
+	want := runSerial(sc, n)
+	dets, err := rep.ProcessJob(makeJob(sc, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !sameDetections(dets[i], want[i]) {
+			t.Errorf("CPI %d: dist %v != serial %v", i, dets[i], want[i])
+		}
+	}
+}
+
+// TestNodeKillReplicaLost kills one node mid-job: ProcessJob must return
+// a typed *ReplicaLostError (wrapping a *LinkError) within the CPI
+// watchdog deadline, and the survivors must unwind cleanly.
+func TestNodeKillReplicaLost(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	nodes, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+	cfg.CPITimeout = 10 * time.Second
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Abort)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := rep.ProcessJob(makeJob(sc, 200))
+		errc <- err
+	}()
+	time.Sleep(150 * time.Millisecond) // let the job reach steady state
+	nodes[1].Kill()
+
+	select {
+	case err := <-errc:
+		var rl *ReplicaLostError
+		if !errors.As(err, &rl) {
+			t.Fatalf("ProcessJob = %v, want *ReplicaLostError", err)
+		}
+		var le *LinkError
+		if !errors.As(rl.Cause, &le) {
+			t.Fatalf("cause = %v, want *LinkError", rl.Cause)
+		}
+	case <-time.After(cfg.CPITimeout + 5*time.Second):
+		t.Fatal("ProcessJob did not return after node kill")
+	}
+}
+
+// TestDropLinkChaos arms a droplink rule on the coordinator's links: the
+// injected wire failure must surface as a ReplicaLost wrapping the typed
+// fault.ErrLinkDropped.
+func TestDropLinkChaos(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	_, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+	cfg.Fault = fault.MustParsePlan("link:1:3:droplink").Injector(7)
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Abort)
+
+	_, err = rep.ProcessJob(makeJob(sc, 50))
+	var rl *ReplicaLostError
+	if !errors.As(err, &rl) {
+		t.Fatalf("ProcessJob = %v, want *ReplicaLostError", err)
+	}
+	if !errors.Is(err, fault.ErrLinkDropped) {
+		t.Fatalf("cause chain %v does not include fault.ErrLinkDropped", err)
+	}
+}
+
+// TestRemoteWorkerFaultRelayed arms a worker panic on a node through the
+// manifest's fault plan: the node's goodbye must carry the fault, and the
+// coordinator must surface it as a replica loss naming it.
+func TestRemoteWorkerFaultRelayed(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	_, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+	cfg.FaultPlan = "doppler:0:2:panic"
+	cfg.Seed = 3
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Abort)
+
+	_, err = rep.ProcessJob(makeJob(sc, 50))
+	var rl *ReplicaLostError
+	if !errors.As(err, &rl) {
+		t.Fatalf("ProcessJob = %v, want *ReplicaLostError, got %v", err, err)
+	}
+}
+
+// TestBadSecretRejected: a coordinator with the wrong secret must not get
+// a session.
+func TestBadSecretRejected(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	_, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+	cfg.Secret = []byte("wrong")
+	cfg.ReadyTimeout = 2 * time.Second
+
+	if _, err := cfg.Connect(); err == nil {
+		t.Fatal("Connect with wrong secret succeeded")
+	}
+}
+
+// TestCrossProcessBarrier runs mp.World.Barrier across a coordinator and
+// two node transports wired over loopback: every rank of every member
+// must block until all have arrived, generation after generation.
+func TestCrossProcessBarrier(t *testing.T) {
+	leakcheck.Check(t)
+	// World of 5 ranks: member 0 hosts rank 4 (hub), member 1 ranks 0-1,
+	// member 2 ranks 2-3.
+	owners := []int{1, 1, 2, 2, 0}
+	mk := func(self int) *Transport {
+		return newTransport(self, 2, owners, 0, 0, nil) // no heartbeat in this harness
+	}
+	t0, t1, t2 := mk(0), mk(1), mk(2)
+	trans := map[int]*Transport{0: t0, 1: t1, 2: t2}
+	bind := func(tr *Transport, first, n int) *mp.World {
+		w := mp.NewPartialWorld(5, mp.Group{First: first, N: n}, tr)
+		tr.Bind(w)
+		return w
+	}
+	w0 := bind(t0, 4, 1)
+	w1 := bind(t1, 0, 2)
+	w2 := bind(t2, 2, 2)
+	connect := func(a, b int) {
+		ca, cb := tcpPair(t)
+		trans[a].runLink(newLink(b, "pair", ca, 0))
+		trans[b].runLink(newLink(a, "pair", cb, 0))
+	}
+	connect(0, 1)
+	connect(0, 2)
+	connect(1, 2)
+	t.Cleanup(func() { t0.Close(""); t1.Close(""); t2.Close("") })
+
+	const gens = 3
+	done := make(chan int, 5*gens)
+	barrier := func(w *mp.World) {
+		for g := 0; g < gens; g++ {
+			w.Barrier()
+			done <- g
+		}
+	}
+	go barrier(w0)
+	go barrier(w1)
+	go barrier(w1)
+	go barrier(w2)
+	go barrier(w2)
+
+	counts := make(map[int]int)
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 5*gens; i++ {
+		select {
+		case g := <-done:
+			counts[g]++
+			// No rank may clear generation g+1 before all cleared g.
+			if g > 0 && counts[g-1] != 5 {
+				t.Fatalf("generation %d released with %d/5 ranks done with %d", g, counts[g-1], g-1)
+			}
+		case <-deadline:
+			t.Fatalf("barrier stuck: %v", counts)
+		}
+	}
+}
+
+// tcpPair returns two ends of one loopback TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return a, r.c
+}

@@ -1,0 +1,276 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pstap/internal/fault"
+	"pstap/internal/wire"
+)
+
+// frameKind discriminates the link protocol's frame types.
+type frameKind uint8
+
+const (
+	frameHello   frameKind = iota // first frame on every connection
+	frameData                     // one mp message: (Src, Dst, Tag, Data)
+	frameCredit                   // returns Credits send tokens to the peer
+	framePing                     // heartbeat probe (Seq matches the pong)
+	framePong                     // heartbeat echo
+	frameBarrier                  // member arrival at barrier generation Gen
+	frameRelease                  // hub releases barrier generation Gen
+	frameReady                    // node finished wiring its session
+	frameGoodbye                  // orderly teardown; Reason names a fault
+)
+
+// frame is the single wire message of the link protocol; Kind selects
+// which fields are meaningful. It rides wire.WriteFrame/ReadFrame, so
+// every frame is length-prefixed, self-contained gob.
+type frame struct {
+	Kind frameKind
+
+	// Hello fields.
+	Session  string
+	From, To int       // member indices
+	Manifest *Manifest // coordinator hellos only
+	Auth     []byte    // node→node hellos: peerAuth MAC
+
+	// Data fields.
+	Seq           int // per-link outbound data sequence (fault addressing)
+	Src, Dst, Tag int
+	Data          any
+
+	Credits int    // frameCredit
+	Gen     int    // frameBarrier / frameRelease
+	Reason  string // frameGoodbye: non-empty when a fault caused it
+}
+
+// goodbyeError is the error a link dies with when the peer said goodbye
+// carrying a fault reason — the remote world aborted and told us why.
+type goodbyeError struct{ reason string }
+
+func (e *goodbyeError) Error() string { return fmt.Sprintf("peer reported: %s", e.reason) }
+
+// errClosedGracefully marks a goodbye with no fault attached: the peer
+// tore the session down on purpose. Links killed with it do not abort the
+// world as a failure.
+var errClosedGracefully = &goodbyeError{reason: "session closed"}
+
+// link is one full-duplex connection to a peer member: a locked writer, a
+// credit gate for outbound data frames, heartbeat bookkeeping and transfer
+// counters. The reader loop lives on the Transport, which owns dispatch.
+type link struct {
+	member int
+	addr   string
+	conn   net.Conn
+
+	wmu sync.Mutex // serializes WriteFrame calls
+
+	// credits gates outbound data frames; the peer returns tokens with
+	// credit frames as it drains. window is the total in each direction.
+	cmu     sync.Mutex
+	cond    *sync.Cond
+	credits int
+	window  int
+	seq     int // outbound data-frame sequence
+
+	// delivered counts inbound data frames not yet acknowledged with a
+	// credit grant; the reader returns tokens in window/2 batches.
+	delivered int
+
+	dead    atomic.Bool
+	deadErr error // set before dead flips true; read after Dead() only
+
+	// pings maps outstanding ping sequence → send time (heartbeat RTT).
+	pmu       sync.Mutex
+	pings     map[int]time.Time
+	pingSeq   int
+	lastHeard atomic.Int64 // unix nanos of the last inbound frame
+
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+	rttNs                atomic.Int64 // EWMA
+}
+
+func newLink(member int, addr string, conn net.Conn, window int) *link {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	l := &link{
+		member:  member,
+		addr:    addr,
+		conn:    conn,
+		credits: window,
+		window:  window,
+		pings:   make(map[int]time.Time),
+	}
+	l.cond = sync.NewCond(&l.cmu)
+	l.lastHeard.Store(time.Now().UnixNano())
+	return l
+}
+
+// write sends one frame under the writer lock, counting its bytes.
+func (l *link) write(f *frame) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	cw := &countingWriter{w: l.conn}
+	if err := wire.WriteFrame(cw, f); err != nil {
+		return err
+	}
+	l.bytesSent.Add(cw.n)
+	return nil
+}
+
+// sendData ships one mp message, blocking on the credit window. A nil
+// return means the frame was written; any error means the link is (now)
+// dead and the caller should treat the peer as lost. inj, when non-nil,
+// runs the link-plane fault rules against (member, seq).
+func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector) error {
+	l.cmu.Lock()
+	for l.credits == 0 && !l.dead.Load() {
+		l.cond.Wait()
+	}
+	if l.dead.Load() {
+		l.cmu.Unlock()
+		return l.deathErr()
+	}
+	l.credits--
+	seq := l.seq
+	l.seq++
+	l.cmu.Unlock()
+
+	if inj != nil {
+		if err := inj.LinkSend(l.member, seq); err != nil {
+			return err
+		}
+	}
+	if err := l.write(&frame{Kind: frameData, Seq: seq, Src: src, Dst: dst, Tag: tag, Data: data}); err != nil {
+		return err
+	}
+	l.msgsSent.Add(1)
+	return nil
+}
+
+// addCredits banks tokens returned by the peer and wakes blocked senders.
+func (l *link) addCredits(n int) {
+	l.cmu.Lock()
+	l.credits += n
+	l.cmu.Unlock()
+	l.cond.Broadcast()
+}
+
+// noteDelivered counts an inbound data frame and returns how many tokens
+// to grant back now (0 when the batch threshold is not reached).
+func (l *link) noteDelivered() int {
+	l.cmu.Lock()
+	defer l.cmu.Unlock()
+	l.delivered++
+	if l.delivered >= l.window/2 {
+		n := l.delivered
+		l.delivered = 0
+		return n
+	}
+	return 0
+}
+
+// kill marks the link dead with the given error, closes the connection
+// and releases credit waiters. It reports whether this call was the first
+// (the winning cause).
+func (l *link) kill(err error) bool {
+	l.cmu.Lock()
+	if l.dead.Load() {
+		l.cmu.Unlock()
+		return false
+	}
+	l.deadErr = err
+	l.dead.Store(true)
+	l.cmu.Unlock()
+	l.conn.Close()
+	l.cond.Broadcast()
+	return true
+}
+
+// deathErr wraps the link's death cause as a typed LinkError.
+func (l *link) deathErr() error {
+	l.cmu.Lock()
+	err := l.deadErr
+	l.cmu.Unlock()
+	return &LinkError{Member: l.member, Addr: l.addr, Err: err}
+}
+
+// ping sends one heartbeat probe.
+func (l *link) ping() error {
+	l.pmu.Lock()
+	l.pingSeq++
+	seq := l.pingSeq
+	l.pings[seq] = time.Now()
+	// Bound the outstanding map: a peer that answers nothing would grow it
+	// one entry per interval until the miss limit kills the link anyway.
+	for k := range l.pings {
+		if k <= seq-2*heartbeatMisses {
+			delete(l.pings, k)
+		}
+	}
+	l.pmu.Unlock()
+	return l.write(&frame{Kind: framePing, Seq: seq})
+}
+
+// pong matches a heartbeat echo to its probe and folds the round-trip
+// into the EWMA.
+func (l *link) pong(seq int) {
+	l.pmu.Lock()
+	t, ok := l.pings[seq]
+	delete(l.pings, seq)
+	l.pmu.Unlock()
+	if !ok {
+		return
+	}
+	rtt := time.Since(t).Nanoseconds()
+	old := l.rttNs.Load()
+	if old == 0 {
+		l.rttNs.Store(rtt)
+	} else {
+		l.rttNs.Store(old - old/4 + rtt/4)
+	}
+}
+
+// stats snapshots the link's transfer counters.
+func (l *link) stats() LinkStats {
+	return LinkStats{
+		Member:    l.member,
+		Addr:      l.addr,
+		MsgsSent:  l.msgsSent.Load(),
+		MsgsRecv:  l.msgsRecv.Load(),
+		BytesSent: l.bytesSent.Load(),
+		BytesRecv: l.bytesRecv.Load(),
+		RTTNs:     l.rttNs.Load(),
+	}
+}
+
+// countingWriter counts bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader counts bytes read through it (single-goroutine use).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+func TestPlacementParseValidateOwners(t *testing.T) {
+	p, err := ParsePlacement("0-2/3-6", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "0-2/3-6" {
+		t.Errorf("String = %q", got)
+	}
+
+	// Default placement tiles the tasks and always validates.
+	for nodes := 1; nodes <= pipeline.NumTasks; nodes++ {
+		d := DefaultPlacement(nodes)
+		if err := d.Validate(); err != nil {
+			t.Errorf("DefaultPlacement(%d) = %s: %v", nodes, d, err)
+		}
+	}
+
+	// Empty spec falls back to the default split.
+	p2, err := ParsePlacement("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != DefaultPlacement(3).String() {
+		t.Errorf("empty spec = %s, want %s", p2, DefaultPlacement(3))
+	}
+
+	for _, bad := range []string{"0-2/4-6", "0-3/3-6", "3-6/0-2", "0-2", "0-2/3-6/x"} {
+		p, err := ParsePlacement(bad, 2)
+		if err == nil {
+			err = p.Validate()
+		}
+		if err == nil {
+			t.Errorf("ParsePlacement(%q) accepted", bad)
+		}
+	}
+
+	a := pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1)
+	owners := p.Owners(a)
+	if len(owners) != a.Total()+1 {
+		t.Fatalf("Owners: %d entries, want %d", len(owners), a.Total()+1)
+	}
+	if owners[len(owners)-1] != 0 {
+		t.Errorf("driver rank owner = %d, want coordinator", owners[len(owners)-1])
+	}
+	// Ranks of tasks 0-2 (doppler=2, easyW=1, hardW=2 → ranks 0..4) live on
+	// node 1; tasks 3-6 (ranks 5..9) on node 2.
+	for r := 0; r < 5; r++ {
+		if owners[r] != 1 {
+			t.Errorf("rank %d owner = %d, want 1", r, owners[r])
+		}
+	}
+	for r := 5; r < a.Total(); r++ {
+		if owners[r] != 2 {
+			t.Errorf("rank %d owner = %d, want 2", r, owners[r])
+		}
+	}
+
+	// HostedRanks and Tasks agree with Owners.
+	g1 := p.HostedRanks(a, 1)
+	if g1.First != 0 || g1.N != 5 {
+		t.Errorf("HostedRanks(1) = %+v", g1)
+	}
+	g2 := p.HostedRanks(a, 2)
+	if g2.First != 5 || g2.N != a.Total()-5 {
+		t.Errorf("HostedRanks(2) = %+v", g2)
+	}
+	host1 := p.Tasks(1)
+	for task := 0; task < pipeline.NumTasks; task++ {
+		want := task <= 2
+		if host1(task) != want {
+			t.Errorf("Tasks(1)(%d) = %v, want %v", task, host1(task), want)
+		}
+	}
+}
+
+func TestManifestSignVerify(t *testing.T) {
+	p, _ := ParsePlacement("0-2/3-6", 2)
+	man := &Manifest{
+		Session:   "abc123",
+		Scene:     radar.DefaultScene(radar.Small()),
+		Assign:    pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1),
+		Nodes:     []NodeSpec{{Addr: "a:1", Tasks: p[0]}, {Addr: "b:2", Tasks: p[1]}},
+		Heartbeat: time.Second,
+	}
+	secret := []byte("s3cret")
+	if err := man.Sign(secret); err != nil {
+		t.Fatal(err)
+	}
+	if !man.Verify(secret) {
+		t.Fatal("freshly signed manifest does not verify")
+	}
+	if man.Verify([]byte("other")) {
+		t.Error("manifest verifies under the wrong secret")
+	}
+	man.Nodes[0].Addr = "evil:1"
+	if man.Verify(secret) {
+		t.Error("tampered manifest still verifies")
+	}
+}

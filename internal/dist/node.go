@@ -1,0 +1,367 @@
+package dist
+
+import (
+	"crypto/hmac"
+	"fmt"
+	"net"
+	"time"
+
+	"sync"
+
+	"pstap/internal/fault"
+	"pstap/internal/mp"
+	"pstap/internal/pipeline"
+	"pstap/internal/wire"
+)
+
+// parkTTL bounds how long a peer connection may wait for the manifest
+// that names its session before being dropped.
+const parkTTL = 30 * time.Second
+
+// helloTimeout bounds the first frame of an accepted connection.
+const helloTimeout = 10 * time.Second
+
+// NodeConfig configures a stapnode agent.
+type NodeConfig struct {
+	// Secret is the cluster secret: manifests and peer hellos must carry
+	// a valid HMAC under it or the connection is refused.
+	Secret []byte
+	// Window overrides the per-link credit window (DefaultWindow if 0).
+	Window int
+	// Logf, when non-nil, receives agent log lines.
+	Logf func(format string, args ...any)
+}
+
+// Node is a stapnode agent: it listens for a coordinator's signed
+// manifest, hosts its assigned task groups for the session's lifetime,
+// then returns to listening. Sessions are sequential — one replica
+// incarnation at a time; a coordinator arriving while a session is live
+// is refused with a busy goodbye and retried by the serving layer's
+// recycle loop. Peer connections that arrive before their session's
+// manifest are parked until it does.
+type Node struct {
+	cfg NodeConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	sess   *session
+	parked []parkedConn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+type parkedConn struct {
+	session string
+	from    int
+	conn    net.Conn
+	at      time.Time
+}
+
+// session is one replica incarnation on this node.
+type session struct {
+	id     string
+	member int
+	man    *Manifest
+	tr     *Transport
+	world  *mp.World
+	st     *pipeline.Stream
+	done   chan struct{} // closed when run returns
+}
+
+// NewNode wraps a listener as a stapnode agent; call Serve to run it.
+func NewNode(ln net.Listener, cfg NodeConfig) *Node {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Node{cfg: cfg, ln: ln}
+}
+
+// Addr returns the agent's listen address.
+func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// Serve accepts connections until the listener closes. Each connection's
+// first frame decides its role: a manifest hello starts a session, a peer
+// hello joins (or waits for) one.
+func (n *Node) Serve() error {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handshake(conn)
+		}()
+	}
+}
+
+// Close shuts the agent down: stop accepting, tear down the live session
+// and parked connections, and join every goroutine.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	sess := n.sess
+	parked := n.parked
+	n.parked = nil
+	var world *mp.World
+	if sess != nil {
+		world = sess.world
+	}
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, p := range parked {
+		p.conn.Close()
+	}
+	if world != nil {
+		world.Abort()
+	}
+	if sess != nil {
+		<-sess.done
+	}
+	n.wg.Wait()
+}
+
+// Kill hard-stops the agent without goodbyes, modeling a killed process:
+// every socket drops cold and peers must detect the loss through read
+// errors or missed heartbeats. Used by chaos tests; real deployments die
+// with the process.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	n.closed = true
+	sess := n.sess
+	parked := n.parked
+	n.parked = nil
+	var tr *Transport
+	var world *mp.World
+	if sess != nil {
+		tr, world = sess.tr, sess.world
+	}
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, p := range parked {
+		p.conn.Close()
+	}
+	if tr != nil {
+		tr.dropConns()
+	}
+	if world != nil {
+		world.Abort()
+	}
+	if sess != nil {
+		<-sess.done
+	}
+	n.wg.Wait()
+}
+
+// handshake reads a connection's hello and routes it.
+func (n *Node) handshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	var f frame
+	if err := wire.ReadFrame(conn, &f); err != nil || f.Kind != frameHello {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch {
+	case f.Manifest != nil:
+		if !f.Manifest.Verify(n.cfg.Secret) || f.Session != f.Manifest.Session ||
+			f.From != 0 || f.To < 1 || f.To > len(f.Manifest.Nodes) {
+			n.cfg.Logf("stapnode: rejecting unauthenticated manifest hello from %v", conn.RemoteAddr())
+			conn.Close()
+			return
+		}
+		n.startSession(conn, &f)
+	default:
+		if !hmac.Equal(f.Auth, peerAuth(n.cfg.Secret, f.Session, f.From, f.To)) {
+			n.cfg.Logf("stapnode: rejecting unauthenticated peer hello from %v", conn.RemoteAddr())
+			conn.Close()
+			return
+		}
+		n.routePeer(conn, &f)
+	}
+}
+
+// startSession spins up the session a manifest hello describes, unless
+// one is already live.
+func (n *Node) startSession(conn net.Conn, f *frame) {
+	n.mu.Lock()
+	if n.closed || n.sess != nil {
+		n.mu.Unlock()
+		wire.WriteFrame(conn, &frame{Kind: frameGoodbye, Reason: "node busy"})
+		conn.Close()
+		return
+	}
+	s := &session{id: f.Session, member: f.To, man: f.Manifest, done: make(chan struct{})}
+	n.sess = s
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.runSession(s, conn)
+	}()
+}
+
+// routePeer attaches a peer connection to its live session or parks it
+// until the session's manifest arrives. The park-or-attach decision and
+// the session's transport publication share the node mutex, so no
+// connection can fall between them.
+func (n *Node) routePeer(conn net.Conn, f *frame) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	var tr *Transport
+	if s := n.sess; s != nil && s.id == f.Session && s.tr != nil {
+		tr = s.tr
+	}
+	if tr == nil {
+		n.parked = append(n.parked, parkedConn{session: f.Session, from: f.From, conn: conn, at: time.Now()})
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	tr.runLink(newLink(f.From, conn.RemoteAddr().String(), conn, n.cfg.Window))
+}
+
+// runSession hosts one replica incarnation end to end: build the partial
+// world and transport, wire every peer link, spawn the hosted task
+// groups, report ready, then serve until the world dies — a graceful
+// goodbye from the coordinator, a link failure, or a local worker fault —
+// and tear everything down.
+func (n *Node) runSession(s *session, coordConn net.Conn) {
+	defer close(s.done)
+	defer n.clearSession(s)
+	man := s.man
+	logf := n.cfg.Logf
+
+	placement := man.Placement()
+	if err := placement.Validate(); err != nil {
+		logf("stapnode: session %s: bad placement: %v", s.id, err)
+		coordConn.Close()
+		return
+	}
+	var inj *fault.Injector
+	if man.FaultPlan != "" {
+		plan, err := fault.ParsePlan(man.FaultPlan)
+		if err != nil {
+			logf("stapnode: session %s: bad fault plan: %v", s.id, err)
+			coordConn.Close()
+			return
+		}
+		inj = plan.Injector(man.Seed)
+	}
+
+	tr := newTransport(s.member, len(man.Nodes), placement.Owners(man.Assign), n.cfg.Window, man.Heartbeat, inj)
+	world := mp.NewPartialWorld(man.Assign.Total()+1, placement.HostedRanks(man.Assign, s.member), tr)
+	tr.Bind(world)
+	if inj != nil {
+		inj.Bind(world.Done())
+	}
+	// Publish the transport and claim connections parked for this session
+	// under one lock: every peer hello either lands in the claimed set or
+	// attaches directly through routePeer afterwards.
+	n.mu.Lock()
+	s.tr, s.world = tr, world
+	var claimed []parkedConn
+	var keep []parkedConn
+	for _, p := range n.parked {
+		switch {
+		case p.session == s.id:
+			claimed = append(claimed, p)
+		case time.Since(p.at) > parkTTL:
+			p.conn.Close()
+		default:
+			keep = append(keep, p)
+		}
+	}
+	n.parked = keep
+	n.mu.Unlock()
+
+	// The coordinator link is the accepted manifest connection; parked
+	// peers attach now; lower-indexed peers we dial ourselves.
+	tr.runLink(newLink(0, coordConn.RemoteAddr().String(), coordConn, n.cfg.Window))
+	for _, p := range claimed {
+		tr.runLink(newLink(p.from, p.conn.RemoteAddr().String(), p.conn, n.cfg.Window))
+	}
+	for j := 1; j < s.member; j++ {
+		addr := man.Nodes[j-1].Addr
+		conn, err := net.DialTimeout("tcp", addr, DefaultDialTimeout)
+		if err == nil {
+			err = wire.WriteFrame(conn, &frame{Kind: frameHello, Session: s.id, From: s.member, To: j,
+				Auth: peerAuth(n.cfg.Secret, s.id, s.member, j)})
+		}
+		if err != nil {
+			logf("stapnode: session %s: dial peer %d (%s): %v", s.id, j, addr, err)
+			world.AbortWith(&LinkError{Member: j, Addr: addr, Err: err})
+			tr.Close(fmt.Sprintf("peer %d unreachable", j))
+			return
+		}
+		tr.runLink(newLink(j, addr, conn, n.cfg.Window))
+	}
+
+	st, err := pipeline.NewHostedStream(pipeline.StreamConfig{
+		Scene:   man.Scene,
+		Assign:  man.Assign,
+		Window:  man.Window,
+		Threads: man.Threads,
+		Fault:   inj,
+	}, pipeline.Hosting{World: world, Tasks: placement.Tasks(s.member)})
+	if err != nil {
+		logf("stapnode: session %s: %v", s.id, err)
+		world.AbortWith(err)
+		tr.Close(err.Error())
+		return
+	}
+	s.st = st
+
+	if l, lerr := tr.waitLink(0); lerr == nil {
+		if werr := l.write(&frame{Kind: frameReady}); werr != nil {
+			tr.linkDied(l, werr)
+		}
+	}
+	logf("stapnode: session %s: member %d hosting tasks %d-%d (%d ranks) ready",
+		s.id, s.member, placement[s.member-1][0], placement[s.member-1][1],
+		placement.HostedRanks(man.Assign, s.member).N)
+
+	<-world.Done()
+
+	// Explain the death to the peers that have not seen it themselves: a
+	// local worker fault or abort cause rides the goodbye frame.
+	reason := ""
+	if faults := st.Faults(); len(faults) > 0 {
+		reason = faults[0].String()
+	} else if cause := world.AbortCause(); cause != nil {
+		reason = cause.Error()
+	}
+	tr.Close(reason)
+	st.Abort()
+	logf("stapnode: session %s: ended (%s)", s.id, orDash(reason))
+}
+
+// clearSession removes the finished session so the next manifest can
+// start a new one.
+func (n *Node) clearSession(s *session) {
+	n.mu.Lock()
+	if n.sess == s {
+		n.sess = nil
+	}
+	n.mu.Unlock()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "graceful"
+	}
+	return s
+}

@@ -1,0 +1,394 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pstap/internal/fault"
+	"pstap/internal/mp"
+	"pstap/internal/wire"
+)
+
+// errTransportClosed is what operations on a closed transport return; it
+// marks an orderly local teardown, not a peer failure.
+var errTransportClosed = errors.New("dist: transport closed")
+
+// Transport implements mp.Transport over the member links of one replica
+// session. Each process owns one Transport: rank-addressed sends resolve
+// the destination's owning member and ride that link's data frames;
+// inbound data frames are injected into the local partial world with
+// mp.World.Deliver. Barrier is hub-and-spoke through the coordinator.
+//
+// Construction order matters: create the Transport, build the partial
+// world against it, Bind the world, then attach links with runLink — the
+// reader goroutines deliver into the bound world.
+type Transport struct {
+	self    int   // this process's member index
+	members int   // node count (members 1..members are nodes)
+	owners  []int // rank → owning member
+	window  int
+	hb      time.Duration
+	inj     *fault.Injector // link-plane faults (may be nil)
+
+	world *mp.World // bound before any link reader starts
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	links   map[int]*link
+	closed  bool
+	failure error // first link failure, sticky
+
+	barMu    sync.Mutex
+	barCond  *sync.Cond
+	arrived  map[int]int // hub: generation → member arrivals
+	released int         // leaf: generations released so far
+	localGen int
+	barErr   error
+
+	ready chan int // coordinator: members that reported ready
+
+	stop     chan struct{} // ends heartbeat loops
+	closeOne sync.Once
+	wg       sync.WaitGroup
+}
+
+func newTransport(self, members int, owners []int, window int, hb time.Duration, inj *fault.Injector) *Transport {
+	t := &Transport{
+		self:    self,
+		members: members,
+		owners:  owners,
+		window:  window,
+		hb:      hb,
+		inj:     inj,
+		links:   make(map[int]*link),
+		arrived: make(map[int]int),
+		ready:   make(chan int, members+1),
+		stop:    make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.barCond = sync.NewCond(&t.barMu)
+	return t
+}
+
+// Bind attaches the partial world inbound frames deliver into. Must be
+// called before the first runLink.
+func (t *Transport) Bind(w *mp.World) { t.world = w }
+
+// Send implements mp.Transport: it routes one message to the member
+// hosting dst, blocking on link registration (peers may still be dialing
+// in) and on the link's credit window. Any returned error means the peer
+// is lost; mp turns it into a world abort with this error as the cause.
+func (t *Transport) Send(src, dst, tag int, data any) error {
+	if dst < 0 || dst >= len(t.owners) {
+		return fmt.Errorf("dist: send to rank %d outside world of %d", dst, len(t.owners))
+	}
+	l, err := t.waitLink(t.owners[dst])
+	if err != nil {
+		return err
+	}
+	if err := l.sendData(src, dst, tag, data, t.inj); err != nil {
+		t.linkDied(l, err)
+		return l.deathErr()
+	}
+	return nil
+}
+
+// waitLink returns the link to a member, blocking until it is registered.
+// It fails once the transport is closed or any link has died — a dead
+// cluster must not strand senders waiting for a peer that will never dial.
+func (t *Transport) waitLink(member int) (*link, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if l, ok := t.links[member]; ok {
+			if l.dead.Load() {
+				return nil, l.deathErr()
+			}
+			return l, nil
+		}
+		if t.failure != nil {
+			return nil, t.failure
+		}
+		if t.closed {
+			return nil, errTransportClosed
+		}
+		t.cond.Wait()
+	}
+}
+
+// runLink registers a peer link and starts its reader and heartbeat.
+func (t *Transport) runLink(l *link) {
+	t.mu.Lock()
+	t.links[l.member] = l
+	t.mu.Unlock()
+	t.cond.Broadcast()
+	t.wg.Add(2)
+	go t.readLoop(l)
+	go t.heartbeat(l)
+}
+
+// readLoop dispatches every inbound frame of one link until it dies.
+func (t *Transport) readLoop(l *link) {
+	defer t.wg.Done()
+	cr := &countingReader{r: l.conn}
+	for {
+		var f frame
+		if err := wire.ReadFrame(cr, &f); err != nil {
+			t.linkDied(l, err)
+			return
+		}
+		l.bytesRecv.Store(cr.n)
+		l.lastHeard.Store(time.Now().UnixNano())
+		switch f.Kind {
+		case frameData:
+			l.msgsRecv.Add(1)
+			t.world.Deliver(f.Src, f.Dst, f.Tag, f.Data)
+			if n := l.noteDelivered(); n > 0 {
+				if err := l.write(&frame{Kind: frameCredit, Credits: n}); err != nil {
+					t.linkDied(l, err)
+					return
+				}
+			}
+		case frameCredit:
+			l.addCredits(f.Credits)
+		case framePing:
+			if err := l.write(&frame{Kind: framePong, Seq: f.Seq}); err != nil {
+				t.linkDied(l, err)
+				return
+			}
+		case framePong:
+			l.pong(f.Seq)
+		case frameBarrier:
+			t.barrierArrive(f.Gen)
+		case frameRelease:
+			t.barrierRelease(f.Gen)
+		case frameReady:
+			select {
+			case t.ready <- l.member:
+			default:
+			}
+		case frameGoodbye:
+			if f.Reason != "" {
+				t.linkDied(l, &goodbyeError{reason: f.Reason})
+			} else {
+				t.linkDied(l, errClosedGracefully)
+			}
+			return
+		}
+	}
+}
+
+// heartbeat pings the peer every interval and kills the link after
+// heartbeatMisses intervals of silence — the detector for a peer that
+// vanished without closing its socket.
+func (t *Transport) heartbeat(l *link) {
+	defer t.wg.Done()
+	if t.hb <= 0 {
+		return
+	}
+	tick := time.NewTicker(t.hb)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if l.dead.Load() {
+				return
+			}
+			if silent := time.Now().UnixNano() - l.lastHeard.Load(); silent > int64(heartbeatMisses)*int64(t.hb) {
+				t.linkDied(l, fmt.Errorf("dist: heartbeat: peer silent for %v", time.Duration(silent)))
+				return
+			}
+			if err := l.ping(); err != nil {
+				t.linkDied(l, err)
+				return
+			}
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// linkDied handles a link failure exactly once: it records the sticky
+// transport failure, wakes everyone waiting on links or barriers, and
+// aborts the bound world — with the typed LinkError as the cause for real
+// failures, plainly for a graceful goodbye.
+func (t *Transport) linkDied(l *link, err error) {
+	if !l.kill(err) {
+		return
+	}
+	graceful := errors.Is(err, errClosedGracefully)
+	t.mu.Lock()
+	if t.failure == nil && !graceful {
+		t.failure = l.deathErr()
+	}
+	t.mu.Unlock()
+	t.cond.Broadcast()
+	t.barrierFail(l.deathErr())
+	if w := t.world; w != nil {
+		if graceful {
+			w.Abort()
+		} else {
+			w.AbortWith(l.deathErr())
+		}
+	}
+}
+
+// Barrier implements mp.Transport's cross-process barrier phase,
+// hub-and-spoke through the coordinator: nodes report arrival and wait
+// for the release; the coordinator collects every node's arrival and
+// releases them all.
+func (t *Transport) Barrier() error {
+	t.barMu.Lock()
+	gen := t.localGen
+	t.localGen++
+	t.barMu.Unlock()
+	if t.self == 0 {
+		return t.hubBarrier(gen)
+	}
+	l, err := t.waitLink(0)
+	if err != nil {
+		return err
+	}
+	if err := l.write(&frame{Kind: frameBarrier, Gen: gen}); err != nil {
+		t.linkDied(l, err)
+		return l.deathErr()
+	}
+	t.barMu.Lock()
+	defer t.barMu.Unlock()
+	for t.released <= gen && t.barErr == nil {
+		t.barCond.Wait()
+	}
+	if t.released <= gen {
+		return t.barErr
+	}
+	return nil
+}
+
+// hubBarrier is the coordinator side: wait for every node's arrival at
+// this generation, then release them.
+func (t *Transport) hubBarrier(gen int) error {
+	t.barMu.Lock()
+	for t.arrived[gen] < t.members && t.barErr == nil {
+		t.barCond.Wait()
+	}
+	err := t.barErr
+	complete := t.arrived[gen] >= t.members
+	delete(t.arrived, gen)
+	t.barMu.Unlock()
+	if !complete {
+		return err
+	}
+	for m := 1; m <= t.members; m++ {
+		l, lerr := t.waitLink(m)
+		if lerr != nil {
+			return lerr
+		}
+		if werr := l.write(&frame{Kind: frameRelease, Gen: gen}); werr != nil {
+			t.linkDied(l, werr)
+			return l.deathErr()
+		}
+	}
+	return nil
+}
+
+func (t *Transport) barrierArrive(gen int) {
+	t.barMu.Lock()
+	t.arrived[gen]++
+	t.barMu.Unlock()
+	t.barCond.Broadcast()
+}
+
+func (t *Transport) barrierRelease(gen int) {
+	t.barMu.Lock()
+	if gen+1 > t.released {
+		t.released = gen + 1
+	}
+	t.barMu.Unlock()
+	t.barCond.Broadcast()
+}
+
+func (t *Transport) barrierFail(err error) {
+	t.barMu.Lock()
+	if t.barErr == nil {
+		t.barErr = err
+	}
+	t.barMu.Unlock()
+	t.barCond.Broadcast()
+}
+
+// awaitReady blocks until n distinct members have reported ready, or the
+// deadline passes, or a link dies.
+func (t *Transport) awaitReady(n int, timeout time.Duration) error {
+	seen := make(map[int]bool)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	check := time.NewTicker(20 * time.Millisecond)
+	defer check.Stop()
+	for len(seen) < n {
+		select {
+		case m := <-t.ready:
+			seen[m] = true
+		case <-check.C:
+			t.mu.Lock()
+			err := t.failure
+			t.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		case <-deadline.C:
+			return fmt.Errorf("dist: %d of %d nodes ready after %v", len(seen), n, timeout)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots every live link's counters, ordered by member index.
+func (t *Transport) Stats() []LinkStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LinkStats, 0, len(t.links))
+	for m := 0; m <= t.members; m++ {
+		if l, ok := t.links[m]; ok {
+			out = append(out, l.stats())
+		}
+	}
+	return out
+}
+
+// dropConns severs every link's raw connection without any goodbye — the
+// kill-test hook simulating a dead process.
+func (t *Transport) dropConns() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, l := range t.links {
+		l.conn.Close()
+	}
+}
+
+// Close tears the transport down: a best-effort goodbye frame (carrying
+// reason when the local world died of a fault) on every link, then the
+// links are killed and every goroutine joined. Idempotent. Close itself
+// does not abort the bound world — callers sequence that.
+func (t *Transport) Close(reason string) {
+	t.closeOne.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		links := make([]*link, 0, len(t.links))
+		for _, l := range t.links {
+			links = append(links, l)
+		}
+		t.mu.Unlock()
+		t.cond.Broadcast()
+		close(t.stop)
+		for _, l := range links {
+			if !l.dead.Load() {
+				l.write(&frame{Kind: frameGoodbye, Reason: reason})
+			}
+			l.kill(errClosedGracefully)
+		}
+		t.barrierFail(errTransportClosed)
+	})
+	t.wg.Wait()
+}

@@ -14,6 +14,15 @@
 //	             with nil, corrupting the transfer (the receiver's type
 //	             assertion then panics and supervision takes over)
 //	err          the worker raises the typed ErrInjected failure
+//	droplink     a distributed transport link refuses the send with
+//	             ErrLinkDropped, which the link layer treats as a wire
+//	             failure (the replica dies with a typed link error)
+//	slowlink(d)  the link delays the frame by d before sending
+//
+// The link kinds address the distributed transport plane instead of a
+// worker: use the pseudo-task `link`, with the worker field naming the
+// peer member index and the cpi field the frame sequence number on that
+// link (internal/dist calls Injector.LinkSend per outbound data frame).
 //
 // A kind may carry two optional suffixes, in order: `*` makes the rule
 // fire on every match instead of exactly once (the default, so a restarted
@@ -57,6 +66,8 @@ const (
 	KindSlow
 	KindDropPayload
 	KindErr
+	KindDropLink
+	KindSlowLink
 )
 
 // String renders the kind as it appears in a plan.
@@ -72,13 +83,42 @@ func (k Kind) String() string {
 		return "droppayload"
 	case KindErr:
 		return "err"
+	case KindDropLink:
+		return "droplink"
+	case KindSlowLink:
+		return "slowlink"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// class sorts kinds by the injection point they fire from: the worker
+// compute loop, the in-process message plane, or a transport link.
+type class int
+
+const (
+	classCompute class = iota
+	classMessage
+	classLink
+)
+
+func (k Kind) class() class {
+	switch k {
+	case KindDropPayload:
+		return classMessage
+	case KindDropLink, KindSlowLink:
+		return classLink
+	}
+	return classCompute
 }
 
 // ErrInjected is the failure raised by a KindErr rule — the typed,
 // recognizable "this fault was injected on purpose" error.
 var ErrInjected = errors.New("fault: injected error")
+
+// ErrLinkDropped is the failure a KindDropLink rule makes a transport
+// link report for an outbound frame — typed so chaos tests can tell an
+// injected wire failure from a real one.
+var ErrLinkDropped = errors.New("fault: injected link drop")
 
 // Wildcard matches any task, worker or CPI in a rule.
 const Wildcard = -1
@@ -100,8 +140,12 @@ func (r Rule) String() string {
 		}
 		return strconv.Itoa(v)
 	}
+	task := f(r.Task)
+	if r.Task == LinkTask {
+		task = "link"
+	}
 	kind := r.Kind.String()
-	if r.Kind == KindSlow {
+	if r.Kind == KindSlow || r.Kind == KindSlowLink {
 		kind += "(" + r.Dur.String() + ")"
 	}
 	if r.Repeat {
@@ -110,7 +154,7 @@ func (r Rule) String() string {
 	if r.Prob > 0 && r.Prob < 1 {
 		kind += "@" + strconv.FormatFloat(r.Prob, 'g', -1, 64)
 	}
-	return fmt.Sprintf("%s:%s:%s:%s", f(r.Task), f(r.Worker), f(r.CPI), kind)
+	return fmt.Sprintf("%s:%s:%s:%s", task, f(r.Worker), f(r.CPI), kind)
 }
 
 // matches reports whether the rule covers the given injection point.
@@ -144,6 +188,10 @@ var taskIndex = map[string]int{
 
 // numTasks bounds numeric task indices in rules.
 const numTasks = 7
+
+// LinkTask is the pseudo-task index the `link` rule address resolves to;
+// it sits past the pipeline tasks so no compute rule can collide with it.
+const LinkTask = 7
 
 // ParsePlan parses a plan string (rules separated by `;` or `,`). An
 // empty string yields an empty, valid plan.
@@ -208,6 +256,9 @@ func parseTask(s string) (int, error) {
 	if s == "*" {
 		return Wildcard, nil
 	}
+	if strings.EqualFold(s, "link") {
+		return LinkTask, nil
+	}
 	if i, ok := taskIndex[strings.ToLower(s)]; ok {
 		return i, nil
 	}
@@ -251,6 +302,14 @@ func parseKind(s string, r *Rule) error {
 		r.Kind, r.Dur = KindSlow, d
 		return nil
 	}
+	if strings.HasPrefix(s, "slowlink(") && strings.HasSuffix(s, ")") {
+		d, err := time.ParseDuration(s[len("slowlink(") : len(s)-1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad slowlink duration in %q", s)
+		}
+		r.Kind, r.Dur = KindSlowLink, d
+		return nil
+	}
 	switch s {
 	case "panic":
 		r.Kind = KindPanic
@@ -260,6 +319,8 @@ func parseKind(s string, r *Rule) error {
 		r.Kind = KindDropPayload
 	case "err":
 		r.Kind = KindErr
+	case "droplink":
+		r.Kind = KindDropLink
 	default:
 		return fmt.Errorf("unknown kind %q", s)
 	}
@@ -291,12 +352,12 @@ func (in *Injector) Bind(done <-chan struct{}) { in.done.Store(done) }
 // Fires returns how many faults this injector has fired.
 func (in *Injector) Fires() int64 { return in.fires.Load() }
 
-// fire finds the first matching rule of the wanted class (compute or
-// message) that wins its probability roll and its once-only claim.
-func (in *Injector) fire(task, worker, cpi int, message bool) *Rule {
+// fire finds the first matching rule of the wanted class (compute,
+// message or link) that wins its probability roll and its once-only claim.
+func (in *Injector) fire(task, worker, cpi int, c class) *Rule {
 	for i := range in.plan.Rules {
 		r := &in.plan.Rules[i]
-		if (r.Kind == KindDropPayload) != message || !r.matches(task, worker, cpi) {
+		if r.Kind.class() != c || !r.matches(task, worker, cpi) {
 			continue
 		}
 		if r.Prob < 1 && !in.roll(i, task, worker, cpi, r.Prob) {
@@ -336,7 +397,7 @@ func (in *Injector) roll(rule, task, worker, cpi int, p float64) bool {
 // supervision wrapper above the worker converts the panic into a
 // structured WorkerFault.
 func (in *Injector) Compute(task, worker, cpi int) {
-	r := in.fire(task, worker, cpi, false)
+	r := in.fire(task, worker, cpi, classCompute)
 	if r == nil {
 		return
 	}
@@ -364,10 +425,34 @@ func (in *Injector) Compute(task, worker, cpi int) {
 // replaces the payload with nil while the message itself is still
 // delivered, so the receiver observes a corrupt transfer.
 func (in *Injector) Message(task, worker, cpi int, data any) any {
-	if in.fire(task, worker, cpi, true) != nil {
+	if in.fire(task, worker, cpi, classMessage) != nil {
 		return nil
 	}
 	return data
+}
+
+// LinkSend runs the link-plane faults for one outbound data frame on a
+// distributed transport link: member is the peer member index, seq the
+// frame sequence number on that link. A slowlink rule delays the frame; a
+// droplink rule refuses it with ErrLinkDropped, which the caller treats
+// exactly like a wire failure. Safe for concurrent use by link writers.
+func (in *Injector) LinkSend(member, seq int) error {
+	r := in.fire(LinkTask, member, seq, classLink)
+	if r == nil {
+		return nil
+	}
+	switch r.Kind {
+	case KindDropLink:
+		return fmt.Errorf("%w (member %d seq %d)", ErrLinkDropped, member, seq)
+	case KindSlowLink:
+		t := time.NewTimer(r.Dur)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-in.doneCh():
+		}
+	}
+	return nil
 }
 
 // doneCh returns the bound abort channel; an unbound injector blocks hang

@@ -191,3 +191,72 @@ func TestHangReapedByAbort(t *testing.T) {
 		t.Fatal("hang not reaped by abort")
 	}
 }
+
+func TestParseLinkRules(t *testing.T) {
+	p, err := ParsePlan("link:1:5:droplink; link:*:*:slowlink(3ms)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Task: LinkTask, Worker: 1, CPI: 5, Kind: KindDropLink, Prob: 1},
+		{Task: LinkTask, Worker: Wildcard, CPI: Wildcard, Kind: KindSlowLink, Dur: 3 * time.Millisecond, Prob: 1, Repeat: true},
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d = %+v, want %+v", i, p.Rules[i], w)
+		}
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	for i := range want {
+		if p2.Rules[i] != p.Rules[i] {
+			t.Errorf("round trip rule %d = %+v, want %+v", i, p2.Rules[i], p.Rules[i])
+		}
+	}
+}
+
+func TestLinkSendDrop(t *testing.T) {
+	in := MustParsePlan("link:1:5:droplink").Injector(1)
+	if err := in.LinkSend(0, 5); err != nil {
+		t.Fatalf("wrong member fired: %v", err)
+	}
+	if err := in.LinkSend(1, 4); err != nil {
+		t.Fatalf("wrong seq fired: %v", err)
+	}
+	err := in.LinkSend(1, 5)
+	if !errors.Is(err, ErrLinkDropped) {
+		t.Fatalf("LinkSend(1,5) = %v, want ErrLinkDropped", err)
+	}
+	// Once-only: the spent rule stays spent.
+	if err := in.LinkSend(1, 5); err != nil {
+		t.Fatalf("spent rule re-fired: %v", err)
+	}
+}
+
+func TestLinkSendSlow(t *testing.T) {
+	in := MustParsePlan("link:0:0:slowlink(30ms)").Injector(1)
+	in.Bind(make(chan struct{}))
+	start := time.Now()
+	if err := in.LinkSend(0, 0); err != nil {
+		t.Fatalf("slowlink returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("slowlink delayed only %v", d)
+	}
+}
+
+// TestLinkClassSeparation checks a link rule never fires from the compute
+// or message planes and vice versa.
+func TestLinkClassSeparation(t *testing.T) {
+	in := MustParsePlan("*:*:*:droplink").Injector(1)
+	in.Compute(0, 0, 0) // must not panic
+	if d := in.Message(0, 0, 0, "x"); d != "x" {
+		t.Fatalf("droplink fired on the message plane: %v", d)
+	}
+	in2 := MustParsePlan("*:*:*:droppayload").Injector(1)
+	if err := in2.LinkSend(0, 0); err != nil {
+		t.Fatalf("droppayload fired on the link plane: %v", err)
+	}
+}

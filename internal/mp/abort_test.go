@@ -1,0 +1,150 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTryRecvAbort verifies TryRecv honors the same abort semantics as
+// blocking Recv: a polling loop on an aborted world panics with
+// ErrAborted (caught by Protect) instead of spinning forever on "no
+// message" — the contract remote links rely on.
+func TestTryRecvAbort(t *testing.T) {
+	w := NewWorld(2)
+	w.Comm(0).Send(1, 7, "queued")
+	w.Abort()
+
+	aborted := Protect(func() {
+		w.Comm(1).TryRecv(0, 7)
+		t.Error("TryRecv returned on an aborted world")
+	})
+	if !aborted {
+		t.Fatal("TryRecv did not unwind with ErrAborted")
+	}
+}
+
+// TestTryRecvPolling is the live-world baseline for the abort test:
+// matching, FIFO order and the no-match miss all behave.
+func TestTryRecvPolling(t *testing.T) {
+	w := NewWorld(2)
+	rx := w.Comm(1)
+	if _, ok := rx.TryRecv(AnySource, 7); ok {
+		t.Fatal("TryRecv matched on an empty mailbox")
+	}
+	w.Comm(0).Send(1, 7, "a")
+	w.Comm(0).Send(1, 7, "b")
+	if d, ok := rx.TryRecv(0, 7); !ok || d != "a" {
+		t.Fatalf("first TryRecv = %v, %v", d, ok)
+	}
+	if d, ok := rx.TryRecv(0, 7); !ok || d != "b" {
+		t.Fatalf("second TryRecv = %v, %v", d, ok)
+	}
+}
+
+// TestCollectivesAbort parks ranks inside each collective and then aborts
+// the world: every participant must unwind with ErrAborted — no goroutine
+// may stay blocked, since remote links reuse these exact unwind paths.
+func TestCollectivesAbort(t *testing.T) {
+	const n = 4
+	g := Group{First: 0, N: n}
+
+	cases := []struct {
+		name string
+		body func(w *World, rank int)
+	}{
+		// Non-root ranks block in Recv waiting for a root that never sends.
+		{"Bcast", func(w *World, rank int) {
+			if rank != 0 {
+				w.Comm(rank).Bcast(g, 0, 100, nil)
+			} else {
+				w.Comm(rank).Recv(n-1, 999) // park the root too
+			}
+		}},
+		// The root blocks gathering from ranks that never send.
+		{"Gather", func(w *World, rank int) {
+			if rank == 0 {
+				w.Comm(rank).Gather(g, 0, 200, rank)
+			} else {
+				w.Comm(rank).Recv(n-1, 999)
+			}
+		}},
+		// Everyone blocks: the AllGather bcast phase never completes.
+		{"AllGather", func(w *World, rank int) {
+			if rank != n-1 { // last rank never joins
+				w.Comm(rank).AllGather(g, 300, rank)
+			} else {
+				w.Comm(rank).Recv(0, 999)
+			}
+		}},
+		// Receive phase of the personalized exchange with one absentee.
+		{"AllToAll", func(w *World, rank int) {
+			if rank != n-1 {
+				per := make([]any, n)
+				for i := range per {
+					per[i] = rank*10 + i
+				}
+				w.Comm(rank).AllToAll(g, 400, per)
+			} else {
+				w.Comm(rank).Recv(0, 999)
+			}
+		}},
+		// Reduce is Gather-based: park the root mid-fold.
+		{"Reduce", func(w *World, rank int) {
+			if rank == 0 {
+				w.Comm(rank).Reduce(g, 0, 500, float64(rank), func(a, b float64) float64 { return a + b })
+			} else {
+				w.Comm(rank).Recv(n-1, 999)
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(n)
+			var wg sync.WaitGroup
+			unwound := make([]bool, n)
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					unwound[rank] = Protect(func() { tc.body(w, rank) })
+				}(r)
+			}
+			time.Sleep(10 * time.Millisecond) // let everyone park
+			w.Abort()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				t.Fatal("collective participants still blocked after Abort")
+			}
+			for rank, ok := range unwound {
+				if !ok {
+					t.Errorf("rank %d did not unwind with ErrAborted", rank)
+				}
+			}
+		})
+	}
+}
+
+// TestCollectiveAfterAbort checks the post-abort entry paths: calling a
+// collective on an already-aborted world unwinds immediately.
+func TestCollectiveAfterAbort(t *testing.T) {
+	w := NewWorld(2)
+	g := Group{First: 0, N: 2}
+	w.Abort()
+	done := make(chan bool, 1)
+	go func() {
+		done <- Protect(func() { w.Comm(1).Bcast(g, 0, 10, nil) })
+	}()
+	select {
+	case aborted := <-done:
+		if !aborted {
+			t.Fatal("Bcast on aborted world completed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Bcast on aborted world blocked")
+	}
+}

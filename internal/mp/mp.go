@@ -38,6 +38,20 @@ type abortSentinel struct{}
 // cube.RealCube implement it via their Bytes methods.
 type Sizer interface{ Bytes() int64 }
 
+// Transport ships messages for ranks the local process does not host —
+// the seam that lets one logical World span OS processes (internal/dist
+// provides the TCP implementation). Send delivers (src, dst, tag, data)
+// to dst's hosting process; it may block on flow control but must return
+// an error, not hang forever, when the peer is unreachable. Barrier runs
+// the cross-process phase of World.Barrier after all locally hosted ranks
+// have arrived, returning once every process's hosted ranks have entered;
+// it must unblock with an error when the world is aborted. Both are
+// called concurrently from many rank goroutines.
+type Transport interface {
+	Send(src, dst, tag int, data any) error
+	Barrier() error
+}
+
 type message struct {
 	src, tag int
 	data     any
@@ -51,12 +65,21 @@ type mailbox struct {
 	seq   uint64
 }
 
-// World is a fixed-size collection of ranks sharing mailboxes.
+// World is a fixed-size collection of ranks sharing mailboxes. A world
+// normally hosts every rank in-process; a partial world (NewPartialWorld)
+// hosts a contiguous rank interval and routes traffic for the rest
+// through a Transport, so several processes compose one logical world.
 type World struct {
-	boxes []*mailbox
+	boxes  []*mailbox
+	hosted Group     // ranks whose mailboxes live in this process
+	trans  Transport // carries traffic for non-hosted ranks (nil = full world)
 
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
+
+	// abortCause, when set by AbortWith, explains why the world died
+	// (e.g. a dist link failure); readers use AbortCause.
+	abortCause atomic.Value // abortReason
 
 	// observer, when non-nil, is called on every Send with the payload's
 	// wire size (0 for non-Sizer payloads) — the hook the observability
@@ -83,12 +106,27 @@ type World struct {
 	barGen   int
 }
 
-// NewWorld creates a world of n ranks.
+// NewWorld creates a world of n ranks, all hosted in-process.
 func NewWorld(n int) *World {
+	return NewPartialWorld(n, Group{First: 0, N: n}, nil)
+}
+
+// NewPartialWorld creates a world of n ranks of which only the hosted
+// interval lives in this process; messages to every other rank are routed
+// through t, and inbound traffic is injected with Deliver. The same
+// (n, Layout) must be used by every participating process so the rank
+// spaces agree. t may be nil only when hosted covers the whole world.
+func NewPartialWorld(n int, hosted Group, t Transport) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("mp: world size %d", n))
 	}
-	w := &World{boxes: make([]*mailbox, n), done: make(chan struct{})}
+	if hosted.First < 0 || hosted.N <= 0 || hosted.First+hosted.N > n {
+		panic(fmt.Sprintf("mp: hosted ranks [%d,%d) outside world of %d", hosted.First, hosted.First+hosted.N, n))
+	}
+	if t == nil && hosted.N != n {
+		panic("mp: partial world needs a transport")
+	}
+	w := &World{boxes: make([]*mailbox, n), hosted: hosted, trans: t, done: make(chan struct{})}
 	for i := range w.boxes {
 		b := &mailbox{}
 		b.cond = sync.NewCond(&b.mu)
@@ -98,12 +136,31 @@ func NewWorld(n int) *World {
 	return w
 }
 
-// Abort tears the world down: every rank blocked in Recv, Request.Wait or
-// Barrier — and every such call made afterwards — panics with ErrAborted,
-// and subsequent Sends are dropped. Safe to call from any goroutine and
-// idempotent.
-func (w *World) Abort() {
+// Hosted returns the rank interval whose mailboxes live in this process.
+func (w *World) Hosted() Group { return w.hosted }
+
+// Hosts reports whether the rank's mailbox lives in this process.
+func (w *World) Hosts(rank int) bool { return w.hosted.Contains(rank) }
+
+// abortReason wraps the cause error for the atomic.Value (which needs a
+// single consistent concrete type).
+type abortReason struct{ err error }
+
+// Abort tears the world down: every rank blocked in Recv, TryRecv,
+// Request.Wait or Barrier — and every such call made afterwards — panics
+// with ErrAborted, and subsequent Sends are dropped. Safe to call from
+// any goroutine and idempotent.
+func (w *World) Abort() { w.AbortWith(nil) }
+
+// AbortWith aborts the world recording why — the path a transport takes
+// when a link to a peer process dies, so the supervising layer can
+// surface a typed connection-loss error instead of a bare closed-stream
+// one. Only the first cause wins; a plain Abort records none.
+func (w *World) AbortWith(cause error) {
 	w.abortOnce.Do(func() {
+		if cause != nil {
+			w.abortCause.Store(abortReason{cause})
+		}
 		w.aborted.Store(true)
 		close(w.done)
 		for _, b := range w.boxes {
@@ -115,6 +172,15 @@ func (w *World) Abort() {
 		w.barCond.Broadcast()
 		w.barMu.Unlock()
 	})
+}
+
+// AbortCause returns the error recorded by AbortWith, nil for a live
+// world or a plain Abort.
+func (w *World) AbortCause() error {
+	if r, ok := w.abortCause.Load().(abortReason); ok {
+		return r.err
+	}
+	return nil
 }
 
 // Aborted reports whether Abort has been called.
@@ -190,8 +256,12 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.Size() }
 
-// Send delivers data to dst's mailbox asynchronously (never blocks). On an
-// aborted world the message is dropped.
+// Send delivers data to dst's mailbox asynchronously. On an aborted world
+// the message is dropped. Sends to locally hosted ranks never block; a
+// send routed to another process may block briefly on the transport's
+// flow control, and a transport failure aborts the world with the typed
+// link error as its cause (the message-passing analogue of a fatal
+// interconnect fault).
 func (c *Comm) Send(dst, tag int, data any) {
 	if c.w.aborted.Load() {
 		return
@@ -202,21 +272,51 @@ func (c *Comm) Send(dst, tag int, data any) {
 			return
 		}
 	}
-	box := c.w.boxes[dst]
-	box.mu.Lock()
-	box.seq++
-	box.queue = append(box.queue, message{src: c.rank, tag: tag, data: data, seq: box.seq})
-	box.mu.Unlock()
-	box.cond.Broadcast()
-	c.w.msgsSent.Add(1)
+	if !c.w.Hosts(dst) {
+		c.w.account(data)
+		if err := c.w.trans.Send(c.rank, dst, tag, data); err != nil {
+			c.w.AbortWith(err)
+		}
+		return
+	}
+	c.w.boxes[dst].enqueue(c.rank, tag, data)
+	c.w.account(data)
+}
+
+// enqueue appends a message to the mailbox and wakes its waiters.
+func (b *mailbox) enqueue(src, tag int, data any) {
+	b.mu.Lock()
+	b.seq++
+	b.queue = append(b.queue, message{src: src, tag: tag, data: data, seq: b.seq})
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// account applies the send-side byte/message accounting and observer hook.
+func (w *World) account(data any) {
+	w.msgsSent.Add(1)
 	var size int64
 	if s, ok := data.(Sizer); ok {
 		size = s.Bytes()
-		c.w.bytesSent.Add(size)
+		w.bytesSent.Add(size)
 	}
-	if c.w.observer != nil {
-		c.w.observer(size)
+	if w.observer != nil {
+		w.observer(size)
 	}
+}
+
+// Deliver injects a message that arrived from a remote process into dst's
+// local mailbox — the receive half of a Transport. Accounting and hooks
+// ran on the sending process; delivery on an aborted world is dropped,
+// mirroring Send.
+func (w *World) Deliver(src, dst, tag int, data any) {
+	if !w.Hosts(dst) {
+		panic(fmt.Sprintf("mp: deliver to rank %d not hosted in [%d,%d)", dst, w.hosted.First, w.hosted.First+w.hosted.N))
+	}
+	if w.aborted.Load() {
+		return
+	}
+	w.boxes[dst].enqueue(src, tag, data)
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
@@ -225,6 +325,9 @@ func (c *Comm) Send(dst, tag int, data any) {
 func (c *Comm) Recv(src, tag int) any {
 	if h := c.w.recvHook; h != nil {
 		h(c.rank, src, tag)
+	}
+	if !c.w.Hosts(c.rank) {
+		panic(fmt.Sprintf("mp: Recv on rank %d not hosted here", c.rank))
 	}
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
@@ -251,11 +354,20 @@ func (c *Comm) Recv(src, tag int) any {
 }
 
 // TryRecv returns a matching message if one is already queued, without
-// blocking. ok is false when nothing matches.
+// blocking. ok is false when nothing matches. Like Recv, TryRecv panics
+// with ErrAborted on an aborted world — local mailboxes and remote links
+// honor identical abort semantics, so polling loops unwind the same way
+// blocking ones do.
 func (c *Comm) TryRecv(src, tag int) (data any, ok bool) {
+	if !c.w.Hosts(c.rank) {
+		panic(fmt.Sprintf("mp: TryRecv on rank %d not hosted here", c.rank))
+	}
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
+	if c.w.aborted.Load() {
+		panic(ErrAborted)
+	}
 	best := -1
 	for i, m := range box.queue {
 		if (src == AnySource || m.src == src) && m.tag == tag {
@@ -333,8 +445,11 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	return r
 }
 
-// Barrier blocks until every rank of the world has entered it. Barrier
-// panics with ErrAborted when the world is aborted.
+// Barrier blocks until every rank of the world has entered it. In a
+// partial world the last locally hosted arriver additionally runs the
+// transport's cross-process barrier before anyone is released, so the
+// semantics match the single-process case. Barrier panics with ErrAborted
+// when the world is aborted.
 func (w *World) Barrier() {
 	w.barMu.Lock()
 	if w.aborted.Load() {
@@ -343,7 +458,20 @@ func (w *World) Barrier() {
 	}
 	gen := w.barGen
 	w.barCount++
-	if w.barCount == len(w.boxes) {
+	if w.barCount == w.hosted.N {
+		if w.trans != nil {
+			// Cross-process phase, run unlocked so Deliver and Abort stay
+			// live. No local rank can re-enter this generation: none has
+			// been released yet.
+			w.barMu.Unlock()
+			err := w.trans.Barrier()
+			w.barMu.Lock()
+			if err != nil || w.aborted.Load() {
+				w.barMu.Unlock()
+				w.AbortWith(err)
+				panic(ErrAborted)
+			}
+		}
 		w.barCount = 0
 		w.barGen++
 		w.barMu.Unlock()

@@ -61,6 +61,7 @@ type StreamConfig struct {
 type Stream struct {
 	world      *mp.World
 	sup        *supervisor
+	driver     bool // this process hosts the feeder + collector
 	cpiTimeout time.Duration
 	in         chan streamInput
 	out        chan []stap.Detection
@@ -79,9 +80,30 @@ type streamInput struct {
 	reset bool
 }
 
+// Hosting selects which pieces of the pipeline world one process runs —
+// the seam that lets a single logical replica span OS processes
+// (internal/dist). World is a pre-built (typically partial) world sized
+// Assign.Total()+1 whose non-hosted ranks route through a transport;
+// Driver enables the feeder and collector (the driver rank must be hosted
+// locally then); Tasks selects which task groups' workers to spawn (nil
+// spawns none). The zero Hosting means a private full world running
+// everything — what NewStream uses.
+type Hosting struct {
+	World  *mp.World
+	Driver bool
+	Tasks  func(task int) bool
+}
+
 // NewStream validates the configuration, starts the worker goroutines and
 // returns the warm instance.
 func NewStream(cfg StreamConfig) (*Stream, error) {
+	return NewHostedStream(cfg, Hosting{Driver: true, Tasks: func(int) bool { return true }})
+}
+
+// NewHostedStream is NewStream for one process of a distributed replica:
+// it spawns only the selected pieces against the given world. Worker code
+// is identical in every hosting arrangement — the mp seam is what moves.
+func NewHostedStream(cfg StreamConfig, h Hosting) (*Stream, error) {
 	if cfg.Scene == nil {
 		return nil, fmt.Errorf("pipeline: nil scene")
 	}
@@ -93,7 +115,19 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	}
 	p := cfg.Scene.Params
 	topo := newTopology(p, cfg.Assign)
-	world := mp.NewWorld(cfg.Assign.Total() + 1)
+	world := h.World
+	if world == nil {
+		world = mp.NewWorld(cfg.Assign.Total() + 1)
+	} else if world.Size() != cfg.Assign.Total()+1 {
+		return nil, fmt.Errorf("pipeline: hosted world size %d, want %d", world.Size(), cfg.Assign.Total()+1)
+	}
+	hostTask := h.Tasks
+	if hostTask == nil {
+		hostTask = func(int) bool { return false }
+	}
+	if h.Driver && !world.Hosts(topo.driver) {
+		return nil, fmt.Errorf("pipeline: driver rank %d not hosted", topo.driver)
+	}
 	beamAz := cfg.Scene.BeamAzimuths()
 	gain := make([]float64, p.K)
 	for r := range gain {
@@ -117,6 +151,7 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	s := &Stream{
 		world:      world,
 		sup:        sup,
+		driver:     h.Driver,
 		cpiTimeout: cfg.CPITimeout,
 		in:         make(chan streamInput),
 		out:        make(chan []stap.Detection, window),
@@ -127,42 +162,50 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		credits <- struct{}{}
 	}
 
-	// Feeder: slices each submitted CPI across the Doppler workers' range
-	// blocks; a closed quit channel becomes the EOF message that drains
-	// the task chain. The input channel itself is never closed, so a
-	// submitter racing Close can never send on a closed channel.
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		feeder := world.Comm(topo.driver)
-		cpi := 0
-		for {
-			select {
-			case item := <-s.in:
+	// Feeder (driver only): slices each submitted CPI across the Doppler
+	// workers' range blocks; a closed quit channel becomes the EOF message
+	// that drains the task chain. The input channel itself is never
+	// closed, so a submitter racing Close can never send on a closed
+	// channel.
+	if h.Driver {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			feeder := world.Comm(topo.driver)
+			cpi := 0
+			for {
 				select {
-				case <-credits:
+				case item := <-s.in:
+					select {
+					case <-credits:
+					case <-world.Done():
+						return
+					}
+					for w, blk := range topo.kBlocks {
+						feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
+							rawMsg{slab: item.raw.SliceAxis0(blk), ctl: ctl{Reset: item.reset}})
+					}
+					cpi++
+				case <-s.quit:
+					for w := range topo.kBlocks {
+						feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{ctl: ctl{EOF: true}})
+					}
+					return
 				case <-world.Done():
 					return
 				}
-				for w, blk := range topo.kBlocks {
-					feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
-						rawMsg{slab: item.raw.SliceAxis0(blk), ctl: ctl{Reset: item.reset}})
-				}
-				cpi++
-			case <-s.quit:
-				for w := range topo.kBlocks {
-					feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi), rawMsg{ctl: ctl{EOF: true}})
-				}
-				return
-			case <-world.Done():
-				return
 			}
-		}
-	}()
+		}()
+	}
 
 	// Workers run supervised (see superviseWorker): a panic is recorded
 	// and aborts this instance's world instead of crashing the process.
+	// Only locally hosted task groups spawn; the rest of the world's
+	// ranks run in peer processes.
 	spawn := func(task int, run func(w int)) {
+		if !hostTask(task) {
+			return
+		}
 		for w := 0; w < cfg.Assign[task]; w++ {
 			s.wg.Add(1)
 			go func(w int) {
@@ -193,8 +236,11 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 		cfarWorker(world, topo, wcfg, w, nil, nil)
 	})
 
-	// Collector: merges per-CFAR-worker reports into per-CPI detection
-	// lists, in submission order.
+	// Collector (driver only): merges per-CFAR-worker reports into per-CPI
+	// detection lists, in submission order.
+	if !h.Driver {
+		return s, nil
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -241,6 +287,9 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
 	if len(cpis) == 0 {
 		return nil, fmt.Errorf("pipeline: empty job")
+	}
+	if !s.driver {
+		return nil, fmt.Errorf("pipeline: ProcessJob on a non-driver hosted stream")
 	}
 	select {
 	case <-s.quit:
@@ -299,10 +348,15 @@ func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
 }
 
 // deathErr explains why the stream died: the first recorded worker fault
-// when supervision caught one, otherwise a plain closed-stream error.
+// when supervision caught one, then whatever cause aborted the world (a
+// transport LinkError in a distributed replica), otherwise a plain
+// closed-stream error.
 func (s *Stream) deathErr() error {
 	if f, ok := s.sup.first(); ok {
 		return &FaultError{Fault: f}
+	}
+	if err := s.world.AbortCause(); err != nil {
+		return err
 	}
 	return ErrStreamClosed
 }

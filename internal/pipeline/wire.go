@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/stap"
+)
+
+// Gob codecs for the inter-task message payloads, so a distributed
+// transport (internal/dist) can ship them between processes exactly as
+// the in-process mailboxes pass them by reference. The message types keep
+// their unexported fields — workers are oblivious to the wire — and each
+// implements GobEncoder/GobDecoder through an exported shadow struct.
+// Encoded and re-decoded payloads are structurally identical to the
+// originals, which is what keeps a split pipeline bit-exact: the cubes
+// and matrices carry float64 values that gob round-trips losslessly.
+
+// RegisterWire registers every inter-task payload type with gob so the
+// types can travel inside a transport frame's `any` payload slot. Every
+// process of a distributed world must call it (internal/dist does, from
+// its init) before encoding or decoding pipeline traffic.
+func RegisterWire() { registerWireOnce.Do(registerWire) }
+
+var registerWireOnce sync.Once
+
+func registerWire() {
+	gob.Register(rawMsg{})
+	gob.Register(easyTrainMsg{})
+	gob.Register(hardTrainMsg{})
+	gob.Register(bfDataMsg{})
+	gob.Register(easyWeightsMsg{})
+	gob.Register(hardWeightsMsg{})
+	gob.Register(beamMsg{})
+	gob.Register(powerMsg{})
+	gob.Register(detMsg{})
+}
+
+// enc gob-encodes a shadow value to bytes.
+func enc(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// dec gob-decodes bytes into a shadow pointer.
+func dec(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+type rawMsgWire struct {
+	Slab *cube.Cube
+	Ctl  ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m rawMsg) GobEncode() ([]byte, error) { return enc(rawMsgWire{m.slab, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *rawMsg) GobDecode(b []byte) error {
+	var w rawMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.slab, m.ctl = w.Slab, w.Ctl
+	return nil
+}
+
+type easyTrainMsgWire struct {
+	Rows []*linalg.Matrix
+	Ctl  ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m easyTrainMsg) GobEncode() ([]byte, error) { return enc(easyTrainMsgWire{m.rows, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *easyTrainMsg) GobDecode(b []byte) error {
+	var w easyTrainMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.rows, m.ctl = w.Rows, w.Ctl
+	return nil
+}
+
+type hardTrainMsgWire struct {
+	Rows [][]*linalg.Matrix
+	Ctl  ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m hardTrainMsg) GobEncode() ([]byte, error) { return enc(hardTrainMsgWire{m.rows, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *hardTrainMsg) GobDecode(b []byte) error {
+	var w hardTrainMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.rows, m.ctl = w.Rows, w.Ctl
+	return nil
+}
+
+type bfDataMsgWire struct {
+	Piece *cube.Cube
+	Ctl   ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m bfDataMsg) GobEncode() ([]byte, error) { return enc(bfDataMsgWire{m.piece, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *bfDataMsg) GobDecode(b []byte) error {
+	var w bfDataMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.piece, m.ctl = w.Piece, w.Ctl
+	return nil
+}
+
+type easyWeightsMsgWire struct{ Ws []*linalg.Matrix }
+
+// GobEncode implements gob.GobEncoder.
+func (m easyWeightsMsg) GobEncode() ([]byte, error) { return enc(easyWeightsMsgWire{m.ws}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *easyWeightsMsg) GobDecode(b []byte) error {
+	var w easyWeightsMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.ws = w.Ws
+	return nil
+}
+
+type hardWeightsMsgWire struct{ Ws [][]*linalg.Matrix }
+
+// GobEncode implements gob.GobEncoder.
+func (m hardWeightsMsg) GobEncode() ([]byte, error) { return enc(hardWeightsMsgWire{m.ws}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *hardWeightsMsg) GobDecode(b []byte) error {
+	var w hardWeightsMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.ws = w.Ws
+	return nil
+}
+
+type beamMsgWire struct {
+	Slab       *cube.Cube
+	GlobalBins []int
+	Ctl        ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m beamMsg) GobEncode() ([]byte, error) { return enc(beamMsgWire{m.slab, m.globalBins, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *beamMsg) GobDecode(b []byte) error {
+	var w beamMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.slab, m.globalBins, m.ctl = w.Slab, w.GlobalBins, w.Ctl
+	return nil
+}
+
+type powerMsgWire struct {
+	Slab *cube.RealCube
+	Blk  cube.Block
+	Ctl  ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m powerMsg) GobEncode() ([]byte, error) { return enc(powerMsgWire{m.slab, m.blk, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *powerMsg) GobDecode(b []byte) error {
+	var w powerMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.slab, m.blk, m.ctl = w.Slab, w.Blk, w.Ctl
+	return nil
+}
+
+type detMsgWire struct {
+	Dets []stap.Detection
+	Ctl  ctl
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m detMsg) GobEncode() ([]byte, error) { return enc(detMsgWire{m.dets, m.ctl}) }
+
+// GobDecode implements gob.GobDecoder.
+func (m *detMsg) GobDecode(b []byte) error {
+	var w detMsgWire
+	if err := dec(b, &w); err != nil {
+		return err
+	}
+	m.dets, m.ctl = w.Dets, w.Ctl
+	return nil
+}

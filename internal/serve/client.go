@@ -7,9 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pstap/internal/cpifile"
 	"pstap/internal/cube"
 	"pstap/internal/stap"
+	"pstap/internal/wire"
 )
 
 // Client is a stapd connection. It is safe for concurrent use: requests
@@ -52,7 +52,7 @@ func NewClient(conn net.Conn) *Client {
 func (c *Client) readLoop() {
 	for {
 		resp := &Response{}
-		if err := cpifile.ReadFrame(c.conn, resp); err != nil {
+		if err := wire.ReadFrame(c.conn, resp); err != nil {
 			c.mu.Lock()
 			c.readErr = fmt.Errorf("serve: connection lost: %w", err)
 			close(c.readDone)
@@ -84,7 +84,7 @@ func (c *Client) Do(req *Request) (*Response, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := cpifile.WriteFrame(c.conn, req)
+	err := wire.WriteFrame(c.conn, req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pstap/internal/dist"
 	"pstap/internal/obs"
 )
 
@@ -32,7 +33,10 @@ type Metrics struct {
 	replicaRestarts atomic.Int64
 
 	queueDepth func() int
-	start      time.Time
+	// links, when set, resolves a replica slot's per-link transfer
+	// counters (non-nil only for live distributed slots).
+	links func(i int) []dist.LinkStats
+	start time.Time
 
 	mu     sync.Mutex
 	lat    []time.Duration // ring buffer
@@ -107,6 +111,10 @@ type ReplicaSnapshot struct {
 	Restarts int64 `json:"restarts"`
 	// Health is "live", "restarting" or "dead".
 	Health string `json:"health"`
+	// Links holds a distributed slot's per-node link counters (message
+	// and byte totals each way plus the heartbeat round-trip EWMA);
+	// empty for in-process replicas.
+	Links []dist.LinkStats `json:"links,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of the metrics — the
@@ -160,12 +168,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LatencyP50Ms = quantileMs(window, 0.50)
 	s.LatencyP95Ms = quantileMs(window, 0.95)
 	s.LatencyP99Ms = quantileMs(window, 0.99)
-	for _, r := range m.replicas {
+	for i, r := range m.replicas {
 		h := r.health.Load()
 		rs := ReplicaSnapshot{
 			Jobs:     r.jobs.Load(),
 			Restarts: r.restarts.Load(),
 			Health:   healthName(h),
+		}
+		if m.links != nil {
+			rs.Links = m.links(i)
 		}
 		if up > 0 {
 			rs.Utilization = float64(r.busyNs.Load()) / float64(up.Nanoseconds())

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"pstap/internal/dist"
 	"pstap/internal/obs"
 )
 
@@ -76,6 +77,32 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	for i, r := range snap.Replicas {
 		p.Sample("stapd_replica_restarts", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, float64(r.Restarts))
 	}
+
+	// Per-link transport counters of the distributed replica slots (one
+	// series per coordinator↔node link; absent without distributed slots).
+	linkLabels := func(i int, l dist.LinkStats) []obs.Label {
+		return []obs.Label{
+			{Name: "replica", Value: strconv.Itoa(i)},
+			{Name: "member", Value: strconv.Itoa(l.Member)},
+		}
+	}
+	eachLink := func(name string, v func(dist.LinkStats) float64) {
+		for i, r := range snap.Replicas {
+			for _, l := range r.Links {
+				p.Sample(name, linkLabels(i, l), v(l))
+			}
+		}
+	}
+	p.Head("stapd_link_messages_sent_total", "counter", "Data frames sent per distributed replica link.")
+	eachLink("stapd_link_messages_sent_total", func(l dist.LinkStats) float64 { return float64(l.MsgsSent) })
+	p.Head("stapd_link_messages_received_total", "counter", "Data frames received per distributed replica link.")
+	eachLink("stapd_link_messages_received_total", func(l dist.LinkStats) float64 { return float64(l.MsgsRecv) })
+	p.Head("stapd_link_bytes_sent_total", "counter", "Bytes written per distributed replica link.")
+	eachLink("stapd_link_bytes_sent_total", func(l dist.LinkStats) float64 { return float64(l.BytesSent) })
+	p.Head("stapd_link_bytes_received_total", "counter", "Bytes read per distributed replica link.")
+	eachLink("stapd_link_bytes_received_total", func(l dist.LinkStats) float64 { return float64(l.BytesRecv) })
+	p.Head("stapd_link_rtt_seconds", "gauge", "Heartbeat round-trip EWMA per distributed replica link.")
+	eachLink("stapd_link_rtt_seconds", func(l dist.LinkStats) float64 { return float64(l.RTTNs) / float64(time.Second) })
 
 	obs.WriteProm(w, s.Collectors())
 }

@@ -1,6 +1,6 @@
 // Package serve turns the parallel pipelined STAP system into a network
 // service: stapd (cmd/stapd) listens on TCP, accepts CPI-cube jobs over a
-// length-prefixed gob protocol (internal/cpifile frames), queues them in a
+// length-prefixed gob protocol (internal/wire frames), queues them in a
 // bounded admission queue with explicit backpressure, and processes them
 // on a pool of persistent pipeline replicas (pipeline.Stream) — the
 // serving-layer realization of the replicated-pipelines extension the
@@ -22,7 +22,7 @@ import (
 // with one Response frame per request, matched by ID. Responses may
 // arrive out of submission order (jobs run on different replicas), so a
 // client must demultiplex by ID. Frames are encoded by
-// cpifile.WriteFrame/ReadFrame; each frame is a self-contained gob
+// wire.WriteFrame/ReadFrame (internal/wire); each frame is a self-contained gob
 // stream, hardened against truncation and corrupt length prefixes.
 
 // Request is one client frame: a job holding an independent CPI sequence.

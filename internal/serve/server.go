@@ -11,14 +11,15 @@ import (
 	"sync/atomic"
 	"time"
 
-	"pstap/internal/cpifile"
 	"pstap/internal/cube"
+	"pstap/internal/dist"
 	"pstap/internal/fault"
 	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
 	"pstap/internal/trace"
+	"pstap/internal/wire"
 )
 
 // Config describes a stapd server.
@@ -29,11 +30,19 @@ type Config struct {
 	Scene *radar.Scene
 	// Assign is the per-task worker count of each pipeline replica.
 	Assign pipeline.Assignment
-	// Replicas is the number of warm pipeline instances (default 1).
-	// Throughput scales with the replica count while per-job latency
-	// stays at one pipeline's latency — the paper's replicated-pipelines
-	// extension as a serving knob.
+	// Replicas is the number of warm in-process pipeline instances
+	// (default 1 when DistClusters is empty). Throughput scales with the
+	// replica count while per-job latency stays at one pipeline's latency
+	// — the paper's replicated-pipelines extension as a serving knob.
 	Replicas int
+	// DistClusters adds one distributed replica slot per entry: a
+	// pipeline whose workers run on remote stapnode agents (see
+	// internal/dist), pooled beside the in-process replicas. Scene,
+	// Assign, Window, Threads, CPITimeout and Logf are filled in from
+	// this Config; the cluster config supplies nodes, placement and
+	// secret. A lost cluster replica recycles through the same restart
+	// budget and backoff as a faulted local one — Connect is the restart.
+	DistClusters []dist.ClusterConfig
 	// QueueDepth bounds the admission queue (default 2 per replica).
 	// When the queue is full, jobs are rejected with StatusBusy and a
 	// retry-after hint instead of buffering without bound.
@@ -83,15 +92,29 @@ type job struct {
 	done chan *Response // buffered; the replica's reply
 }
 
-// replicaSlot is one position in the replica pool. The stream and
-// collector it holds are replaced when the replica is recycled after a
+// Replica is what a pool slot serves jobs on: an in-process
+// *pipeline.Stream or a *dist.Replica spanning remote stapnodes — the
+// pool treats both identically.
+type Replica interface {
+	ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error)
+	Faults() []pipeline.WorkerFault
+	CPIsProcessed() int64
+	Close()
+	Abort()
+}
+
+// replicaSlot is one position in the replica pool. The replica and
+// collector it holds are replaced when the slot is recycled after a
 // fault, so readers must go through the mutex (the slot identity — its
-// index, stats and restart schedule — is stable).
+// index, cluster binding, stats and restart schedule — is stable).
 type replicaSlot struct {
 	idx int
+	// cluster, when non-nil, makes this a distributed slot: recycling
+	// re-Connects the cluster instead of building a local stream.
+	cluster *dist.ClusterConfig
 
 	mu  sync.Mutex
-	st  *pipeline.Stream
+	st  Replica
 	col *obs.Collector
 
 	// nextAttempt is the unix-nano time of the slot's next restart
@@ -100,11 +123,22 @@ type replicaSlot struct {
 	nextAttempt atomic.Int64
 }
 
-// stream returns the slot's current pipeline instance.
-func (sl *replicaSlot) stream() *pipeline.Stream {
+// stream returns the slot's current replica instance.
+func (sl *replicaSlot) stream() Replica {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	return sl.st
+}
+
+// linkStats returns the slot's per-link transfer counters when it is a
+// live distributed replica, nil otherwise.
+func (sl *replicaSlot) linkStats() []dist.LinkStats {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if r, ok := sl.st.(*dist.Replica); ok {
+		return r.LinkStats()
+	}
+	return nil
 }
 
 // collector returns the slot's current telemetry collector.
@@ -162,11 +196,15 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Assign.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Replicas <= 0 {
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	}
+	if cfg.Replicas == 0 && len(cfg.DistClusters) == 0 {
 		cfg.Replicas = 1
 	}
+	total := cfg.Replicas + len(cfg.DistClusters)
 	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 2 * cfg.Replicas
+		cfg.QueueDepth = 2 * total
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 100 * time.Millisecond
@@ -187,19 +225,25 @@ func New(cfg Config) (*Server, error) {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
-	s.metrics = newMetrics(cfg.Replicas, func() int { return len(s.queue) })
-	for i := 0; i < cfg.Replicas; i++ {
-		st, col, err := s.newReplica()
+	s.metrics = newMetrics(total, func() int { return len(s.queue) })
+	s.metrics.links = func(i int) []dist.LinkStats { return s.slots[i].linkStats() }
+	for i := 0; i < total; i++ {
+		slot := &replicaSlot{idx: i}
+		if i >= cfg.Replicas {
+			slot.cluster = &cfg.DistClusters[i-cfg.Replicas]
+		}
+		st, col, err := s.newSlotReplica(slot)
 		if err != nil {
 			for _, prev := range s.slots {
 				prev.stream().Abort()
 			}
 			return nil, err
 		}
-		s.slots = append(s.slots, &replicaSlot{idx: i, st: st, col: col})
+		slot.st, slot.col = st, col
+		s.slots = append(s.slots, slot)
 	}
-	s.live.Store(int32(cfg.Replicas))
-	for i := 0; i < cfg.Replicas; i++ {
+	s.live.Store(int32(total))
+	for i := 0; i < total; i++ {
 		s.replWG.Add(1)
 		go s.replicaLoop(s.slots[i])
 	}
@@ -207,10 +251,43 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// newSlotReplica builds the slot's replica: a local warm pipeline for
+// in-process slots, a freshly Connected cluster session for distributed
+// ones. Both paths return a new telemetry collector.
+func (s *Server) newSlotReplica(slot *replicaSlot) (Replica, *obs.Collector, error) {
+	if slot.cluster != nil {
+		return s.newDistReplica(slot.cluster)
+	}
+	return s.newReplica()
+}
+
+// newDistReplica connects one distributed replica across the cluster's
+// stapnodes, filling the pipeline parameters in from the server config.
+func (s *Server) newDistReplica(cluster *dist.ClusterConfig) (Replica, *obs.Collector, error) {
+	ocfg := pipeline.DefaultObsConfig(s.cfg.Assign)
+	ocfg.Window = s.cfg.ObsWindow
+	ocfg.SlowMultiple = s.cfg.SlowMultiple
+	ocfg.SlowLogf = s.cfg.Logf
+	col := obs.New(ocfg)
+	cc := *cluster
+	cc.Scene = s.cfg.Scene
+	cc.Assign = s.cfg.Assign
+	cc.Window = s.cfg.Window
+	cc.Threads = s.cfg.Threads
+	cc.CPITimeout = s.cfg.CPITimeout
+	cc.Obs = col
+	cc.Logf = s.cfg.Logf
+	rep, err := cc.Connect()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, col, nil
+}
+
 // newReplica builds one warm pipeline instance with its telemetry
 // collector and, when the server has a fault plan, a fresh injector
 // sharing the plan's fire-once state.
-func (s *Server) newReplica() (*pipeline.Stream, *obs.Collector, error) {
+func (s *Server) newReplica() (Replica, *obs.Collector, error) {
 	ocfg := pipeline.DefaultObsConfig(s.cfg.Assign)
 	ocfg.Window = s.cfg.ObsWindow
 	ocfg.SlowMultiple = s.cfg.SlowMultiple
@@ -277,7 +354,8 @@ func (s *Server) Serve(ln net.Listener) {
 			go s.handleConn(conn)
 		}
 	}()
-	s.cfg.Logf("stapd: listening on %v (%d replicas, queue %d)", ln.Addr(), s.cfg.Replicas, s.cfg.QueueDepth)
+	s.cfg.Logf("stapd: listening on %v (%d replicas, %d distributed, queue %d)",
+		ln.Addr(), s.cfg.Replicas, len(s.cfg.DistClusters), s.cfg.QueueDepth)
 }
 
 // Addr returns the listener address (nil before Serve).
@@ -304,14 +382,14 @@ func (s *Server) handleConn(conn net.Conn) {
 			if broken {
 				continue // keep draining so job forwarders never block
 			}
-			if err := cpifile.WriteFrame(conn, r); err != nil {
+			if err := wire.WriteFrame(conn, r); err != nil {
 				broken = true
 			}
 		}
 	}()
 	for {
 		var req Request
-		if err := cpifile.ReadFrame(conn, &req); err != nil {
+		if err := wire.ReadFrame(conn, &req); err != nil {
 			break // clean EOF, shutdown deadline, or corrupt frame
 		}
 		if resp := s.admit(&req, replies, &inflight); resp != nil {
@@ -350,7 +428,7 @@ func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.Wa
 		}
 		return &Response{ID: req.ID, Status: StatusError, Err: "serve: no live replicas"}
 	}
-	depth := s.cfg.QueueDepth * live / s.cfg.Replicas
+	depth := s.cfg.QueueDepth * live / len(s.slots)
 	if depth < 1 {
 		depth = 1
 	}
@@ -466,10 +544,15 @@ func (s *Server) replicaLoop(slot *replicaSlot) {
 // replica that produced it is unusable and must be recycled.
 func (s *Server) classify(err error) (Status, bool) {
 	var fe *pipeline.FaultError
+	var rle *dist.ReplicaLostError
 	switch {
 	case errors.Is(err, pipeline.ErrCPITimeout):
 		return StatusTimeout, true
 	case errors.As(err, &fe):
+		return StatusReplicaLost, true
+	case errors.As(err, &rle):
+		// A distributed replica lost a node or link; the session is gone
+		// and recycling re-Connects the cluster.
 		return StatusReplicaLost, true
 	case errors.Is(err, pipeline.ErrStreamClosed):
 		if !s.admitting.Load() {
@@ -514,7 +597,7 @@ func (s *Server) recycle(slot *replicaSlot) bool {
 			stats.health.Store(replicaDead)
 			return false
 		}
-		st, col, err := s.newReplica()
+		st, col, err := s.newSlotReplica(slot)
 		stats.restarts.Add(1)
 		s.metrics.replicaRestarts.Add(1)
 		if err != nil {

@@ -1,0 +1,84 @@
+// Package wire is the repository's single length-prefixed gob frame
+// codec. One frame is an 8-byte big-endian payload length followed by a
+// self-contained gob stream, so frames can be decoded independently and a
+// receiver can resynchronize at every frame boundary. Three planes share
+// it: the cpifile recording format (internal/cpifile), the stapd job
+// protocol (internal/serve), and the distributed pipeline links
+// (internal/dist).
+//
+// All decoding paths are hardened against corrupt or truncated input:
+// they return descriptive errors, never panic, and refuse frames whose
+// declared length exceeds MaxFrameBytes (a corrupt prefix must not drive
+// an allocation).
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds one frame's payload (1 GiB). A length prefix above
+// it is treated as corruption instead of a request to allocate.
+const MaxFrameBytes = 1 << 30
+
+// Guard converts a decoding panic (gob on adversarial bytes) into an
+// error, so no corrupt input can crash a caller. Use it as
+//
+//	defer wire.Guard(&err, "decode thing")
+//
+// around any gob decode of untrusted bytes.
+func Guard(err *error, what string) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("wire: %s: malformed input: %v", what, r)
+	}
+}
+
+// WriteFrame gob-encodes v and writes it to w as a single length-prefixed
+// frame, in one Write call so concurrent writers interleave only at frame
+// boundaries when the callers serialize above this layer.
+func WriteFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 8)) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("wire: encode frame: %w", err)
+	}
+	n := buf.Len() - 8
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	binary.BigEndian.PutUint64(buf.Bytes()[:8], uint64(n))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r and gob-decodes it into
+// v (a pointer). It returns io.EOF — and only io.EOF — when the stream
+// ends cleanly at a frame boundary; any mid-frame truncation or corrupt
+// content yields a descriptive error and never a panic.
+func ReadFrame(r io.Reader, v any) (err error) {
+	defer Guard(&err, "decode frame")
+	var hdr [8]byte
+	if _, herr := io.ReadFull(r, hdr[:]); herr != nil {
+		if herr == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("wire: read frame header: %w", herr)
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt header?)", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, perr := io.ReadFull(r, payload); perr != nil {
+		return fmt.Errorf("wire: frame truncated (want %d bytes): %w", n, perr)
+	}
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); derr != nil {
+		return fmt.Errorf("wire: decode frame: %w", derr)
+	}
+	return nil
+}
