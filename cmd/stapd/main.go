@@ -7,8 +7,11 @@
 //
 // The metrics HTTP listener exposes the full observability surface:
 // /metrics (JSON snapshot), /metrics.prom (Prometheus text exposition with
-// the live paper eq. 1-3 gauges), /trace.json (Perfetto-loadable Chrome
-// trace of the replicas' recent spans) and /debug/pprof (Go profiles).
+// the live paper eq. 1-3 gauges plus federated stapd_node_* series and
+// cluster-merged stapd_cluster_* gauges when distributed), /trace.json
+// (Perfetto-loadable Chrome trace of the replicas' recent spans),
+// /cluster/trace.json (the clock-corrected merged cross-node trace) and
+// /debug/pprof (Go profiles).
 //
 // Usage:
 //
@@ -70,6 +73,7 @@ var (
 	flagFaultSeed  = flag.Int64("faultseed", 1, "seed for probabilistic fault rules")
 	flagRestarts   = flag.Int("restartbudget", 0, "max automatic restarts per replica slot (0 = default 5)")
 	flagBackoff    = flag.Duration("restartbackoff", 0, "base delay before restarting a dead replica, doubling per restart (0 = default 50ms)")
+	flagFlightDir  = flag.String("flightdir", "", "directory for fault flight records (empty disables)")
 )
 
 func parseNodes(s string) (pipeline.Assignment, error) {
@@ -167,6 +171,7 @@ func main() {
 		FaultSeed:      *flagFaultSeed,
 		RestartBudget:  *flagRestarts,
 		RestartBackoff: *flagBackoff,
+		FlightDir:      *flagFlightDir,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -183,6 +188,7 @@ func main() {
 		mux.Handle("/metrics", srv.Metrics().Handler())
 		mux.Handle("/metrics.prom", srv.PromHandler())
 		mux.Handle("/trace.json", srv.TraceHandler())
+		mux.Handle("/cluster/trace.json", srv.ClusterTraceHandler())
 		// net/http/pprof registers only on http.DefaultServeMux; mount the
 		// same profiles on this mux explicitly.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"pstap/internal/leakcheck"
+	"pstap/internal/obs"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+// TestClusterObsMergedTimeline is the tentpole acceptance test for the
+// cluster observability layer: one replica split across two node
+// processes must yield journals where (a) every CPI's spans share one
+// nonzero trace id across both nodes, (b) cross-node sender→receiver
+// edges stay monotone after the link-estimated clock correction, and
+// (c) the eq. (3) real latency computed over the corrected merged
+// timeline agrees with the wall-anchored reference within 5%.
+func TestClusterObsMergedTimeline(t *testing.T) {
+	leakcheck.Check(t)
+	sc := radar.DefaultScene(radar.Small())
+	nodes, addrs := startNodes(t, 2)
+	cfg := testCluster(t, addrs, sc)
+	col := obs.New(pipeline.DefaultObsConfig(cfg.Assign))
+	cfg.Obs = col
+
+	rep, err := cfg.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	const n = 8
+	if _, err := rep.ProcessJob(makeJob(sc, n)); err != nil {
+		t.Fatal(err)
+	}
+	// Let several heartbeats land so the links carry offset estimates.
+	time.Sleep(500 * time.Millisecond)
+
+	offsets := make(map[int]int64)
+	for _, ls := range rep.LinkStats() {
+		offsets[ls.Member] = ls.OffsetNs
+		// Both "processes" share one machine clock here, so the NTP-style
+		// estimate must be small — bounded by loopback asymmetry, not tens
+		// of milliseconds.
+		if d := time.Duration(ls.OffsetNs); d > 50*time.Millisecond || d < -50*time.Millisecond {
+			t.Errorf("member %d offset estimate %v implausible on one machine", ls.Member, d)
+		}
+	}
+
+	// Merge both node journals onto the coordinator's timeline twice: with
+	// the link-estimated offsets, and wall-anchored (the true correction
+	// here, since every clock is the same machine clock).
+	coordStart := col.Start().UnixNano()
+	shiftBy := func(evs []obs.SpanEvent, shift int64) []obs.SpanEvent {
+		out := make([]obs.SpanEvent, len(evs))
+		for i, ev := range evs {
+			ev.T0 += shift
+			ev.T1 += shift
+			ev.T2 += shift
+			ev.T3 += shift
+			out[i] = ev
+		}
+		return out
+	}
+	var merged, wallMerged []obs.SpanEvent
+	for i, node := range nodes {
+		member := i + 1
+		snap := node.Snapshot()
+		if snap.Member != member || snap.Session != rep.Session() {
+			t.Fatalf("node %d snapshot identity = member %d session %q, want member %d session %q",
+				i, snap.Member, snap.Session, member, rep.Session())
+		}
+		if len(snap.Events) == 0 {
+			t.Fatalf("node %d journaled no spans", member)
+		}
+		merged = append(merged, shiftBy(snap.Events, snap.StartUnixNs-offsets[member]-coordStart)...)
+		wallMerged = append(wallMerged, shiftBy(snap.Events, snap.StartUnixNs-coordStart)...)
+	}
+
+	// (a) Trace lineage spans the node boundary: one nonzero trace per
+	// CPI, distinct across CPIs, seen on both nodes' journals.
+	perCPI := make(map[int]uint64)
+	traces := make(map[uint64]bool)
+	for _, ev := range merged {
+		if ev.Trace == 0 {
+			t.Fatalf("untraced span: %+v", ev)
+		}
+		if prev, ok := perCPI[ev.CPI]; ok && prev != ev.Trace {
+			t.Fatalf("CPI %d spans carry traces %x and %x across nodes", ev.CPI, prev, ev.Trace)
+		}
+		perCPI[ev.CPI] = ev.Trace
+		traces[ev.Trace] = true
+	}
+	if len(perCPI) != n || len(traces) != n {
+		t.Fatalf("%d CPIs carry %d traces, want %d distinct", len(perCPI), len(traces), n)
+	}
+
+	// (b) The Doppler→beamforming edge crosses the node split (tasks 0-2
+	// on node 1, 3-6 on node 2): every BF span's input-ready time must
+	// follow every Doppler send-start of the same CPI on the corrected
+	// timeline, within the clock-estimate error budget.
+	const eps = int64(2 * time.Millisecond)
+	dopSendStart := make(map[int]int64)
+	for _, ev := range merged {
+		if ev.Task == pipeline.TaskDoppler {
+			if cur, ok := dopSendStart[ev.CPI]; !ok || ev.T2 > cur {
+				dopSendStart[ev.CPI] = ev.T2
+			}
+		}
+	}
+	for _, ev := range merged {
+		if ev.Task != pipeline.TaskEasyBF && ev.Task != pipeline.TaskHardBF {
+			continue
+		}
+		if dop, ok := dopSendStart[ev.CPI]; ok && ev.T1+eps < dop {
+			t.Errorf("CPI %d: BF input ready at %v precedes Doppler send start %v on corrected timeline",
+				ev.CPI, time.Duration(ev.T1), time.Duration(dop))
+		}
+	}
+
+	// (c) Eq. (3) over the corrected merged timeline tracks the
+	// wall-anchored reference within 5%.
+	ocfg := pipeline.DefaultObsConfig(cfg.Assign)
+	got := obs.ComputeGauges(ocfg.Tasks, n, ocfg.LatencyPath, merged)
+	want := obs.ComputeGauges(ocfg.Tasks, n, ocfg.LatencyPath, wallMerged)
+	if got.Eq3Samples != n || want.Eq3Samples != n {
+		t.Fatalf("eq3 samples corrected=%d reference=%d, want %d complete CPIs",
+			got.Eq3Samples, want.Eq3Samples, n)
+	}
+	diff := got.Eq3Latency - want.Eq3Latency
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(want.Eq3Latency) {
+		t.Errorf("corrected eq3 latency %v vs wall-anchored %v: off by more than 5%%",
+			got.Eq3Latency, want.Eq3Latency)
+	}
+}
+
+// TestRewriteObsAddr locks the wildcard-host rewrite NodeObs applies to
+// advertised telemetry addresses.
+func TestRewriteObsAddr(t *testing.T) {
+	cases := []struct {
+		obs, dial, want string
+	}{
+		{":7443", "10.0.0.5:7441", "10.0.0.5:7443"},
+		{"0.0.0.0:7443", "10.0.0.5:7441", "10.0.0.5:7443"},
+		{"[::]:7443", "10.0.0.5:7441", "10.0.0.5:7443"},
+		{"192.168.1.2:7443", "10.0.0.5:7441", "192.168.1.2:7443"},
+		{"not-an-addr", "10.0.0.5:7441", "not-an-addr"},
+		{":7443", "", ":7443"},
+	}
+	for _, c := range cases {
+		if got := rewriteObsAddr(c.obs, c.dial); got != c.want {
+			t.Errorf("rewriteObsAddr(%q, %q) = %q, want %q", c.obs, c.dial, got, c.want)
+		}
+	}
+}

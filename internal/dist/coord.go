@@ -101,6 +101,7 @@ func (c *ClusterConfig) defaults() (ClusterConfig, error) {
 type Replica struct {
 	cluster string
 	session string
+	nodes   []string // dial addresses, for rewriting advertised obs addrs
 	st      *pipeline.Stream
 	tr      *Transport
 	world   *mp.World
@@ -178,7 +179,7 @@ func (c *ClusterConfig) Connect() (*Replica, error) {
 	}
 	cfg.Logf("dist: cluster %s session %s live: %d nodes, placement %s",
 		cfg.Name, session, len(cfg.Nodes), cfg.Placement)
-	return &Replica{cluster: cfg.Name, session: session, st: st, tr: tr, world: world}, nil
+	return &Replica{cluster: cfg.Name, session: session, nodes: cfg.Nodes, st: st, tr: tr, world: world}, nil
 }
 
 // Session returns the replica's session identifier.
@@ -217,6 +218,40 @@ func (r *Replica) CPIsProcessed() int64 { return r.st.CPIsProcessed() }
 
 // LinkStats snapshots the coordinator's per-node link counters.
 func (r *Replica) LinkStats() []LinkStats { return r.tr.Stats() }
+
+// NodeObs returns the telemetry HTTP address of every node that
+// advertised one on its ready frame, keyed by member index. Wildcard
+// listen hosts ("", "::", "0.0.0.0") are rewritten to the host the
+// coordinator dialed the node on, so the addresses are fetchable from
+// here.
+func (r *Replica) NodeObs() map[int]string {
+	out := make(map[int]string)
+	for m, addr := range r.tr.ObsAddrs() {
+		dial := ""
+		if m >= 1 && m <= len(r.nodes) {
+			dial = r.nodes[m-1]
+		}
+		out[m] = rewriteObsAddr(addr, dial)
+	}
+	return out
+}
+
+// rewriteObsAddr replaces a wildcard host in an advertised telemetry
+// address with the host the node was dialed on.
+func rewriteObsAddr(obsAddr, dialAddr string) string {
+	host, port, err := net.SplitHostPort(obsAddr)
+	if err != nil {
+		return obsAddr
+	}
+	if host != "" && host != "::" && host != "0.0.0.0" {
+		return obsAddr
+	}
+	dialHost, _, err := net.SplitHostPort(dialAddr)
+	if err != nil || dialHost == "" {
+		return obsAddr
+	}
+	return net.JoinHostPort(dialHost, port)
+}
 
 // Close drains the replica gracefully — in-flight CPIs finish on the
 // nodes, the EOF control message unwinds every remote task group — then

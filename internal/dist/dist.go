@@ -90,4 +90,14 @@ type LinkStats struct {
 	// RTTNs is an EWMA of the heartbeat round-trip in nanoseconds (0
 	// until the first pong).
 	RTTNs int64 `json:"rtt_ns"`
+	// OffsetNs is an EWMA estimate of the peer's clock minus the local
+	// clock in nanoseconds, from the NTP-style ping/pong midpoint (0
+	// until the first stamped pong). The cluster trace merger uses it to
+	// re-anchor node journals onto the coordinator's timeline.
+	OffsetNs int64 `json:"offset_ns"`
+	// Credits is the sender's remaining data-frame tokens and Window the
+	// per-direction total — the flow-control state the flight recorder
+	// dumps to show whether a death was a stall or a wire loss.
+	Credits int `json:"credits"`
+	Window  int `json:"window"`
 }

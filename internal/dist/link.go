@@ -47,6 +47,14 @@ type frame struct {
 	Credits int    // frameCredit
 	Gen     int    // frameBarrier / frameRelease
 	Reason  string // frameGoodbye: non-empty when a fault caused it
+
+	// T is the sender's wall clock in unix nanoseconds, stamped on pong
+	// frames: the responder's clock reading between the probe's send and
+	// receive, which is exactly what NTP-style offset estimation needs.
+	T int64
+	// ObsAddr, on ready frames, advertises the node's telemetry HTTP
+	// listener to the coordinator (empty when the node runs without one).
+	ObsAddr string
 }
 
 // goodbyeError is the error a link dies with when the peer said goodbye
@@ -94,6 +102,7 @@ type link struct {
 	msgsSent, msgsRecv   atomic.Int64
 	bytesSent, bytesRecv atomic.Int64
 	rttNs                atomic.Int64 // EWMA
+	offsetNs             atomic.Int64 // EWMA clock offset: peer clock − local clock
 }
 
 func newLink(member int, addr string, conn net.Conn, window int) *link {
@@ -219,9 +228,13 @@ func (l *link) ping() error {
 	return l.write(&frame{Kind: framePing, Seq: seq})
 }
 
-// pong matches a heartbeat echo to its probe and folds the round-trip
-// into the EWMA.
-func (l *link) pong(seq int) {
+// pong matches a heartbeat echo to its probe, folds the round-trip into
+// the RTT EWMA and — when the peer stamped its clock (peerT != 0) — the
+// NTP-style midpoint estimate into the clock-offset EWMA: the peer read
+// its clock between our send and our receive, so
+// peerT − (send+recv)/2 ≈ peer_clock − local_clock, with error bounded
+// by the link's asymmetry (≤ RTT/2).
+func (l *link) pong(seq int, peerT int64) {
 	l.pmu.Lock()
 	t, ok := l.pings[seq]
 	delete(l.pings, seq)
@@ -229,17 +242,31 @@ func (l *link) pong(seq int) {
 	if !ok {
 		return
 	}
-	rtt := time.Since(t).Nanoseconds()
+	now := time.Now()
+	rtt := now.Sub(t).Nanoseconds()
 	old := l.rttNs.Load()
 	if old == 0 {
 		l.rttNs.Store(rtt)
 	} else {
 		l.rttNs.Store(old - old/4 + rtt/4)
 	}
+	if peerT != 0 {
+		// Sum of two unix-nano readings stays well inside int64.
+		off := peerT - (t.UnixNano()+now.UnixNano())/2
+		oldOff := l.offsetNs.Load()
+		if oldOff == 0 {
+			l.offsetNs.Store(off)
+		} else {
+			l.offsetNs.Store(oldOff - oldOff/4 + off/4)
+		}
+	}
 }
 
-// stats snapshots the link's transfer counters.
+// stats snapshots the link's transfer counters and flow/clock state.
 func (l *link) stats() LinkStats {
+	l.cmu.Lock()
+	credits, window := l.credits, l.window
+	l.cmu.Unlock()
 	return LinkStats{
 		Member:    l.member,
 		Addr:      l.addr,
@@ -248,6 +275,9 @@ func (l *link) stats() LinkStats {
 		BytesSent: l.bytesSent.Load(),
 		BytesRecv: l.bytesRecv.Load(),
 		RTTNs:     l.rttNs.Load(),
+		OffsetNs:  l.offsetNs.Load(),
+		Credits:   credits,
+		Window:    window,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"pstap/internal/fault"
 	"pstap/internal/mp"
+	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 	"pstap/internal/wire"
 )
@@ -30,6 +31,21 @@ type NodeConfig struct {
 	Window int
 	// Logf, when non-nil, receives agent log lines.
 	Logf func(format string, args ...any)
+
+	// Name labels this node in flight records and trace exports (the
+	// listen address when empty).
+	Name string
+	// ObsAddr, when non-empty, is the node's telemetry HTTP listen
+	// address; it is advertised to the coordinator on the ready frame so
+	// stapd can federate this node's metrics and trace.
+	ObsAddr string
+	// ObsWindow overrides the session collector's gauge window in CPIs
+	// (the obs default when 0).
+	ObsWindow int
+	// FlightDir, when non-empty, is where the node dumps a flight record
+	// (span journal, link state, queue depths, slow-CPI log) whenever a
+	// session dies of a fault. Graceful session teardown writes nothing.
+	FlightDir string
 }
 
 // Node is a stapnode agent: it listens for a coordinator's signed
@@ -47,6 +63,14 @@ type Node struct {
 	sess   *session
 	parked []parkedConn
 	closed bool
+
+	// Telemetry state of the most recent session, kept past its end so
+	// the HTTP surface stays useful for post-mortems between sessions.
+	obsMu      sync.Mutex
+	lastCol    *obs.Collector
+	lastSess   string
+	lastMember int
+	lastTr     *Transport
 
 	wg sync.WaitGroup
 }
@@ -79,6 +103,14 @@ func NewNode(ln net.Listener, cfg NodeConfig) *Node {
 
 // Addr returns the agent's listen address.
 func (n *Node) Addr() net.Addr { return n.ln.Addr() }
+
+// name is the node's label in flight records and trace exports.
+func (n *Node) name() string {
+	if n.cfg.Name != "" {
+		return n.cfg.Name
+	}
+	return n.ln.Addr().String()
+}
 
 // Serve accepts connections until the listener closes. Each connection's
 // first frame decides its role: a manifest hello starts a session, a peer
@@ -265,6 +297,14 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 	tr := newTransport(s.member, len(man.Nodes), placement.Owners(man.Assign), n.cfg.Window, man.Heartbeat, inj)
 	world := mp.NewPartialWorld(man.Assign.Total()+1, placement.HostedRanks(man.Assign, s.member), tr)
 	tr.Bind(world)
+	ocfg := pipeline.DefaultObsConfig(man.Assign)
+	ocfg.Window = n.cfg.ObsWindow
+	ocfg.Logf = logf
+	ocfg.SlowLogf = logf
+	col := obs.New(ocfg)
+	n.obsMu.Lock()
+	n.lastCol, n.lastSess, n.lastMember, n.lastTr = col, s.id, s.member, tr
+	n.obsMu.Unlock()
 	if inj != nil {
 		inj.Bind(world.Done())
 	}
@@ -315,6 +355,7 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 		Assign:  man.Assign,
 		Window:  man.Window,
 		Threads: man.Threads,
+		Obs:     col,
 		Fault:   inj,
 	}, pipeline.Hosting{World: world, Tasks: placement.Tasks(s.member)})
 	if err != nil {
@@ -326,7 +367,7 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 	s.st = st
 
 	if l, lerr := tr.waitLink(0); lerr == nil {
-		if werr := l.write(&frame{Kind: frameReady}); werr != nil {
+		if werr := l.write(&frame{Kind: frameReady, ObsAddr: n.cfg.ObsAddr}); werr != nil {
 			tr.linkDied(l, werr)
 		}
 	}
@@ -346,6 +387,16 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 	}
 	tr.Close(reason)
 	st.Abort()
+	if reason != "" && n.cfg.FlightDir != "" {
+		rec := obs.NewFlightRecord(n.name(), s.id, reason, col)
+		rec.Links = tr.Stats()
+		rec.Pending = world.QueueDepths()
+		if path, werr := obs.WriteFlightRecord(n.cfg.FlightDir, rec); werr != nil {
+			logf("stapnode: session %s: flight record: %v", s.id, werr)
+		} else {
+			logf("stapnode: session %s: flight record written to %s", s.id, path)
+		}
+	}
 	logf("stapnode: session %s: ended (%s)", s.id, orDash(reason))
 }
 

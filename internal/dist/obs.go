@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"pstap/internal/obs"
+)
+
+// Node telemetry surface: each stapnode can expose its current (or most
+// recent) session's collector over HTTP — Prometheus exposition, the raw
+// span journal as a NodeSnapshot, a per-node Perfetto trace, and pprof.
+// stapd federates these surfaces into the cluster-wide merged view.
+
+// NodeSnapshot is one node's telemetry export: the session identity, the
+// collector's time origin (unix nanoseconds, for cross-node clock
+// correction), the task grid, the span journal and counters, and the
+// node's own link-plane state. It is what /snapshot.json serves and what
+// stapd's federation poller consumes.
+type NodeSnapshot struct {
+	Node        string          `json:"node"`
+	Session     string          `json:"session"`
+	Member      int             `json:"member"`
+	StartUnixNs int64           `json:"start_unix_ns"`
+	Tasks       []obs.TaskMeta  `json:"tasks"`
+	Events      []obs.SpanEvent `json:"events"`
+	Counters    *obs.Snapshot   `json:"counters,omitempty"`
+	Links       []LinkStats     `json:"links,omitempty"`
+}
+
+// obsState reads the most recent session's telemetry handles.
+func (n *Node) obsState() (*obs.Collector, string, int, *Transport) {
+	n.obsMu.Lock()
+	defer n.obsMu.Unlock()
+	return n.lastCol, n.lastSess, n.lastMember, n.lastTr
+}
+
+// Collector returns the most recent session's telemetry collector (nil
+// before the first session starts).
+func (n *Node) Collector() *obs.Collector {
+	col, _, _, _ := n.obsState()
+	return col
+}
+
+// Snapshot exports the most recent session's telemetry as a NodeSnapshot
+// (zero-valued before the first session starts).
+func (n *Node) Snapshot() NodeSnapshot {
+	col, sess, member, tr := n.obsState()
+	snap := NodeSnapshot{Node: n.name(), Session: sess, Member: member}
+	if col != nil {
+		snap.StartUnixNs = col.Start().UnixNano()
+		snap.Tasks = col.Tasks()
+		snap.Events = col.Journal()
+		counters := col.Snapshot()
+		snap.Counters = &counters
+	}
+	if tr != nil {
+		snap.Links = tr.Stats()
+	}
+	return snap
+}
+
+// ObsMux builds the node's telemetry HTTP handler:
+//
+//	/snapshot.json  — the NodeSnapshot (federation feed)
+//	/metrics.prom   — Prometheus exposition of the session collector
+//	/trace.json     — this node's spans as a Perfetto-loadable trace
+//	/debug/pprof/   — the standard Go profiling endpoints
+func (n *Node) ObsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Snapshot())
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if col := n.Collector(); col != nil {
+			obs.WriteProm(w, []*obs.Collector{col})
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		col := n.Collector()
+		if col == nil {
+			w.Write([]byte(`{"traceEvents":[]}` + "\n"))
+			return
+		}
+		obs.WriteChromeTrace(w, col.Journal(), col.Tasks())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -34,11 +34,12 @@ type Transport struct {
 
 	world *mp.World // bound before any link reader starts
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	links   map[int]*link
-	closed  bool
-	failure error // first link failure, sticky
+	mu       sync.Mutex
+	cond     *sync.Cond
+	links    map[int]*link
+	closed   bool
+	failure  error          // first link failure, sticky
+	obsAddrs map[int]string // member → telemetry addr from ready frames
 
 	barMu    sync.Mutex
 	barCond  *sync.Cond
@@ -154,17 +155,27 @@ func (t *Transport) readLoop(l *link) {
 		case frameCredit:
 			l.addCredits(f.Credits)
 		case framePing:
-			if err := l.write(&frame{Kind: framePong, Seq: f.Seq}); err != nil {
+			// Stamp the local clock on the echo: the probe's sender uses it
+			// for NTP-style offset estimation.
+			if err := l.write(&frame{Kind: framePong, Seq: f.Seq, T: time.Now().UnixNano()}); err != nil {
 				t.linkDied(l, err)
 				return
 			}
 		case framePong:
-			l.pong(f.Seq)
+			l.pong(f.Seq, f.T)
 		case frameBarrier:
 			t.barrierArrive(f.Gen)
 		case frameRelease:
 			t.barrierRelease(f.Gen)
 		case frameReady:
+			if f.ObsAddr != "" {
+				t.mu.Lock()
+				if t.obsAddrs == nil {
+					t.obsAddrs = make(map[int]string)
+				}
+				t.obsAddrs[l.member] = f.ObsAddr
+				t.mu.Unlock()
+			}
 			select {
 			case t.ready <- l.member:
 			default:
@@ -353,6 +364,18 @@ func (t *Transport) Stats() []LinkStats {
 		if l, ok := t.links[m]; ok {
 			out = append(out, l.stats())
 		}
+	}
+	return out
+}
+
+// ObsAddrs returns a copy of the telemetry addresses members advertised
+// on their ready frames (member index → HTTP listen address).
+func (t *Transport) ObsAddrs() map[int]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string, len(t.obsAddrs))
+	for m, a := range t.obsAddrs {
+		out[m] = a
 	}
 	return out
 }

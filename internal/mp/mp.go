@@ -142,6 +142,25 @@ func (w *World) Hosted() Group { return w.hosted }
 // Hosts reports whether the rank's mailbox lives in this process.
 func (w *World) Hosts(rank int) bool { return w.hosted.Contains(rank) }
 
+// QueueDepths snapshots every rank's pending-message count, indexed by
+// world rank; ranks not hosted in this process report -1. It is the
+// flight recorder's view of where traffic was piled up when a replica
+// died, and is safe to call on an aborted world.
+func (w *World) QueueDepths() []int {
+	out := make([]int, len(w.boxes))
+	for r := range out {
+		if !w.Hosts(r) {
+			out[r] = -1
+			continue
+		}
+		b := w.boxes[r]
+		b.mu.Lock()
+		out[r] = len(b.queue)
+		b.mu.Unlock()
+	}
+	return out
+}
+
 // abortReason wraps the cause error for the atomic.Value (which needs a
 // single consistent concrete type).
 type abortReason struct{ err error }

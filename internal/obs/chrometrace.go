@@ -48,8 +48,15 @@ func (ct *ChromeTrace) AddEvents(events []SpanEvent, tasks []TaskMeta, pidBase i
 		}
 	}
 	for _, ev := range events {
+		if ev.Task < 0 || ev.Task >= len(tasks) {
+			continue
+		}
 		pid := pidBase + ev.Task
 		args := map[string]any{"cpi": ev.CPI}
+		if ev.Trace != 0 {
+			args["trace"] = fmt.Sprintf("%016x", ev.Trace)
+			args["hop"] = ev.Hop
+		}
 		phase := func(name string, from, to int64) {
 			if to < from {
 				return

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecordRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowMultiple = 3
+	c := New(cfg)
+	base := c.Start()
+	for cpi := 0; cpi < 20; cpi++ {
+		record(c, 0, 0, cpi, base, time.Millisecond, time.Millisecond, time.Millisecond)
+	}
+	record(c, 0, 0, 20, base, time.Millisecond, 28*time.Millisecond, time.Millisecond)
+
+	rec := NewFlightRecord("node a/1", "sess-42", "worker fault: boom", c)
+	rec.Pending = []int{0, 3, -1}
+	dir := t.TempDir()
+	path, err := WriteFlightRecord(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1 := filepath.Base(path)
+	if !strings.HasPrefix(base1, "flightrec-") || !strings.HasSuffix(base1, "-node-a-1.json") {
+		t.Errorf("flight record name %q", base1)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FlightRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("flight record is not valid JSON: %v", err)
+	}
+	if got.Reason != "worker fault: boom" || got.Session != "sess-42" {
+		t.Errorf("identity round-trip: %+v", got)
+	}
+	if len(got.Events) != 21 {
+		t.Errorf("events %d, want 21", len(got.Events))
+	}
+	if len(got.SlowLog) != 1 || !strings.Contains(got.SlowLog[0], "cpi=20") {
+		t.Errorf("slow log %q", got.SlowLog)
+	}
+	if got.StartUnixNs == 0 || got.Counters == nil {
+		t.Errorf("missing epoch/counters: start=%d counters=%v", got.StartUnixNs, got.Counters)
+	}
+	if got.Pending[1] != 3 {
+		t.Errorf("pending %v", got.Pending)
+	}
+}
+
+func TestFlightRecordNilCollector(t *testing.T) {
+	rec := NewFlightRecord("", "", "cause", nil)
+	if _, err := WriteFlightRecord(t.TempDir(), rec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,13 +45,25 @@ type GaugeSet struct {
 // Gauges derives the live gauge set from the last Window CPIs present in
 // the journal.
 func (c *Collector) Gauges() GaugeSet {
-	g := GaugeSet{Tasks: make([]PhaseMeans, len(c.cfg.Tasks))}
-	for t, tm := range c.cfg.Tasks {
+	return ComputeGauges(c.cfg.Tasks, c.cfg.Window, c.cfg.LatencyPath, c.Journal())
+}
+
+// ComputeGauges derives a gauge set from an arbitrary event set — the
+// shared core behind Collector.Gauges and the cluster-merged timeline
+// (internal/serve), where journals from several processes are corrected
+// onto one clock before the paper metrics are evaluated. Events whose
+// task index falls outside tasks are ignored, so journals from a
+// mismatched configuration cannot panic the exporter.
+func ComputeGauges(tasks []TaskMeta, window int, path [][]int, evs []SpanEvent) GaugeSet {
+	g := GaugeSet{Tasks: make([]PhaseMeans, len(tasks))}
+	for t, tm := range tasks {
 		g.Tasks[t].Name = tm.Name
 	}
-	evs := c.Journal()
 	if len(evs) == 0 {
 		return g
+	}
+	if window <= 0 {
+		window = 32
 	}
 
 	// The window is the highest Window distinct CPI indices journaled.
@@ -64,8 +76,8 @@ func (c *Collector) Gauges() GaugeSet {
 		cpis = append(cpis, cpi)
 	}
 	sort.Ints(cpis)
-	if len(cpis) > c.cfg.Window {
-		cpis = cpis[len(cpis)-c.cfg.Window:]
+	if len(cpis) > window {
+		cpis = cpis[len(cpis)-window:]
 	}
 	keep := make(map[int]struct{}, len(cpis))
 	for _, cpi := range cpis {
@@ -80,9 +92,12 @@ func (c *Collector) Gauges() GaugeSet {
 		haveReady, have bool
 	}
 	var recv, comp, send = make([]int64, len(g.Tasks)), make([]int64, len(g.Tasks)), make([]int64, len(g.Tasks))
-	firstTasks, finalTasks := c.pathEnds()
+	firstTasks, finalTasks := pathEnds(tasks, path)
 	perCPI := make(map[int]*ends, len(cpis))
 	for _, ev := range evs {
+		if ev.Task < 0 || ev.Task >= len(tasks) {
+			continue
+		}
 		if _, ok := keep[ev.CPI]; !ok {
 			continue
 		}
@@ -135,9 +150,12 @@ func (c *Collector) Gauges() GaugeSet {
 	}
 
 	// Eq. 2: sum over the path of each stage's slowest alternative.
-	for _, stage := range c.cfg.LatencyPath {
+	for _, stage := range path {
 		var stageT time.Duration
 		for _, t := range stage {
+			if t < 0 || t >= len(g.Tasks) {
+				continue
+			}
 			if g.Tasks[t].Samples > 0 && g.Tasks[t].Total() > stageT {
 				stageT = g.Tasks[t].Total()
 			}
@@ -148,7 +166,7 @@ func (c *Collector) Gauges() GaugeSet {
 	// Eq. 3 and real throughput need complete CPIs: every first-task and
 	// final-task worker's span journaled (a partially-in-flight CPI would
 	// bias ready/done extremes).
-	wantReady, wantDone := c.workerSum(firstTasks), c.workerSum(finalTasks)
+	wantReady, wantDone := workerSum(tasks, firstTasks), workerSum(tasks, finalTasks)
 	if wantReady > 0 && wantDone > 0 {
 		var latSum int64
 		var dones []int64
@@ -177,21 +195,23 @@ func (c *Collector) Gauges() GaugeSet {
 // pathEnds returns the task sets eq. 3 measures between: the first and
 // last stages of the latency path, defaulting to the first and last
 // configured tasks when no path is set.
-func (c *Collector) pathEnds() (first, final []int) {
-	if len(c.cfg.LatencyPath) > 0 {
-		return c.cfg.LatencyPath[0], c.cfg.LatencyPath[len(c.cfg.LatencyPath)-1]
+func pathEnds(tasks []TaskMeta, path [][]int) (first, final []int) {
+	if len(path) > 0 {
+		return path[0], path[len(path)-1]
 	}
-	if n := len(c.cfg.Tasks); n > 0 {
+	if n := len(tasks); n > 0 {
 		return []int{0}, []int{n - 1}
 	}
 	return nil, nil
 }
 
 // workerSum counts the workers across a task set.
-func (c *Collector) workerSum(tasks []int) int {
+func workerSum(tasks []TaskMeta, set []int) int {
 	n := 0
-	for _, t := range tasks {
-		n += c.cfg.Tasks[t].Workers
+	for _, t := range set {
+		if t >= 0 && t < len(tasks) {
+			n += tasks[t].Workers
+		}
 	}
 	return n
 }

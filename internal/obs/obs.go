@@ -38,7 +38,11 @@ type Config struct {
 	// journal must hold Window CPIs' worth of spans (one per worker per
 	// CPI) for the gauges to see a full window.
 	RingSize int
-	// Window is the sliding gauge window in CPIs (default 32).
+	// Window is the sliding gauge window in CPIs (default 32). A window
+	// the ring cannot hold (Window × total workers > RingSize) would make
+	// the gauges silently average a partial window, so New clamps it to
+	// RingSize / total workers (at least 1) and reports the clamp through
+	// Logf.
 	Window int
 	// LatencyPath is the latency chain of eq. (2): each element is a set
 	// of alternative tasks whose slowest member contributes one stage
@@ -48,17 +52,37 @@ type Config struct {
 	LatencyPath [][]int
 	// SlowMultiple, when > 0, enables the slow-CPI log: any span whose
 	// total time exceeds SlowMultiple times the task's recent median is
-	// reported through SlowLogf.
+	// kept in the collector's slow-log ring (see SlowLog) and, when
+	// SlowLogf is set, also reported through it.
 	SlowMultiple float64
-	// SlowLogf receives slow-CPI log lines (required for SlowMultiple).
+	// SlowLogf receives slow-CPI log lines (optional; the slow-log ring
+	// fills either way).
 	SlowLogf func(format string, args ...any)
+	// Logf, when non-nil, receives collector self-diagnostics such as the
+	// gauge-window clamp warning.
+	Logf func(format string, args ...any)
+}
+
+// workerTotal is the total worker count across all tasks — the number of
+// ring slots one CPI consumes.
+func (cfg Config) workerTotal() int {
+	n := 0
+	for _, tm := range cfg.Tasks {
+		n += tm.Workers
+	}
+	return n
 }
 
 // SpanEvent is one worker's Figure-10 loop for one CPI, with phase
 // boundaries in nanoseconds since the collector's start: receive
-// [T0, T1), compute [T1, T2), send [T2, T3).
+// [T0, T1), compute [T1, T2), send [T2, T3). Trace is the CPI's trace
+// identifier, stamped at pipeline ingest and carried with the data
+// through every downstream hop (0 for untraced producers); Hop is the
+// task-hop depth at which the span was recorded (0 = ingest task).
 type SpanEvent struct {
 	Task, Worker, CPI int
+	Trace             uint64
+	Hop               uint8
 	T0, T1, T2, T3    int64
 }
 
@@ -75,6 +99,10 @@ const (
 	slowWindow     = 64
 	slowMinSamples = 8
 )
+
+// slowLogSize is how many recent slow-CPI log lines the collector keeps
+// for post-mortems (see SlowLog and the flight recorder).
+const slowLogSize = 64
 
 // slowTracker holds a task's recent span totals for median estimation.
 // It is touched once per worker per CPI, far off the message hot path, so
@@ -98,6 +126,11 @@ type Collector struct {
 	head atomic.Uint64
 
 	slow []slowTracker // per task
+
+	slowLogMu  sync.Mutex
+	slowLines  [slowLogSize]string
+	slowPos    int
+	slowLogged int
 }
 
 // New builds a collector. The zero-value fields of cfg take their
@@ -108,6 +141,17 @@ func New(cfg Config) *Collector {
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
+	}
+	if total := cfg.workerTotal(); total > 0 && cfg.Window*total > cfg.RingSize {
+		clamped := cfg.RingSize / total
+		if clamped < 1 {
+			clamped = 1
+		}
+		if cfg.Logf != nil {
+			cfg.Logf("obs: gauge window of %d CPIs needs %d ring slots but RingSize is %d; clamping window to %d",
+				cfg.Window, cfg.Window*total, cfg.RingSize, clamped)
+		}
+		cfg.Window = clamped
 	}
 	cfg.validatePath()
 	c := &Collector{
@@ -142,6 +186,13 @@ func (c *Collector) Window() int { return c.cfg.Window }
 // t1 input ready (compute begins), t2 compute done (send begins), t3 loop
 // end.
 func (c *Collector) RecordSpan(task, worker, cpi int, t0, t1, t2, t3 time.Time) {
+	c.RecordTracedSpan(task, worker, cpi, 0, 0, t0, t1, t2, t3)
+}
+
+// RecordTracedSpan is RecordSpan with the CPI's trace lineage attached:
+// trace is the identifier stamped at ingest (0 = untraced) and hop the
+// task-hop depth at which this span ran.
+func (c *Collector) RecordTracedSpan(task, worker, cpi int, trace uint64, hop uint8, t0, t1, t2, t3 time.Time) {
 	wc := c.counters[task][worker]
 	wc.CPIs.Add(1)
 	wc.RecvNs.Add(t1.Sub(t0).Nanoseconds())
@@ -149,6 +200,7 @@ func (c *Collector) RecordSpan(task, worker, cpi int, t0, t1, t2, t3 time.Time) 
 	wc.SendNs.Add(t3.Sub(t2).Nanoseconds())
 	ev := &SpanEvent{
 		Task: task, Worker: worker, CPI: cpi,
+		Trace: trace, Hop: hop,
 		T0: t0.Sub(c.start).Nanoseconds(),
 		T1: t1.Sub(c.start).Nanoseconds(),
 		T2: t2.Sub(c.start).Nanoseconds(),
@@ -156,7 +208,7 @@ func (c *Collector) RecordSpan(task, worker, cpi int, t0, t1, t2, t3 time.Time) 
 	}
 	idx := c.head.Add(1) - 1
 	c.ring[idx%uint64(len(c.ring))].Store(ev)
-	if c.cfg.SlowMultiple > 0 && c.cfg.SlowLogf != nil {
+	if c.cfg.SlowMultiple > 0 {
 		c.noteSlow(task, worker, cpi, ev.T3-ev.T0)
 	}
 }
@@ -180,11 +232,34 @@ func (c *Collector) noteSlow(task, worker, cpi int, total int64) {
 	}
 	st.mu.Unlock()
 	if median > 0 && float64(total) > c.cfg.SlowMultiple*float64(median) {
-		c.cfg.SlowLogf("obs: slow CPI task=%q worker=%d cpi=%d total=%v median=%v multiple=%.2f",
+		line := fmt.Sprintf("obs: slow CPI task=%q worker=%d cpi=%d total=%v median=%v multiple=%.2f",
 			c.cfg.Tasks[task].Name, worker, cpi,
 			time.Duration(total), time.Duration(median),
 			float64(total)/float64(median))
+		c.slowLogMu.Lock()
+		c.slowLines[c.slowPos] = line
+		c.slowPos = (c.slowPos + 1) % slowLogSize
+		if c.slowLogged < slowLogSize {
+			c.slowLogged++
+		}
+		c.slowLogMu.Unlock()
+		if c.cfg.SlowLogf != nil {
+			c.cfg.SlowLogf("%s", line)
+		}
 	}
+}
+
+// SlowLog returns the most recent slow-CPI log lines, oldest first — the
+// post-mortem view the flight recorder dumps.
+func (c *Collector) SlowLog() []string {
+	c.slowLogMu.Lock()
+	defer c.slowLogMu.Unlock()
+	out := make([]string, 0, c.slowLogged)
+	start := c.slowPos - c.slowLogged
+	for i := 0; i < c.slowLogged; i++ {
+		out = append(out, c.slowLines[((start+i)%slowLogSize+slowLogSize)%slowLogSize])
+	}
+	return out
 }
 
 // OnSend is the message-passing hook (mp.World.SetObserver): it accounts

@@ -243,6 +243,129 @@ func TestSlowCPILog(t *testing.T) {
 	}
 }
 
+func TestTracedSpanLineage(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	tr := NewTraceID()
+	if tr == 0 {
+		t.Fatal("NewTraceID returned the reserved zero id")
+	}
+	if tr2 := NewTraceID(); tr2 == tr {
+		t.Fatalf("trace ids repeat: %d", tr)
+	}
+	c.RecordTracedSpan(0, 0, 7, tr, 0, base, base, base, base)
+	c.RecordTracedSpan(2, 1, 7, tr, 3, base, base, base, base)
+	record(c, 1, 0, 7, base, 0, 0, 0) // untraced producer
+	evs := c.Journal()
+	if len(evs) != 3 {
+		t.Fatalf("journal %d events, want 3", len(evs))
+	}
+	if evs[0].Trace != tr || evs[0].Hop != 0 {
+		t.Errorf("ingest span lineage %d/%d, want %d/0", evs[0].Trace, evs[0].Hop, tr)
+	}
+	if evs[1].Trace != tr || evs[1].Hop != 3 {
+		t.Errorf("hop-3 span lineage %d/%d, want %d/3", evs[1].Trace, evs[1].Hop, tr)
+	}
+	if evs[2].Trace != 0 {
+		t.Errorf("RecordSpan must journal trace 0, got %d", evs[2].Trace)
+	}
+}
+
+func TestWindowClampedToRing(t *testing.T) {
+	// 5 workers total, ring of 16: a 32-CPI window cannot fit (needs 160
+	// slots), so New must clamp to 16/5 = 3 and warn — never silently
+	// report a partial eq. (1) window.
+	var mu sync.Mutex
+	var warnings []string
+	cfg := testConfig()
+	cfg.RingSize = 16
+	cfg.Window = 32
+	cfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	c := New(cfg)
+	if got := c.Window(); got != 3 {
+		t.Fatalf("clamped window %d, want 3", got)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "clamping window to 3") {
+		t.Errorf("clamp warning %q", warnings)
+	}
+
+	// Feed more CPIs than the window: the gauges must report exactly the
+	// clamped window, and every reported CPI must be backed by a full
+	// complement of spans (no wraparound-truncated CPIs).
+	base := c.Start()
+	for cpi := 0; cpi < 10; cpi++ {
+		off := base.Add(time.Duration(cpi) * 10 * time.Millisecond)
+		record(c, 0, 0, cpi, off, time.Millisecond, time.Millisecond, time.Millisecond)
+		record(c, 0, 1, cpi, off, time.Millisecond, time.Millisecond, time.Millisecond)
+		record(c, 1, 0, cpi, off, time.Millisecond, time.Millisecond, time.Millisecond)
+		record(c, 2, 0, cpi, off, time.Millisecond, time.Millisecond, time.Millisecond)
+		record(c, 2, 1, cpi, off, time.Millisecond, time.Millisecond, time.Millisecond)
+	}
+	g := c.Gauges()
+	if g.WindowCPIs != 3 {
+		t.Errorf("gauge window %d CPIs, want the clamped 3", g.WindowCPIs)
+	}
+	if g.Eq3Samples != 3 {
+		t.Errorf("eq3 samples %d, want 3 complete CPIs", g.Eq3Samples)
+	}
+	// A window of 1 worker-equivalent ring must still clamp to >= 1.
+	cfg.RingSize = 2
+	cfg.Logf = nil
+	if got := New(cfg).Window(); got != 1 {
+		t.Errorf("tiny ring window %d, want 1", got)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	cfg := testConfig()
+	cfg.SlowMultiple = 3
+	// No SlowLogf: the ring must fill anyway.
+	c := New(cfg)
+	base := c.Start()
+	// Interleave three fast spans per slow one so the median stays fast
+	// and every slow span keeps getting flagged; more slow spans than the
+	// ring holds forces a wrap.
+	cpi, lastSlow := 0, 0
+	for i := 0; i < slowLogSize+16; i++ {
+		for j := 0; j < 3; j++ {
+			record(c, 0, 0, cpi, base, time.Millisecond, time.Millisecond, time.Millisecond)
+			cpi++
+		}
+		record(c, 0, 0, cpi, base, time.Millisecond, 28*time.Millisecond, time.Millisecond)
+		lastSlow = cpi
+		cpi++
+	}
+	lines := c.SlowLog()
+	if len(lines) != slowLogSize {
+		t.Fatalf("slow log holds %d lines, want the full ring of %d", len(lines), slowLogSize)
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, fmt.Sprintf("cpi=%d", lastSlow)) {
+		t.Errorf("newest slow line %q does not mention the last slow CPI %d", last, lastSlow)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] == "" {
+			t.Fatalf("empty slow log line at %d", i)
+		}
+	}
+}
+
+func TestComputeGaugesIgnoresForeignTasks(t *testing.T) {
+	tasks := testConfig().Tasks
+	evs := []SpanEvent{
+		{Task: 0, Worker: 0, CPI: 0, T0: 0, T1: 1, T2: 2, T3: 3},
+		{Task: 9, Worker: 0, CPI: 0, T0: 0, T1: 1, T2: 2, T3: 3}, // foreign journal
+	}
+	g := ComputeGauges(tasks, 8, [][]int{{0}, {2}}, evs)
+	if g.Tasks[0].Samples != 1 {
+		t.Errorf("task 0 samples %d, want 1", g.Tasks[0].Samples)
+	}
+}
+
 func TestLatencyPathValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

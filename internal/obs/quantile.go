@@ -1,20 +1,23 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"time"
 )
 
 // Quantile returns the q-quantile (0..1) of an ascending-sorted duration
-// slice using the nearest-rank convention idx = floor(q*(n-1)) shared by
+// slice using the nearest-rank convention idx = round(q*(n-1)) shared by
 // every percentile report in this repository (pipeline latencies, serve
-// job latencies, load-generator client latencies). It returns 0 for an
-// empty slice and clamps q outside [0, 1].
+// job latencies, load-generator client latencies). Rounding — not
+// truncating — keeps small windows honest: with 10 samples, p99 lands on
+// the maximum instead of one rank below it. It returns 0 for an empty
+// slice and clamps q outside [0, 1].
 func Quantile(sorted []time.Duration, q float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
+	idx := int(math.Round(q * float64(len(sorted)-1)))
 	if idx < 0 {
 		idx = 0
 	}

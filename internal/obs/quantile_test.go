@@ -23,26 +23,39 @@ func TestQuantileSingleElement(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRank locks the repository-wide convention
+// idx = round(q*(n-1)) — the one shared by serve job latencies, stapload
+// client latencies and pipeline latency reports. Truncation (the old
+// int(q*(n-1))) biased small-window p95/p99 one rank low; the rounding
+// cases below would catch a regression to it.
 func TestQuantileNearestRank(t *testing.T) {
-	// 10 elements: idx = floor(q*9).
-	var sorted []time.Duration
-	for i := 1; i <= 10; i++ {
-		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	mk := func(n int) []time.Duration {
+		var sorted []time.Duration
+		for i := 1; i <= n; i++ {
+			sorted = append(sorted, time.Duration(i)*time.Millisecond)
+		}
+		return sorted
 	}
 	cases := []struct {
+		name string
+		n    int
 		q    float64
 		want time.Duration
 	}{
-		{0, 1 * time.Millisecond},
-		{0.5, 5 * time.Millisecond},
-		{0.95, 9 * time.Millisecond},
-		{1, 10 * time.Millisecond},
-		{-1, 1 * time.Millisecond}, // clamped
-		{2, 10 * time.Millisecond}, // clamped
+		{"min", 10, 0, 1 * time.Millisecond},
+		{"median", 10, 0.5, 6 * time.Millisecond}, // round(4.5) = 5, half away from zero
+		{"p90", 10, 0.9, 9 * time.Millisecond},    // round(8.1) = 8
+		{"p95", 10, 0.95, 10 * time.Millisecond},  // round(8.55) = 9: truncation said rank 8
+		{"p99", 10, 0.99, 10 * time.Millisecond},  // round(8.91) = 9: p99 of 10 samples is the max
+		{"max", 10, 1, 10 * time.Millisecond},
+		{"p99-of-100", 100, 0.99, 99 * time.Millisecond}, // round(98.01) = 98
+		{"p50-odd", 5, 0.5, 3 * time.Millisecond},        // round(2) = 2, exact middle
+		{"clamp-low", 10, -1, 1 * time.Millisecond},
+		{"clamp-high", 10, 2, 10 * time.Millisecond},
 	}
 	for _, c := range cases {
-		if got := Quantile(sorted, c.q); got != c.want {
-			t.Errorf("q=%v: %v, want %v", c.q, got, c.want)
+		if got := Quantile(mk(c.n), c.q); got != c.want {
+			t.Errorf("%s: q=%v over %d: %v, want %v", c.name, c.q, c.n, got, c.want)
 		}
 	}
 }

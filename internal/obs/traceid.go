@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// NewTraceID returns a 64-bit CPI trace identifier: a random base drawn
+// once per process plus an atomic counter, so identifiers never repeat
+// within a process and collide across processes with ~2^-64 probability
+// per pair. The pipeline feeder stamps one on each CPI at Doppler ingest
+// and it travels with the data through every task hop, across dist links
+// included. Zero is reserved for "untraced" and never returned.
+func NewTraceID() uint64 {
+	id := traceBase() + traceSeq.Add(1)
+	if id == 0 {
+		id = traceBase() + traceSeq.Add(1)
+	}
+	return id
+}
+
+var (
+	traceSeq      atomic.Uint64
+	traceBaseOnce sync.Once
+	traceBaseVal  uint64
+)
+
+func traceBase() uint64 {
+	traceBaseOnce.Do(func() {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err == nil {
+			traceBaseVal = binary.LittleEndian.Uint64(b[:])
+		} else {
+			// No entropy: identifiers stay process-unique via the counter.
+			traceBaseVal = 0x9e3779b97f4a7c15
+		}
+	})
+	return traceBaseVal
+}

@@ -17,9 +17,23 @@ import (
 // stream: each task forwards it downstream and its workers exit — the
 // graceful-drain path of a persistent pipeline. Batch runs set Reset on
 // CPI 0 and never send EOF (workers exit on the NumCPIs bound instead).
+//
+// Trace and Hop are the CPI's observability lineage: the feeder stamps a
+// fresh obs.NewTraceID at Doppler ingest, and every task forwards the
+// trace with Hop incremented (see ctl.next), so spans recorded on any
+// process — the wire codecs carry ctl whole across dist links — are
+// attributable to one CPI lineage end to end. The weight streams
+// (TD(1,3)/TD(2,4)) deliberately carry no ctl: weights computed at CPI
+// i apply to CPI i+1, a different lineage.
 type ctl struct {
 	Reset, EOF bool
+	Trace      uint64
+	Hop        uint8
 }
+
+// next returns the control flags to forward one task hop downstream:
+// identical flags, hop depth incremented.
+func (c ctl) next() ctl { c.Hop++; return c }
 
 // rawMsg carries one Doppler worker's range slab of a raw CPI.
 type rawMsg struct {

@@ -413,9 +413,12 @@ func Run(cfg Config) (*Result, error) {
 				return
 			}
 			raw := source(mapCPI(cpi))
+			// One trace identifier per CPI, shared by every Doppler slab —
+			// the root of the CPI's span lineage.
+			c := ctl{Reset: cpi == 0, Trace: obs.NewTraceID()}
 			for w, blk := range topo.kBlocks {
 				feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
-					rawMsg{slab: raw.SliceAxis0(blk), ctl: ctl{Reset: cpi == 0}})
+					rawMsg{slab: raw.SliceAxis0(blk), ctl: c})
 			}
 		}
 	}()

@@ -181,9 +181,12 @@ func NewHostedStream(cfg StreamConfig, h Hosting) (*Stream, error) {
 					case <-world.Done():
 						return
 					}
+					// One trace identifier per CPI, shared by every Doppler
+					// slab — the root of the CPI's span lineage.
+					c := ctl{Reset: item.reset, Trace: obs.NewTraceID()}
 					for w, blk := range topo.kBlocks {
 						feeder.Send(topo.groups[TaskDoppler].Global(w), tag(tagRaw, cpi),
-							rawMsg{slab: item.raw.SliceAxis0(blk), ctl: ctl{Reset: item.reset}})
+							rawMsg{slab: item.raw.SliceAxis0(blk), ctl: c})
 					}
 					cpi++
 				case <-s.quit:

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pstap/internal/cube"
+	"pstap/internal/obs"
+	"pstap/internal/radar"
+)
+
+// wantHop is the task-hop depth each task's spans must carry: Doppler is
+// the ingest (hop 0), the weight and beamforming tasks consume its
+// forwarded data (hop 1), pulse compression consumes the beam streams
+// (hop 2), CFAR the power stream (hop 3).
+var wantHop = map[int]uint8{
+	TaskDoppler:    0,
+	TaskEasyWeight: 1,
+	TaskHardWeight: 1,
+	TaskEasyBF:     1,
+	TaskHardBF:     1,
+	TaskPulseComp:  2,
+	TaskCFAR:       3,
+}
+
+// checkLineage asserts every span in evs carries a nonzero trace, spans
+// of one CPI share exactly one trace, traces differ across CPIs, and hop
+// depths match the task graph.
+func checkLineage(t *testing.T, evs []obs.SpanEvent) {
+	t.Helper()
+	perCPI := make(map[int]uint64)
+	traces := make(map[uint64]int)
+	for _, ev := range evs {
+		if ev.Trace == 0 {
+			t.Fatalf("untraced span: %+v", ev)
+		}
+		if prev, ok := perCPI[ev.CPI]; ok && prev != ev.Trace {
+			t.Fatalf("CPI %d spans carry two traces: %d and %d", ev.CPI, prev, ev.Trace)
+		}
+		perCPI[ev.CPI] = ev.Trace
+		traces[ev.Trace]++
+		if want := wantHop[ev.Task]; ev.Hop != want {
+			t.Fatalf("task %d span at hop %d, want %d", ev.Task, ev.Hop, want)
+		}
+	}
+	if len(traces) != len(perCPI) {
+		t.Fatalf("%d CPIs share %d traces — trace ids must be per-CPI", len(perCPI), len(traces))
+	}
+}
+
+// TestBatchRunTraceLineage checks the batch feeder stamps one trace per
+// CPI and every worker span inherits it with the right hop depth.
+func TestBatchRunTraceLineage(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(2, 1, 1, 1, 1, 1, 1)
+	col := obs.New(DefaultObsConfig(a))
+	if _, err := Run(Config{Scene: sc, Assign: a, NumCPIs: 4, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	evs := col.Journal()
+	if want := a.Total() * 4; len(evs) != want {
+		t.Fatalf("journal %d spans, want %d", len(evs), want)
+	}
+	checkLineage(t, evs)
+}
+
+// TestStreamTraceLineage checks the persistent-stream feeder does the
+// same across job boundaries (fresh traces per CPI, lineage intact).
+func TestStreamTraceLineage(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(1, 1, 1, 1, 1, 1, 1)
+	col := obs.New(DefaultObsConfig(a))
+	st, err := NewStream(StreamConfig{Scene: sc, Assign: a, Obs: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for job := 0; job < 2; job++ {
+		cpis := []*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1)}
+		if _, err := st.ProcessJob(cpis); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := col.Journal()
+	if want := a.Total() * 4; len(evs) != want {
+		t.Fatalf("journal %d spans, want %d", len(evs), want)
+	}
+	checkLineage(t, evs)
+}

@@ -52,16 +52,16 @@ func TestWireRoundTrip(t *testing.T) {
 	dets := []stap.Detection{{Range: 3, DopplerBin: 4, Beam: 2, Power: 5.5, Threshold: 1.5}}
 
 	cases := []any{
-		rawMsg{slab: testCube(t), ctl: ctl{Reset: true}},
+		rawMsg{slab: testCube(t), ctl: ctl{Reset: true, Trace: 0xdeadbeefcafe, Hop: 0}},
 		rawMsg{ctl: ctl{EOF: true}}, // nil slab: the EOF control frame
-		easyTrainMsg{rows: []*linalg.Matrix{m}, ctl: ctl{Reset: true}},
+		easyTrainMsg{rows: []*linalg.Matrix{m}, ctl: ctl{Reset: true, Trace: 7, Hop: 1}},
 		hardTrainMsg{rows: [][]*linalg.Matrix{{m, m}}},
-		bfDataMsg{piece: testCube(t)},
+		bfDataMsg{piece: testCube(t), ctl: ctl{Trace: 1<<63 + 5, Hop: 1}},
 		easyWeightsMsg{ws: []*linalg.Matrix{m}},
 		hardWeightsMsg{ws: [][]*linalg.Matrix{{m}}},
-		beamMsg{slab: testCube(t), globalBins: []int{0, 3, 5}},
-		powerMsg{slab: rc, blk: cube.Block{Lo: 1, Hi: 2}},
-		detMsg{dets: dets},
+		beamMsg{slab: testCube(t), globalBins: []int{0, 3, 5}, ctl: ctl{Trace: 42, Hop: 2}},
+		powerMsg{slab: rc, blk: cube.Block{Lo: 1, Hi: 2}, ctl: ctl{Trace: 42, Hop: 3}},
+		detMsg{dets: dets, ctl: ctl{Trace: 42, Hop: 4}},
 		detMsg{ctl: ctl{EOF: true}},
 	}
 	for _, want := range cases {

@@ -22,13 +22,14 @@ func (c Config) streaming() bool { return c.NumCPIs == 0 }
 // emit publishes one worker-CPI span: into the run's private span slice
 // when the run collects timing (batch mode; streaming runs pass nil
 // slices), and into the obs collector when one is attached (always-on
-// telemetry, both modes).
-func (c Config) emit(task, w int, spans []Span, cpi int, s Span) {
+// telemetry, both modes). tr is the control message the worker received
+// for this CPI — its trace/hop lineage labels the span.
+func (c Config) emit(task, w int, spans []Span, cpi int, s Span, tr ctl) {
 	if cpi < len(spans) {
 		spans[cpi] = s
 	}
 	if c.Obs != nil {
-		c.Obs.RecordSpan(task, w, cpi, s.T0, s.T1, s.T2, s.T3)
+		c.Obs.RecordTracedSpan(task, w, cpi, tr.Trace, tr.Hop, s.T0, s.T1, s.T2, s.T3)
 	}
 }
 
@@ -54,18 +55,19 @@ func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, 
 		stamp(ready, cpi, t0)
 		cfg.faultPoint(TaskDoppler, w, cpi)
 		msg := comm.Recv(topo.driver, tag(tagRaw, cpi)).(rawMsg)
+		fwd := msg.ctl.next()
 		if msg.ctl.EOF {
 			for dw := range topo.easyWPos {
-				comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{ctl: msg.ctl})
+				comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{ctl: fwd})
 			}
 			for dw := range topo.hardWPos {
-				comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{ctl: msg.ctl})
+				comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{ctl: fwd})
 			}
 			for dw := range topo.easyBFPos {
-				comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{ctl: msg.ctl})
+				comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{ctl: fwd})
 			}
 			for dw := range topo.hardBFPos {
-				comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{ctl: msg.ctl})
+				comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{ctl: fwd})
 			}
 			return
 		}
@@ -74,22 +76,22 @@ func dopplerWorker(world *mp.World, topo *topology, cfg Config, gain []float64, 
 		t2 := time.Now()
 		for dw, pos := range topo.easyWPos {
 			rows := stap.ExtractEasyRows(p, stag, blk, binsAt(topo.easyBins, pos))
-			comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{rows: rows, ctl: msg.ctl})
+			comm.Send(topo.groups[TaskEasyWeight].Global(dw), tag(tagEasyTrain, cpi), easyTrainMsg{rows: rows, ctl: fwd})
 		}
 		for dw, pos := range topo.hardWPos {
 			rows := stap.ExtractHardRows(p, stag, blk, binsAt(topo.hardBins, pos))
-			comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{rows: rows, ctl: msg.ctl})
+			comm.Send(topo.groups[TaskHardWeight].Global(dw), tag(tagHardTrain, cpi), hardTrainMsg{rows: rows, ctl: fwd})
 		}
 		for dw, pos := range topo.easyBFPos {
 			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.easyBins, pos), p.J)
-			comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{piece: piece, ctl: msg.ctl})
+			comm.Send(topo.groups[TaskEasyBF].Global(dw), tag(tagEasyBFData, cpi), bfDataMsg{piece: piece, ctl: fwd})
 		}
 		for dw, pos := range topo.hardBFPos {
 			piece := redist.PackForBeamform(p, stag, blk, binsAt(topo.hardBins, pos), 2*p.J)
-			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece, ctl: msg.ctl})
+			comm.Send(topo.groups[TaskHardBF].Global(dw), tag(tagHardBFData, cpi), bfDataMsg{piece: piece, ctl: fwd})
 		}
 		t3 := time.Now()
-		cfg.emit(TaskDoppler, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskDoppler, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, msg.ctl)
 	}
 }
 
@@ -146,7 +148,7 @@ func easyWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		cfg.emit(TaskEasyWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskEasyWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }
 
@@ -207,7 +209,7 @@ func hardWeightWorker(world *mp.World, topo *topology, cfg Config, beamAz []floa
 			}
 		}
 		t3 := time.Now()
-		cfg.emit(TaskHardWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskHardWeight, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }
 
@@ -234,7 +236,7 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 			c = msg.ctl
 		}
 		if c.EOF {
-			sendBeamEOF(comm, topo, TaskEasyBeamStream, cpi, bins, c)
+			sendBeamEOF(comm, topo, TaskEasyBeamStream, cpi, bins, c.next())
 			return
 		}
 		ws := make([]*linalg.Matrix, len(bins))
@@ -258,9 +260,9 @@ func easyBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		out := cube.New(radar.BeamOrder, len(bins), p.M, p.K)
 		stap.BeamformEasySlabThreaded(p, slab, ws, out, cfg.Threads)
 		t2 := time.Now()
-		sendBeamRows(comm, topo, TaskEasyBeamStream, cpi, bins, out)
+		sendBeamRows(comm, topo, TaskEasyBeamStream, cpi, bins, out, c.next())
 		t3 := time.Now()
-		cfg.emit(TaskEasyBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskEasyBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }
 
@@ -275,7 +277,7 @@ const (
 // pulse-compression workers owning the corresponding global bins. Both
 // sides partition along N, so this transfer needs no reorganization (the
 // paper's observation in Section 5.4).
-func sendBeamRows(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, out *cube.Cube) {
+func sendBeamRows(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, out *cube.Cube, c ctl) {
 	for pw, blk := range topo.pcBlocks {
 		lo, hi := redist.IntersectList(bins, blk)
 		if lo >= hi {
@@ -284,6 +286,7 @@ func sendBeamRows(comm *mp.Comm, topo *topology, stream, cpi int, bins []int, ou
 		comm.Send(topo.groups[TaskPulseComp].Global(pw), tag(stream, cpi), beamMsg{
 			slab:       redist.SliceBins(out, lo, hi),
 			globalBins: bins[lo:hi],
+			ctl:        c,
 		})
 	}
 }
@@ -320,7 +323,7 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 			c = msg.ctl
 		}
 		if c.EOF {
-			sendBeamEOF(comm, topo, TaskHardBeamStream, cpi, bins, c)
+			sendBeamEOF(comm, topo, TaskHardBeamStream, cpi, bins, c.next())
 			return
 		}
 		ws := make([][]*linalg.Matrix, nSeg)
@@ -351,9 +354,9 @@ func hardBFWorker(world *mp.World, topo *topology, cfg Config, beamAz []float64,
 		out := cube.New(radar.BeamOrder, len(bins), p.M, p.K)
 		stap.BeamformHardSlabThreaded(p, slab, ws, out, cfg.Threads)
 		t2 := time.Now()
-		sendBeamRows(comm, topo, TaskHardBeamStream, cpi, bins, out)
+		sendBeamRows(comm, topo, TaskHardBeamStream, cpi, bins, out, c.next())
 		t3 := time.Now()
-		cfg.emit(TaskHardBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskHardBF, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }
 
@@ -390,6 +393,9 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 				c = msg.ctl
 				continue
 			}
+			if !c.EOF {
+				c = msg.ctl
+			}
 			for i, d := range msg.globalBins {
 				for m := 0; m < p.M; m++ {
 					copy(local.Vec(d-blk.Lo, m), msg.slab.Vec(i, m))
@@ -399,7 +405,7 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 		if c.EOF {
 			for cw, cblk := range topo.cfBlocks {
 				if redist.Intersect(blk, cblk).Size() > 0 {
-					comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{ctl: c})
+					comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{ctl: c.next()})
 				}
 			}
 			return
@@ -414,10 +420,10 @@ func pulseCompWorker(world *mp.World, topo *topology, cfg Config, w int, spans [
 				continue
 			}
 			sub := power.SliceAxis0(cube.Block{Lo: ov.Lo - blk.Lo, Hi: ov.Hi - blk.Lo})
-			comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{slab: sub, blk: ov})
+			comm.Send(topo.groups[TaskCFAR].Global(cw), tag(tagPower, cpi), powerMsg{slab: sub, blk: ov, ctl: c.next()})
 		}
 		t3 := time.Now()
-		cfg.emit(TaskPulseComp, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskPulseComp, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }
 
@@ -445,19 +451,22 @@ func cfarWorker(world *mp.World, topo *topology, cfg Config, w int, spans []Span
 				c = msg.ctl
 				continue
 			}
+			if !c.EOF {
+				c = msg.ctl
+			}
 			local.PasteAxis0(cube.Block{Lo: msg.blk.Lo - blk.Lo, Hi: msg.blk.Hi - blk.Lo}, msg.slab)
 		}
 		if c.EOF {
-			comm.Send(topo.driver, tag(tagDet, cpi), detMsg{ctl: c})
+			comm.Send(topo.driver, tag(tagDet, cpi), detMsg{ctl: c.next()})
 			return
 		}
 		t1 := time.Now()
 		var dets []stap.Detection
 		stap.CFARRowsThreaded(p, local, blk.Lo, blk.Hi, true, &dets, cfg.Threads)
 		t2 := time.Now()
-		comm.Send(topo.driver, tag(tagDet, cpi), detMsg{dets: dets})
+		comm.Send(topo.driver, tag(tagDet, cpi), detMsg{dets: dets, ctl: c.next()})
 		t3 := time.Now()
 		stamp(done, cpi, t3)
-		cfg.emit(TaskCFAR, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3})
+		cfg.emit(TaskCFAR, w, spans, cpi, Span{T0: t0, T1: t1, T2: t2, T3: t3}, c)
 	}
 }

@@ -81,6 +81,12 @@ type Config struct {
 	// RestartBackoff is the delay before the first restart attempt of a
 	// slot (default 50ms), doubling per consecutive restart.
 	RestartBackoff time.Duration
+	// FlightDir, when set, enables the flight recorder: every fatal
+	// replica error (worker fault, watchdog timeout, lost cluster replica)
+	// dumps the slot's span journal, slow-CPI log, link state and the last
+	// federated node snapshots to a flightrec-*.json here before the slot
+	// recycles.
+	FlightDir string
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -167,6 +173,10 @@ type Server struct {
 	admitting atomic.Bool
 	traceSeq  atomic.Uint64
 
+	// fed federates node telemetry when the pool has distributed slots
+	// (nil otherwise).
+	fed *federation
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -243,6 +253,9 @@ func New(cfg Config) (*Server, error) {
 		s.slots = append(s.slots, slot)
 	}
 	s.live.Store(int32(total))
+	if len(cfg.DistClusters) > 0 {
+		s.startFederation()
+	}
 	for i := 0; i < total; i++ {
 		s.replWG.Add(1)
 		go s.replicaLoop(s.slots[i])
@@ -531,7 +544,7 @@ func (s *Server) replicaLoop(slot *replicaSlot) {
 		}
 		s.metrics.observe(time.Since(j.enq))
 		j.done <- resp
-		if fatal && !s.recycle(slot) {
+		if fatal && !s.recycle(slot, err) {
 			if s.live.Load() == 0 {
 				s.drainDead()
 			}
@@ -571,8 +584,11 @@ func (s *Server) classify(err error) (Status, bool) {
 // recycle replaces a dead slot's pipeline with a fresh warm one, within
 // the slot's restart budget and with exponential backoff between
 // attempts. It reports false when the slot is out of budget (or the
-// server is stopping) — the slot is then permanently dead.
-func (s *Server) recycle(slot *replicaSlot) bool {
+// server is stopping) — the slot is then permanently dead. cause is the
+// fatal error that killed the replica; the flight recorder dumps the
+// slot's final telemetry under it before the old instance is discarded.
+func (s *Server) recycle(slot *replicaSlot, cause error) bool {
+	s.flightRecord(slot, cause)
 	stats := s.metrics.replicas[slot.idx]
 	stats.health.Store(replicaRestarting)
 	s.live.Add(-1)
@@ -612,6 +628,43 @@ func (s *Server) recycle(slot *replicaSlot) bool {
 		s.cfg.Logf("stapd: replica %d restarted (restart %d, budget %d)", slot.idx, n+1, s.cfg.RestartBudget)
 		return true
 	}
+}
+
+// flightRecord dumps a fatally-failed slot's final telemetry — the span
+// journal, slow-CPI log and, for distributed slots, link state and the
+// last federated node snapshots — to FlightDir. No-op without one.
+func (s *Server) flightRecord(slot *replicaSlot, cause error) {
+	if s.cfg.FlightDir == "" {
+		return
+	}
+	slot.mu.Lock()
+	st, col := slot.st, slot.col
+	slot.mu.Unlock()
+	session := ""
+	var links []dist.LinkStats
+	if r, ok := st.(*dist.Replica); ok {
+		session = r.Session()
+		links = r.LinkStats()
+	}
+	reason := "unknown"
+	if cause != nil {
+		reason = cause.Error()
+	}
+	rec := obs.NewFlightRecord(fmt.Sprintf("stapd-replica-%d", slot.idx), session, reason, col)
+	if len(links) > 0 {
+		rec.Links = links
+	}
+	if s.fed != nil {
+		if snaps := s.fed.snapshots(slot.idx); len(snaps) > 0 {
+			rec.Nodes = snaps
+		}
+	}
+	path, err := obs.WriteFlightRecord(s.cfg.FlightDir, rec)
+	if err != nil {
+		s.cfg.Logf("stapd: replica %d flight record: %v", slot.idx, err)
+		return
+	}
+	s.cfg.Logf("stapd: replica %d flight record written to %s", slot.idx, path)
 }
 
 // drainDead answers queued jobs once no replica is live, so admitted work
@@ -684,6 +737,9 @@ func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error)
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
 		s.admitting.Store(false)
+		// The federation poller dials replica slots; stop it before the
+		// pool starts tearing them down.
+		s.stopFederation()
 		if s.ln != nil {
 			s.ln.Close()
 		}

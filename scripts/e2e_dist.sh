@@ -3,9 +3,12 @@
 # coordinator as separate OS processes on loopback, one distributed
 # replica split 0-2/3-6 across them, load pushed through stapload with
 # bit-exact verification against the serial reference (-check makes any
-# mismatch a non-zero exit). Asserts the per-link transport counters
-# surface on the Prometheus exposition and that everything shuts down
-# cleanly. Run from the repository root.
+# mismatch a non-zero exit). Asserts the per-link transport counters and
+# the cluster observability surfaces: node-local /metrics.prom, the
+# federated stapd_node_*/stapd_cluster_* series, the clock-corrected
+# merged /cluster/trace.json with spans from both nodes, and — in a
+# second phase — the flight record a hard node kill leaves behind.
+# Run from the repository root.
 set -euo pipefail
 
 WORK=$(mktemp -d)
@@ -21,15 +24,20 @@ go build -o "$WORK/stapd" ./cmd/stapd
 go build -o "$WORK/stapnode" ./cmd/stapnode
 go build -o "$WORK/stapload" ./cmd/stapload
 
-"$WORK/stapnode" -listen 127.0.0.1:7441 -secret "$SECRET" >"$WORK/node1.log" 2>&1 &
+FLIGHT="$WORK/flight"
+mkdir -p "$FLIGHT"
+
+"$WORK/stapnode" -listen 127.0.0.1:7441 -secret "$SECRET" \
+  -obs 127.0.0.1:7443 -name node1 -flightdir "$FLIGHT" >"$WORK/node1.log" 2>&1 &
 NODE1_PID=$!
-"$WORK/stapnode" -listen 127.0.0.1:7442 -secret "$SECRET" >"$WORK/node2.log" 2>&1 &
+"$WORK/stapnode" -listen 127.0.0.1:7442 -secret "$SECRET" \
+  -obs 127.0.0.1:7444 -name node2 -flightdir "$FLIGHT" >"$WORK/node2.log" 2>&1 &
 NODE2_PID=$!
 sleep 0.5
 
 "$WORK/stapd" -listen 127.0.0.1:7431 -metrics 127.0.0.1:7432 -size small \
   -replicas 0 -distnodes 127.0.0.1:7441,127.0.0.1:7442 -distsecret "$SECRET" \
-  -placement 0-2/3-6 -cpitimeout 60s >"$WORK/stapd.log" 2>&1 &
+  -placement 0-2/3-6 -cpitimeout 60s -flightdir "$FLIGHT" >"$WORK/stapd.log" 2>&1 &
 STAPD_PID=$!
 
 for i in $(seq 1 50); do
@@ -52,6 +60,33 @@ grep '^stapd_link_messages_sent_total{replica="0",member="1"} ' "$WORK/metrics.p
 grep '^stapd_link_messages_received_total{replica="0",member="2"} ' "$WORK/metrics.prom" | grep -v ' 0$'
 grep -q '^stapd_jobs_completed_total 8$' "$WORK/metrics.prom"
 
+# Each node serves its own telemetry: worker CPI counters must be nonzero
+# on the node-local exposition.
+curl -sf http://127.0.0.1:7443/metrics.prom >"$WORK/node1.prom"
+grep '^stap_cpis_total' "$WORK/node1.prom" | grep -qv ' 0$'
+
+# Federation: stapd's poller (1s interval) must surface both nodes up and
+# a nonzero merged eq. (1) throughput gauge.
+FED_OK=0
+for i in $(seq 1 30); do
+  curl -sf http://127.0.0.1:7432/metrics.prom >"$WORK/metrics.prom"
+  if grep -q '^stapd_node_up{replica="0",node="1"} 1$' "$WORK/metrics.prom" &&
+     grep -q '^stapd_node_up{replica="0",node="2"} 1$' "$WORK/metrics.prom" &&
+     grep '^stapd_cluster_eq1_throughput_cpis_per_sec{replica="0"} ' "$WORK/metrics.prom" | grep -qv ' 0$'; then
+    FED_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$FED_OK" = 1 ] || { echo "federated node/cluster gauges never went live"; cat "$WORK/metrics.prom"; exit 1; }
+grep -q '^stapd_node_clock_offset_seconds{replica="0",node="1"} ' "$WORK/metrics.prom"
+
+# The merged clock-corrected trace carries traced spans from both nodes.
+curl -sf http://127.0.0.1:7432/cluster/trace.json >"$WORK/cluster.trace.json"
+grep -q '"r0/n1/' "$WORK/cluster.trace.json"
+grep -q '"r0/n2/' "$WORK/cluster.trace.json"
+grep -q '"trace"' "$WORK/cluster.trace.json"
+
 kill -TERM "$STAPD_PID"
 wait "$STAPD_PID"
 unset STAPD_PID
@@ -59,4 +94,55 @@ kill -TERM "$NODE1_PID" "$NODE2_PID"
 wait "$NODE1_PID" "$NODE2_PID"
 unset NODE1_PID NODE2_PID
 grep -q 'ended (graceful)' "$WORK/node1.log"
+# The orderly shutdown flushed each node's final telemetry, and the
+# graceful path wrote no fault flight records.
+[ -s "$FLIGHT/stapnode-final.snapshot.json" ]
+if ls "$FLIGHT"/flightrec-*.json >/dev/null 2>&1; then
+  echo "graceful run left flight records behind"; exit 1
+fi
+
+# Phase 2: same trio on fresh ports, then a hard kill of node 2 mid-fleet.
+# The replica loss must leave a fault flight record in -flightdir.
+"$WORK/stapnode" -listen 127.0.0.1:7451 -secret "$SECRET" \
+  -obs 127.0.0.1:7453 -name node1 -flightdir "$FLIGHT" >"$WORK/node1b.log" 2>&1 &
+NODE1_PID=$!
+"$WORK/stapnode" -listen 127.0.0.1:7452 -secret "$SECRET" \
+  -obs 127.0.0.1:7454 -name node2 -flightdir "$FLIGHT" >"$WORK/node2b.log" 2>&1 &
+NODE2_PID=$!
+sleep 0.5
+"$WORK/stapd" -listen 127.0.0.1:7433 -metrics 127.0.0.1:7434 -size small \
+  -replicas 0 -distnodes 127.0.0.1:7451,127.0.0.1:7452 -distsecret "$SECRET" \
+  -placement 0-2/3-6 -cpitimeout 60s -restartbudget 1 -flightdir "$FLIGHT" \
+  >"$WORK/stapd2.log" 2>&1 &
+STAPD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:7434/metrics >/dev/null && break
+  sleep 0.2
+done
+"$WORK/stapload" -addr 127.0.0.1:7433 -rate 20 -jobs 2 -cpis 2 \
+  -maxretries 10 >/dev/null 2>&1 || true
+
+kill -9 "$NODE2_PID"
+wait "$NODE2_PID" 2>/dev/null || true
+unset NODE2_PID
+"$WORK/stapload" -addr 127.0.0.1:7433 -rate 20 -jobs 1 -cpis 2 \
+  -maxretries 3 >/dev/null 2>&1 || true
+
+REC_OK=0
+for i in $(seq 1 60); do
+  if ls "$FLIGHT"/flightrec-*.json >/dev/null 2>&1; then
+    REC_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$REC_OK" = 1 ] || { echo "no flight record after node kill"; cat "$WORK/stapd2.log"; exit 1; }
+grep -q '"reason"' "$FLIGHT"/flightrec-*.json
+
+kill -TERM "$STAPD_PID" 2>/dev/null || true
+wait "$STAPD_PID" 2>/dev/null || true
+unset STAPD_PID
+kill -TERM "$NODE1_PID" 2>/dev/null || true
+wait "$NODE1_PID" 2>/dev/null || true
+unset NODE1_PID
 echo "distributed e2e smoke passed"
