@@ -10,14 +10,22 @@
 // the live paper eq. 1-3 gauges plus federated stapd_node_* series and
 // cluster-merged stapd_cluster_* gauges when distributed), /trace.json
 // (Perfetto-loadable Chrome trace of the replicas' recent spans),
-// /cluster/trace.json (the clock-corrected merged cross-node trace) and
-// /debug/pprof (Go profiles).
+// /cluster/trace.json (the clock-corrected merged cross-node trace),
+// /plan (the placement planner's current-vs-recommended report, see
+// internal/plan) and /debug/pprof (Go profiles).
+//
+// A signed plan file from stapplan can drive the whole configuration:
+// -planfile adopts its worker assignment and, when the file names
+// stapnode addresses, builds the distributed cluster from them. With
+// -replan the daemon re-optimizes the placement online from observed
+// timings and rolls distributed replicas onto it when the model drifts.
 //
 // Usage:
 //
 //	stapd -listen :7431 -metrics :7432 -size small -replicas 2
 //	stapd -nodes 4,2,4,2,2,4,2 -queue 8 -tracedir /tmp/traces
 //	stapd -replicas 0 -distnodes host1:7441,host2:7441 -distsecret s -placement 0-2/3-6
+//	stapd -replicas 0 -planfile plan.json -distsecret s -replan
 //
 // Stop with SIGINT/SIGTERM; in-flight jobs drain within -drain, then a
 // final metrics snapshot goes to stderr (and a final trace to -tracedir
@@ -43,6 +51,7 @@ import (
 	"pstap/internal/dist"
 	"pstap/internal/fault"
 	"pstap/internal/pipeline"
+	"pstap/internal/plan"
 	"pstap/internal/radar"
 	"pstap/internal/serve"
 )
@@ -67,6 +76,11 @@ var (
 	flagPlacement  = flag.String("placement", "", "task ranges per stapnode, e.g. '0-2/3-6' (empty = even split)")
 	flagDistSecret = flag.String("distsecret", "", "shared cluster secret for -distnodes (required with it)")
 	flagHeartbeat  = flag.Duration("heartbeat", 0, "distributed link heartbeat interval (0 = default)")
+
+	flagPlanFile    = flag.String("planfile", "", "signed stapplan file to adopt: assignment, and cluster when it names nodes (requires -distsecret, excludes -nodes/-distnodes)")
+	flagReplan      = flag.Bool("replan", false, "re-optimize placement online and roll distributed replicas when the model drifts")
+	flagReplanInt   = flag.Duration("replaninterval", 0, "replanner evaluation interval (0 = default 2s)")
+	flagReplanDrift = flag.Float64("replandrift", 0, "fractional period drift that triggers a replan (0 = default 0.25)")
 
 	flagCPITimeout = flag.Duration("cpitimeout", 0, "per-CPI processing deadline; a stalled replica is reaped and recycled (0 disables)")
 	flagFaultPlan  = flag.String("faultplan", "", "fault injection plan, e.g. 'doppler:0:3:panic; cfar:*:*:slow(10ms)*@0.1' (see internal/fault)")
@@ -117,18 +131,68 @@ func main() {
 	sc := radar.DefaultScene(p)
 	sc.Seed = *flagSeed
 
-	var plan *fault.Plan
+	var fplan *fault.Plan
 	if *flagFaultPlan != "" {
-		plan, err = fault.ParsePlan(*flagFaultPlan)
+		fplan, err = fault.ParsePlan(*flagFaultPlan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		log.Printf("fault injection armed: %s (seed %d)", plan, *flagFaultSeed)
+		log.Printf("fault injection armed: %s (seed %d)", fplan, *flagFaultSeed)
+	}
+
+	// A signed plan file supplies the assignment (and the cluster, when
+	// it names nodes) instead of -nodes/-distnodes/-placement.
+	var planNodes []string
+	var planPlacement dist.Placement
+	if *flagPlanFile != "" {
+		if *flagDistSecret == "" {
+			fmt.Fprintln(os.Stderr, "-planfile requires -distsecret (verifies the plan signature)")
+			os.Exit(2)
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"nodes", "distnodes", "placement"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "-planfile and -%s are mutually exclusive: the plan file supplies it\n", name)
+				os.Exit(2)
+			}
+		}
+		pf, perr := plan.ReadFile(*flagPlanFile)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(2)
+		}
+		if !pf.Verify([]byte(*flagDistSecret)) {
+			fmt.Fprintf(os.Stderr, "plan file %s does not verify under -distsecret\n", *flagPlanFile)
+			os.Exit(2)
+		}
+		if a, err = pf.Assignment(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if planPlacement, err = pf.ParsedPlacement(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		planNodes = pf.Nodes
+		log.Printf("plan %s adopted: assign %s, predicted period %.6fs",
+			*flagPlanFile, a, pf.Predicted.PeriodSec)
 	}
 
 	var clusters []dist.ClusterConfig
-	if *flagDistNodes != "" {
+	if len(planNodes) > 0 {
+		clusters = append(clusters, dist.ClusterConfig{
+			Name:      "dist0",
+			Nodes:     planNodes,
+			Placement: planPlacement,
+			Secret:    []byte(*flagDistSecret),
+			Heartbeat: *flagHeartbeat,
+			FaultPlan: *flagFaultPlan,
+			Seed:      *flagFaultSeed,
+		})
+		log.Printf("distributed replica: %d stapnodes from plan file", len(planNodes))
+	} else if *flagDistNodes != "" {
 		if *flagDistSecret == "" {
 			fmt.Fprintln(os.Stderr, "-distnodes requires -distsecret")
 			os.Exit(2)
@@ -151,7 +215,9 @@ func main() {
 			FaultPlan: *flagFaultPlan,
 			Seed:      *flagFaultSeed,
 		})
-		log.Printf("distributed replica: %d stapnodes, placement %s", len(nodes), placement)
+		// Connect logs the live placement with the manifest signature
+		// prefix; logging it here too would just duplicate the spec.
+		log.Printf("distributed replica: %d stapnodes configured", len(nodes))
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -167,11 +233,14 @@ func main() {
 		ObsWindow:      *flagObsWin,
 		SlowMultiple:   *flagSlowMult,
 		CPITimeout:     *flagCPITimeout,
-		FaultPlan:      plan,
+		FaultPlan:      fplan,
 		FaultSeed:      *flagFaultSeed,
 		RestartBudget:  *flagRestarts,
 		RestartBackoff: *flagBackoff,
 		FlightDir:      *flagFlightDir,
+		Replan:         *flagReplan,
+		ReplanInterval: *flagReplanInt,
+		ReplanDrift:    *flagReplanDrift,
 		Logf:           log.Printf,
 	})
 	if err != nil {
@@ -189,6 +258,7 @@ func main() {
 		mux.Handle("/metrics.prom", srv.PromHandler())
 		mux.Handle("/trace.json", srv.TraceHandler())
 		mux.Handle("/cluster/trace.json", srv.ClusterTraceHandler())
+		mux.Handle("/plan", srv.PlanHandler())
 		// net/http/pprof registers only on http.DefaultServeMux; mount the
 		// same profiles on this mux explicitly.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -201,7 +271,7 @@ func main() {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
-		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /debug/pprof for profiles)", *flagMetrics)
+		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /plan for the planner, /debug/pprof for profiles)", *flagMetrics)
 	}
 
 	sig := make(chan os.Signal, 1)

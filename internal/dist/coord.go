@@ -177,8 +177,8 @@ func (c *ClusterConfig) Connect() (*Replica, error) {
 	if err != nil {
 		return fail(err)
 	}
-	cfg.Logf("dist: cluster %s session %s live: %d nodes, placement %s",
-		cfg.Name, session, len(cfg.Nodes), cfg.Placement)
+	cfg.Logf("dist: cluster %s session %s live: %d nodes, placement %s, manifest %s",
+		cfg.Name, session, len(cfg.Nodes), cfg.Placement, man.SigPrefix())
 	return &Replica{cluster: cfg.Name, session: session, nodes: cfg.Nodes, st: st, tr: tr, world: world}, nil
 }
 

@@ -45,7 +45,7 @@ func ParsePlacement(s string, nodes int) (Placement, error) {
 		l, err1 := strconv.Atoi(strings.TrimSpace(lo))
 		h, err2 := strconv.Atoi(strings.TrimSpace(hi))
 		if err1 != nil || err2 != nil {
-			return nil, fmt.Errorf("dist: placement range %q: want lo-hi", part)
+			return nil, fmt.Errorf("dist: placement %q: node %d range %q: want k or lo-hi", s, i+1, part)
 		}
 		p[i] = [2]int{l, h}
 	}
@@ -178,6 +178,16 @@ func (m *Manifest) Placement() Placement {
 		p[i] = n.Tasks
 	}
 	return p
+}
+
+// SigPrefix returns a short hex prefix of the manifest signature for log
+// correlation: the coordinator and every node print it, so one grep ties
+// a session's lines together across machines. "unsigned" before Sign.
+func (m *Manifest) SigPrefix() string {
+	if len(m.Sig) < 4 {
+		return "unsigned"
+	}
+	return hex.EncodeToString(m.Sig[:4])
 }
 
 // signingBytes is the canonical byte form the signature covers.

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"encoding/hex"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,6 +47,70 @@ func TestPlacementParseValidateOwners(t *testing.T) {
 		if err == nil {
 			t.Errorf("ParsePlacement(%q) accepted", bad)
 		}
+	}
+
+	// Single-task ranges may be written without the dash, and round-trip
+	// through String in the same shorthand.
+	p3, err := ParsePlacement("0-4/5/6", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3[1] != [2]int{5, 5} || p3[2] != [2]int{6, 6} {
+		t.Errorf("bare single-task ranges parsed as %v", p3)
+	}
+	if got := p3.String(); got != "0-4/5/6" {
+		t.Errorf("String = %q, want 0-4/5/6", got)
+	}
+}
+
+func TestParsePlacementErrorNamesNode(t *testing.T) {
+	// Malformed range syntax must point at the offending node so a
+	// many-node spec is debuggable from the message alone.
+	for _, tc := range []struct {
+		spec string
+		node string // 1-based index expected in the error
+	}{
+		{"x-2/3-6", "node 1"},
+		{"0-2/3-y", "node 2"},
+		{"0-2/3-", "node 2"},
+		{"-2/3-6", "node 1"},
+		{"0-1/2-3/q-6", "node 3"},
+		{"0-2/ /3-6", "node 2"},
+	} {
+		_, err := ParsePlacement(tc.spec, strings.Count(tc.spec, "/")+1)
+		if err == nil {
+			t.Errorf("ParsePlacement(%q) accepted", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.node) {
+			t.Errorf("ParsePlacement(%q) error %q does not name %s", tc.spec, err, tc.node)
+		}
+		if !strings.Contains(err.Error(), tc.spec) {
+			t.Errorf("ParsePlacement(%q) error %q does not quote the spec", tc.spec, err)
+		}
+	}
+}
+
+func TestManifestSigPrefix(t *testing.T) {
+	p, _ := ParsePlacement("0-2/3-6", 2)
+	man := &Manifest{
+		Session: "abc123",
+		Scene:   radar.DefaultScene(radar.Small()),
+		Assign:  pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1),
+		Nodes:   []NodeSpec{{Addr: "a:1", Tasks: p[0]}, {Addr: "b:2", Tasks: p[1]}},
+	}
+	if got := man.SigPrefix(); got != "unsigned" {
+		t.Errorf("unsigned manifest SigPrefix = %q", got)
+	}
+	if err := man.Sign([]byte("s3cret")); err != nil {
+		t.Fatal(err)
+	}
+	got := man.SigPrefix()
+	if len(got) != 8 {
+		t.Errorf("SigPrefix %q, want 8 hex chars", got)
+	}
+	if got != hex.EncodeToString(man.Sig[:4]) {
+		t.Errorf("SigPrefix %q does not match Sig prefix", got)
 	}
 
 	a := pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1)

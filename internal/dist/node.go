@@ -371,9 +371,9 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 			tr.linkDied(l, werr)
 		}
 	}
-	logf("stapnode: session %s: member %d hosting tasks %d-%d (%d ranks) ready",
+	logf("stapnode: session %s: member %d hosting tasks %d-%d (%d ranks) ready, manifest %s",
 		s.id, s.member, placement[s.member-1][0], placement[s.member-1][1],
-		placement.HostedRanks(man.Assign, s.member).N)
+		placement.HostedRanks(man.Assign, s.member).N, man.SigPrefix())
 
 	<-world.Done()
 

@@ -352,6 +352,80 @@ func TestSimulateReplicated(t *testing.T) {
 	mo.SimulateReplicated(case3, 0)
 }
 
+func TestHostScalePeriodIsMaxBusy(t *testing.T) {
+	// The non-paper machine profile must obey the model's core invariant
+	// for asymmetric assignments too: the simulated period is exactly the
+	// largest per-task busy time, throughput its inverse, and every
+	// task's steady-state total equals the period (idle absorbed into the
+	// receive phase).
+	mo := NewModel(HostScale(), radar.Small())
+	asymmetric := []pipeline.Assignment{
+		pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		pipeline.NewAssignment(5, 1, 2, 1, 1, 3, 9),
+		pipeline.NewAssignment(2, 7, 1, 4, 1, 1, 16),
+		pipeline.NewAssignment(12, 1, 1, 1, 1, 1, 1),
+	}
+	for _, a := range asymmetric {
+		res := mo.Simulate(a)
+		var maxBusy float64
+		for task := 0; task < pipeline.NumTasks; task++ {
+			if b := mo.Busy(task, a); b > maxBusy {
+				maxBusy = b
+			}
+		}
+		if math.Abs(res.Period-maxBusy) > 1e-15*maxBusy {
+			t.Errorf("%v: period %g != max busy %g", a, res.Period, maxBusy)
+		}
+		if math.Abs(res.Throughput*res.Period-1) > 1e-12 {
+			t.Errorf("%v: throughput %g not 1/period", a, res.Throughput)
+		}
+		for task, ts := range res.Tasks {
+			if ts.Total < res.Period-1e-15 {
+				t.Errorf("%v task %d: total %g below period %g", a, task, ts.Total, res.Period)
+			}
+		}
+	}
+}
+
+func TestOverheadSeamRaisesBusyAndPeriod(t *testing.T) {
+	// OverheadSec is the calibration seam internal/plan fits online: a
+	// per-task additive cost independent of the node count. Injecting it
+	// on one task must raise exactly that task's busy time, and the
+	// period once the overhead makes it the bottleneck.
+	m := HostScale()
+	a := pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1)
+	base := NewModel(m, radar.Small()).Simulate(a)
+	const ovh = 0.030
+	m.OverheadSec[pipeline.TaskCFAR] = ovh
+	mo := NewModel(m, radar.Small())
+	for task := 0; task < pipeline.NumTasks; task++ {
+		clean := m
+		clean.OverheadSec = [7]float64{}
+		want := NewModel(clean, radar.Small()).Busy(task, a)
+		if task == pipeline.TaskCFAR {
+			want += ovh
+		}
+		if got := mo.Busy(task, a); math.Abs(got-want) > 1e-15 {
+			t.Errorf("task %d busy %g, want %g", task, got, want)
+		}
+	}
+	res := mo.Simulate(a)
+	if res.Period < base.Period+ovh/2 {
+		t.Errorf("overhead on CFAR did not move the period: %g -> %g", base.Period, res.Period)
+	}
+	// Node count does not dilute the overhead.
+	b := a
+	b[pipeline.TaskCFAR] *= 8
+	d := mo.Busy(pipeline.TaskCFAR, b) - NewModel(func() Machine {
+		c := m
+		c.OverheadSec = [7]float64{}
+		return c
+	}(), radar.Small()).Busy(pipeline.TaskCFAR, b)
+	if math.Abs(d-ovh) > 1e-12 {
+		t.Errorf("overhead at 8x nodes %g, want constant %g", d, ovh)
+	}
+}
+
 func TestCompTimePanicsOnZeroNodes(t *testing.T) {
 	defer func() {
 		if recover() == nil {

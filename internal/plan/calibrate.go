@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"time"
+
+	"pstap/internal/obs"
+	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+// Observation is one task's digest of observed per-CPI worker spans
+// over the gauge window. Comp and Send are means — both are idle-free
+// on this runtime (mp sends are buffered and never block). Recv is the
+// MINIMUM receive phase across the window's spans, not the mean: in
+// steady state every task's observed total equals the pipeline period
+// because idle parks in the receive phase, so mean receive says nothing
+// about intrinsic cost; the window minimum (a CPI that was already
+// buffered when the worker looped) bounds the intrinsic receive cost —
+// and keeps a fault-slowed task visible, since an injected delay lands
+// in every one of its receive phases, floor included.
+type Observation struct {
+	Recv, Comp, Send float64 // seconds
+	Total            float64 // mean full-span seconds (≈ observed period)
+	Samples          int
+}
+
+// Busy returns the observation's idle-free busy-time estimate.
+func (o Observation) Busy() float64 { return o.Recv + o.Comp + o.Send }
+
+// ObserveJournal digests a span journal (one collector's, or the
+// cluster-merged clock-corrected one) into per-task observations over
+// the last window distinct CPIs (default 32, like obs.ComputeGauges).
+// ok is false unless every pipeline task journaled at least one span —
+// a partial journal (federation still warming up, a node down) must not
+// drive calibration.
+func ObserveJournal(window int, evs []obs.SpanEvent) (o [pipeline.NumTasks]Observation, ok bool) {
+	if window <= 0 {
+		window = 32
+	}
+	seen := make(map[int]struct{})
+	for _, ev := range evs {
+		if ev.Task >= 0 && ev.Task < pipeline.NumTasks {
+			seen[ev.CPI] = struct{}{}
+		}
+	}
+	if len(seen) == 0 {
+		return o, false
+	}
+	cpis := make([]int, 0, len(seen))
+	for cpi := range seen {
+		cpis = append(cpis, cpi)
+	}
+	// Keep the highest `window` CPI indices.
+	for len(cpis) > window {
+		lo, at := cpis[0], 0
+		for i, c := range cpis {
+			if c < lo {
+				lo, at = c, i
+			}
+		}
+		cpis[at] = cpis[len(cpis)-1]
+		cpis = cpis[:len(cpis)-1]
+	}
+	keep := make(map[int]struct{}, len(cpis))
+	for _, c := range cpis {
+		keep[c] = struct{}{}
+	}
+	var recvMin, compSum, sendSum, totSum [pipeline.NumTasks]int64
+	for _, ev := range evs {
+		if ev.Task < 0 || ev.Task >= pipeline.NumTasks {
+			continue
+		}
+		if _, k := keep[ev.CPI]; !k {
+			continue
+		}
+		t := ev.Task
+		if r := ev.T1 - ev.T0; o[t].Samples == 0 || r < recvMin[t] {
+			recvMin[t] = r
+		}
+		compSum[t] += ev.T2 - ev.T1
+		sendSum[t] += ev.T3 - ev.T2
+		totSum[t] += ev.T3 - ev.T0
+		o[t].Samples++
+	}
+	sec := func(ns int64) float64 { return float64(ns) / float64(time.Second) }
+	ok = true
+	for t := range o {
+		n := o[t].Samples
+		if n == 0 {
+			ok = false
+			continue
+		}
+		o[t].Recv = sec(recvMin[t])
+		o[t].Comp = sec(compSum[t] / int64(n))
+		o[t].Send = sec(sendSum[t] / int64(n))
+		o[t].Total = sec(totSum[t] / int64(n))
+	}
+	return o, ok
+}
+
+// commScaleClamp bounds the per-step multiplicative correction of the
+// communication coefficients, so one garbage window cannot blow the
+// model up.
+const commScaleClamp = 64.0
+
+// Calibrate refits a machine's cost constants from observed span phases
+// under the assignment that produced them, blending each correction by
+// alpha (1 = adopt the implied value outright, smaller = EWMA toward
+// it; out-of-range values mean 1). Three seams are fit:
+//
+//   - per-task compute rates, from the observed compute means against
+//     the model's flop counts;
+//   - one multiplicative communication scale across the pack, unpack,
+//     transfer and startup coefficients, from aggregate observed vs
+//     predicted send time (send is idle-free, so the ratio is clean);
+//   - per-task OverheadSec, the non-negative residual of the observed
+//     busy estimate (min-recv + comp + send) over the refit model —
+//     this is what absorbs costs outside the flops/bytes model and
+//     makes predicted busy converge to observed busy exactly where the
+//     model underpredicts.
+//
+// Tasks with no samples keep their seed constants.
+func Calibrate(m paragon.Machine, p radar.Params, a pipeline.Assignment, o [pipeline.NumTasks]Observation, alpha float64) paragon.Machine {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	mo := paragon.NewModel(m, p)
+	out := m
+
+	flops := mo.F.PerTask()
+	for t := range o {
+		if o[t].Samples == 0 || o[t].Comp <= 0 || a[t] <= 0 {
+			continue
+		}
+		implied := float64(flops[t]) / (float64(a[t]) * o[t].Comp)
+		out.TaskRate[t] = (1-alpha)*m.TaskRate[t] + alpha*implied
+	}
+
+	var obsSend, predSend float64
+	for t := range o {
+		if o[t].Samples == 0 {
+			continue
+		}
+		obsSend += o[t].Send
+		predSend += mo.PackTime(t, a[t])
+	}
+	if obsSend > 0 && predSend > 0 {
+		f := obsSend / predSend
+		if f > commScaleClamp {
+			f = commScaleClamp
+		}
+		if f < 1/commScaleClamp {
+			f = 1 / commScaleClamp
+		}
+		f = (1 - alpha) + alpha*f
+		out.PackReorgSecPB *= f
+		out.PackLinSecPB *= f
+		out.UnpackSecPB *= f
+		out.TransferSecPB *= f
+		out.StartupSec *= f
+	}
+
+	// Overhead residual against the refit model with overhead zeroed, so
+	// stale overhead never feeds back into its own estimate.
+	base := out
+	base.OverheadSec = [pipeline.NumTasks]float64{}
+	mb := paragon.NewModel(base, p)
+	for t := range o {
+		if o[t].Samples == 0 {
+			continue
+		}
+		resid := o[t].Busy() - mb.Busy(t, a)
+		if resid < 0 {
+			resid = 0
+		}
+		out.OverheadSec[t] = (1-alpha)*m.OverheadSec[t] + alpha*resid
+	}
+	return out
+}

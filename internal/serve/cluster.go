@@ -24,8 +24,8 @@ import (
 // cluster-wide eq. (1)-(3) gauges computed over the merged timeline.
 
 // nodePollInterval is how often the federation poller refreshes each
-// node's snapshot.
-const nodePollInterval = time.Second
+// node's snapshot (a variable so tests can tighten the loop).
+var nodePollInterval = time.Second
 
 // nodeState is the last federated view of one node: its snapshot, the
 // coordinator link's clock-offset and RTT estimates at poll time, and
@@ -105,10 +105,12 @@ func (s *Server) pollNodes() {
 		}
 		for member, addr := range rep.NodeObs() {
 			st := s.fed.state(slot.idx, member)
+			s.fed.mu.Lock()
 			st.Addr = addr
 			if ls, ok := offsets[member]; ok {
 				st.OffsetNs, st.RTTNs = ls.OffsetNs, ls.RTTNs
 			}
+			s.fed.mu.Unlock()
 			var snap dist.NodeSnapshot
 			if err := s.fetchSnapshot(addr, &snap); err != nil {
 				s.fed.mu.Lock()

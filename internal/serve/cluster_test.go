@@ -95,10 +95,10 @@ func TestClusterFederationAndFlightRecorder(t *testing.T) {
 		Scene:  sc,
 		Assign: pipeline.NewAssignment(2, 1, 2, 1, 1, 2, 1),
 		DistClusters: []dist.ClusterConfig{{
-			Name:         "c0",
-			Nodes:        []string{addr1, addr2},
-			Placement:    placement,
-			Secret:       secret,
+			Name:      "c0",
+			Nodes:     []string{addr1, addr2},
+			Placement: placement,
+			Secret:    secret,
 			// Generous heartbeat: under -race the workers can starve the
 			// ping goroutines long enough to trip a tighter miss limit.
 			Heartbeat:    200 * time.Millisecond,

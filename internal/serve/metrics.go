@@ -31,6 +31,9 @@ type Metrics struct {
 	// timeout-triggered) — the two headline robustness counters.
 	workerFaults    atomic.Int64
 	replicaRestarts atomic.Int64
+	// replans counts planned placement rolls by the replanner (these do
+	// not charge restart budgets or count as replicaRestarts).
+	replans atomic.Int64
 
 	queueDepth func() int
 	// links, when set, resolves a replica slot's per-link transfer
@@ -129,6 +132,7 @@ type Snapshot struct {
 	CPIsProcessed   int64             `json:"cpis_processed"`
 	WorkerFaults    int64             `json:"worker_faults"`
 	ReplicaRestarts int64             `json:"replica_restarts"`
+	Replans         int64             `json:"replans_total"`
 	LiveReplicas    int               `json:"live_replicas"`
 	JobsPerSec      float64           `json:"jobs_per_sec"`
 	LatencyP50Ms    float64           `json:"latency_p50_ms"`
@@ -149,6 +153,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		CPIsProcessed:   m.cpis.Load(),
 		WorkerFaults:    m.workerFaults.Load(),
 		ReplicaRestarts: m.replicaRestarts.Load(),
+		Replans:         m.replans.Load(),
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()

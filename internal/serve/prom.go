@@ -42,6 +42,8 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	p.Sample("stapd_worker_faults_total", nil, float64(snap.WorkerFaults))
 	p.Head("stapd_replica_restarts_total", "counter", "Replica recycles after a fault or watchdog timeout.")
 	p.Sample("stapd_replica_restarts_total", nil, float64(snap.ReplicaRestarts))
+	p.Head("stapd_replans_total", "counter", "Planned placement rolls by the replanner.")
+	p.Sample("stapd_replans_total", nil, float64(snap.Replans))
 	p.Head("stapd_live_replicas", "gauge", "Replicas currently healthy and serving.")
 	p.Sample("stapd_live_replicas", nil, float64(snap.LiveReplicas))
 

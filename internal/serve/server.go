@@ -15,6 +15,7 @@ import (
 	"pstap/internal/dist"
 	"pstap/internal/fault"
 	"pstap/internal/obs"
+	"pstap/internal/paragon"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 	"pstap/internal/stap"
@@ -87,6 +88,25 @@ type Config struct {
 	// federated node snapshots to a flightrec-*.json here before the slot
 	// recycles.
 	FlightDir string
+	// PlanMachine seeds the placement planner's cost model (see
+	// internal/plan); nil uses the coarse host-scale profile,
+	// paragon.HostScale. The model re-calibrates online from the pool's
+	// observed span journals on every /plan report and replanner pass.
+	PlanMachine *paragon.Machine
+	// Replan enables the background replanner: every ReplanInterval the
+	// server re-observes each distributed slot, re-calibrates the cost
+	// model, and — when the observed steady-state period has drifted more
+	// than ReplanDrift away from the model's prediction and a re-split
+	// placement wins back enough of the predicted bottleneck — rolls the
+	// slot onto the recommended placement through the ordinary recycle
+	// machinery. The /plan endpoint reports without acting even when this
+	// is off.
+	Replan bool
+	// ReplanInterval is the replanner's pass period (default 2s).
+	ReplanInterval time.Duration
+	// ReplanDrift is the fractional observed-vs-predicted period drift
+	// that arms a roll (default 0.25).
+	ReplanDrift float64
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -122,6 +142,14 @@ type replicaSlot struct {
 	mu  sync.Mutex
 	st  Replica
 	col *obs.Collector
+
+	// gen counts the slot's replica incarnations. recycle refuses a
+	// caller whose observed generation is stale, so a planned placement
+	// roll and a job failure observed concurrently on the old incarnation
+	// cannot double-recycle the slot; recycleMu serializes the recycles
+	// themselves.
+	gen       atomic.Int64
+	recycleMu sync.Mutex
 
 	// nextAttempt is the unix-nano time of the slot's next restart
 	// attempt while it is restarting — the basis of honest retry-after
@@ -176,6 +204,9 @@ type Server struct {
 	// fed federates node telemetry when the pool has distributed slots
 	// (nil otherwise).
 	fed *federation
+	// planner holds the live cost-model calibration and, with
+	// Config.Replan, the background replanning loop (see plan.go).
+	planner *planner
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -225,6 +256,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RestartBackoff <= 0 {
 		cfg.RestartBackoff = 50 * time.Millisecond
 	}
+	if cfg.ReplanInterval <= 0 {
+		cfg.ReplanInterval = 2 * time.Second
+	}
+	if cfg.ReplanDrift <= 0 {
+		cfg.ReplanDrift = 0.25
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -256,6 +293,7 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.DistClusters) > 0 {
 		s.startFederation()
 	}
+	s.startPlanner()
 	for i := 0; i < total; i++ {
 		s.replWG.Add(1)
 		go s.replicaLoop(s.slots[i])
@@ -269,20 +307,24 @@ func New(cfg Config) (*Server, error) {
 // ones. Both paths return a new telemetry collector.
 func (s *Server) newSlotReplica(slot *replicaSlot) (Replica, *obs.Collector, error) {
 	if slot.cluster != nil {
-		return s.newDistReplica(slot.cluster)
+		return s.newDistReplica(slot)
 	}
 	return s.newReplica()
 }
 
-// newDistReplica connects one distributed replica across the cluster's
-// stapnodes, filling the pipeline parameters in from the server config.
-func (s *Server) newDistReplica(cluster *dist.ClusterConfig) (Replica, *obs.Collector, error) {
+// newDistReplica connects one distributed replica across the slot's
+// cluster, filling the pipeline parameters in from the server config. The
+// cluster config is copied under the slot lock because the replanner may
+// be rewriting its placement concurrently.
+func (s *Server) newDistReplica(slot *replicaSlot) (Replica, *obs.Collector, error) {
 	ocfg := pipeline.DefaultObsConfig(s.cfg.Assign)
 	ocfg.Window = s.cfg.ObsWindow
 	ocfg.SlowMultiple = s.cfg.SlowMultiple
 	ocfg.SlowLogf = s.cfg.Logf
 	col := obs.New(ocfg)
-	cc := *cluster
+	slot.mu.Lock()
+	cc := *slot.cluster
+	slot.mu.Unlock()
 	cc.Scene = s.cfg.Scene
 	cc.Assign = s.cfg.Assign
 	cc.Window = s.cfg.Window
@@ -518,6 +560,7 @@ func (s *Server) replicaLoop(slot *replicaSlot) {
 	defer s.replWG.Done()
 	stats := s.metrics.replicas[slot.idx]
 	for j := range s.queue {
+		gen := slot.gen.Load()
 		svcStart := time.Now()
 		dets, traceFile, err := s.process(slot, j.req)
 		svc := time.Since(svcStart)
@@ -544,7 +587,7 @@ func (s *Server) replicaLoop(slot *replicaSlot) {
 		}
 		s.metrics.observe(time.Since(j.enq))
 		j.done <- resp
-		if fatal && !s.recycle(slot, err) {
+		if fatal && !s.recycle(slot, gen, err) {
 			if s.live.Load() == 0 {
 				s.drainDead()
 			}
@@ -587,9 +630,28 @@ func (s *Server) classify(err error) (Status, bool) {
 // server is stopping) — the slot is then permanently dead. cause is the
 // fatal error that killed the replica; the flight recorder dumps the
 // slot's final telemetry under it before the old instance is discarded.
-func (s *Server) recycle(slot *replicaSlot, cause error) bool {
-	s.flightRecord(slot, cause)
+//
+// gen is the slot generation the caller observed its failure on: if the
+// slot has already been recycled past it (a planned roll raced a job
+// failure, or two failures raced each other) the call is a no-op that
+// just reports whether the slot came back. A planned roll
+// (cause errReplanRoll) skips the flight record and gets its first
+// reconnect attempt without backoff or budget charge — rolling is not a
+// fault; only a failed reconnect afterwards is.
+func (s *Server) recycle(slot *replicaSlot, gen int64, cause error) bool {
+	slot.recycleMu.Lock()
+	defer slot.recycleMu.Unlock()
 	stats := s.metrics.replicas[slot.idx]
+	if slot.gen.Load() != gen {
+		return stats.health.Load() == replicaLive
+	}
+	if stats.health.Load() == replicaDead {
+		return false
+	}
+	planned := errors.Is(cause, errReplanRoll)
+	if !planned {
+		s.flightRecord(slot, cause)
+	}
 	stats.health.Store(replicaRestarting)
 	s.live.Add(-1)
 	old := slot.stream()
@@ -598,6 +660,7 @@ func (s *Server) recycle(slot *replicaSlot, cause error) bool {
 		s.metrics.workerFaults.Add(1)
 		s.cfg.Logf("stapd: replica %d worker fault: %s", slot.idx, f)
 	}
+	first := true
 	for {
 		n := stats.restarts.Load()
 		if int(n) >= s.cfg.RestartBudget {
@@ -605,17 +668,22 @@ func (s *Server) recycle(slot *replicaSlot, cause error) bool {
 			s.cfg.Logf("stapd: replica %d dead: restart budget %d exhausted", slot.idx, s.cfg.RestartBudget)
 			return false
 		}
-		backoff := s.cfg.RestartBackoff << uint(min(n, 10))
-		slot.nextAttempt.Store(time.Now().Add(backoff).UnixNano())
-		select {
-		case <-time.After(backoff):
-		case <-s.stopping:
-			stats.health.Store(replicaDead)
-			return false
+		if !planned || !first {
+			backoff := s.cfg.RestartBackoff << uint(min(n, 10))
+			slot.nextAttempt.Store(time.Now().Add(backoff).UnixNano())
+			select {
+			case <-time.After(backoff):
+			case <-s.stopping:
+				stats.health.Store(replicaDead)
+				return false
+			}
 		}
 		st, col, err := s.newSlotReplica(slot)
-		stats.restarts.Add(1)
-		s.metrics.replicaRestarts.Add(1)
+		if !planned || !first {
+			stats.restarts.Add(1)
+			s.metrics.replicaRestarts.Add(1)
+		}
+		first = false
 		if err != nil {
 			s.cfg.Logf("stapd: replica %d restart failed: %v", slot.idx, err)
 			continue
@@ -623,9 +691,14 @@ func (s *Server) recycle(slot *replicaSlot, cause error) bool {
 		slot.mu.Lock()
 		slot.st, slot.col = st, col
 		slot.mu.Unlock()
+		slot.gen.Add(1)
 		stats.health.Store(replicaLive)
 		s.live.Add(1)
-		s.cfg.Logf("stapd: replica %d restarted (restart %d, budget %d)", slot.idx, n+1, s.cfg.RestartBudget)
+		if planned {
+			s.cfg.Logf("stapd: replica %d reconnected under new placement", slot.idx)
+		} else {
+			s.cfg.Logf("stapd: replica %d restarted (restart %d, budget %d)", slot.idx, n+1, s.cfg.RestartBudget)
+		}
 		return true
 	}
 }
@@ -737,8 +810,9 @@ func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error)
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
 		s.admitting.Store(false)
-		// The federation poller dials replica slots; stop it before the
-		// pool starts tearing them down.
+		// The replanner recycles slots and the federation poller dials
+		// them; stop both before the pool starts tearing them down.
+		s.stopPlanner()
 		s.stopFederation()
 		if s.ln != nil {
 			s.ln.Close()

@@ -6,8 +6,11 @@
 # mismatch a non-zero exit). Asserts the per-link transport counters and
 # the cluster observability surfaces: node-local /metrics.prom, the
 # federated stapd_node_*/stapd_cluster_* series, the clock-corrected
-# merged /cluster/trace.json with spans from both nodes, and — in a
-# second phase — the flight record a hard node kill leaves behind.
+# merged /cluster/trace.json with spans from both nodes, — in a
+# second phase — the flight record a hard node kill leaves behind, and —
+# in a third phase — the planner loop: stapplan emits a signed plan
+# file, stapd boots the whole cluster from it, the jobs stay bit-exact
+# and /plan serves a recommendation.
 # Run from the repository root.
 set -euo pipefail
 
@@ -23,6 +26,7 @@ trap cleanup EXIT
 go build -o "$WORK/stapd" ./cmd/stapd
 go build -o "$WORK/stapnode" ./cmd/stapnode
 go build -o "$WORK/stapload" ./cmd/stapload
+go build -o "$WORK/stapplan" ./cmd/stapplan
 
 FLIGHT="$WORK/flight"
 mkdir -p "$FLIGHT"
@@ -145,4 +149,55 @@ unset STAPD_PID
 kill -TERM "$NODE1_PID" 2>/dev/null || true
 wait "$NODE1_PID" 2>/dev/null || true
 unset NODE1_PID
+
+# Phase 3: plan-driven boot. stapplan searches the host-scale model,
+# emits a signed plan for two stapnodes, stapd adopts the whole
+# configuration from the file (-planfile), and the planned cluster must
+# still be bit-exact and serve a /plan recommendation.
+"$WORK/stapplan" -size small -machine host -nodes 10 \
+  -distnodes 127.0.0.1:7461,127.0.0.1:7462 -secret "$SECRET" \
+  -emit "$WORK/plan.json" >"$WORK/stapplan.log"
+grep -q 'plan written' "$WORK/stapplan.log"
+
+"$WORK/stapnode" -listen 127.0.0.1:7461 -secret "$SECRET" \
+  -obs 127.0.0.1:7463 -name node1 >"$WORK/node1c.log" 2>&1 &
+NODE1_PID=$!
+"$WORK/stapnode" -listen 127.0.0.1:7462 -secret "$SECRET" \
+  -obs 127.0.0.1:7464 -name node2 >"$WORK/node2c.log" 2>&1 &
+NODE2_PID=$!
+sleep 0.5
+"$WORK/stapd" -listen 127.0.0.1:7435 -metrics 127.0.0.1:7436 -size small \
+  -replicas 0 -planfile "$WORK/plan.json" -distsecret "$SECRET" \
+  -cpitimeout 60s >"$WORK/stapd3.log" 2>&1 &
+STAPD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:7436/metrics >/dev/null && break
+  sleep 0.2
+done
+grep -q 'plan .* adopted' "$WORK/stapd3.log"
+
+"$WORK/stapload" -addr 127.0.0.1:7435 -rate 20 -jobs 4 -cpis 2 \
+  -maxretries 10 -check -json "$WORK/report3.json"
+grep -q '"mismatched"' "$WORK/report3.json" && { echo "plan-driven mismatches"; exit 1; }
+grep -q '"ok"' "$WORK/report3.json"
+
+# After served jobs the planner calibrates and recommends.
+PLAN_OK=0
+for i in $(seq 1 30); do
+  curl -sf http://127.0.0.1:7436/plan >"$WORK/plan.report.json" || { sleep 0.5; continue; }
+  if grep -q '"calibrated": true' "$WORK/plan.report.json" &&
+     grep -q '"recommended"' "$WORK/plan.report.json"; then
+    PLAN_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$PLAN_OK" = 1 ] || { echo "/plan never calibrated"; cat "$WORK/plan.report.json"; exit 1; }
+
+kill -TERM "$STAPD_PID"
+wait "$STAPD_PID"
+unset STAPD_PID
+kill -TERM "$NODE1_PID" "$NODE2_PID"
+wait "$NODE1_PID" "$NODE2_PID"
+unset NODE1_PID NODE2_PID
 echo "distributed e2e smoke passed"
