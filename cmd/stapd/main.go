@@ -12,7 +12,10 @@
 // (Perfetto-loadable Chrome trace of the replicas' recent spans),
 // /cluster/trace.json (the clock-corrected merged cross-node trace),
 // /plan (the placement planner's current-vs-recommended report, see
-// internal/plan) and /debug/pprof (Go profiles).
+// internal/plan), /bottlenecks.json (the per-CPI critical-path
+// attribution report staptop renders live) and /debug/pprof (Go
+// profiles). The trace endpoints gzip their payloads when the client
+// accepts it.
 //
 // A signed plan file from stapplan can drive the whole configuration:
 // -planfile adopts its worker assignment and, when the file names
@@ -88,6 +91,7 @@ var (
 	flagRestarts   = flag.Int("restartbudget", 0, "max automatic restarts per replica slot (0 = default 5)")
 	flagBackoff    = flag.Duration("restartbackoff", 0, "base delay before restarting a dead replica, doubling per restart (0 = default 50ms)")
 	flagFlightDir  = flag.String("flightdir", "", "directory for fault flight records (empty disables)")
+	flagFlightKeep = flag.Int("flightkeep", 0, "flight records to retain in -flightdir, oldest pruned (0 = default 16)")
 )
 
 func parseNodes(s string) (pipeline.Assignment, error) {
@@ -238,6 +242,7 @@ func main() {
 		RestartBudget:  *flagRestarts,
 		RestartBackoff: *flagBackoff,
 		FlightDir:      *flagFlightDir,
+		FlightKeep:     *flagFlightKeep,
 		Replan:         *flagReplan,
 		ReplanInterval: *flagReplanInt,
 		ReplanDrift:    *flagReplanDrift,
@@ -259,6 +264,7 @@ func main() {
 		mux.Handle("/trace.json", srv.TraceHandler())
 		mux.Handle("/cluster/trace.json", srv.ClusterTraceHandler())
 		mux.Handle("/plan", srv.PlanHandler())
+		mux.Handle("/bottlenecks.json", srv.BottlenecksHandler())
 		// net/http/pprof registers only on http.DefaultServeMux; mount the
 		// same profiles on this mux explicitly.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -271,7 +277,7 @@ func main() {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
-		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /plan for the planner, /debug/pprof for profiles)", *flagMetrics)
+		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /plan for the planner, /bottlenecks.json for attribution, /debug/pprof for profiles)", *flagMetrics)
 	}
 
 	sig := make(chan os.Signal, 1)

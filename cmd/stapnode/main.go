@@ -14,10 +14,12 @@
 //
 // With -obs, the agent serves its telemetry over HTTP: /metrics.prom
 // (Prometheus exposition of the session collector), /snapshot.json (the
-// raw span journal and link state stapd federates), /trace.json (a
-// per-node Perfetto trace) and /debug/pprof. The obs address is
-// advertised to the coordinator on the ready frame. With -flightdir, a
-// session that dies of a fault dumps a flight record there.
+// raw span journal, wire-cost journal and link state stapd federates),
+// /trace.json (a per-node Perfetto trace, gzip when accepted),
+// /bottlenecks.json (the node-local attribution report) and
+// /debug/pprof. The obs address is advertised to the coordinator on the
+// ready frame. With -flightdir, a session that dies of a fault dumps a
+// flight record there (-flightkeep bounds how many are retained).
 //
 // A stapd with matching -distnodes/-distsecret flags (or any
 // dist.ClusterConfig) drives a set of these agents as one pipeline
@@ -42,13 +44,14 @@ import (
 )
 
 var (
-	flagListen    = flag.String("listen", ":7441", "agent listen address")
-	flagSecret    = flag.String("secret", "", "shared cluster secret (must match the coordinator)")
-	flagWindow    = flag.Int("window", 0, "per-link credit window (0 = default)")
-	flagObs       = flag.String("obs", "", "telemetry HTTP listen address (empty disables)")
-	flagName      = flag.String("name", "", "node label in traces and flight records (default: listen address)")
-	flagObsWin    = flag.Int("obswindow", 0, "live gauge window in CPIs (0 = default 32)")
-	flagFlightDir = flag.String("flightdir", "", "directory for fault flight records and the final telemetry flush (empty disables)")
+	flagListen     = flag.String("listen", ":7441", "agent listen address")
+	flagSecret     = flag.String("secret", "", "shared cluster secret (must match the coordinator)")
+	flagWindow     = flag.Int("window", 0, "per-link credit window (0 = default)")
+	flagObs        = flag.String("obs", "", "telemetry HTTP listen address (empty disables)")
+	flagName       = flag.String("name", "", "node label in traces and flight records (default: listen address)")
+	flagObsWin     = flag.Int("obswindow", 0, "live gauge window in CPIs (0 = default 32)")
+	flagFlightDir  = flag.String("flightdir", "", "directory for fault flight records and the final telemetry flush (empty disables)")
+	flagFlightKeep = flag.Int("flightkeep", 0, "flight records to retain in -flightdir, oldest pruned (0 = default 16)")
 )
 
 func main() {
@@ -64,13 +67,14 @@ func main() {
 		log.Fatal(err)
 	}
 	node := dist.NewNode(ln, dist.NodeConfig{
-		Secret:    []byte(*flagSecret),
-		Window:    *flagWindow,
-		Logf:      log.Printf,
-		Name:      *flagName,
-		ObsAddr:   *flagObs,
-		ObsWindow: *flagObsWin,
-		FlightDir: *flagFlightDir,
+		Secret:     []byte(*flagSecret),
+		Window:     *flagWindow,
+		Logf:       log.Printf,
+		Name:       *flagName,
+		ObsAddr:    *flagObs,
+		ObsWindow:  *flagObsWin,
+		FlightDir:  *flagFlightDir,
+		FlightKeep: *flagFlightKeep,
 	})
 	log.Printf("listening on %v", ln.Addr())
 
@@ -80,7 +84,7 @@ func main() {
 				log.Printf("obs endpoint: %v", err)
 			}
 		}()
-		log.Printf("telemetry on http://%s/metrics.prom (/snapshot.json, /trace.json, /debug/pprof)", *flagObs)
+		log.Printf("telemetry on http://%s/metrics.prom (/snapshot.json, /trace.json, /bottlenecks.json, /debug/pprof)", *flagObs)
 	}
 
 	done := make(chan error, 1)

@@ -1,0 +1,155 @@
+// Command staptop is a live terminal view of the pipeline's critical
+// path: it polls a stapd or stapnode /bottlenecks.json endpoint and
+// renders the windowed attribution report — per-task utilization bars
+// with each task's dominant component, the current dominant bottleneck
+// across the pipeline, and the wire tax each distributed hop levies.
+//
+// Usage:
+//
+//	staptop -addr 127.0.0.1:7432
+//	staptop -addr node1:7443 -interval 500ms
+//	staptop -addr 127.0.0.1:7432 -once
+//
+// With -once a single frame is printed without clearing the screen —
+// scriptable (the e2e harness greps it) and safe for dumb terminals.
+// Stop with ctrl-C.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pstap/internal/obs"
+)
+
+var (
+	flagAddr     = flag.String("addr", "127.0.0.1:7432", "stapd or stapnode telemetry address serving /bottlenecks.json")
+	flagInterval = flag.Duration("interval", 2*time.Second, "poll and refresh interval")
+	flagOnce     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+)
+
+func main() {
+	flag.Parse()
+	client := &http.Client{Timeout: 5 * time.Second}
+	url := "http://" + *flagAddr + "/bottlenecks.json"
+
+	for {
+		rep, err := fetch(client, url)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "staptop: %v\n", err)
+			if *flagOnce {
+				os.Exit(1)
+			}
+		} else {
+			if !*flagOnce {
+				fmt.Print("\033[H\033[2J") // cursor home + clear
+			}
+			render(os.Stdout, *flagAddr, rep)
+		}
+		if *flagOnce {
+			return
+		}
+		time.Sleep(*flagInterval)
+	}
+}
+
+// fetch pulls and decodes one report.
+func fetch(client *http.Client, url string) (*obs.BottleneckReport, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var rep obs.BottleneckReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", url, err)
+	}
+	return &rep, nil
+}
+
+// barWidth is the utilization bar length in cells.
+const barWidth = 30
+
+// render writes one frame of the live view.
+func render(w io.Writer, addr string, rep *obs.BottleneckReport) {
+	fmt.Fprintf(w, "staptop — %s — %s\n", addr, time.Now().Format("15:04:05"))
+	tol := "OK"
+	if !rep.SumWithinTol {
+		tol = fmt.Sprintf("VIOLATED (max err %.1f%% > %.0f%%)", rep.SumErrFracMax*100, rep.TolFrac*100)
+	}
+	fmt.Fprintf(w, "window %d CPIs   e2e mean %v  max %v   sum-to-total %s\n",
+		rep.WindowCPIs,
+		time.Duration(rep.E2EMeanNs).Round(time.Microsecond),
+		time.Duration(rep.E2EMaxNs).Round(time.Microsecond), tol)
+
+	if rep.WindowCPIs == 0 {
+		fmt.Fprintln(w, "\nno complete CPIs in the window (partial pipeline or idle)")
+	} else {
+		fmt.Fprintf(w, "dominant bottleneck: %s   wire tax: %.1f%% of e2e\n\n", rep.Dominant, rep.WireFrac*100)
+		fmt.Fprintf(w, "%-22s %-*s %5s  %s\n", "task", barWidth, "utilization", "", "dominant component")
+		for _, ta := range rep.Tasks {
+			fill := int(ta.Utilization*barWidth + 0.5)
+			if fill > barWidth {
+				fill = barWidth
+			}
+			bar := strings.Repeat("█", fill) + strings.Repeat("·", barWidth-fill)
+			name, share := dominantComponent(ta.Mean)
+			fmt.Fprintf(w, "%-22s %s %4.0f%%  %s %.0f%%\n", ta.Name, bar, ta.Utilization*100, name, share*100)
+		}
+	}
+
+	if len(rep.Hops) > 0 {
+		fmt.Fprintf(w, "\n%-14s %-14s %6s %10s %9s %9s %9s %9s %8s\n",
+			"from", "to", "msgs", "bytes", "ser", "deser", "xmit", "stall", "wire tax")
+		for _, h := range rep.Hops {
+			fmt.Fprintf(w, "%-14s %-14s %6d %10d %9v %9v %9v %9v %7.1f%%\n",
+				h.From, h.To, h.Events, h.Bytes,
+				time.Duration(h.SerNs).Round(time.Microsecond),
+				time.Duration(h.DeserNs).Round(time.Microsecond),
+				time.Duration(h.XmitNs).Round(time.Microsecond),
+				time.Duration(h.StallNs).Round(time.Microsecond),
+				h.WireFrac*100)
+		}
+	}
+
+	if len(rep.Exemplars) > 0 {
+		fmt.Fprintf(w, "\nslowest CPIs:")
+		ex := rep.Exemplars
+		if len(ex) > 3 {
+			ex = ex[:3]
+		}
+		for _, wf := range ex {
+			fmt.Fprintf(w, "  #%d %v", wf.CPI, time.Duration(wf.E2ENs).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// dominantComponent names a component split's largest member and its
+// share of the total.
+func dominantComponent(c obs.Components) (string, float64) {
+	type kv struct {
+		name string
+		v    int64
+	}
+	var parts []kv
+	for i, name := range obs.ComponentNames {
+		parts = append(parts, kv{name, c.Get(i)})
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].v > parts[j].v })
+	tot := c.Total()
+	if tot <= 0 {
+		return parts[0].name, 0
+	}
+	return parts[0].name, float64(parts[0].v) / float64(tot)
+}

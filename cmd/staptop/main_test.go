@@ -1,0 +1,100 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pstap/internal/obs"
+)
+
+func sampleReport() *obs.BottleneckReport {
+	ms := int64(time.Millisecond)
+	return &obs.BottleneckReport{
+		WindowCPIs:   8,
+		TolFrac:      obs.AttrSumTolFrac,
+		SumWithinTol: true,
+		E2EMeanNs:    12 * ms,
+		E2EMaxNs:     20 * ms,
+		WireFrac:     0.31,
+		Dominant:     "compute:Doppler filter",
+		Tasks: []obs.TaskAttr{
+			{Task: 0, Name: "Doppler filter", CPIs: 8, Utilization: 0.9,
+				Mean: obs.Components{Queue: ms, Compute: 8 * ms}},
+			{Task: 4, Name: "CFAR", CPIs: 8, Utilization: 0.25,
+				Mean: obs.Components{Queue: 6 * ms, Compute: 2 * ms}},
+		},
+		Hops: []obs.HopAttr{{
+			FromTask: 0, ToTask: 1, From: "Doppler filter", To: "Easy beamform",
+			Events: 16, Bytes: 1 << 20, SerNs: 2 * ms, DeserNs: ms, XmitNs: 3 * ms,
+			WireFrac: 0.12,
+		}},
+		Exemplars: []obs.Waterfall{{CPI: 5, E2ENs: 20 * ms}},
+	}
+}
+
+func TestRender(t *testing.T) {
+	var b strings.Builder
+	render(&b, "127.0.0.1:7432", sampleReport())
+	out := b.String()
+	for _, want := range []string{
+		"window 8 CPIs",
+		"sum-to-total OK",
+		"dominant bottleneck: compute:Doppler filter",
+		"wire tax: 31.0% of e2e",
+		"Doppler filter",
+		"CFAR",
+		"Easy beamform",
+		"slowest CPIs:  #5 20ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The busier task draws the longer bar.
+	dop := strings.Count(lineWith(out, "Doppler filter ", "█"), "█")
+	cfar := strings.Count(lineWith(out, "CFAR", "█"), "█")
+	if dop <= cfar {
+		t.Errorf("utilization bars not ordered: doppler %d cells, cfar %d", dop, cfar)
+	}
+
+	// An empty report (idle node) renders without panicking or bars.
+	b.Reset()
+	render(&b, "x", &obs.BottleneckReport{TolFrac: obs.AttrSumTolFrac, SumWithinTol: true})
+	if !strings.Contains(b.String(), "no complete CPIs") {
+		t.Errorf("empty report frame:\n%s", b.String())
+	}
+}
+
+// lineWith returns the first output line containing both substrings.
+func lineWith(out, a, b string) string {
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, a) && strings.Contains(ln, b) {
+			return ln
+		}
+	}
+	return ""
+}
+
+func TestFetch(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"window_cpis": 3, "sum_within_tol": true, "wire_frac": 0.5}`))
+	}))
+	defer srv.Close()
+	rep, err := fetch(srv.Client(), srv.URL+"/bottlenecks.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WindowCPIs != 3 || !rep.SumWithinTol || rep.WireFrac != 0.5 {
+		t.Errorf("decoded report %+v", rep)
+	}
+
+	srv2 := httptest.NewServer(http.NotFoundHandler())
+	defer srv2.Close()
+	if _, err := fetch(srv2.Client(), srv2.URL+"/bottlenecks.json"); err == nil {
+		t.Error("404 fetch did not error")
+	}
+}

@@ -142,6 +142,9 @@ func (c *ClusterConfig) Connect() (*Replica, error) {
 	tr := newTransport(0, len(cfg.Nodes), cfg.Placement.Owners(cfg.Assign), cfg.LinkWindow, cfg.Heartbeat, cfg.Fault)
 	world := mp.NewPartialWorld(cfg.Assign.Total()+1, cfg.Placement.HostedRanks(cfg.Assign, 0), tr)
 	tr.Bind(world)
+	if cfg.Obs != nil {
+		tr.Observe(cfg.Obs)
+	}
 	if cfg.Fault != nil {
 		cfg.Fault.Bind(world.Done())
 	}

@@ -95,6 +95,15 @@ type LinkStats struct {
 	// until the first stamped pong). The cluster trace merger uses it to
 	// re-anchor node journals onto the coordinator's timeline.
 	OffsetNs int64 `json:"offset_ns"`
+	// Cumulative wire-cost counters for data frames on this link, in
+	// nanoseconds: gob encode on send (SerNs), gob decode on receive
+	// (DeserNs), socket copy in both directions (XmitNs), and sender time
+	// blocked on the credit window (StallNs) — the per-link running totals
+	// behind the attribution engine's per-hop wire-tax view.
+	SerNs   int64 `json:"ser_ns"`
+	DeserNs int64 `json:"deser_ns"`
+	XmitNs  int64 `json:"xmit_ns"`
+	StallNs int64 `json:"stall_ns"`
 	// Credits is the sender's remaining data-frame tokens and Window the
 	// per-direction total — the flow-control state the flight recorder
 	// dumps to show whether a death was a stall or a wire loss.

@@ -2,13 +2,13 @@ package dist
 
 import (
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pstap/internal/fault"
+	"pstap/internal/obs"
 	"pstap/internal/wire"
 )
 
@@ -103,6 +103,13 @@ type link struct {
 	bytesSent, bytesRecv atomic.Int64
 	rttNs                atomic.Int64 // EWMA
 	offsetNs             atomic.Int64 // EWMA clock offset: peer clock − local clock
+
+	// Cumulative wire-cost counters for data frames: gob encode (ser) and
+	// decode (deser), socket copy both directions (xmit), and time senders
+	// spent blocked on the credit window (stall).
+	serNs, deserNs atomic.Int64
+	xmitNs         atomic.Int64
+	stallNs        atomic.Int64
 }
 
 func newLink(member int, addr string, conn net.Conn, window int) *link {
@@ -124,24 +131,38 @@ func newLink(member int, addr string, conn net.Conn, window int) *link {
 
 // write sends one frame under the writer lock, counting its bytes.
 func (l *link) write(f *frame) error {
+	_, err := l.writeTimed(f)
+	return err
+}
+
+// writeTimed sends one frame under the writer lock, counting its bytes
+// and returning the codec/IO split for the wire-cost accounting.
+func (l *link) writeTimed(f *frame) (wire.FrameTiming, error) {
 	l.wmu.Lock()
 	defer l.wmu.Unlock()
-	cw := &countingWriter{w: l.conn}
-	if err := wire.WriteFrame(cw, f); err != nil {
-		return err
+	ft, err := wire.WriteFrameTimed(l.conn, f)
+	if err != nil {
+		return ft, err
 	}
-	l.bytesSent.Add(cw.n)
-	return nil
+	l.bytesSent.Add(ft.Bytes)
+	return ft, nil
 }
 
 // sendData ships one mp message, blocking on the credit window. A nil
 // return means the frame was written; any error means the link is (now)
 // dead and the caller should treat the peer as lost. inj, when non-nil,
-// runs the link-plane fault rules against (member, seq).
-func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector) error {
+// runs the link-plane fault rules against (member, seq). col, when
+// non-nil, journals the send's wire-cost event (serialize, socket write,
+// credit stall) under the payload's trace id.
+func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector, col *obs.Collector) error {
+	var stallNs int64
 	l.cmu.Lock()
-	for l.credits == 0 && !l.dead.Load() {
-		l.cond.Wait()
+	if l.credits == 0 && !l.dead.Load() {
+		t0 := time.Now()
+		for l.credits == 0 && !l.dead.Load() {
+			l.cond.Wait()
+		}
+		stallNs = time.Since(t0).Nanoseconds()
 	}
 	if l.dead.Load() {
 		l.cmu.Unlock()
@@ -151,16 +172,27 @@ func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector) error 
 	seq := l.seq
 	l.seq++
 	l.cmu.Unlock()
+	l.stallNs.Add(stallNs)
 
 	if inj != nil {
 		if err := inj.LinkSend(l.member, seq); err != nil {
 			return err
 		}
 	}
-	if err := l.write(&frame{Kind: frameData, Seq: seq, Src: src, Dst: dst, Tag: tag, Data: data}); err != nil {
+	ft, err := l.writeTimed(&frame{Kind: frameData, Seq: seq, Src: src, Dst: dst, Tag: tag, Data: data})
+	if err != nil {
 		return err
 	}
 	l.msgsSent.Add(1)
+	l.serNs.Add(ft.CodecNs)
+	l.xmitNs.Add(ft.IONs)
+	if col != nil {
+		col.RecordWire(obs.WireEvent{
+			Dir: obs.WireSend, Src: src, Dst: dst, Tag: tag,
+			Trace: obs.TraceOf(data), Bytes: ft.Bytes,
+			SerNs: ft.CodecNs, XmitNs: ft.IONs, StallNs: stallNs,
+		})
+	}
 	return nil
 }
 
@@ -276,31 +308,11 @@ func (l *link) stats() LinkStats {
 		BytesRecv: l.bytesRecv.Load(),
 		RTTNs:     l.rttNs.Load(),
 		OffsetNs:  l.offsetNs.Load(),
+		SerNs:     l.serNs.Load(),
+		DeserNs:   l.deserNs.Load(),
+		XmitNs:    l.xmitNs.Load(),
+		StallNs:   l.stallNs.Load(),
 		Credits:   credits,
 		Window:    window,
 	}
-}
-
-// countingWriter counts bytes written through it.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
-}
-
-// countingReader counts bytes read through it (single-goroutine use).
-type countingReader struct {
-	r io.Reader
-	n int64
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += int64(n)
-	return n, err
 }

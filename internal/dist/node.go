@@ -46,6 +46,10 @@ type NodeConfig struct {
 	// (span journal, link state, queue depths, slow-CPI log) whenever a
 	// session dies of a fault. Graceful session teardown writes nothing.
 	FlightDir string
+	// FlightKeep bounds how many flight records accumulate in FlightDir:
+	// after each write the oldest beyond this count are pruned
+	// (obs.DefaultFlightKeep when <= 0).
+	FlightKeep int
 }
 
 // Node is a stapnode agent: it listens for a coordinator's signed
@@ -71,6 +75,7 @@ type Node struct {
 	lastSess   string
 	lastMember int
 	lastTr     *Transport
+	lastAssign pipeline.Assignment
 
 	wg sync.WaitGroup
 }
@@ -302,8 +307,10 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 	ocfg.Logf = logf
 	ocfg.SlowLogf = logf
 	col := obs.New(ocfg)
+	tr.Observe(col)
 	n.obsMu.Lock()
 	n.lastCol, n.lastSess, n.lastMember, n.lastTr = col, s.id, s.member, tr
+	n.lastAssign = man.Assign
 	n.obsMu.Unlock()
 	if inj != nil {
 		inj.Bind(world.Done())
@@ -391,7 +398,7 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 		rec := obs.NewFlightRecord(n.name(), s.id, reason, col)
 		rec.Links = tr.Stats()
 		rec.Pending = world.QueueDepths()
-		if path, werr := obs.WriteFlightRecord(n.cfg.FlightDir, rec); werr != nil {
+		if path, werr := obs.WriteFlightRecordKeep(n.cfg.FlightDir, rec, n.cfg.FlightKeep); werr != nil {
 			logf("stapnode: session %s: flight record: %v", s.id, werr)
 		} else {
 			logf("stapnode: session %s: flight record written to %s", s.id, path)

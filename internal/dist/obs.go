@@ -6,6 +6,7 @@ import (
 	"net/http/pprof"
 
 	"pstap/internal/obs"
+	"pstap/internal/pipeline"
 )
 
 // Node telemetry surface: each stapnode can expose its current (or most
@@ -27,6 +28,11 @@ type NodeSnapshot struct {
 	Events      []obs.SpanEvent `json:"events"`
 	Counters    *obs.Snapshot   `json:"counters,omitempty"`
 	Links       []LinkStats     `json:"links,omitempty"`
+	// Wire is the node's wire-cost event journal (per-message serialize,
+	// transmit, deserialize and credit-stall durations). Durations are
+	// single-clock, so the federation merger consumes them without any
+	// offset correction.
+	Wire []obs.WireEvent `json:"wire,omitempty"`
 }
 
 // obsState reads the most recent session's telemetry handles.
@@ -54,6 +60,7 @@ func (n *Node) Snapshot() NodeSnapshot {
 		snap.Events = col.Journal()
 		counters := col.Snapshot()
 		snap.Counters = &counters
+		snap.Wire = col.WireJournal()
 	}
 	if tr != nil {
 		snap.Links = tr.Stats()
@@ -61,12 +68,29 @@ func (n *Node) Snapshot() NodeSnapshot {
 	return snap
 }
 
+// Bottlenecks builds the node-local attribution report from the most
+// recent session's journals. On a node hosting only part of the latency
+// path no CPI ever completes locally, so the waterfall view is empty and
+// the hop table carries the wire costs measured here; a node hosting the
+// whole pipeline reports full waterfalls. Nil before the first session.
+func (n *Node) Bottlenecks() *obs.BottleneckReport {
+	n.obsMu.Lock()
+	col, assign := n.lastCol, n.lastAssign
+	n.obsMu.Unlock()
+	if col == nil {
+		return nil
+	}
+	return obs.BuildBottleneckReport(pipeline.AttrConfig(assign), col.Journal(), col.WireJournal(), 0, 0)
+}
+
 // ObsMux builds the node's telemetry HTTP handler:
 //
-//	/snapshot.json  — the NodeSnapshot (federation feed)
-//	/metrics.prom   — Prometheus exposition of the session collector
-//	/trace.json     — this node's spans as a Perfetto-loadable trace
-//	/debug/pprof/   — the standard Go profiling endpoints
+//	/snapshot.json     — the NodeSnapshot (federation feed)
+//	/metrics.prom      — Prometheus exposition of the session collector
+//	/trace.json        — this node's spans as a Perfetto-loadable trace
+//	                     (gzip-encoded when the client accepts it)
+//	/bottlenecks.json  — the node-local attribution report
+//	/debug/pprof/      — the standard Go profiling endpoints
 func (n *Node) ObsMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
@@ -77,9 +101,10 @@ func (n *Node) ObsMux() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if col := n.Collector(); col != nil {
 			obs.WriteProm(w, []*obs.Collector{col})
+			obs.WriteAttrProm(w, []*obs.BottleneckReport{n.Bottlenecks()})
 		}
 	})
-	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/trace.json", obs.GzipHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		col := n.Collector()
 		if col == nil {
@@ -87,6 +112,16 @@ func (n *Node) ObsMux() *http.ServeMux {
 			return
 		}
 		obs.WriteChromeTrace(w, col.Journal(), col.Tasks())
+	})))
+	mux.HandleFunc("/bottlenecks.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rep := n.Bottlenecks()
+		if rep == nil {
+			rep = &obs.BottleneckReport{TolFrac: obs.AttrSumTolFrac, SumWithinTol: true}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

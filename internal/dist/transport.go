@@ -8,6 +8,7 @@ import (
 
 	"pstap/internal/fault"
 	"pstap/internal/mp"
+	"pstap/internal/obs"
 	"pstap/internal/wire"
 )
 
@@ -32,7 +33,8 @@ type Transport struct {
 	hb      time.Duration
 	inj     *fault.Injector // link-plane faults (may be nil)
 
-	world *mp.World // bound before any link reader starts
+	world *mp.World      // bound before any link reader starts
+	obs   *obs.Collector // wire-cost journal sink; set before any link attaches
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -77,6 +79,11 @@ func newTransport(self, members int, owners []int, window int, hb time.Duration,
 // called before the first runLink.
 func (t *Transport) Bind(w *mp.World) { t.world = w }
 
+// Observe attaches the collector that journals per-message wire-cost
+// events (serialize/deserialize, socket copy, credit stalls) for the
+// attribution engine. Must be called before the first runLink.
+func (t *Transport) Observe(col *obs.Collector) { t.obs = col }
+
 // Send implements mp.Transport: it routes one message to the member
 // hosting dst, blocking on link registration (peers may still be dialing
 // in) and on the link's credit window. Any returned error means the peer
@@ -89,7 +96,7 @@ func (t *Transport) Send(src, dst, tag int, data any) error {
 	if err != nil {
 		return err
 	}
-	if err := l.sendData(src, dst, tag, data, t.inj); err != nil {
+	if err := l.sendData(src, dst, tag, data, t.inj, t.obs); err != nil {
 		t.linkDied(l, err)
 		return l.deathErr()
 	}
@@ -133,18 +140,27 @@ func (t *Transport) runLink(l *link) {
 // readLoop dispatches every inbound frame of one link until it dies.
 func (t *Transport) readLoop(l *link) {
 	defer t.wg.Done()
-	cr := &countingReader{r: l.conn}
 	for {
 		var f frame
-		if err := wire.ReadFrame(cr, &f); err != nil {
+		ft, err := wire.ReadFrameTimed(l.conn, &f)
+		if err != nil {
 			t.linkDied(l, err)
 			return
 		}
-		l.bytesRecv.Store(cr.n)
+		l.bytesRecv.Add(ft.Bytes)
 		l.lastHeard.Store(time.Now().UnixNano())
 		switch f.Kind {
 		case frameData:
 			l.msgsRecv.Add(1)
+			l.deserNs.Add(ft.CodecNs)
+			l.xmitNs.Add(ft.IONs)
+			if col := t.obs; col != nil {
+				col.RecordWire(obs.WireEvent{
+					Dir: obs.WireRecv, Src: f.Src, Dst: f.Dst, Tag: f.Tag,
+					Trace: obs.TraceOf(f.Data), Bytes: ft.Bytes,
+					DeserNs: ft.CodecNs, XmitNs: ft.IONs,
+				})
+			}
 			t.world.Deliver(f.Src, f.Dst, f.Tag, f.Data)
 			if n := l.noteDelivered(); n > 0 {
 				if err := l.write(&frame{Kind: frameCredit, Credits: n}); err != nil {

@@ -64,3 +64,43 @@ func TestRecvHookDelays(t *testing.T) {
 		t.Errorf("recv hook called %d times, want 1", calls.Load())
 	}
 }
+
+// TestWaitObserver checks the queue-wait accounting hook: a Recv that
+// blocks reports roughly the blocked time, a Recv satisfied from the
+// queue reports nothing.
+func TestWaitObserver(t *testing.T) {
+	w := NewWorld(2)
+	var waits atomic.Int64
+	var calls atomic.Int64
+	w.SetWaitObserver(func(rank int, ns int64) {
+		if rank != 1 {
+			t.Errorf("wait observer rank %d, want 1", rank)
+		}
+		calls.Add(1)
+		waits.Add(ns)
+	})
+
+	// Message already queued: no wait is reported.
+	w.Comm(0).Send(1, 0, "ready")
+	if got := w.Comm(1).Recv(0, 0); got != "ready" {
+		t.Fatalf("Recv = %v", got)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("queued receive reported a wait")
+	}
+
+	// Receiver blocks first: the observed wait must cover the send delay.
+	done := make(chan any)
+	go func() { done <- w.Comm(1).Recv(0, 1) }()
+	time.Sleep(30 * time.Millisecond)
+	w.Comm(0).Send(1, 1, "late")
+	if got := <-done; got != "late" {
+		t.Fatalf("Recv = %v", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("blocked receive reported %d waits, want 1", calls.Load())
+	}
+	if got := time.Duration(waits.Load()); got < 15*time.Millisecond {
+		t.Errorf("observed wait %v, want >= 15ms", got)
+	}
+}

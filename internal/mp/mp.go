@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // AnySource matches messages from every rank in Recv/Irecv.
@@ -95,6 +96,14 @@ type World struct {
 	// goroutine starts.
 	sendHook func(src, dst, tag int, data any) (any, bool)
 	recvHook func(rank, src, tag int)
+
+	// waitObserver, when non-nil, receives the time each blocking Recv
+	// spent waiting for its message — the queue-wait share of a worker's
+	// receive phase, which the attribution layer (internal/obs) splits
+	// from deserialize/copy work. Nil costs the hot path nothing: no
+	// clock is read. Set with SetWaitObserver before any rank goroutine
+	// starts.
+	waitObserver func(rank int, ns int64)
 
 	aborted   atomic.Bool
 	done      chan struct{}
@@ -255,6 +264,14 @@ func (w *World) SetSendHook(f func(src, dst, tag int, data any) (any, bool)) { w
 // as SetObserver.
 func (w *World) SetRecvHook(f func(rank, src, tag int)) { w.recvHook = f }
 
+// SetWaitObserver installs a queue-wait accounting hook: every blocking
+// Recv that actually waited reports how long. The hook runs with the
+// receiving mailbox locked, so it must be fast and must not call back
+// into the world (an atomic add, as internal/obs does, is the intended
+// shape). Same timing and concurrency rules as SetObserver; with no
+// observer installed Recv reads no clock.
+func (w *World) SetWaitObserver(f func(rank int, ns int64)) { w.waitObserver = f }
+
 // Comm is one rank's endpoint.
 type Comm struct {
 	w    *World
@@ -351,6 +368,7 @@ func (c *Comm) Recv(src, tag int) any {
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
+	var waitStart time.Time // set on the first miss, when an observer wants it
 	for {
 		if c.w.aborted.Load() {
 			panic(ErrAborted)
@@ -366,7 +384,13 @@ func (c *Comm) Recv(src, tag int) any {
 		if best >= 0 {
 			m := box.queue[best]
 			box.queue = append(box.queue[:best], box.queue[best+1:]...)
+			if wo := c.w.waitObserver; wo != nil && !waitStart.IsZero() {
+				wo(c.rank, time.Since(waitStart).Nanoseconds())
+			}
 			return m.data
+		}
+		if c.w.waitObserver != nil && waitStart.IsZero() {
+			waitStart = time.Now()
 		}
 		box.cond.Wait()
 	}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// attrConfig is the toy pipeline of testConfig seen by the attribution
+// engine, with a rank map laying the workers out in task order followed
+// by a driver rank: ranks 0,1 = A, 2 = B, 3,4 = C, 5 = driver.
+func attrConfig() AttributeConfig {
+	cfg := testConfig()
+	return AttributeConfig{
+		Tasks:       cfg.Tasks,
+		LatencyPath: cfg.LatencyPath,
+		RankTask:    []int{0, 0, 1, 2, 2, -1},
+	}
+}
+
+// tracedCPI journals a complete CPI: every worker of every task runs
+// recv/comp/send phases back to back, stage starts chained so the
+// pipeline shape is realistic. Returns the CPI's ready and done offsets.
+func tracedCPI(c *Collector, trace uint64, cpi int, start time.Time, phase time.Duration) (ready, done int64) {
+	cfg := testConfig()
+	t := start
+	for task, tm := range cfg.Tasks {
+		for w := 0; w < tm.Workers; w++ {
+			t0 := t
+			t1 := t0.Add(phase)
+			t2 := t1.Add(2 * phase)
+			t3 := t2.Add(phase)
+			c.RecordTracedSpan(task, w, cpi, trace, uint8(task), t0, t1, t2, t3)
+			if task == 0 && w == 0 {
+				ready = t0.Sub(c.Start()).Nanoseconds()
+			}
+			if task == len(cfg.Tasks)-1 && w == tm.Workers-1 {
+				done = t3.Sub(c.Start()).Nanoseconds()
+			}
+		}
+		t = t.Add(4 * phase) // next stage starts when this one ends
+	}
+	return ready, done
+}
+
+func TestAttributeSumsToEndToEnd(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	for cpi := 0; cpi < 8; cpi++ {
+		tracedCPI(c, NewTraceID(), cpi, base.Add(time.Duration(cpi)*50*time.Millisecond), time.Millisecond)
+	}
+	wfs := Attribute(attrConfig(), c.Journal(), nil)
+	if len(wfs) != 8 {
+		t.Fatalf("waterfalls %d, want 8", len(wfs))
+	}
+	for _, wf := range wfs {
+		if wf.E2ENs <= 0 {
+			t.Fatalf("cpi %d: e2e %d", wf.CPI, wf.E2ENs)
+		}
+		if got, want := wf.Comp.Total(), wf.E2ENs; got != want {
+			t.Errorf("cpi %d: component sum %d != e2e %d", wf.CPI, got, want)
+		}
+		if wf.SumErrFrac() > AttrSumTolFrac {
+			t.Errorf("cpi %d: sum error %v over tolerance", wf.CPI, wf.SumErrFrac())
+		}
+		if len(wf.Stages) != 3 {
+			t.Errorf("cpi %d: stages %d", wf.CPI, len(wf.Stages))
+		}
+		// The synthetic pipeline has no wire events: everything must land
+		// in queue/compute/stall.
+		if wf.Comp.Serialize != 0 || wf.Comp.Deserialize != 0 || wf.Comp.Transmit != 0 {
+			t.Errorf("cpi %d: wire components without wire events: %+v", wf.CPI, wf.Comp)
+		}
+	}
+}
+
+func TestAttributeIncompleteCPIDropped(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	tracedCPI(c, 7, 0, base, time.Millisecond)
+	// CPI 1 misses one C worker: the final stage is incomplete, so no
+	// waterfall may be built from a skewed done extreme.
+	tr := NewTraceID()
+	c.RecordTracedSpan(0, 0, 1, tr, 0, base, base, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	c.RecordTracedSpan(0, 1, 1, tr, 0, base, base, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	c.RecordTracedSpan(1, 0, 1, tr, 1, base, base, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+	c.RecordTracedSpan(2, 0, 1, tr, 2, base, base, base.Add(time.Millisecond), base.Add(2*time.Millisecond))
+
+	wfs := Attribute(attrConfig(), c.Journal(), nil)
+	if len(wfs) != 1 || wfs[0].CPI != 0 {
+		t.Fatalf("waterfalls %+v, want only complete CPI 0", wfs)
+	}
+}
+
+func TestAttributeUntracedSpansIgnored(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	// Trace id 0 means "untraced": such spans must never form a waterfall,
+	// even when a full worker set is present.
+	tracedCPI(c, 0, 0, base, time.Millisecond)
+	if wfs := Attribute(attrConfig(), c.Journal(), nil); len(wfs) != 0 {
+		t.Fatalf("untraced spans produced %d waterfalls", len(wfs))
+	}
+}
+
+func TestAttributeDuplicateTraceAcrossReset(t *testing.T) {
+	// The same trace id on two different CPI indices (id reuse across a
+	// job Reset boundary) must yield two distinct waterfalls, not one
+	// merged mess.
+	c := New(testConfig())
+	base := c.Start()
+	tracedCPI(c, 99, 0, base, time.Millisecond)
+	tracedCPI(c, 99, 0, base.Add(100*time.Millisecond), time.Millisecond) // same (trace,cpi): merged group stays complete
+	tracedCPI(c, 99, 1, base.Add(200*time.Millisecond), time.Millisecond)
+	wfs := Attribute(attrConfig(), c.Journal(), nil)
+	if len(wfs) != 2 {
+		t.Fatalf("waterfalls %d, want 2 (one per distinct (trace,cpi))", len(wfs))
+	}
+	for _, wf := range wfs {
+		if wf.Comp.Total() != wf.E2ENs {
+			t.Errorf("cpi %d: sum %d != e2e %d", wf.CPI, wf.Comp.Total(), wf.E2ENs)
+		}
+	}
+}
+
+func TestAttributeWindowStraddle(t *testing.T) {
+	// Spans of one CPI straddling a ring eviction (the obs gauge-window
+	// flush boundary): with the first-stage spans evicted the CPI is
+	// incomplete and must drop out of the report rather than skew it.
+	cfg := testConfig()
+	cfg.RingSize = 8 // two CPIs' worth (5 workers each) cannot both fit
+	c := New(cfg)
+	base := c.Start()
+	tracedCPI(c, NewTraceID(), 0, base, time.Millisecond)
+	tracedCPI(c, NewTraceID(), 1, base.Add(50*time.Millisecond), time.Millisecond)
+	wfs := Attribute(attrConfig(), c.Journal(), nil)
+	for _, wf := range wfs {
+		if wf.CPI == 0 {
+			t.Errorf("evicted CPI 0 still produced a waterfall")
+		}
+	}
+	rep := BuildBottleneckReport(attrConfig(), c.Journal(), c.WireJournal(), 32, 5)
+	if !rep.SumWithinTol {
+		t.Errorf("straddled window broke the sum invariant: %+v", rep)
+	}
+}
+
+func TestAttributeWireRefinement(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	tr := NewTraceID()
+	ready, done := tracedCPI(c, tr, 0, base, time.Millisecond)
+
+	// A send-side event at B (rank 2) and its receive side at C (rank 3):
+	// costs small enough to fit inside B's send share and C's queue wait.
+	c.RecordWire(WireEvent{
+		Dir: WireSend, Src: 2, Dst: 3, Trace: tr, Bytes: 1 << 20,
+		SerNs: 200_000, XmitNs: 100_000, StallNs: 50_000,
+	})
+	c.RecordWire(WireEvent{
+		Dir: WireRecv, Src: 2, Dst: 3, Trace: tr, Bytes: 1 << 20,
+		DeserNs: 300_000, XmitNs: 100_000,
+	})
+
+	wfs := Attribute(attrConfig(), c.Journal(), c.WireJournal())
+	if len(wfs) != 1 {
+		t.Fatalf("waterfalls %d, want 1", len(wfs))
+	}
+	wf := wfs[0]
+	if wf.Comp.Total() != wf.E2ENs || wf.E2ENs != done-ready {
+		t.Fatalf("sum %d e2e %d window %d", wf.Comp.Total(), wf.E2ENs, done-ready)
+	}
+	// Stage 1 (task B) carries the serialize/stall costs; stage 2 (task C)
+	// the deserialize plus both transmit shares.
+	sb, sc := wf.Stages[1].Comp, wf.Stages[2].Comp
+	if sb.Serialize != 200_000 || sb.Stall < 50_000 || sb.Transmit != 100_000 {
+		t.Errorf("B components %+v", sb)
+	}
+	if sc.Deserialize != 300_000 || sc.Transmit != 100_000 {
+		t.Errorf("C components %+v", sc)
+	}
+	// Refinement reallocates, never inflates: stage sums still match the
+	// segment lengths.
+	for _, sw := range wf.Stages {
+		if sw.Comp.Total() != sw.EndNs-sw.StartNs {
+			t.Errorf("stage %d: sum %d != segment %d", sw.Stage, sw.Comp.Total(), sw.EndNs-sw.StartNs)
+		}
+	}
+}
+
+func TestAttributeWireClampPreservesSum(t *testing.T) {
+	// Wire costs far larger than the segments they refine (a ludicrous
+	// clock or measurement glitch) must be clamped, keeping the
+	// sum-to-total invariant intact.
+	c := New(testConfig())
+	base := c.Start()
+	tr := NewTraceID()
+	tracedCPI(c, tr, 0, base, time.Millisecond)
+	c.RecordWire(WireEvent{Dir: WireSend, Src: 2, Dst: 3, Trace: tr,
+		SerNs: int64(time.Hour), XmitNs: int64(time.Hour), StallNs: int64(time.Hour)})
+	c.RecordWire(WireEvent{Dir: WireRecv, Src: 2, Dst: 3, Trace: tr,
+		DeserNs: int64(time.Hour), XmitNs: int64(time.Hour)})
+	wfs := Attribute(attrConfig(), c.Journal(), c.WireJournal())
+	if len(wfs) != 1 {
+		t.Fatalf("waterfalls %d, want 1", len(wfs))
+	}
+	if wfs[0].Comp.Total() != wfs[0].E2ENs {
+		t.Fatalf("clamp broke invariant: sum %d e2e %d", wfs[0].Comp.Total(), wfs[0].E2ENs)
+	}
+}
+
+func TestBottleneckReport(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	var lastTr uint64
+	for cpi := 0; cpi < 12; cpi++ {
+		lastTr = NewTraceID()
+		tracedCPI(c, lastTr, cpi, base.Add(time.Duration(cpi)*50*time.Millisecond), time.Millisecond)
+	}
+	c.RecordWire(WireEvent{Dir: WireSend, Src: 2, Dst: 3, Trace: lastTr, Bytes: 4096,
+		SerNs: 100_000, XmitNs: 50_000})
+
+	rep := BuildBottleneckReport(attrConfig(), c.Journal(), c.WireJournal(), 8, 3)
+	if rep.WindowCPIs != 8 {
+		t.Fatalf("window %d, want 8", rep.WindowCPIs)
+	}
+	if !rep.SumWithinTol || rep.SumErrFracMax > AttrSumTolFrac {
+		t.Errorf("sum invariant: %+v", rep)
+	}
+	if len(rep.Exemplars) != 3 {
+		t.Errorf("exemplars %d, want 3", len(rep.Exemplars))
+	}
+	if len(rep.Tasks) != 3 {
+		t.Errorf("task aggregates %d, want 3: %+v", len(rep.Tasks), rep.Tasks)
+	}
+	// Compute dominates the synthetic shape (2x phase per stage).
+	if !strings.HasPrefix(rep.Dominant, "queue:") && !strings.HasPrefix(rep.Dominant, "compute:") && !strings.HasPrefix(rep.Dominant, "stall:") {
+		t.Errorf("dominant %q", rep.Dominant)
+	}
+	if len(rep.Hops) != 1 || rep.Hops[0].From != "B" || rep.Hops[0].To != "C" {
+		t.Fatalf("hops %+v", rep.Hops)
+	}
+	if rep.Hops[0].WireNs() != 150_000 || rep.Hops[0].Bytes != 4096 {
+		t.Errorf("hop aggregate %+v", rep.Hops[0])
+	}
+	if rep.Hops[0].WireFrac <= 0 || rep.WireFrac <= 0 {
+		t.Errorf("wire fractions %v %v", rep.Hops[0].WireFrac, rep.WireFrac)
+	}
+	if rep.E2EMeanNs <= 0 || rep.E2EMaxNs < rep.E2EMeanNs {
+		t.Errorf("e2e stats mean=%d max=%d", rep.E2EMeanNs, rep.E2EMaxNs)
+	}
+}
+
+func TestAttrPromExposition(t *testing.T) {
+	c := New(testConfig())
+	base := c.Start()
+	for cpi := 0; cpi < 4; cpi++ {
+		tracedCPI(c, NewTraceID(), cpi, base.Add(time.Duration(cpi)*50*time.Millisecond), time.Millisecond)
+	}
+	rep := BuildBottleneckReport(attrConfig(), c.Journal(), nil, 8, 4)
+	var b strings.Builder
+	WriteAttrProm(&b, []*BottleneckReport{rep, nil})
+	out := b.String()
+	for _, want := range []string{
+		`stap_attr_window_cpis{replica="0"} 4`,
+		`stap_attr_task_component_seconds_bucket{replica="0",task="A",component="compute",le="+Inf"}`,
+		`stap_attr_task_mean_seconds{replica="0",task="B",component="queue"}`,
+		"stap_attr_sum_err_frac_max",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkAttribution measures the cost of one full attribution pass
+// over a journal-sized span set — the work /bottlenecks.json does per
+// request, off the data path.
+func BenchmarkAttribution(b *testing.B) {
+	c := New(testConfig())
+	base := c.Start()
+	for cpi := 0; cpi < 64; cpi++ {
+		tr := NewTraceID()
+		tracedCPI(c, tr, cpi, base.Add(time.Duration(cpi)*10*time.Millisecond), time.Millisecond)
+		c.RecordWire(WireEvent{Dir: WireSend, Src: 2, Dst: 3, Trace: tr, Bytes: 4096, SerNs: 1000, XmitNs: 500})
+		c.RecordWire(WireEvent{Dir: WireRecv, Src: 2, Dst: 3, Trace: tr, Bytes: 4096, DeserNs: 1000, XmitNs: 500})
+	}
+	spans, wire := c.Journal(), c.WireJournal()
+	cfg := attrConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := BuildBottleneckReport(cfg, spans, wire, 32, 5)
+		if rep.WindowCPIs == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

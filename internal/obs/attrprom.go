@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// Prometheus exposition of the attribution engine's windowed view:
+// per-task component histograms (one bucket set per task × component
+// over the window's per-CPI waterfalls), per-hop wire-cost totals, and
+// the report-level summary gauges.
+
+// attrBuckets are the histogram upper bounds in seconds — exponential
+// decades from 100µs, wide enough for the paper-size scenes and the
+// small test scenes alike.
+var attrBuckets = []float64{1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// WriteAttrProm writes the attribution families for a set of reports,
+// one replica label per report (nil entries are skipped).
+func WriteAttrProm(w io.Writer, reps []*BottleneckReport) {
+	p := PromWriter{W: w}
+
+	p.Head("stap_attr_window_cpis", "gauge", "Complete CPI waterfalls inside the attribution window.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		p.Sample("stap_attr_window_cpis", []Label{l}, float64(rep.WindowCPIs))
+	})
+
+	p.Head("stap_attr_sum_err_frac_max", "gauge", "Worst sum-to-total residual of the window's waterfalls (must stay under the pinned tolerance).")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		p.Sample("stap_attr_sum_err_frac_max", []Label{l}, rep.SumErrFracMax)
+	})
+
+	p.Head("stap_attr_e2e_seconds", "gauge", "Mean end-to-end latency of the window's complete CPIs.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		p.Sample("stap_attr_e2e_seconds", []Label{l}, float64(rep.E2EMeanNs)/1e9)
+	})
+
+	p.Head("stap_attr_wire_frac", "gauge", "Wire-tax share of the window's summed end-to-end latency.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		p.Sample("stap_attr_wire_frac", []Label{l}, rep.WireFrac)
+	})
+
+	// Windowed per-task component histogram: each exemplar-window CPI
+	// contributes its per-stage component value as one observation.
+	p.Head("stap_attr_task_component_seconds", "histogram", "Windowed distribution of per-CPI attribution components per task.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		type hkey struct {
+			task string
+			comp int
+		}
+		counts := map[hkey][]int{}
+		sums := map[hkey]float64{}
+		for _, wf := range rep.Exemplars {
+			for _, sw := range wf.Stages {
+				for ci := range ComponentNames {
+					k := hkey{sw.Name, ci}
+					if counts[k] == nil {
+						counts[k] = make([]int, len(attrBuckets)+1)
+					}
+					sec := float64(sw.Comp.Get(ci)) / 1e9
+					sums[k] += sec
+					bi := len(attrBuckets)
+					for i, ub := range attrBuckets {
+						if sec <= ub {
+							bi = i
+							break
+						}
+					}
+					counts[k][bi]++
+				}
+			}
+		}
+		for _, ta := range rep.Tasks {
+			for ci, cn := range ComponentNames {
+				k := hkey{ta.Name, ci}
+				c := counts[k]
+				if c == nil {
+					continue
+				}
+				base := []Label{l, taskLabel(ta.Name), {"component", cn}}
+				cum := 0
+				for i, ub := range attrBuckets {
+					cum += c[i]
+					p.Sample("stap_attr_task_component_seconds_bucket",
+						with(base, Label{"le", strconv.FormatFloat(ub, 'g', -1, 64)}), float64(cum))
+				}
+				cum += c[len(attrBuckets)]
+				p.Sample("stap_attr_task_component_seconds_bucket", with(base, Label{"le", "+Inf"}), float64(cum))
+				p.Sample("stap_attr_task_component_seconds_sum", base, sums[k])
+				p.Sample("stap_attr_task_component_seconds_count", base, float64(cum))
+			}
+		}
+	})
+
+	p.Head("stap_attr_task_mean_seconds", "gauge", "Mean per-CPI attribution component per task over the window.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		for _, ta := range rep.Tasks {
+			base := []Label{l, taskLabel(ta.Name)}
+			for ci, cn := range ComponentNames {
+				p.Sample("stap_attr_task_mean_seconds", with(base, Label{"component", cn}),
+					float64(ta.Mean.Get(ci))/1e9)
+			}
+		}
+	})
+
+	p.Head("stap_attr_hop_seconds", "gauge", "Windowed wire cost per link hop and component.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		for _, h := range rep.Hops {
+			base := []Label{l, {"from", h.From}, {"to", h.To}}
+			p.Sample("stap_attr_hop_seconds", with(base, Label{"component", "serialize"}), float64(h.SerNs)/1e9)
+			p.Sample("stap_attr_hop_seconds", with(base, Label{"component", "deserialize"}), float64(h.DeserNs)/1e9)
+			p.Sample("stap_attr_hop_seconds", with(base, Label{"component", "transmit"}), float64(h.XmitNs)/1e9)
+			p.Sample("stap_attr_hop_seconds", with(base, Label{"component", "stall"}), float64(h.StallNs)/1e9)
+		}
+	})
+
+	p.Head("stap_attr_hop_bytes", "gauge", "Windowed bytes moved per link hop.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		for _, h := range rep.Hops {
+			p.Sample("stap_attr_hop_bytes", []Label{l, {"from", h.From}, {"to", h.To}}, float64(h.Bytes))
+		}
+	})
+
+	p.Head("stap_attr_hop_wire_frac", "gauge", "Per-hop wire tax as a fraction of the window's summed end-to-end latency.")
+	eachRep(reps, func(rep *BottleneckReport, l Label) {
+		for _, h := range rep.Hops {
+			p.Sample("stap_attr_hop_wire_frac", []Label{l, {"from", h.From}, {"to", h.To}}, h.WireFrac)
+		}
+	})
+}
+
+func eachRep(reps []*BottleneckReport, f func(rep *BottleneckReport, l Label)) {
+	for i, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		f(rep, Label{"replica", strconv.Itoa(i)})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 )
 
@@ -50,9 +51,22 @@ func NewFlightRecord(process, session, reason string, c *Collector) FlightRecord
 	return rec
 }
 
+// DefaultFlightKeep is how many flight records a directory retains when
+// the caller does not configure a bound.
+const DefaultFlightKeep = 16
+
 // WriteFlightRecord writes rec as flightrec-<unixnanos>-<process>.json
-// under dir (created if missing) and returns the file path.
+// under dir (created if missing), prunes all but the newest
+// DefaultFlightKeep records, and returns the file path.
 func WriteFlightRecord(dir string, rec FlightRecord) (string, error) {
+	return WriteFlightRecordKeep(dir, rec, 0)
+}
+
+// WriteFlightRecordKeep is WriteFlightRecord with an explicit retention
+// bound: after the write, only the newest `keep` flightrec-*.json files
+// survive in dir (keep <= 0 means DefaultFlightKeep). Repeatedly faulted
+// replicas therefore cannot fill the disk with post-mortems.
+func WriteFlightRecordKeep(dir string, rec FlightRecord, keep int) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
@@ -64,7 +78,29 @@ func WriteFlightRecord(dir string, rec FlightRecord) (string, error) {
 	if err := os.WriteFile(name, data, 0o644); err != nil {
 		return "", err
 	}
+	rotateFlightRecords(dir, keep)
 	return name, nil
+}
+
+// rotateFlightRecords deletes all but the newest `keep` flight records in
+// dir. The unix-nanosecond timestamp embedded in the file name orders the
+// records, so rotation needs no stat calls and survives clock-skewed
+// mtimes. Removal errors are ignored: rotation is best-effort hygiene and
+// must never fail the record write that triggered it.
+func rotateFlightRecords(dir string, keep int) {
+	if keep <= 0 {
+		keep = DefaultFlightKeep
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "flightrec-*.json"))
+	if err != nil || len(matches) <= keep {
+		return
+	}
+	// Lexicographic order matches numeric order while the nanosecond
+	// timestamps share a digit count (they do until the 2200s).
+	sort.Strings(matches)
+	for _, stale := range matches[:len(matches)-keep] {
+		os.Remove(stale)
+	}
 }
 
 // sanitizeLabel makes a process name safe as a file-name component.

@@ -62,3 +62,58 @@ func TestFlightRecordNilCollector(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFlightRecordRotation(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewFlightRecord("node", "", "fault", nil)
+	var last string
+	for i := 0; i < 9; i++ {
+		p, err := WriteFlightRecordKeep(dir, rec, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = p
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "flightrec-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("records after rotation: %d, want 3: %v", len(matches), matches)
+	}
+	// The newest record always survives its own rotation.
+	found := false
+	for _, m := range matches {
+		if m == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("latest record %s rotated away; kept %v", last, matches)
+	}
+	// A foreign file in the directory is never touched.
+	alien := filepath.Join(dir, "stapnode-final.snapshot.json")
+	if err := os.WriteFile(alien, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFlightRecordKeep(dir, rec, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(alien); err != nil {
+		t.Errorf("rotation touched a non-flightrec file: %v", err)
+	}
+}
+
+func TestFlightRecordDefaultKeep(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewFlightRecord("node", "", "fault", nil)
+	for i := 0; i < DefaultFlightKeep+4; i++ {
+		if _, err := WriteFlightRecord(dir, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "flightrec-*.json"))
+	if len(matches) != DefaultFlightKeep {
+		t.Fatalf("records %d, want default keep %d", len(matches), DefaultFlightKeep)
+	}
+}

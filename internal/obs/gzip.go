@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+)
+
+// GzipHandler wraps a handler with response compression: when the client
+// advertises Accept-Encoding: gzip the response body is gzip-encoded
+// with the matching Content-Encoding header (and Vary, for caches).
+// Merged Perfetto traces compress roughly 10:1, so the trace endpoints
+// mount through this.
+func GzipHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !acceptsGzip(r) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Encoding", "gzip")
+		w.Header().Add("Vary", "Accept-Encoding")
+		gz := gzip.NewWriter(w)
+		next.ServeHTTP(&gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+		gz.Close()
+	})
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding names gzip
+// (coding tokens are case-insensitive and may carry q-values).
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = strings.TrimSpace(enc[:i])
+		}
+		if strings.EqualFold(enc, "gzip") {
+			return true
+		}
+	}
+	return false
+}
+
+// gzipResponseWriter funnels the body through the gzip stream while
+// headers and status pass straight to the underlying writer. A wrapped
+// handler's Content-Length would describe the uncompressed body, so
+// writes go out chunked instead.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w *gzipResponseWriter) WriteHeader(code int) {
+	w.Header().Del("Content-Length")
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *gzipResponseWriter) Write(b []byte) (int, error) {
+	w.Header().Del("Content-Length")
+	return w.gz.Write(b)
+}

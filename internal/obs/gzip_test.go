@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func gzipTestHandler() http.Handler {
+	return GzipHandler(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"traceEvents":[`+strings.Repeat(`{"ph":"X"},`, 100)+`{}]}`)
+	}))
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(gzipTestHandler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	tr := &http.Transport{DisableCompression: true} // see the raw encoding
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding %q, want gzip", got)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type %q", got)
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("body is not gzip: %v", err)
+	}
+	body, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `"traceEvents"`) {
+		t.Errorf("round-tripped body lost content: %q", body)
+	}
+}
+
+func TestGzipNotAccepted(t *testing.T) {
+	srv := httptest.NewServer(gzipTestHandler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	tr := &http.Transport{DisableCompression: true}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Encoding"); got != "" {
+		t.Fatalf("Content-Encoding %q without Accept-Encoding", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"traceEvents"`) {
+		t.Errorf("identity body lost content: %q", body)
+	}
+}
+
+func TestAcceptsGzipParsing(t *testing.T) {
+	for hdr, want := range map[string]bool{
+		"gzip":                 true,
+		"GZIP":                 true,
+		"deflate, gzip;q=0.5":  true,
+		"br;q=1.0, gzip;q=0.8": true,
+		"identity":             false,
+		"":                     false,
+		"gzipped":              false,
+		"x-gzip-unrelated, br": false,
+	} {
+		r, _ := http.NewRequest("GET", "/", nil)
+		if hdr != "" {
+			r.Header.Set("Accept-Encoding", hdr)
+		}
+		if got := acceptsGzip(r); got != want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", hdr, got, want)
+		}
+	}
+}

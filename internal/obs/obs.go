@@ -44,6 +44,11 @@ type Config struct {
 	// RingSize / total workers (at least 1) and reports the clamp through
 	// Logf.
 	Window int
+	// WireRingSize is the wire-event journal capacity (default RingSize).
+	// Wire events are recorded by the distributed transport — one per link
+	// send and one per link receive — and feed the per-hop cost accounting
+	// of the attribution engine (see Attribute).
+	WireRingSize int
 	// LatencyPath is the latency chain of eq. (2): each element is a set
 	// of alternative tasks whose slowest member contributes one stage
 	// (e.g. [[0],[3,4],[5],[6]] for the paper's T0+max(T3,T4)+T5+T6). The
@@ -86,10 +91,57 @@ type SpanEvent struct {
 	T0, T1, T2, T3    int64
 }
 
-// WorkerCounters is one worker's monotonic tally.
+// WorkerCounters is one worker's monotonic tally. WaitNs is the portion
+// of RecvNs spent blocked in the message runtime waiting for input (fed
+// by mp.World.SetWaitObserver); the remainder of the receive phase is
+// deserialize/copy work.
 type WorkerCounters struct {
-	CPIs                   atomic.Int64
-	RecvNs, CompNs, SendNs atomic.Int64
+	CPIs                           atomic.Int64
+	RecvNs, CompNs, SendNs, WaitNs atomic.Int64
+}
+
+// Wire-event direction: one event is recorded on each side of a
+// distributed link transfer.
+const (
+	WireSend = iota // sender side: serialize, transmit, credit stall
+	WireRecv        // receiver side: payload read, deserialize
+)
+
+// WireEvent is one side of one data-frame transfer on a distributed
+// link: the measured cost components of moving a payload between
+// processes. Durations are nanoseconds and clock-safe (measured on one
+// node, no cross-node correction needed); At is nanoseconds since the
+// recording collector's start.
+//
+// Sender side (Dir == WireSend): SerNs is gob encode, XmitNs the socket
+// write, StallNs the credit-window wait that preceded them. Receiver
+// side (Dir == WireRecv): XmitNs is the payload read off the socket
+// (header wait is excluded — between frames it is idle time, not
+// transfer cost) and DeserNs the gob decode.
+type WireEvent struct {
+	Dir      int // WireSend or WireRecv
+	Src, Dst int // mp ranks of the payload's endpoints
+	Tag      int
+	Trace    uint64 // trace id of the carried payload (0 = untraced)
+	Bytes    int64
+	SerNs    int64
+	DeserNs  int64
+	XmitNs   int64
+	StallNs  int64
+	At       int64
+}
+
+// Traced is implemented by message payloads that carry a trace id (the
+// pipeline's CPI-stamped control header). The distributed transport uses
+// it to attribute wire costs to the CPI whose data crossed the link.
+type Traced interface{ ObsTrace() uint64 }
+
+// TraceOf extracts the trace id from a payload, 0 when it carries none.
+func TraceOf(v any) uint64 {
+	if tr, ok := v.(Traced); ok {
+		return tr.ObsTrace()
+	}
+	return 0
 }
 
 // slowWindow is how many recent span totals the slow-CPI detector keeps
@@ -125,6 +177,9 @@ type Collector struct {
 	ring []atomic.Pointer[SpanEvent]
 	head atomic.Uint64
 
+	wireRing []atomic.Pointer[WireEvent]
+	wireHead atomic.Uint64
+
 	slow []slowTracker // per task
 
 	slowLogMu  sync.Mutex
@@ -141,6 +196,9 @@ func New(cfg Config) *Collector {
 	}
 	if cfg.Window <= 0 {
 		cfg.Window = 32
+	}
+	if cfg.WireRingSize <= 0 {
+		cfg.WireRingSize = cfg.RingSize
 	}
 	if total := cfg.workerTotal(); total > 0 && cfg.Window*total > cfg.RingSize {
 		clamped := cfg.RingSize / total
@@ -159,6 +217,7 @@ func New(cfg Config) *Collector {
 		start:    time.Now(),
 		counters: make([][]*WorkerCounters, len(cfg.Tasks)),
 		ring:     make([]atomic.Pointer[SpanEvent], cfg.RingSize),
+		wireRing: make([]atomic.Pointer[WireEvent], cfg.WireRingSize),
 		slow:     make([]slowTracker, len(cfg.Tasks)),
 	}
 	for t, tm := range cfg.Tasks {
@@ -269,6 +328,39 @@ func (c *Collector) OnSend(bytes int64) {
 	c.bytes.Add(bytes)
 }
 
+// OnWait accounts blocked receive-wait time for one worker — the
+// queue-wait share of its receive phase, fed by the message runtime's
+// wait observer (mp.World.SetWaitObserver).
+func (c *Collector) OnWait(task, worker int, ns int64) {
+	c.counters[task][worker].WaitNs.Add(ns)
+}
+
+// RecordWire journals one wire cost event, stamping its At offset. Like
+// span recording it is lock-free: one atomic add and a pointer store.
+func (c *Collector) RecordWire(ev WireEvent) {
+	ev.At = time.Since(c.start).Nanoseconds()
+	idx := c.wireHead.Add(1) - 1
+	c.wireRing[idx%uint64(len(c.wireRing))].Store(&ev)
+}
+
+// WireJournal returns the wire-event ring's contents, oldest first, with
+// the same concurrent-writer caveats as Journal.
+func (c *Collector) WireJournal() []WireEvent {
+	n := c.wireHead.Load()
+	size := uint64(len(c.wireRing))
+	lo := uint64(0)
+	if n > size {
+		lo = n - size
+	}
+	out := make([]WireEvent, 0, n-lo)
+	for i := lo; i < n; i++ {
+		if p := c.wireRing[i%size].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
 // Messages returns the cumulative message count seen through OnSend.
 func (c *Collector) Messages() int64 { return c.msgs.Load() }
 
@@ -294,10 +386,11 @@ func (c *Collector) Journal() []SpanEvent {
 	return out
 }
 
-// WorkerSnapshot is one worker's counter totals.
+// WorkerSnapshot is one worker's counter totals. Wait is the blocked
+// share of Recv (zero when the runtime's wait observer is not wired).
 type WorkerSnapshot struct {
-	CPIs             int64
-	Recv, Comp, Send time.Duration
+	CPIs                   int64
+	Recv, Comp, Send, Wait time.Duration
 }
 
 // TaskSnapshot is one task's per-worker totals.
@@ -330,6 +423,7 @@ func (c *Collector) Snapshot() Snapshot {
 				Recv: time.Duration(wc.RecvNs.Load()),
 				Comp: time.Duration(wc.CompNs.Load()),
 				Send: time.Duration(wc.SendNs.Load()),
+				Wait: time.Duration(wc.WaitNs.Load()),
 			}
 		}
 		s.Tasks[t] = ts

@@ -85,6 +85,15 @@ func WriteProm(w io.Writer, cols []*Collector) {
 		}
 	})
 
+	p.Head("stap_wait_seconds_total", "counter", "Blocked receive-wait time per task worker (the queue-wait share of the recv phase).")
+	forEach(cols, func(i int, rep Label) {
+		for _, ts := range snaps[i].Tasks {
+			for wi, ws := range ts.Workers {
+				p.Sample("stap_wait_seconds_total", []Label{rep, taskLabel(ts.Name), workerLabel(wi)}, ws.Wait.Seconds())
+			}
+		}
+	})
+
 	p.Head("stap_messages_total", "counter", "Inter-task messages sent through the mp runtime.")
 	forEach(cols, func(i int, rep Label) { p.Sample("stap_messages_total", []Label{rep}, float64(snaps[i].Messages)) })
 

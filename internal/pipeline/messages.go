@@ -32,8 +32,28 @@ type ctl struct {
 }
 
 // next returns the control flags to forward one task hop downstream:
-// identical flags, hop depth incremented.
-func (c ctl) next() ctl { c.Hop++; return c }
+// identical flags, hop depth incremented. The hop counter saturates at
+// 255 instead of wrapping — a cycle in the forwarding graph (or a
+// runaway re-forward bug) must not masquerade as a fresh ingest hop.
+func (c ctl) next() ctl {
+	if c.Hop < 255 {
+		c.Hop++
+	}
+	return c
+}
+
+// ObsTrace implements obs.Traced on every ctl-carrying payload: the
+// distributed transport asks payloads for their trace id to attribute
+// per-hop wire costs (serialize/transmit/deserialize) to the CPI whose
+// data crossed the link. The weight messages deliberately do not
+// implement it — they carry no ctl, being a different lineage.
+func (m rawMsg) ObsTrace() uint64       { return m.ctl.Trace }
+func (m easyTrainMsg) ObsTrace() uint64 { return m.ctl.Trace }
+func (m hardTrainMsg) ObsTrace() uint64 { return m.ctl.Trace }
+func (m bfDataMsg) ObsTrace() uint64    { return m.ctl.Trace }
+func (m beamMsg) ObsTrace() uint64      { return m.ctl.Trace }
+func (m powerMsg) ObsTrace() uint64     { return m.ctl.Trace }
+func (m detMsg) ObsTrace() uint64       { return m.ctl.Trace }
 
 // rawMsg carries one Doppler worker's range slab of a raw CPI.
 type rawMsg struct {

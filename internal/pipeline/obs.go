@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"pstap/internal/mp"
 	"pstap/internal/obs"
 	"pstap/internal/stap"
 )
@@ -29,6 +30,46 @@ func DefaultObsConfig(a Assignment) obs.Config {
 			{TaskPulseComp},
 			{TaskCFAR},
 		},
+	}
+}
+
+// installWaitObserver routes the mp runtime's queue-wait reports into
+// the collector, splitting each worker's receive phase into blocked wait
+// vs deserialize/copy. Ranks hosting no task (the driver) and the
+// stream-internal collector loop report nowhere.
+func installWaitObserver(world *mp.World, topo *topology, col *obs.Collector) {
+	world.SetWaitObserver(func(rank int, ns int64) {
+		if task, w := topo.locate(rank); task >= 0 {
+			col.OnWait(task, w, ns)
+		}
+	})
+}
+
+// RankTasks maps every world rank of an assignment to its task index,
+// with -1 for the driver rank (the last rank, which hosts no pipeline
+// task) — the rank→task view the attribution engine uses to pin wire
+// events to latency-path stages.
+func RankTasks(a Assignment) []int {
+	out := make([]int, a.Total()+1)
+	r := 0
+	for t := 0; t < NumTasks; t++ {
+		for w := 0; w < a[t]; w++ {
+			out[r] = t
+			r++
+		}
+	}
+	out[r] = -1 // driver
+	return out
+}
+
+// AttrConfig returns the attribution-engine configuration for an
+// assignment: the task grid, the paper's latency path, and the rank map.
+func AttrConfig(a Assignment) obs.AttributeConfig {
+	cfg := DefaultObsConfig(a)
+	return obs.AttributeConfig{
+		Tasks:       cfg.Tasks,
+		LatencyPath: cfg.LatencyPath,
+		RankTask:    RankTasks(a),
 	}
 }
 

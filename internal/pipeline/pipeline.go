@@ -331,6 +331,7 @@ func Run(cfg Config) (*Result, error) {
 	world := mp.NewWorld(cfg.Assign.Total() + 1)
 	if cfg.Obs != nil {
 		world.SetObserver(cfg.Obs.OnSend)
+		installWaitObserver(world, topo, cfg.Obs)
 	}
 	cfg.sup = newSupervisor(cfg.Assign)
 	if cfg.Fault != nil {

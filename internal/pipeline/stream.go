@@ -143,6 +143,7 @@ func NewHostedStream(cfg StreamConfig, h Hosting) (*Stream, error) {
 	wcfg := Config{Scene: cfg.Scene, Assign: cfg.Assign, Threads: cfg.Threads, Obs: cfg.Obs, Fault: cfg.Fault, sup: sup}
 	if cfg.Obs != nil {
 		world.SetObserver(cfg.Obs.OnSend)
+		installWaitObserver(world, topo, cfg.Obs)
 	}
 	if cfg.Fault != nil {
 		installFaultHooks(world, topo, cfg.Fault)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"testing"
+	"time"
 
 	"pstap/internal/cube"
 	"pstap/internal/obs"
@@ -63,6 +64,82 @@ func TestBatchRunTraceLineage(t *testing.T) {
 	checkLineage(t, evs)
 }
 
+// TestHopSaturates checks the hop counter pins at 255 instead of
+// wrapping: a forwarding cycle must never look like a fresh ingest.
+func TestHopSaturates(t *testing.T) {
+	c := ctl{Reset: true, Trace: 7, Hop: 253}
+	for i := 0; i < 5; i++ {
+		c = c.next()
+	}
+	if c.Hop != 255 {
+		t.Fatalf("hop after saturation = %d, want 255", c.Hop)
+	}
+	if !c.Reset || c.Trace != 7 {
+		t.Fatalf("next() lost control flags: %+v", c)
+	}
+}
+
+// TestObsTraceOnPayloads checks every ctl-carrying message exposes its
+// trace id to the transport and the weight messages (a different
+// lineage) expose none.
+func TestObsTraceOnPayloads(t *testing.T) {
+	c := ctl{Trace: 42}
+	traced := []any{
+		rawMsg{ctl: c}, easyTrainMsg{ctl: c}, hardTrainMsg{ctl: c},
+		bfDataMsg{ctl: c}, beamMsg{ctl: c}, powerMsg{ctl: c}, detMsg{ctl: c},
+	}
+	for _, m := range traced {
+		if got := obs.TraceOf(m); got != 42 {
+			t.Errorf("TraceOf(%T) = %d, want 42", m, got)
+		}
+	}
+	for _, m := range []any{easyWeightsMsg{}, hardWeightsMsg{}} {
+		if got := obs.TraceOf(m); got != 0 {
+			t.Errorf("TraceOf(%T) = %d, want 0 (weights are off-lineage)", m, got)
+		}
+	}
+}
+
+// TestRunRecordsQueueWait checks the mp wait observer is wired: a batch
+// run with a collector attributes some blocked-receive time to workers
+// (downstream tasks necessarily wait on upstream compute).
+func TestRunRecordsQueueWait(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	a := NewAssignment(1, 1, 1, 1, 1, 1, 1)
+	col := obs.New(DefaultObsConfig(a))
+	if _, err := Run(Config{Scene: sc, Assign: a, NumCPIs: 4, Obs: col}); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, ts := range col.Snapshot().Tasks {
+		for _, ws := range ts.Workers {
+			if ws.Wait < 0 {
+				t.Fatalf("negative wait: %+v", ws)
+			}
+			total += ws.Wait.Nanoseconds()
+		}
+	}
+	if total <= 0 {
+		t.Fatal("no queue-wait recorded by any worker")
+	}
+}
+
+// TestRankTasks checks the rank→task map used to pin wire events to
+// stages: task-major rank order, driver last as -1.
+func TestRankTasks(t *testing.T) {
+	a := NewAssignment(2, 1, 1, 1, 1, 1, 1)
+	rt := RankTasks(a)
+	if len(rt) != a.Total()+1 {
+		t.Fatalf("len = %d, want %d", len(rt), a.Total()+1)
+	}
+	want := []int{0, 0, 1, 2, 3, 4, 5, 6, -1}
+	for i, w := range want {
+		if rt[i] != w {
+			t.Fatalf("rank %d → task %d, want %d (full map %v)", i, rt[i], w, rt)
+		}
+	}
+}
+
 // TestStreamTraceLineage checks the persistent-stream feeder does the
 // same across job boundaries (fresh traces per CPI, lineage intact).
 func TestStreamTraceLineage(t *testing.T) {
@@ -80,8 +157,15 @@ func TestStreamTraceLineage(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The CFAR worker journals its span after sending the detections that
+	// complete ProcessJob, so the final span may still be in flight.
+	want := a.Total() * 4
 	evs := col.Journal()
-	if want := a.Total() * 4; len(evs) != want {
+	for deadline := time.Now().Add(2 * time.Second); len(evs) < want && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+		evs = col.Journal()
+	}
+	if len(evs) != want {
 		t.Fatalf("journal %d spans, want %d", len(evs), want)
 	}
 	checkLineage(t, evs)

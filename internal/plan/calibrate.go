@@ -23,10 +23,21 @@ type Observation struct {
 	Recv, Comp, Send float64 // seconds
 	Total            float64 // mean full-span seconds (≈ observed period)
 	Samples          int
+
+	// Deser is the mean receiver-side deserialize cost of this task's
+	// output messages per worker-CPI, measured directly by the distributed
+	// transport's wire-event journal (zero for in-process replicas, or
+	// when no wire journal is supplied). The Paragon model charges unpack
+	// to the sender's PackTime while the work actually runs on the
+	// receiver's transport reader — invisible to every span phase — so
+	// the comm fit adds this to the observed send side.
+	Deser float64
 }
 
-// Busy returns the observation's idle-free busy-time estimate.
-func (o Observation) Busy() float64 { return o.Recv + o.Comp + o.Send }
+// Busy returns the observation's idle-free busy-time estimate. Deser is
+// included: the model's per-task busy prediction covers the unpack of
+// the task's output, so the measured counterpart must too.
+func (o Observation) Busy() float64 { return o.Recv + o.Comp + o.Send + o.Deser }
 
 // ObserveJournal digests a span journal (one collector's, or the
 // cluster-merged clock-corrected one) into per-task observations over
@@ -35,6 +46,17 @@ func (o Observation) Busy() float64 { return o.Recv + o.Comp + o.Send }
 // a partial journal (federation still warming up, a node down) must not
 // drive calibration.
 func ObserveJournal(window int, evs []obs.SpanEvent) (o [pipeline.NumTasks]Observation, ok bool) {
+	return ObserveJournalWire(window, evs, nil, nil)
+}
+
+// ObserveJournalWire is ObserveJournal with the distributed transport's
+// wire-cost journal folded in: each task's observation additionally
+// carries the mean receiver-side deserialize cost of the messages it
+// sent, matched to the span window through trace ids and attributed to
+// the sending task through rankTask (rank → task, as from
+// pipeline.RankTasks). A nil wire journal or rank map degrades to the
+// span-only digest.
+func ObserveJournalWire(window int, evs []obs.SpanEvent, wire []obs.WireEvent, rankTask []int) (o [pipeline.NumTasks]Observation, ok bool) {
 	if window <= 0 {
 		window = 32
 	}
@@ -67,12 +89,16 @@ func ObserveJournal(window int, evs []obs.SpanEvent) (o [pipeline.NumTasks]Obser
 		keep[c] = struct{}{}
 	}
 	var recvMin, compSum, sendSum, totSum [pipeline.NumTasks]int64
+	traces := make(map[uint64]struct{})
 	for _, ev := range evs {
 		if ev.Task < 0 || ev.Task >= pipeline.NumTasks {
 			continue
 		}
 		if _, k := keep[ev.CPI]; !k {
 			continue
+		}
+		if ev.Trace != 0 {
+			traces[ev.Trace] = struct{}{}
 		}
 		t := ev.Task
 		if r := ev.T1 - ev.T0; o[t].Samples == 0 || r < recvMin[t] {
@@ -82,6 +108,25 @@ func ObserveJournal(window int, evs []obs.SpanEvent) (o [pipeline.NumTasks]Obser
 		sendSum[t] += ev.T3 - ev.T2
 		totSum[t] += ev.T3 - ev.T0
 		o[t].Samples++
+	}
+	// Receiver-side deserialize, attributed to the sending task (whose
+	// PackTime the model charges it to) and windowed by the span traces.
+	var deserSum [pipeline.NumTasks]int64
+	if len(rankTask) > 0 {
+		for _, wev := range wire {
+			if wev.Dir != obs.WireRecv || wev.Trace == 0 {
+				continue
+			}
+			if _, k := traces[wev.Trace]; !k {
+				continue
+			}
+			if wev.Src < 0 || wev.Src >= len(rankTask) {
+				continue
+			}
+			if src := rankTask[wev.Src]; src >= 0 && src < pipeline.NumTasks {
+				deserSum[src] += wev.DeserNs
+			}
+		}
 	}
 	sec := func(ns int64) float64 { return float64(ns) / float64(time.Second) }
 	ok = true
@@ -95,6 +140,7 @@ func ObserveJournal(window int, evs []obs.SpanEvent) (o [pipeline.NumTasks]Obser
 		o[t].Comp = sec(compSum[t] / int64(n))
 		o[t].Send = sec(sendSum[t] / int64(n))
 		o[t].Total = sec(totSum[t] / int64(n))
+		o[t].Deser = sec(deserSum[t]) / float64(n)
 	}
 	return o, ok
 }
@@ -137,12 +183,16 @@ func Calibrate(m paragon.Machine, p radar.Params, a pipeline.Assignment, o [pipe
 		out.TaskRate[t] = (1-alpha)*m.TaskRate[t] + alpha*implied
 	}
 
+	// The measured send side includes the receiver's deserialize when a
+	// wire journal supplied it: PackTime models pack + transfer + unpack,
+	// and the unpack share is invisible to span phases (it runs on the
+	// receiving transport's reader, not in any worker).
 	var obsSend, predSend float64
 	for t := range o {
 		if o[t].Samples == 0 {
 			continue
 		}
-		obsSend += o[t].Send
+		obsSend += o[t].Send + o[t].Deser
 		predSend += mo.PackTime(t, a[t])
 	}
 	if obsSend > 0 && predSend > 0 {

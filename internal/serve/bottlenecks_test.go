@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/obs"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+// TestServerBottlenecks runs jobs through an in-process server and checks
+// the attribution surface: the /bottlenecks.json report carries full
+// in-tolerance waterfalls with zero wire share (no process boundary, no
+// wire tax), and the Prometheus exposition grows the stap_attr_* families.
+func TestServerBottlenecks(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas: 1,
+	})
+	defer s.Shutdown(context.Background())
+
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 6
+	cpis := make([]*cube.Cube, n)
+	for i := range cpis {
+		cpis[i] = sc.GenerateCPI(i)
+	}
+	if _, err := cl.SubmitRetry(cpis, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	// The last CFAR span is journaled after the reply that completes the
+	// job lands, so give the final CPI a moment to become attributable.
+	rep := s.BottleneckReport()
+	for deadline := time.Now().Add(2 * time.Second); rep.WindowCPIs < n && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+		rep = s.BottleneckReport()
+	}
+	if rep.WindowCPIs != n {
+		t.Fatalf("report window %d CPIs, want %d", rep.WindowCPIs, n)
+	}
+	if !rep.SumWithinTol {
+		t.Errorf("in-process sums out of tolerance: max err %.3f > %.2f", rep.SumErrFracMax, rep.TolFrac)
+	}
+	if rep.E2EMeanNs <= 0 {
+		t.Errorf("nonpositive mean e2e %d", rep.E2EMeanNs)
+	}
+	if rep.WireFrac != 0 {
+		t.Errorf("in-process replica reports wire fraction %.4f, want 0", rep.WireFrac)
+	}
+	if rep.Dominant == "" {
+		t.Error("no dominant component named")
+	}
+	if len(rep.Exemplars) == 0 {
+		t.Error("no tail exemplars")
+	}
+
+	// The handler serves the same report as indented JSON.
+	rr := httptest.NewRecorder()
+	s.BottlenecksHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/bottlenecks.json", nil))
+	var got obs.BottleneckReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("handler JSON: %v", err)
+	}
+	if got.WindowCPIs != n || !got.SumWithinTol {
+		t.Errorf("handler report window=%d withinTol=%v", got.WindowCPIs, got.SumWithinTol)
+	}
+
+	var b strings.Builder
+	s.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`stap_attr_window_cpis{replica="0"} ` + "6",
+		`stap_attr_sum_err_frac_max{replica="0"}`,
+		`stap_attr_task_mean_seconds{replica="0",task="Doppler filter",component="compute"}`,
+		"# TYPE stap_attr_task_component_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceHandlerGzip round-trips /trace.json through the negotiated
+// gzip encoding and checks a client without Accept-Encoding still gets
+// identity JSON.
+func TestTraceHandlerGzip(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	s := startServer(t, Config{
+		Scene:    sc,
+		Assign:   pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas: 1,
+	})
+	defer s.Shutdown(context.Background())
+
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.SubmitRetry([]*cube.Cube{sc.GenerateCPI(0), sc.GenerateCPI(1)}, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, h := range []struct {
+		name    string
+		handler http.Handler
+	}{{"trace", s.TraceHandler()}, {"cluster", s.ClusterTraceHandler()}} {
+		req := httptest.NewRequest(http.MethodGet, "/trace.json", nil)
+		req.Header.Set("Accept-Encoding", "gzip")
+		rr := httptest.NewRecorder()
+		h.handler.ServeHTTP(rr, req)
+		if enc := rr.Header().Get("Content-Encoding"); enc != "gzip" {
+			t.Fatalf("%s: Content-Encoding %q, want gzip", h.name, enc)
+		}
+		if vary := rr.Header().Get("Vary"); !strings.Contains(vary, "Accept-Encoding") {
+			t.Errorf("%s: Vary %q lacks Accept-Encoding", h.name, vary)
+		}
+		zr, err := gzip.NewReader(rr.Body)
+		if err != nil {
+			t.Fatalf("%s: gzip reader: %v", h.name, err)
+		}
+		body, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", h.name, err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("%s: decompressed trace JSON: %v", h.name, err)
+		}
+		if h.name == "trace" && len(doc.TraceEvents) == 0 {
+			t.Error("gzip trace carries no events")
+		}
+
+		// No Accept-Encoding → identity passthrough.
+		plain := httptest.NewRecorder()
+		h.handler.ServeHTTP(plain, httptest.NewRequest(http.MethodGet, "/trace.json", nil))
+		if enc := plain.Header().Get("Content-Encoding"); enc != "" {
+			t.Errorf("%s: unsolicited Content-Encoding %q", h.name, enc)
+		}
+		if err := json.Unmarshal(plain.Body.Bytes(), &doc); err != nil {
+			t.Errorf("%s: identity trace JSON: %v", h.name, err)
+		}
+	}
+}

@@ -256,13 +256,14 @@ func (s *Server) WriteClusterTrace(w io.Writer) error {
 }
 
 // ClusterTraceHandler serves WriteClusterTrace — mount as
-// /cluster/trace.json to download the merged cross-node trace.
+// /cluster/trace.json to download the merged cross-node trace. The
+// payload is gzip-encoded when the client accepts it.
 func (s *Server) ClusterTraceHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return obs.GzipHandler(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="stapd.cluster.trace.json"`)
 		_ = s.WriteClusterTrace(w)
-	})
+	}))
 }
 
 // writeClusterProm emits the federated per-node series and the

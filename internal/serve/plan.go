@@ -11,6 +11,7 @@ import (
 	"pstap/internal/dist"
 	"pstap/internal/obs"
 	"pstap/internal/paragon"
+	"pstap/internal/pipeline"
 	"pstap/internal/plan"
 	"pstap/internal/stap"
 )
@@ -166,7 +167,12 @@ func (s *Server) planReportFor(slot *replicaSlot) *plan.Report {
 		rep.PredictedPeriodSec = math.Max(rep.PredictedPeriodSec, b)
 	}
 
-	o, ok := plan.ObserveJournal(s.cfg.ObsWindow, s.planEvents(slot))
+	// Fold the measured wire costs in: the receiver-side deserialize of
+	// each task's output (windowed by trace, attributed to the sender)
+	// joins the span phases, so the comm fit calibrates from direct
+	// measurements instead of the pack-time proxy alone.
+	o, ok := plan.ObserveJournalWire(s.cfg.ObsWindow, s.planEvents(slot),
+		s.slotWire(slot), pipeline.RankTasks(s.cfg.Assign))
 	if !ok {
 		// Not every task has been observed yet; report the model side only.
 		return rep

@@ -110,6 +110,7 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	s.writeClusterProm(p)
 
 	obs.WriteProm(w, s.Collectors())
+	obs.WriteAttrProm(w, s.Bottlenecks())
 }
 
 // PromHandler serves WritePrometheus — mount as /metrics.prom next to the
@@ -133,11 +134,12 @@ func (s *Server) WriteTrace(w io.Writer) error {
 }
 
 // TraceHandler serves WriteTrace — mount as /trace.json to download a live
-// snapshot of the pool's recent activity for Perfetto.
+// snapshot of the pool's recent activity for Perfetto. The payload is
+// gzip-encoded when the client accepts it.
 func (s *Server) TraceHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return obs.GzipHandler(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="stapd.trace.json"`)
 		_ = s.WriteTrace(w)
-	})
+	}))
 }

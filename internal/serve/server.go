@@ -88,6 +88,10 @@ type Config struct {
 	// federated node snapshots to a flightrec-*.json here before the slot
 	// recycles.
 	FlightDir string
+	// FlightKeep bounds how many flightrec-*.json files FlightDir retains:
+	// after every dump the oldest records beyond the newest FlightKeep are
+	// pruned (obs.DefaultFlightKeep when <= 0).
+	FlightKeep int
 	// PlanMachine seeds the placement planner's cost model (see
 	// internal/plan); nil uses the coarse host-scale profile,
 	// paragon.HostScale. The model re-calibrates online from the pool's
@@ -732,7 +736,7 @@ func (s *Server) flightRecord(slot *replicaSlot, cause error) {
 			rec.Nodes = snaps
 		}
 	}
-	path, err := obs.WriteFlightRecord(s.cfg.FlightDir, rec)
+	path, err := obs.WriteFlightRecordKeep(s.cfg.FlightDir, rec, s.cfg.FlightKeep)
 	if err != nil {
 		s.cfg.Logf("stapd: replica %d flight record: %v", slot.idx, err)
 		return

@@ -18,6 +18,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"time"
 )
 
 // MaxFrameBytes bounds one frame's payload (1 GiB). A length prefix above
@@ -36,49 +37,88 @@ func Guard(err *error, what string) {
 	}
 }
 
+// FrameTiming is the measured cost of one frame codec operation: CodecNs
+// the gob encode or decode time, IONs the socket I/O time (the single
+// write on the send side; the payload read — not the header wait, which
+// between frames is idle time — on the receive side), Bytes the frame's
+// total size on the wire including the 8-byte prefix. The distributed
+// transport feeds these into the wire-tax accounting (obs.WireEvent).
+type FrameTiming struct {
+	CodecNs int64
+	IONs    int64
+	Bytes   int64
+}
+
 // WriteFrame gob-encodes v and writes it to w as a single length-prefixed
 // frame, in one Write call so concurrent writers interleave only at frame
 // boundaries when the callers serialize above this layer.
 func WriteFrame(w io.Writer, v any) error {
+	_, err := WriteFrameTimed(w, v)
+	return err
+}
+
+// WriteFrameTimed is WriteFrame, returning the measured encode and write
+// costs. Timing costs two clock reads per frame on top of WriteFrame.
+func WriteFrameTimed(w io.Writer, v any) (FrameTiming, error) {
+	var t FrameTiming
 	var buf bytes.Buffer
 	buf.Write(make([]byte, 8)) // length placeholder
+	encStart := time.Now()
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return fmt.Errorf("wire: encode frame: %w", err)
+		return t, fmt.Errorf("wire: encode frame: %w", err)
 	}
+	t.CodecNs = time.Since(encStart).Nanoseconds()
 	n := buf.Len() - 8
 	if n > MaxFrameBytes {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+		return t, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
 	}
 	binary.BigEndian.PutUint64(buf.Bytes()[:8], uint64(n))
+	t.Bytes = int64(buf.Len())
+	ioStart := time.Now()
 	if _, err := w.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("wire: write frame: %w", err)
+		return t, fmt.Errorf("wire: write frame: %w", err)
 	}
-	return nil
+	t.IONs = time.Since(ioStart).Nanoseconds()
+	return t, nil
 }
 
 // ReadFrame reads one length-prefixed frame from r and gob-decodes it into
 // v (a pointer). It returns io.EOF — and only io.EOF — when the stream
 // ends cleanly at a frame boundary; any mid-frame truncation or corrupt
 // content yields a descriptive error and never a panic.
-func ReadFrame(r io.Reader, v any) (err error) {
+func ReadFrame(r io.Reader, v any) error {
+	_, err := ReadFrameTimed(r, v)
+	return err
+}
+
+// ReadFrameTimed is ReadFrame, returning the measured payload-read and
+// decode costs. The blocking wait for the 8-byte header is deliberately
+// excluded from IONs: between frames it measures link idleness, not
+// transfer cost.
+func ReadFrameTimed(r io.Reader, v any) (t FrameTiming, err error) {
 	defer Guard(&err, "decode frame")
 	var hdr [8]byte
 	if _, herr := io.ReadFull(r, hdr[:]); herr != nil {
 		if herr == io.EOF {
-			return io.EOF
+			return t, io.EOF
 		}
-		return fmt.Errorf("wire: read frame header: %w", herr)
+		return t, fmt.Errorf("wire: read frame header: %w", herr)
 	}
 	n := binary.BigEndian.Uint64(hdr[:])
 	if n > MaxFrameBytes {
-		return fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt header?)", n, MaxFrameBytes)
+		return t, fmt.Errorf("wire: frame length %d exceeds limit %d (corrupt header?)", n, MaxFrameBytes)
 	}
+	t.Bytes = int64(n) + 8
 	payload := make([]byte, n)
+	ioStart := time.Now()
 	if _, perr := io.ReadFull(r, payload); perr != nil {
-		return fmt.Errorf("wire: frame truncated (want %d bytes): %w", n, perr)
+		return t, fmt.Errorf("wire: frame truncated (want %d bytes): %w", n, perr)
 	}
+	t.IONs = time.Since(ioStart).Nanoseconds()
+	decStart := time.Now()
 	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); derr != nil {
-		return fmt.Errorf("wire: decode frame: %w", derr)
+		return t, fmt.Errorf("wire: decode frame: %w", derr)
 	}
-	return nil
+	t.CodecNs = time.Since(decStart).Nanoseconds()
+	return t, nil
 }

@@ -71,3 +71,42 @@ func TestReadFrameRejectsCorruptInput(t *testing.T) {
 		t.Fatalf("garbage payload: got %v", err)
 	}
 }
+
+func TestTimedFramesMeasure(t *testing.T) {
+	var buf bytes.Buffer
+	m := msg{ID: 9, Body: make([]float64, 4096)}
+	wt, err := WriteFrameTimed(&buf, m)
+	if err != nil {
+		t.Fatalf("WriteFrameTimed: %v", err)
+	}
+	if wt.Bytes != int64(buf.Len()) {
+		t.Errorf("write Bytes %d, want buffered %d", wt.Bytes, buf.Len())
+	}
+	if wt.CodecNs <= 0 {
+		t.Errorf("write CodecNs %d, want > 0", wt.CodecNs)
+	}
+	if wt.IONs < 0 {
+		t.Errorf("write IONs %d", wt.IONs)
+	}
+
+	wireLen := int64(buf.Len())
+	var got msg
+	rt, err := ReadFrameTimed(&buf, &got)
+	if err != nil {
+		t.Fatalf("ReadFrameTimed: %v", err)
+	}
+	if got.ID != 9 || len(got.Body) != 4096 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if rt.Bytes != wireLen {
+		t.Errorf("read Bytes %d, want %d", rt.Bytes, wireLen)
+	}
+	if rt.CodecNs <= 0 || rt.IONs < 0 {
+		t.Errorf("read timing %+v", rt)
+	}
+
+	// A timed read that hits clean EOF reports it exactly like ReadFrame.
+	if _, err := ReadFrameTimed(&buf, &got); err != io.EOF {
+		t.Fatalf("clean end: got %v, want io.EOF", err)
+	}
+}

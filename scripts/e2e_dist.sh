@@ -6,7 +6,10 @@
 # mismatch a non-zero exit). Asserts the per-link transport counters and
 # the cluster observability surfaces: node-local /metrics.prom, the
 # federated stapd_node_*/stapd_cluster_* series, the clock-corrected
-# merged /cluster/trace.json with spans from both nodes, — in a
+# merged /cluster/trace.json with spans from both nodes, the
+# /bottlenecks.json attribution report (in-tolerance component sums and
+# nonzero wire costs on the distributed links, coordinator and nodes
+# alike, with a staptop frame rendered off the live endpoint), — in a
 # second phase — the flight record a hard node kill leaves behind, and —
 # in a third phase — the planner loop: stapplan emits a signed plan
 # file, stapd boots the whole cluster from it, the jobs stay bit-exact
@@ -27,6 +30,7 @@ go build -o "$WORK/stapd" ./cmd/stapd
 go build -o "$WORK/stapnode" ./cmd/stapnode
 go build -o "$WORK/stapload" ./cmd/stapload
 go build -o "$WORK/stapplan" ./cmd/stapplan
+go build -o "$WORK/staptop" ./cmd/staptop
 
 FLIGHT="$WORK/flight"
 mkdir -p "$FLIGHT"
@@ -85,11 +89,46 @@ done
 [ "$FED_OK" = 1 ] || { echo "federated node/cluster gauges never went live"; cat "$WORK/metrics.prom"; exit 1; }
 grep -q '^stapd_node_clock_offset_seconds{replica="0",node="1"} ' "$WORK/metrics.prom"
 
-# The merged clock-corrected trace carries traced spans from both nodes.
-curl -sf http://127.0.0.1:7432/cluster/trace.json >"$WORK/cluster.trace.json"
+# The merged clock-corrected trace carries traced spans from both nodes,
+# and the endpoint honors Accept-Encoding: gzip (curl --compressed
+# negotiates and transparently decompresses).
+curl -sf -H 'Accept-Encoding: gzip' -o /dev/null -D - \
+  http://127.0.0.1:7432/cluster/trace.json | grep -qi '^content-encoding: gzip'
+curl -sf --compressed http://127.0.0.1:7432/cluster/trace.json >"$WORK/cluster.trace.json"
 grep -q '"r0/n1/' "$WORK/cluster.trace.json"
 grep -q '"r0/n2/' "$WORK/cluster.trace.json"
 grep -q '"trace"' "$WORK/cluster.trace.json"
+
+# Attribution: the coordinator's /bottlenecks.json must carry complete
+# in-tolerance waterfalls over the federated journals, with nonzero wire
+# components — the data genuinely crossed two process links per CPI.
+ATTR_OK=0
+for i in $(seq 1 30); do
+  curl -sf http://127.0.0.1:7432/bottlenecks.json >"$WORK/bottlenecks.json" || { sleep 0.5; continue; }
+  if grep -q '"sum_within_tol": true' "$WORK/bottlenecks.json" &&
+     grep -q '"window_cpis": [1-9]' "$WORK/bottlenecks.json" &&
+     grep -q '"serialize_ns": [1-9]' "$WORK/bottlenecks.json" &&
+     grep -q '"transmit_ns": [1-9]' "$WORK/bottlenecks.json"; then
+    ATTR_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$ATTR_OK" = 1 ] || { echo "coordinator attribution never went live"; cat "$WORK/bottlenecks.json"; exit 1; }
+
+# Each node's local report sees no complete CPI (it hosts only part of
+# the latency path) but must stay in tolerance and surface the wire
+# costs its own transport measured through the hop table.
+for port in 7443 7444; do
+  curl -sf "http://127.0.0.1:$port/bottlenecks.json" >"$WORK/node.$port.bottlenecks.json"
+  grep -q '"sum_within_tol": true' "$WORK/node.$port.bottlenecks.json"
+  grep -q '"transmit_ns": [1-9]' "$WORK/node.$port.bottlenecks.json"
+done
+
+# staptop renders one frame off the live endpoint.
+"$WORK/staptop" -addr 127.0.0.1:7432 -once >"$WORK/staptop.out"
+grep -q 'dominant bottleneck' "$WORK/staptop.out"
+grep -q 'wire tax' "$WORK/staptop.out"
 
 kill -TERM "$STAPD_PID"
 wait "$STAPD_PID"
