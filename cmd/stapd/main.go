@@ -92,6 +92,11 @@ var (
 	flagBackoff    = flag.Duration("restartbackoff", 0, "base delay before restarting a dead replica, doubling per restart (0 = default 50ms)")
 	flagFlightDir  = flag.String("flightdir", "", "directory for fault flight records (empty disables)")
 	flagFlightKeep = flag.Int("flightkeep", 0, "flight records to retain in -flightdir, oldest pruned (0 = default 16)")
+
+	flagFailover       = flag.Int("failoverbudget", 0, "max re-dispatches of one job after its replica dies (0 = default 2, negative disables)")
+	flagBreakerTrip    = flag.Int("breakerthreshold", 0, "consecutive fatal faults opening a slot's dispatch breaker (0 = default 3)")
+	flagBreakerCool    = flag.Duration("breakercooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 1s)")
+	flagFallbackInproc = flag.Bool("fallbackinproc", false, "backfill a dist slot whose restart budget is exhausted with a warm in-process replica")
 )
 
 func parseNodes(s string) (pipeline.Assignment, error) {
@@ -225,28 +230,32 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Scene:          sc,
-		Assign:         a,
-		Replicas:       *flagReplicas,
-		DistClusters:   clusters,
-		QueueDepth:     *flagQueue,
-		Window:         *flagWindow,
-		Threads:        *flagThreads,
-		RetryAfter:     *flagRetry,
-		TraceDir:       *flagTraceDir,
-		ObsWindow:      *flagObsWin,
-		SlowMultiple:   *flagSlowMult,
-		CPITimeout:     *flagCPITimeout,
-		FaultPlan:      fplan,
-		FaultSeed:      *flagFaultSeed,
-		RestartBudget:  *flagRestarts,
-		RestartBackoff: *flagBackoff,
-		FlightDir:      *flagFlightDir,
-		FlightKeep:     *flagFlightKeep,
-		Replan:         *flagReplan,
-		ReplanInterval: *flagReplanInt,
-		ReplanDrift:    *flagReplanDrift,
-		Logf:           log.Printf,
+		Scene:            sc,
+		Assign:           a,
+		Replicas:         *flagReplicas,
+		DistClusters:     clusters,
+		QueueDepth:       *flagQueue,
+		Window:           *flagWindow,
+		Threads:          *flagThreads,
+		RetryAfter:       *flagRetry,
+		TraceDir:         *flagTraceDir,
+		ObsWindow:        *flagObsWin,
+		SlowMultiple:     *flagSlowMult,
+		CPITimeout:       *flagCPITimeout,
+		FaultPlan:        fplan,
+		FaultSeed:        *flagFaultSeed,
+		RestartBudget:    *flagRestarts,
+		RestartBackoff:   *flagBackoff,
+		FlightDir:        *flagFlightDir,
+		FlightKeep:       *flagFlightKeep,
+		FailoverBudget:   *flagFailover,
+		BreakerThreshold: *flagBreakerTrip,
+		BreakerCooldown:  *flagBreakerCool,
+		FallbackInproc:   *flagFallbackInproc,
+		Replan:           *flagReplan,
+		ReplanInterval:   *flagReplanInt,
+		ReplanDrift:      *flagReplanDrift,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

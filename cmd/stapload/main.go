@@ -36,19 +36,20 @@ import (
 )
 
 var (
-	flagAddr    = flag.String("addr", "localhost:7431", "stapd address")
-	flagRate    = flag.Float64("rate", 5, "job arrival rate (jobs/sec, open loop)")
-	flagJobs    = flag.Int("jobs", 50, "total jobs to submit")
-	flagCPIs    = flag.Int("cpis", 3, "CPIs per job")
-	flagConns   = flag.Int("conns", 4, "client connections")
-	flagSize    = flag.String("size", "small", "problem size: small | medium | paper (must match the server)")
-	flagSeed    = flag.Int64("seed", 1, "scene random seed (must match the server for -check)")
-	flagPool    = flag.Int("pool", 8, "distinct pre-generated jobs to cycle through")
-	flagCheck   = flag.Bool("check", false, "verify detections against the serial reference")
-	flagTrace   = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
-	flagScrape  = flag.String("scrape", "", "metrics URL to fetch and print after the run")
-	flagRetries = flag.Int("maxretries", 0, "retries per job on busy or transient failures (jittered exponential backoff, honoring the server's retry-after hint)")
-	flagJSON    = flag.String("json", "", "write a machine-readable run report to this file ('-' for stdout)")
+	flagAddr     = flag.String("addr", "localhost:7431", "stapd address")
+	flagRate     = flag.Float64("rate", 5, "job arrival rate (jobs/sec, open loop)")
+	flagJobs     = flag.Int("jobs", 50, "total jobs to submit")
+	flagCPIs     = flag.Int("cpis", 3, "CPIs per job")
+	flagConns    = flag.Int("conns", 4, "client connections")
+	flagSize     = flag.String("size", "small", "problem size: small | medium | paper (must match the server)")
+	flagSeed     = flag.Int64("seed", 1, "scene random seed (must match the server for -check)")
+	flagPool     = flag.Int("pool", 8, "distinct pre-generated jobs to cycle through")
+	flagCheck    = flag.Bool("check", false, "verify detections against the serial reference")
+	flagTrace    = flag.Bool("trace", false, "request a per-job Gantt trace (server must run with -tracedir)")
+	flagScrape   = flag.String("scrape", "", "metrics URL to fetch and print after the run")
+	flagRetries  = flag.Int("maxretries", 0, "retries per job on busy or transient failures (jittered exponential backoff, honoring the server's retry-after hint)")
+	flagJSON     = flag.String("json", "", "write a machine-readable run report to this file ('-' for stdout)")
+	flagDeadline = flag.Duration("deadline", 0, "per-job deadline, sent to the server and bounding client-side retries (0 disables)")
 )
 
 // statusLatency aggregates one final status code's outcomes: how many jobs
@@ -78,7 +79,10 @@ type report struct {
 	Completed   int64   `json:"completed"`
 	Rejected    int64   `json:"rejected"`
 	Failed      int64   `json:"failed"`
-	Mismatched  int64   `json:"mismatched,omitempty"`
+	// DeadlineExceeded counts jobs whose -deadline expired (their own
+	// bucket — an expected outcome under overload, not a failure).
+	DeadlineExceeded int64 `json:"deadline_exceeded,omitempty"`
+	Mismatched       int64 `json:"mismatched,omitempty"`
 	// ByStatus keys are terminal status codes ("ok", "busy",
 	// "replica-lost", "timeout", ...; "transport" for connection-level
 	// errors), each with its count and latency quantiles.
@@ -204,10 +208,11 @@ func main() {
 	}
 
 	var (
-		ok, retried, busy, failed, mismatched atomic.Int64
-		latMu                                 sync.Mutex
-		lats                                  []time.Duration
-		wg                                    sync.WaitGroup
+		ok, retried, busy, failed, mismatched, deadlineExc atomic.Int64
+
+		latMu sync.Mutex
+		lats  []time.Duration
+		wg    sync.WaitGroup
 	)
 	outc := newOutcomes()
 	interval := time.Duration(float64(time.Second) / *flagRate)
@@ -244,8 +249,13 @@ func main() {
 			case *serve.BusyError:
 				busy.Add(1)
 			default:
-				failed.Add(1)
-				log.Printf("job %d: %v", n, err)
+				var je *serve.JobError
+				if errors.As(err, &je) && je.Code == serve.StatusDeadlineExceeded {
+					deadlineExc.Add(1)
+				} else {
+					failed.Add(1)
+					log.Printf("job %d: %v", n, err)
+				}
 			}
 		}(n)
 	}
@@ -261,6 +271,9 @@ func main() {
 		fmt.Printf("retried     %8d (completed after >= 1 retry)\n", retried.Load())
 	}
 	fmt.Printf("rejected    %8d (busy backpressure, retries exhausted)\n", busy.Load())
+	if *flagDeadline > 0 {
+		fmt.Printf("deadline    %8d (exceeded %v)\n", deadlineExc.Load(), *flagDeadline)
+	}
 	fmt.Printf("failed      %8d\n", failed.Load())
 	if *flagCheck {
 		fmt.Printf("mismatched  %8d (vs serial reference)\n", mismatched.Load())
@@ -288,18 +301,19 @@ func main() {
 
 	if *flagJSON != "" {
 		rep := report{
-			Jobs:        *flagJobs,
-			CPIsPerJob:  *flagCPIs,
-			Conns:       *flagConns,
-			OfferedRate: *flagRate,
-			WallSec:     wall.Seconds(),
-			GoodputJobs: float64(ok.Load()) / wall.Seconds(),
-			GoodputCPIs: float64(ok.Load()*int64(*flagCPIs)) / wall.Seconds(),
-			Completed:   ok.Load(),
-			Rejected:    busy.Load(),
-			Failed:      failed.Load(),
-			Mismatched:  mismatched.Load(),
-			ByStatus:    byStatus,
+			Jobs:             *flagJobs,
+			CPIsPerJob:       *flagCPIs,
+			Conns:            *flagConns,
+			OfferedRate:      *flagRate,
+			WallSec:          wall.Seconds(),
+			GoodputJobs:      float64(ok.Load()) / wall.Seconds(),
+			GoodputCPIs:      float64(ok.Load()*int64(*flagCPIs)) / wall.Seconds(),
+			Completed:        ok.Load(),
+			Rejected:         busy.Load(),
+			Failed:           failed.Load(),
+			DeadlineExceeded: deadlineExc.Load(),
+			Mismatched:       mismatched.Load(),
+			ByStatus:         byStatus,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -329,14 +343,23 @@ func main() {
 	}
 }
 
-// submit sends one job, requesting a trace when -trace is set, and maps
-// the reply the same way Client.Submit does.
-func submit(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, error) {
-	if !*flagTrace {
+// submit sends one job, requesting a trace when -trace is set and
+// stamping the remaining client-side deadline budget (expiry) when
+// -deadline is set, and maps the reply the same way Client.Submit does.
+func submit(cl *serve.Client, cpis []*cube.Cube, expiry time.Time) ([][]stap.Detection, string, error) {
+	if !*flagTrace && expiry.IsZero() {
 		dets, err := cl.Submit(cpis)
 		return dets, "", err
 	}
-	resp, err := cl.Do(&serve.Request{CPIs: cpis, Trace: true})
+	req := &serve.Request{CPIs: cpis, Trace: *flagTrace}
+	if !expiry.IsZero() {
+		left := time.Until(expiry).Milliseconds()
+		if left < 1 {
+			left = 1 // expired already; let the server say so
+		}
+		req.DeadlineMs = left
+	}
+	resp, err := cl.Do(req)
 	if err != nil {
 		return nil, "", err
 	}
@@ -353,11 +376,17 @@ func submit(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, er
 // submitWithRetries wraps submit with up to -maxretries retries on busy
 // rejections and transient infrastructure failures (replica lost,
 // timeout), backing off exponentially with jitter and never less than the
-// server's retry-after hint. It returns how many retries the job needed.
+// server's retry-after hint. With -deadline the retry loop stops as soon
+// as the job's client-side deadline has passed — a late success is as
+// useless as a failure. It returns how many retries the job needed.
 func submitWithRetries(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection, string, int, error) {
+	var expiry time.Time
+	if *flagDeadline > 0 {
+		expiry = time.Now().Add(*flagDeadline)
+	}
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		dets, traceFile, err := submit(cl, cpis)
+		dets, traceFile, err := submit(cl, cpis, expiry)
 		if err == nil || attempt >= *flagRetries || !retryable(err) {
 			return dets, traceFile, attempt, err
 		}
@@ -367,6 +396,9 @@ func submitWithRetries(cl *serve.Client, cpis []*cube.Cube) ([][]stap.Detection,
 			d = be.RetryAfter
 		}
 		d += time.Duration(rand.Int63n(int64(d)/2 + 1)) // up to +50% jitter
+		if !expiry.IsZero() && !time.Now().Add(d).Before(expiry) {
+			return dets, traceFile, attempt, err
+		}
 		time.Sleep(d)
 		backoff *= 2
 	}

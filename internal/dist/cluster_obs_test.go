@@ -142,6 +142,7 @@ func TestClusterObsMergedTimeline(t *testing.T) {
 // TestRewriteObsAddr locks the wildcard-host rewrite NodeObs applies to
 // advertised telemetry addresses.
 func TestRewriteObsAddr(t *testing.T) {
+	leakcheck.Check(t)
 	cases := []struct {
 		obs, dial, want string
 	}{

@@ -194,9 +194,25 @@ func (r *Replica) Session() string { return r.session }
 // *ReplicaLostError wrapping the cause; a local watchdog expiry stays
 // pipeline.ErrCPITimeout, matching the in-process stream contract.
 func (r *Replica) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
-	dets, err := r.st.ProcessJob(cpis)
+	return r.ProcessJobOpts(cpis, pipeline.JobOpts{})
+}
+
+// ProcessJobOpts is ProcessJob with per-job options. A nonzero deadline
+// is installed on the transport for the job's duration, so every data
+// and ping frame carries it and the nodes arm their own abort monitors —
+// a partitioned node stops burning CPU on a dead job without hearing
+// from the coordinator again.
+func (r *Replica) ProcessJobOpts(cpis []*cube.Cube, opts pipeline.JobOpts) ([][]stap.Detection, error) {
+	if !opts.Deadline.IsZero() {
+		r.tr.SetDeadline(opts.Deadline.UnixNano())
+		defer r.tr.SetDeadline(0)
+	}
+	dets, err := r.st.ProcessJobOpts(cpis, opts)
 	if err == nil {
 		return dets, nil
+	}
+	if errors.Is(err, pipeline.ErrDeadlineExceeded) {
+		return nil, err
 	}
 	var le *LinkError
 	if errors.As(err, &le) {

@@ -52,6 +52,12 @@ type frame struct {
 	// frames: the responder's clock reading between the probe's send and
 	// receive, which is exactly what NTP-style offset estimation needs.
 	T int64
+	// Deadline is the current job's absolute deadline in the
+	// coordinator's unix nanoseconds (0 = none), stamped on data and ping
+	// frames. Nodes arm a local abort monitor from it so past-deadline
+	// CPIs stop consuming CPU even when the coordinator cannot reach them
+	// to say so; a zero stamp after a nonzero one disarms the monitor.
+	Deadline int64
 	// ObsAddr, on ready frames, advertises the node's telemetry HTTP
 	// listener to the coordinator (empty when the node runs without one).
 	ObsAddr string
@@ -151,10 +157,12 @@ func (l *link) writeTimed(f *frame) (wire.FrameTiming, error) {
 // sendData ships one mp message, blocking on the credit window. A nil
 // return means the frame was written; any error means the link is (now)
 // dead and the caller should treat the peer as lost. inj, when non-nil,
-// runs the link-plane fault rules against (member, seq). col, when
-// non-nil, journals the send's wire-cost event (serialize, socket write,
-// credit stall) under the payload's trace id.
-func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector, col *obs.Collector) error {
+// runs the link-plane fault rules against (member, seq) — including any
+// active partition/flap hold, which blocks the frame until the window
+// clears. col, when non-nil, journals the send's wire-cost event
+// (serialize, socket write, credit stall) under the payload's trace id.
+// deadline, when nonzero, stamps the frame with the current job deadline.
+func (l *link) sendData(src, dst, tag int, data any, deadline int64, inj *fault.Injector, col *obs.Collector) error {
 	var stallNs int64
 	l.cmu.Lock()
 	if l.credits == 0 && !l.dead.Load() {
@@ -175,11 +183,12 @@ func (l *link) sendData(src, dst, tag int, data any, inj *fault.Injector, col *o
 	l.stallNs.Add(stallNs)
 
 	if inj != nil {
+		inj.LinkHold(l.member)
 		if err := inj.LinkSend(l.member, seq); err != nil {
 			return err
 		}
 	}
-	ft, err := l.writeTimed(&frame{Kind: frameData, Seq: seq, Src: src, Dst: dst, Tag: tag, Data: data})
+	ft, err := l.writeTimed(&frame{Kind: frameData, Seq: seq, Src: src, Dst: dst, Tag: tag, Data: data, Deadline: deadline})
 	if err != nil {
 		return err
 	}
@@ -243,8 +252,10 @@ func (l *link) deathErr() error {
 	return &LinkError{Member: l.member, Addr: l.addr, Err: err}
 }
 
-// ping sends one heartbeat probe.
-func (l *link) ping() error {
+// ping sends one heartbeat probe, stamped with the current job deadline
+// (0 when none) so an idle link still propagates deadline arms and
+// clears.
+func (l *link) ping(deadline int64) error {
 	l.pmu.Lock()
 	l.pingSeq++
 	seq := l.pingSeq
@@ -257,7 +268,7 @@ func (l *link) ping() error {
 		}
 	}
 	l.pmu.Unlock()
-	return l.write(&frame{Kind: framePing, Seq: seq})
+	return l.write(&frame{Kind: framePing, Seq: seq, Deadline: deadline})
 }
 
 // pong matches a heartbeat echo to its probe, folds the round-trip into

@@ -6,11 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"pstap/internal/leakcheck"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
 )
 
 func TestPlacementParseValidateOwners(t *testing.T) {
+	leakcheck.Check(t)
 	p, err := ParsePlacement("0-2/3-6", 2)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +66,7 @@ func TestPlacementParseValidateOwners(t *testing.T) {
 }
 
 func TestParsePlacementErrorNamesNode(t *testing.T) {
+	leakcheck.Check(t)
 	// Malformed range syntax must point at the offending node so a
 	// many-node spec is debuggable from the message alone.
 	for _, tc := range []struct {
@@ -92,6 +95,7 @@ func TestParsePlacementErrorNamesNode(t *testing.T) {
 }
 
 func TestManifestSigPrefix(t *testing.T) {
+	leakcheck.Check(t)
 	p, _ := ParsePlacement("0-2/3-6", 2)
 	man := &Manifest{
 		Session: "abc123",
@@ -153,6 +157,7 @@ func TestManifestSigPrefix(t *testing.T) {
 }
 
 func TestManifestSignVerify(t *testing.T) {
+	leakcheck.Check(t)
 	p, _ := ParsePlacement("0-2/3-6", 2)
 	man := &Manifest{
 		Session:   "abc123",

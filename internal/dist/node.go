@@ -2,6 +2,7 @@ package dist
 
 import (
 	"crypto/hmac"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -387,14 +388,19 @@ func (n *Node) runSession(s *session, coordConn net.Conn) {
 	// Explain the death to the peers that have not seen it themselves: a
 	// local worker fault or abort cause rides the goodbye frame.
 	reason := ""
+	deadlined := false
 	if faults := st.Faults(); len(faults) > 0 {
 		reason = faults[0].String()
 	} else if cause := world.AbortCause(); cause != nil {
 		reason = cause.Error()
+		// A job deadline expiring is the client's bound, not a node
+		// fault: say why on the goodbye, but keep the flight recorder for
+		// real post-mortems.
+		deadlined = errors.Is(cause, pipeline.ErrDeadlineExceeded)
 	}
 	tr.Close(reason)
 	st.Abort()
-	if reason != "" && n.cfg.FlightDir != "" {
+	if reason != "" && !deadlined && n.cfg.FlightDir != "" {
 		rec := obs.NewFlightRecord(n.name(), s.id, reason, col)
 		rec.Links = tr.Stats()
 		rec.Pending = world.QueueDepths()

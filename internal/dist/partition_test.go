@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"pstap/internal/fault"
+	"pstap/internal/leakcheck"
+	"pstap/internal/radar"
+)
+
+// TestLinkWindowFaults pins the line between a degraded link and a dead
+// one. The heartbeat detector (heartbeatMisses silent intervals, 300ms at
+// the 100ms test heartbeat) must not be fooled by slowness: a link whose
+// frames arrive 2.5 heartbeats late still carries pings, so the replica
+// survives; a partition or flap window shorter than the miss threshold
+// delivers its held frames late — like TCP after a blip — and heals
+// invisibly; only a partition outlasting the threshold silences both
+// directions long enough to be a real loss.
+func TestLinkWindowFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		plan     string
+		cpis     int
+		wantLost bool
+	}{
+		// Data frames delayed well past the heartbeat interval: slow is
+		// not dead — heartbeats are unaffected, the job just drags.
+		{name: "slowlink-beyond-heartbeat", plan: "link:1:*:slowlink(250ms)*", cpis: 4},
+		// A 120ms partition holds traffic both ways but heals before
+		// three 100ms heartbeats go missing.
+		{name: "partition-under-threshold", plan: "link:1:*:partition(120ms)", cpis: 20},
+		// A flapping route alternating 100ms dark/alive never
+		// accumulates threshold-worth of silence.
+		{name: "flap-under-threshold", plan: "link:1:*:flap(100ms)", cpis: 20},
+		// A full-second partition starves heartbeats on both ends: the
+		// replica is genuinely lost.
+		{name: "partition-past-threshold", plan: "link:1:*:partition(1s)", cpis: 50, wantLost: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			leakcheck.Check(t)
+			sc := radar.DefaultScene(radar.Small())
+			_, addrs := startNodes(t, 2)
+			cfg := testCluster(t, addrs, sc)
+			cfg.Fault = fault.MustParsePlan(tc.plan).Injector(1)
+
+			rep, err := cfg.Connect()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(rep.Abort)
+
+			dets, err := rep.ProcessJob(makeJob(sc, tc.cpis))
+			if tc.wantLost {
+				var rl *ReplicaLostError
+				if !errors.As(err, &rl) {
+					t.Fatalf("ProcessJob = %v, want *ReplicaLostError after the partition", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ProcessJob through %q = %v, want survival", tc.plan, err)
+			}
+			want := runSerial(sc, tc.cpis)
+			for i := range want {
+				if !sameDetections(dets[i], want[i]) {
+					t.Errorf("CPI %d differs from serial reference", i)
+				}
+			}
+		})
+	}
+}

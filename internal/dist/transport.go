@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pstap/internal/fault"
 	"pstap/internal/mp"
 	"pstap/internal/obs"
+	"pstap/internal/pipeline"
 	"pstap/internal/wire"
 )
 
@@ -35,6 +37,15 @@ type Transport struct {
 
 	world *mp.World      // bound before any link reader starts
 	obs   *obs.Collector // wire-cost journal sink; set before any link attaches
+
+	// deadline is the current job's absolute deadline (coordinator unix
+	// nanos, 0 = none): the coordinator sets it around each job and every
+	// outbound data and ping frame carries it, so the stamp propagates
+	// hop by hop. Receivers fold inbound stamps into their own deadline
+	// and arm the local abort monitor below.
+	deadline atomic.Int64
+	dlMu     sync.Mutex
+	dlCancel func() // disarms the world's AbortAt monitor
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -96,11 +107,74 @@ func (t *Transport) Send(src, dst, tag int, data any) error {
 	if err != nil {
 		return err
 	}
-	if err := l.sendData(src, dst, tag, data, t.inj, t.obs); err != nil {
+	if err := l.sendData(src, dst, tag, data, t.deadline.Load(), t.inj, t.obs); err != nil {
 		t.linkDied(l, err)
 		return l.deathErr()
 	}
 	return nil
+}
+
+// SetDeadline installs (or, with 0, clears) the current job's absolute
+// deadline in unix nanoseconds. The coordinator calls it around each
+// deadline-bounded job; subsequent data and ping frames carry the value
+// to the nodes. Clearing also fires an immediate ping on every live link
+// so idle nodes disarm their monitors promptly instead of waiting out a
+// heartbeat interval.
+func (t *Transport) SetDeadline(ns int64) {
+	old := t.deadline.Swap(ns)
+	if ns != 0 {
+		return
+	}
+	t.disarmDeadline()
+	if old == 0 {
+		return
+	}
+	t.mu.Lock()
+	links := make([]*link, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	t.mu.Unlock()
+	for _, l := range links {
+		if !l.dead.Load() {
+			l.ping(0)
+		}
+	}
+}
+
+// noteDeadline folds an inbound frame's deadline stamp into the local
+// state: a new nonzero value re-arms the abort monitor (converted to the
+// local clock through the link's offset EWMA, plus two heartbeats of
+// grace for a clear that is still in flight); a zero stamp after a
+// nonzero one disarms it. The monitor is the node-side guarantee that
+// past-deadline CPIs stop consuming CPU even when the coordinator cannot
+// reach this process to abort it.
+func (t *Transport) noteDeadline(ns, offsetNs int64) {
+	if t.deadline.Swap(ns) == ns {
+		return
+	}
+	if ns == 0 {
+		t.disarmDeadline()
+		return
+	}
+	local := time.Unix(0, ns-offsetNs).Add(2 * t.hb)
+	cause := fmt.Errorf("dist: deadline monitor: %w", pipeline.ErrDeadlineExceeded)
+	t.dlMu.Lock()
+	if t.dlCancel != nil {
+		t.dlCancel()
+	}
+	t.dlCancel = t.world.AbortAt(local, cause)
+	t.dlMu.Unlock()
+}
+
+// disarmDeadline cancels the abort monitor, if armed.
+func (t *Transport) disarmDeadline() {
+	t.dlMu.Lock()
+	if t.dlCancel != nil {
+		t.dlCancel()
+		t.dlCancel = nil
+	}
+	t.dlMu.Unlock()
 }
 
 // waitLink returns the link to a member, blocking until it is registered.
@@ -147,10 +221,27 @@ func (t *Transport) readLoop(l *link) {
 			t.linkDied(l, err)
 			return
 		}
+		// An active partition/flap window holds the frame here — before
+		// the silence clock below resets — so the peer's traffic is
+		// delayed, not lost, while heartbeat misses accumulate exactly as
+		// they would across a dark route. Only data frames may open a
+		// window: anchoring on control traffic would start partitions
+		// during the connect handshake.
+		if t.inj != nil {
+			if f.Kind == frameData {
+				t.inj.LinkHold(l.member)
+			} else {
+				t.inj.LinkHoldPassive(l.member)
+			}
+			if l.dead.Load() {
+				return
+			}
+		}
 		l.bytesRecv.Add(ft.Bytes)
 		l.lastHeard.Store(time.Now().UnixNano())
 		switch f.Kind {
 		case frameData:
+			t.noteDeadline(f.Deadline, l.offsetNs.Load())
 			l.msgsRecv.Add(1)
 			l.deserNs.Add(ft.CodecNs)
 			l.xmitNs.Add(ft.IONs)
@@ -171,6 +262,7 @@ func (t *Transport) readLoop(l *link) {
 		case frameCredit:
 			l.addCredits(f.Credits)
 		case framePing:
+			t.noteDeadline(f.Deadline, l.offsetNs.Load())
 			// Stamp the local clock on the echo: the probe's sender uses it
 			// for NTP-style offset estimation.
 			if err := l.write(&frame{Kind: framePong, Seq: f.Seq, T: time.Now().UnixNano()}); err != nil {
@@ -227,7 +319,13 @@ func (t *Transport) heartbeat(l *link) {
 				t.linkDied(l, fmt.Errorf("dist: heartbeat: peer silent for %v", time.Duration(silent)))
 				return
 			}
-			if err := l.ping(); err != nil {
+			// Inside a partition/flap window our own probes would not
+			// cross the dark route either; skipping them starves the
+			// peer's silence clock just like the real thing.
+			if t.inj != nil && t.inj.LinkHeld(l.member) {
+				continue
+			}
+			if err := l.ping(t.deadline.Load()); err != nil {
 				t.linkDied(l, err)
 				return
 			}
@@ -412,6 +510,7 @@ func (t *Transport) dropConns() {
 // does not abort the bound world — callers sequence that.
 func (t *Transport) Close(reason string) {
 	t.closeOne.Do(func() {
+		t.disarmDeadline()
 		t.mu.Lock()
 		t.closed = true
 		links := make([]*link, 0, len(t.links))

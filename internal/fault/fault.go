@@ -18,11 +18,23 @@
 //	             ErrLinkDropped, which the link layer treats as a wire
 //	             failure (the replica dies with a typed link error)
 //	slowlink(d)  the link delays the frame by d before sending
+//	partition(d) the link goes dark in both directions for d from the
+//	             first matched frame: outbound frames block and inbound
+//	             frames are held unprocessed, so no heartbeat traffic
+//	             lands on either side. A window shorter than the
+//	             heartbeat-miss threshold heals invisibly (the held
+//	             frames deliver late, like TCP after a partition); a
+//	             longer one trips death detection on both ends.
+//	flap(p)      the link alternates alive/dark with half-period p from
+//	             the first matched frame, modelling a flapping route;
+//	             implies the repeat suffix.
 //
 // The link kinds address the distributed transport plane instead of a
 // worker: use the pseudo-task `link`, with the worker field naming the
 // peer member index and the cpi field the frame sequence number on that
 // link (internal/dist calls Injector.LinkSend per outbound data frame).
+// partition and flap gate whole time windows rather than single frames,
+// so their cpi field should be `*`.
 //
 // A kind may carry two optional suffixes, in order: `*` makes the rule
 // fire on every match instead of exactly once (the default, so a restarted
@@ -68,6 +80,8 @@ const (
 	KindErr
 	KindDropLink
 	KindSlowLink
+	KindPartition
+	KindFlap
 )
 
 // String renders the kind as it appears in a plan.
@@ -87,6 +101,10 @@ func (k Kind) String() string {
 		return "droplink"
 	case KindSlowLink:
 		return "slowlink"
+	case KindPartition:
+		return "partition"
+	case KindFlap:
+		return "flap"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -105,11 +123,16 @@ func (k Kind) class() class {
 	switch k {
 	case KindDropPayload:
 		return classMessage
-	case KindDropLink, KindSlowLink:
+	case KindDropLink, KindSlowLink, KindPartition, KindFlap:
 		return classLink
 	}
 	return classCompute
 }
+
+// windowed reports whether the kind gates a time window on a link
+// (partition, flap) rather than acting on a single frame — these are
+// evaluated by LinkHold/LinkHeld, not LinkSend.
+func (k Kind) windowed() bool { return k == KindPartition || k == KindFlap }
 
 // ErrInjected is the failure raised by a KindErr rule — the typed,
 // recognizable "this fault was injected on purpose" error.
@@ -145,10 +168,10 @@ func (r Rule) String() string {
 		task = "link"
 	}
 	kind := r.Kind.String()
-	if r.Kind == KindSlow || r.Kind == KindSlowLink {
+	if r.Kind == KindSlow || r.Kind == KindSlowLink || r.Kind.windowed() {
 		kind += "(" + r.Dur.String() + ")"
 	}
-	if r.Repeat {
+	if r.Repeat && r.Kind != KindFlap {
 		kind += "*"
 	}
 	if r.Prob > 0 && r.Prob < 1 {
@@ -171,6 +194,11 @@ func (r Rule) matches(task, worker, cpi int) bool {
 type Plan struct {
 	Rules []Rule
 	fired []atomic.Bool
+	// winAnchor is the unix-nano anchor of each windowed link rule
+	// (partition, flap): the moment of its first matched frame, set when
+	// the rule claims its fire. Shared across injectors like the fired
+	// state, so a recycled replica does not re-enter a spent partition.
+	winAnchor []atomic.Int64
 }
 
 // taskIndex maps plan task names to pipeline task indices (pipeline task
@@ -209,6 +237,7 @@ func ParsePlan(s string) (*Plan, error) {
 		p.Rules = append(p.Rules, r)
 	}
 	p.fired = make([]atomic.Bool, len(p.Rules))
+	p.winAnchor = make([]atomic.Int64, len(p.Rules))
 	return p, nil
 }
 
@@ -310,6 +339,23 @@ func parseKind(s string, r *Rule) error {
 		r.Kind, r.Dur = KindSlowLink, d
 		return nil
 	}
+	if strings.HasPrefix(s, "partition(") && strings.HasSuffix(s, ")") {
+		d, err := time.ParseDuration(s[len("partition(") : len(s)-1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad partition duration in %q", s)
+		}
+		r.Kind, r.Dur = KindPartition, d
+		return nil
+	}
+	if strings.HasPrefix(s, "flap(") && strings.HasSuffix(s, ")") {
+		d, err := time.ParseDuration(s[len("flap(") : len(s)-1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad flap half-period in %q", s)
+		}
+		r.Kind, r.Dur = KindFlap, d
+		r.Repeat = true // a flap is periodic by definition
+		return nil
+	}
 	switch s {
 	case "panic":
 		r.Kind = KindPanic
@@ -357,7 +403,7 @@ func (in *Injector) Fires() int64 { return in.fires.Load() }
 func (in *Injector) fire(task, worker, cpi int, c class) *Rule {
 	for i := range in.plan.Rules {
 		r := &in.plan.Rules[i]
-		if r.Kind.class() != c || !r.matches(task, worker, cpi) {
+		if r.Kind.class() != c || r.Kind.windowed() || !r.matches(task, worker, cpi) {
 			continue
 		}
 		if r.Prob < 1 && !in.roll(i, task, worker, cpi, r.Prob) {
@@ -453,6 +499,103 @@ func (in *Injector) LinkSend(member, seq int) error {
 		}
 	}
 	return nil
+}
+
+// LinkHold blocks while a partition or flap window covering the link to
+// member is dark, modelling a severed or flapping route: the transport
+// calls it per data frame, so held traffic is delayed — not lost —
+// exactly like TCP across a short partition, while heartbeat silence
+// accumulates on both sides. The hold is interruptible by the bound
+// world's abort. An unopened partition or flap rule anchors its window
+// at the first matched call; transports call LinkHold for data frames
+// only, so a window cannot open during connection setup — control
+// traffic rides through LinkHoldPassive instead.
+func (in *Injector) LinkHold(member int) {
+	in.linkHold(member, true)
+}
+
+// LinkHoldPassive blocks like LinkHold while a window covering the link
+// to member is dark, but never anchors a new one: control frames (ready,
+// credit, ping echoes) ride out an open partition without starting one.
+func (in *Injector) LinkHoldPassive(member int) {
+	in.linkHold(member, false)
+}
+
+func (in *Injector) linkHold(member int, open bool) {
+	for {
+		until := in.darkUntil(member, open)
+		if until == 0 {
+			return
+		}
+		d := time.Duration(until - time.Now().UnixNano())
+		if d <= 0 {
+			continue // window just closed; re-evaluate (a flap may chain)
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-in.doneCh():
+			t.Stop()
+			return
+		}
+		t.Stop()
+	}
+}
+
+// LinkHeld reports, without blocking or anchoring new windows, whether
+// the link to member is currently inside a dark partition or flap window
+// — the heartbeat loop's cheap check for suppressing pings.
+func (in *Injector) LinkHeld(member int) bool {
+	return in.darkUntil(member, false) != 0
+}
+
+// darkUntil returns the latest unix-nano end of any dark window covering
+// the link to member, or 0 when the link is clear. open permits
+// unanchored rules to claim their fire and anchor at now.
+func (in *Injector) darkUntil(member int, open bool) int64 {
+	var dark int64
+	now := time.Now().UnixNano()
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		if !r.Kind.windowed() || !r.matches(LinkTask, member, 0) {
+			continue
+		}
+		anchor := in.plan.winAnchor[i].Load()
+		if anchor == 0 {
+			if !open {
+				continue
+			}
+			if r.Prob < 1 && !in.roll(i, LinkTask, member, 0, r.Prob) {
+				continue
+			}
+			if !in.plan.fired[i].CompareAndSwap(false, true) {
+				// A concurrent caller is anchoring; pick the window up on
+				// the next evaluation.
+				continue
+			}
+			in.plan.winAnchor[i].Store(now)
+			in.fires.Add(1)
+			anchor = now
+		}
+		var until int64
+		switch r.Kind {
+		case KindPartition:
+			if end := anchor + int64(r.Dur); now < end {
+				until = end
+			}
+		case KindFlap:
+			// Alive during even half-periods from the anchor, dark during
+			// odd ones.
+			phase := (now - anchor) / int64(r.Dur)
+			if phase%2 == 1 {
+				until = anchor + (phase+1)*int64(r.Dur)
+			}
+		}
+		if until > dark {
+			dark = until
+		}
+	}
+	return dark
 }
 
 // doneCh returns the bound abort channel; an unbound injector blocks hang

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseWindowRules pins the partition/flap plan syntax: durations
+// parse, String round-trips, and a flap is periodic by definition (the
+// repeat suffix is implied and not re-rendered).
+func TestParseWindowRules(t *testing.T) {
+	p := MustParsePlan("link:1:*:partition(250ms); link:2:*:flap(80ms)")
+	if len(p.Rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(p.Rules))
+	}
+	part, flap := p.Rules[0], p.Rules[1]
+	if part.Kind != KindPartition || part.Dur != 250*time.Millisecond || part.Repeat {
+		t.Errorf("partition rule = %+v", part)
+	}
+	if flap.Kind != KindFlap || flap.Dur != 80*time.Millisecond || !flap.Repeat {
+		t.Errorf("flap rule = %+v (flap must imply repeat)", flap)
+	}
+	if !part.Kind.windowed() || !flap.Kind.windowed() {
+		t.Error("partition/flap must be windowed kinds")
+	}
+	want := "link:1:*:partition(250ms); link:2:*:flap(80ms)"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if _, err := ParsePlan("link:1:*:partition(bogus)"); err == nil {
+		t.Error("bad partition duration parsed")
+	}
+	if _, err := ParsePlan("link:1:*:flap(0s)"); err == nil {
+		t.Error("zero flap half-period parsed")
+	}
+}
+
+// TestPartitionWindow drives one partition through its lifecycle: dark
+// from the anchoring LinkHold for the window's duration, visible to
+// LinkHeld, then clear forever after.
+func TestPartitionWindow(t *testing.T) {
+	in := MustParsePlan("link:1:*:partition(60ms)").Injector(1)
+	in.Bind(make(chan struct{}))
+
+	if in.LinkHeld(1) {
+		t.Fatal("window dark before any matched frame")
+	}
+	start := time.Now()
+	in.LinkHold(1) // anchors and rides out the window
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("anchoring hold blocked only %v, want ~60ms", d)
+	}
+	if in.LinkHeld(1) {
+		t.Error("window still dark after its duration passed")
+	}
+	start = time.Now()
+	in.LinkHold(1)
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("spent partition held a later frame for %v", d)
+	}
+	if in.LinkHeld(2) {
+		t.Error("window covered a different member")
+	}
+}
+
+// TestPassiveHoldNeverAnchors pins the handshake guarantee: control
+// traffic (LinkHoldPassive, LinkHeld) can ride a link forever without
+// opening a partition — only a data-frame LinkHold anchors the window.
+func TestPassiveHoldNeverAnchors(t *testing.T) {
+	in := MustParsePlan("link:1:*:partition(1h)").Injector(1)
+	in.Bind(make(chan struct{}))
+
+	done := make(chan struct{})
+	go func() {
+		in.LinkHoldPassive(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("passive hold anchored (or rode) a window it must not open")
+	}
+	if in.LinkHeld(1) || in.Fires() != 0 {
+		t.Fatalf("passive traffic opened the partition (fires=%d)", in.Fires())
+	}
+}
+
+// TestFlapAlternates checks the half-period phasing: the link is alive at
+// the anchor, dark through odd half-periods, and alive again on even
+// ones, indefinitely.
+func TestFlapAlternates(t *testing.T) {
+	in := MustParsePlan("link:1:*:flap(40ms)").Injector(1)
+	abort := make(chan struct{})
+	defer close(abort)
+	in.Bind(abort)
+
+	start := time.Now()
+	in.LinkHold(1) // anchors; phase 0 is alive, so no block
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("flap blocked %v at its alive anchor phase", d)
+	}
+	time.Sleep(45 * time.Millisecond) // into the first dark half-period
+	if !in.LinkHeld(1) {
+		t.Error("flap not dark in its odd half-period")
+	}
+	start = time.Now()
+	in.LinkHold(1) // must ride out the remainder of the dark phase
+	if in.LinkHeld(1) {
+		t.Error("flap still dark right after a hold returned")
+	}
+	time.Sleep(45 * time.Millisecond)
+	if !in.LinkHeld(1) {
+		t.Error("flap did not go dark again: it must alternate forever")
+	}
+}

@@ -202,6 +202,37 @@ func (w *World) AbortWith(cause error) {
 	})
 }
 
+// AbortAt arms a one-shot deadline on the world: when t arrives and the
+// returned cancel has not run, the world aborts with cause — the per-job
+// deadline seam shared by a local pipeline stream and a distributed
+// node's transport monitor. A zero t is a no-op (cancel still safe to
+// call). cancel is idempotent and returns only after any pending abort
+// decision is settled, so callers can sequence "cancel, then reuse the
+// world" without racing the timer.
+func (w *World) AbortAt(t time.Time, cause error) (cancel func()) {
+	if t.IsZero() {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		timer := time.NewTimer(time.Until(t))
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			w.AbortWith(cause)
+		case <-stop:
+		case <-w.done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stop) })
+		<-done
+	}
+}
+
 // AbortCause returns the error recorded by AbortWith, nil for a live
 // world or a plain Abort.
 func (w *World) AbortCause() error {

@@ -24,6 +24,13 @@ var ErrStreamClosed = errors.New("pipeline: stream closed")
 // stream is unusable afterwards (a serving layer recycles the replica).
 var ErrCPITimeout = errors.New("pipeline: CPI timeout exceeded")
 
+// ErrDeadlineExceeded is returned by Stream.ProcessJobOpts when the job's
+// deadline passed before its last CPI completed. Like the watchdog, the
+// deadline aborts the pipeline world so every worker — local or on a
+// remote node of a distributed replica — stops burning CPU on dead work;
+// the stream is unusable afterwards and the serving layer rebuilds it.
+var ErrDeadlineExceeded = errors.New("pipeline: job deadline exceeded")
+
 // StreamConfig describes a persistent pipeline instance.
 type StreamConfig struct {
 	Scene   *radar.Scene
@@ -289,6 +296,26 @@ func NewHostedStream(cfg StreamConfig, h Hosting) (*Stream, error) {
 // why: *FaultError for a supervised worker fault, ErrCPITimeout when the
 // per-CPI watchdog fired, ErrStreamClosed for a plain close or abort.
 func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
+	return s.ProcessJobOpts(cpis, JobOpts{})
+}
+
+// JobOpts tunes one ProcessJobOpts run.
+type JobOpts struct {
+	// Deadline, when non-zero, bounds the whole job: if it passes before
+	// the last CPI's results arrive, the world is aborted with
+	// ErrDeadlineExceeded as the cause and ProcessJobOpts returns it.
+	Deadline time.Time
+	// OnCPI, when non-nil, receives each CPI's merged detections the
+	// moment the collector completes it, in CPI order, from the calling
+	// goroutine — the progress feed a serving layer uses to keep a
+	// high-water mark for failover replay. ProcessJobOpts still returns
+	// the full per-CPI slice on success.
+	OnCPI func(cpi int, dets []stap.Detection)
+}
+
+// ProcessJobOpts is ProcessJob with per-job options: an absolute deadline
+// and a per-CPI progress callback.
+func (s *Stream) ProcessJobOpts(cpis []*cube.Cube, opts JobOpts) ([][]stap.Detection, error) {
 	if len(cpis) == 0 {
 		return nil, fmt.Errorf("pipeline: empty job")
 	}
@@ -303,6 +330,12 @@ func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
 	if s.world.Aborted() {
 		return nil, s.deathErr()
 	}
+	// Arm the job deadline before the first CPI is submitted: expiry
+	// aborts the world (stopping every worker, including remote ones via
+	// the transport teardown) with the typed cause the collection loop
+	// below surfaces.
+	cancelDeadline := s.world.AbortAt(opts.Deadline, ErrDeadlineExceeded)
+	defer cancelDeadline()
 	// Submit from a separate goroutine so the bounded in-flight window
 	// cannot deadlock submission against result collection. The submitter
 	// always finishes before the final result arrives (the feeder must
@@ -333,6 +366,9 @@ func (s *Stream) ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error) {
 		case dets, ok := <-s.out:
 			if !ok {
 				return nil, s.deathErr()
+			}
+			if opts.OnCPI != nil {
+				opts.OnCPI(len(out), dets)
 			}
 			out = append(out, dets)
 			if timer != nil {

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states, mirrored into the slot's stapd_breaker_state gauge.
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breakerName renders a breaker state for JSON and logs.
+func breakerName(st int32) string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one slot's dispatch circuit breaker. A slot whose replica
+// keeps dying — fatal fault, watchdog timeout, lost cluster session — is
+// a bad place to send jobs: every dispatch sacrifices a job and burns a
+// restart from the slot's budget. After threshold consecutive fatal
+// faults the breaker opens and the slot's loop stops pulling work for
+// cooldown; the first pull afterwards is a half-open probe, whose
+// outcome either closes the breaker or reopens it for another cooldown.
+// That turns a flapping slot's cost from one-job-per-fault into
+// one-probe-per-cooldown, so the restart budget survives transient link
+// weather the heartbeat detector alone would grind through.
+//
+// Each slot has exactly one loop, so at most one probe is ever in
+// flight; allow in the half-open state always admits (the caller is the
+// prober).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	gauge     *atomic.Int32 // mirrors state for metrics; never nil
+
+	mu       sync.Mutex
+	state    int32
+	consec   int // consecutive fatal faults since the last success
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, gauge *atomic.Int32) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, gauge: gauge}
+}
+
+// allow reports whether the slot may take a job now. When the breaker is
+// open and cooling, it returns false and how long until the next
+// half-open probe is due.
+func (b *breaker) allow() (wait time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return 0, true
+	default: // open
+		if left := b.cooldown - time.Since(b.openedAt); left > 0 {
+			return left, false
+		}
+		b.set(breakerHalfOpen)
+		return 0, true
+	}
+}
+
+// success records a job the slot finished without a fatal fault.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.consec = 0
+	b.set(breakerClosed)
+	b.mu.Unlock()
+}
+
+// failure records a fatal fault. flaky carries link-plane evidence that
+// the slot's trouble is environmental (heartbeat RTT flapping near the
+// miss threshold); it lowers the trip point by one so a visibly sick
+// link opens the breaker before the full fault run. A fault during the
+// half-open probe reopens immediately. It reports whether this call
+// opened the breaker.
+func (b *breaker) failure(flaky bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	limit := b.threshold
+	if flaky && limit > 1 {
+		limit--
+	}
+	if b.state == breakerHalfOpen || b.consec >= limit {
+		b.set(breakerOpen)
+		b.openedAt = time.Now()
+		return true
+	}
+	return false
+}
+
+// set transitions the state and mirrors it into the metrics gauge.
+// Callers hold b.mu.
+func (b *breaker) set(st int32) {
+	b.state = st
+	b.gauge.Store(st)
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pstap/internal/cube"
+	"pstap/internal/fault"
+	"pstap/internal/leakcheck"
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+)
+
+// Deadline tests: Request.DeadlineMs is a hard bound on server-side
+// residence. A job that cannot finish inside it is aborted with
+// StatusDeadlineExceeded promptly — within 1.5x the deadline — and the
+// pipeline stops burning compute on it (no spans start after expiry).
+
+// TestDeadlineAbortsRunningJob runs a job whose injected per-CPI slowdown
+// makes it overrun a 600ms deadline: the reply must be
+// StatusDeadlineExceeded well before the job would have finished, the
+// slot's span journal must show no compute starting after expiry, and
+// the pool must serve clean jobs afterwards.
+func TestDeadlineAbortsRunningJob(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	leakcheck.Check(t)
+	s := startServer(t, Config{
+		Scene:          sc,
+		Assign:         pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas:       1,
+		QueueDepth:     4,
+		Window:         2,
+		RetryAfter:     5 * time.Millisecond,
+		FaultPlan:      fault.MustParsePlan("pulse:0:*:slow(120ms)*"),
+		FaultSeed:      1,
+		RestartBudget:  3,
+		RestartBackoff: 5 * time.Millisecond,
+	})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The collector captured before the submit: the deadline abort
+	// recycles the slot onto a fresh collector, so this one freezes with
+	// the aborted job's spans.
+	col := s.Collectors()[0]
+
+	// Ten CPIs at 120ms injected slowdown each cannot finish in 600ms.
+	var cpis []*cube.Cube
+	for i := 0; i < 10; i++ {
+		cpis = append(cpis, sc.GenerateCPI(i))
+	}
+	const budget = 600 * time.Millisecond
+	start := time.Now()
+	resp, err := cl.Do(&Request{CPIs: cpis, DeadlineMs: budget.Milliseconds()})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusDeadlineExceeded {
+		t.Fatalf("status = %s after %v, want deadline-exceeded (%s)", resp.Status, elapsed, resp.Err)
+	}
+	if elapsed > budget*3/2 {
+		t.Errorf("deadline reply took %v, want <= 1.5x the %v budget", elapsed, budget)
+	}
+
+	// No compute may start after expiry: the abort must actually stop
+	// the workers, not just the reply. The epsilon absorbs the gap
+	// between our clock and the server's enqueue stamp plus abort
+	// delivery to a worker mid-sleep.
+	time.Sleep(150 * time.Millisecond)
+	expiry := start.Add(budget).Add(200 * time.Millisecond).UnixNano()
+	for _, ev := range col.Journal() {
+		if ev.T1 > expiry {
+			t.Errorf("task %d worker %d cpi %d started computing %v after the deadline",
+				ev.Task, ev.Worker, ev.CPI, time.Duration(ev.T1-expiry))
+		}
+	}
+
+	// The slot recycled cleanly: a fresh job without a deadline matches
+	// the serial reference.
+	clean := []*cube.Cube{sc.GenerateCPI(20), sc.GenerateCPI(21)}
+	got := submitRecover(t, cl, clean)
+	want := serialReference(sc, clean)
+	for i := range want {
+		if !sameDetections(got[i], want[i]) {
+			t.Errorf("post-deadline job CPI %d differs from serial reference", i)
+		}
+	}
+
+	snap := s.Metrics().Snapshot()
+	if snap.DeadlineExc < 1 {
+		t.Errorf("deadline_exceeded = %d, want >= 1", snap.DeadlineExc)
+	}
+	if snap.LiveReplicas != 1 {
+		t.Errorf("live_replicas = %d after deadline recycle, want 1", snap.LiveReplicas)
+	}
+}
+
+// TestDeadlineExpiresInQueue pins the hopeless-job paths: a 1ms-deadline
+// job submitted while the only replica is busy is answered
+// StatusDeadlineExceeded without being processed — either up front, when
+// the admission estimator predicts the queue wait alone exceeds it, or
+// by the queued-expiry check when a replica finally picks it up.
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	sc := radar.DefaultScene(radar.Small())
+	leakcheck.Check(t)
+	s := startServer(t, Config{
+		Scene:      sc,
+		Assign:     pipeline.NewAssignment(1, 1, 1, 1, 1, 1, 1),
+		Replicas:   1,
+		QueueDepth: 4,
+		Window:     2,
+		RetryAfter: 5 * time.Millisecond,
+	})
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	cl, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var long []*cube.Cube
+	for i := 0; i < 120; i++ {
+		long = append(long, sc.GenerateCPI(i%8))
+	}
+	blocker := make(chan error, 1)
+	go func() {
+		_, berr := cl.Submit(long)
+		blocker <- berr
+	}()
+	col := s.Collectors()[0]
+	for len(col.Journal()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := cl.Do(&Request{CPIs: []*cube.Cube{sc.GenerateCPI(0)}, DeadlineMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusDeadlineExceeded {
+		t.Fatalf("queued job status = %s, want deadline-exceeded (%s)", resp.Status, resp.Err)
+	}
+	if berr := <-blocker; berr != nil {
+		t.Fatalf("blocking job: %v", berr)
+	}
+	if snap := s.Metrics().Snapshot(); snap.DeadlineExc != 1 {
+		t.Errorf("deadline_exceeded = %d, want 1", snap.DeadlineExc)
+	}
+}

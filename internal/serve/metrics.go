@@ -34,6 +34,11 @@ type Metrics struct {
 	// replans counts planned placement rolls by the replanner (these do
 	// not charge restart budgets or count as replicaRestarts).
 	replans atomic.Int64
+	// failovers counts jobs re-dispatched onto another replica after
+	// their replica died mid-flight; deadlineExceeded counts jobs
+	// rejected or aborted because their client deadline expired.
+	failovers        atomic.Int64
+	deadlineExceeded atomic.Int64
 
 	queueDepth func() int
 	// links, when set, resolves a replica slot's per-link transfer
@@ -76,6 +81,8 @@ type ReplicaStats struct {
 	busyNs   atomic.Int64
 	restarts atomic.Int64
 	health   atomic.Int32
+	// breaker mirrors the slot's circuit-breaker state (see breaker.go).
+	breaker atomic.Int32
 }
 
 // newMetrics builds the metrics for a replica pool of the given size.
@@ -114,6 +121,9 @@ type ReplicaSnapshot struct {
 	Restarts int64 `json:"restarts"`
 	// Health is "live", "restarting" or "dead".
 	Health string `json:"health"`
+	// Breaker is the slot's dispatch circuit-breaker state: "closed",
+	// "open" or "half-open".
+	Breaker string `json:"breaker"`
 	// Links holds a distributed slot's per-node link counters (message
 	// and byte totals each way plus the heartbeat round-trip EWMA);
 	// empty for in-process replicas.
@@ -133,6 +143,8 @@ type Snapshot struct {
 	WorkerFaults    int64             `json:"worker_faults"`
 	ReplicaRestarts int64             `json:"replica_restarts"`
 	Replans         int64             `json:"replans_total"`
+	Failovers       int64             `json:"job_failovers"`
+	DeadlineExc     int64             `json:"deadline_exceeded"`
 	LiveReplicas    int               `json:"live_replicas"`
 	JobsPerSec      float64           `json:"jobs_per_sec"`
 	LatencyP50Ms    float64           `json:"latency_p50_ms"`
@@ -154,6 +166,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		WorkerFaults:    m.workerFaults.Load(),
 		ReplicaRestarts: m.replicaRestarts.Load(),
 		Replans:         m.replans.Load(),
+		Failovers:       m.failovers.Load(),
+		DeadlineExc:     m.deadlineExceeded.Load(),
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
@@ -179,6 +193,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			Jobs:     r.jobs.Load(),
 			Restarts: r.restarts.Load(),
 			Health:   healthName(h),
+			Breaker:  breakerName(r.breaker.Load()),
 		}
 		if m.links != nil {
 			rs.Links = m.links(i)
@@ -192,6 +207,22 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Replicas = append(s.Replicas, rs)
 	}
 	return s
+}
+
+// latencyP50 returns the median end-to-end latency over the sliding
+// window (zero with no history) — the admission queue-wait estimator's
+// fallback when the pipeline gauges have no samples yet.
+func (m *Metrics) latencyP50() time.Duration {
+	m.mu.Lock()
+	window := make([]time.Duration, m.latN)
+	if m.latN < len(m.lat) {
+		copy(window, m.lat[:m.latN])
+	} else {
+		copy(window, m.lat)
+	}
+	m.mu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	return obs.Quantile(window, 0.50)
 }
 
 // quantileMs returns the q-quantile of a sorted window in milliseconds,

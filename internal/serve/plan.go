@@ -296,7 +296,7 @@ func (s *Server) rollSlot(slot *replicaSlot, from string, to dist.Placement) {
 	slot.cluster.Placement = to
 	slot.mu.Unlock()
 	s.cfg.Logf("stapd: replica %d replan: rolling placement %s -> %s", slot.idx, from, to)
-	if s.recycle(slot, gen, errReplanRoll) {
+	if s.recycle(slot, gen, errReplanRoll, true) {
 		s.metrics.replans.Add(1)
 	} else {
 		s.cfg.Logf("stapd: replica %d replan: roll failed, slot dead", slot.idx)

@@ -44,6 +44,10 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	p.Sample("stapd_replica_restarts_total", nil, float64(snap.ReplicaRestarts))
 	p.Head("stapd_replans_total", "counter", "Planned placement rolls by the replanner.")
 	p.Sample("stapd_replans_total", nil, float64(snap.Replans))
+	p.Head("stapd_job_failovers_total", "counter", "Jobs re-dispatched onto another replica after theirs died mid-flight.")
+	p.Sample("stapd_job_failovers_total", nil, float64(snap.Failovers))
+	p.Head("stapd_deadline_exceeded_total", "counter", "Jobs rejected or aborted because their client deadline expired.")
+	p.Sample("stapd_deadline_exceeded_total", nil, float64(snap.DeadlineExc))
 	p.Head("stapd_live_replicas", "gauge", "Replicas currently healthy and serving.")
 	p.Sample("stapd_live_replicas", nil, float64(snap.LiveReplicas))
 
@@ -78,6 +82,17 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	p.Head("stapd_replica_restarts", "counter", "Recycles per replica slot.")
 	for i, r := range snap.Replicas {
 		p.Sample("stapd_replica_restarts", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, float64(r.Restarts))
+	}
+	p.Head("stapd_breaker_state", "gauge", "Dispatch circuit-breaker state per replica slot (0 closed, 1 open, 2 half-open).")
+	for i, r := range snap.Replicas {
+		st := 0.0
+		switch r.Breaker {
+		case "open":
+			st = 1
+		case "half-open":
+			st = 2
+		}
+		p.Sample("stapd_breaker_state", []obs.Label{{Name: "replica", Value: strconv.Itoa(i)}}, st)
 	}
 
 	// Per-link transport counters of the distributed replica slots (one

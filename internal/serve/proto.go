@@ -39,6 +39,13 @@ type Request struct {
 	// when the server was started with a trace directory; the Response
 	// names the file written.
 	Trace bool
+	// DeadlineMs, when positive, bounds the job's total server-side
+	// residence (queue wait plus service) in milliseconds. Admission
+	// rejects the job outright when the estimated queue wait already
+	// exceeds it; a job that expires while queued or running is answered
+	// StatusDeadlineExceeded and its remaining CPIs are aborted all the
+	// way down to remote stapnode workers. Zero means no deadline.
+	DeadlineMs int64
 }
 
 // Status classifies a Response.
@@ -67,6 +74,12 @@ const (
 	// StatusAborted means the server is shutting down and the job was cut
 	// short or refused admission.
 	StatusAborted
+	// StatusDeadlineExceeded means the job's client-supplied deadline
+	// expired before it finished: admission predicted the queue wait alone
+	// would blow it, or the deadline fired while the job was queued or
+	// mid-processing. Partial work is discarded; retrying with the same
+	// deadline will likely fail the same way unless load drops.
+	StatusDeadlineExceeded
 )
 
 // String renders the status name.
@@ -86,6 +99,8 @@ func (s Status) String() string {
 		return "timeout"
 	case StatusAborted:
 		return "aborted"
+	case StatusDeadlineExceeded:
+		return "deadline-exceeded"
 	}
 	return fmt.Sprintf("Status(%d)", int(s))
 }

@@ -82,6 +82,30 @@ type Config struct {
 	// RestartBackoff is the delay before the first restart attempt of a
 	// slot (default 50ms), doubling per consecutive restart.
 	RestartBackoff time.Duration
+	// FailoverBudget caps how many times one job may be re-dispatched
+	// onto another live replica after the replica running it died
+	// (default 2; negative disables failover). The job's input journal —
+	// the already-decoded cubes it was admitted with — replays from CPI 0
+	// to re-prime the adaptive-weight lineage, and per-CPI results
+	// already delivered by the failed attempt are kept, so the spliced
+	// output is bit-exact with an unfailed run. Clients see
+	// StatusReplicaLost only when every attempt inside the deadline is
+	// exhausted.
+	FailoverBudget int
+	// BreakerThreshold is the consecutive fatal-fault count that opens a
+	// slot's dispatch circuit breaker (default 3). A slot with link-plane
+	// flap evidence (heartbeat RTT above the heartbeat interval) trips
+	// one fault earlier.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker keeps the slot out of
+	// dispatch before a half-open probe job (default 1s).
+	BreakerCooldown time.Duration
+	// FallbackInproc, when set, backfills a distributed slot whose
+	// restart budget is exhausted with a warm in-process replica instead
+	// of marking it dead — capacity degrades to local compute rather
+	// than disappearing. The degraded replica gets a fresh restart
+	// budget; the slot stays in-process until the daemon restarts.
+	FallbackInproc bool
 	// FlightDir, when set, enables the flight recorder: every fatal
 	// replica error (worker fault, watchdog timeout, lost cluster replica)
 	// dumps the slot's span journal, slow-CPI log, link state and the last
@@ -115,11 +139,27 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// job is one admitted request flowing from a connection to a replica.
+// job is one admitted request flowing from a connection to a replica —
+// possibly several replicas, when failover re-dispatches it.
 type job struct {
 	req  *Request
 	enq  time.Time
 	done chan *Response // buffered; the replica's reply
+
+	// deadline is the job's absolute expiry (zero when the request set no
+	// DeadlineMs). It propagates into the pipeline abort machinery and,
+	// for distributed slots, onto the link frames down to the stapnodes.
+	deadline time.Time
+	// attempts counts failover re-dispatches already consumed.
+	attempts int
+	// results is the job's delivered-CPI journal: results[i] is CPI i's
+	// detection report the moment the pipeline collector emitted it. On
+	// failover the non-nil prefix is the high-water mark of completed
+	// CPIs; the replay on the next replica re-feeds the input journal
+	// (req.CPIs) from CPI 0 to re-prime the adaptive-weight lineage but
+	// only fills the entries the failed attempt never delivered, so the
+	// spliced output is bit-exact with an unfailed run.
+	results [][]stap.Detection
 }
 
 // Replica is what a pool slot serves jobs on: an in-process
@@ -127,6 +167,7 @@ type job struct {
 // pool treats both identically.
 type Replica interface {
 	ProcessJob(cpis []*cube.Cube) ([][]stap.Detection, error)
+	ProcessJobOpts(cpis []*cube.Cube, opts pipeline.JobOpts) ([][]stap.Detection, error)
 	Faults() []pipeline.WorkerFault
 	CPIsProcessed() int64
 	Close()
@@ -159,6 +200,16 @@ type replicaSlot struct {
 	// attempt while it is restarting — the basis of honest retry-after
 	// hints when no replica is live.
 	nextAttempt atomic.Int64
+
+	// brk gates the slot's job dispatch (see breaker.go).
+	brk *breaker
+	// degraded marks a distributed slot that exhausted its restart
+	// budget and was backfilled with an in-process replica
+	// (Config.FallbackInproc); newSlotReplica then builds local.
+	// budgetBonus is the extra restart allowance the fallback granted.
+	// Both are guarded by recycleMu.
+	degraded    bool
+	budgetBonus int
 }
 
 // stream returns the slot's current replica instance.
@@ -194,6 +245,12 @@ type Server struct {
 	metrics *Metrics
 	queue   chan *job
 	slots   []*replicaSlot
+
+	// failover carries jobs whose replica died mid-processing back to the
+	// pool for re-dispatch. Its capacity is the most jobs that can exist
+	// in the system at once (queue depth + one in flight per slot), so a
+	// failing replica's loop never blocks handing its job off.
+	failover chan *job
 
 	// live is the number of currently healthy replicas; admission
 	// capacity scales with it (graceful degradation).
@@ -260,6 +317,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RestartBackoff <= 0 {
 		cfg.RestartBackoff = 50 * time.Millisecond
 	}
+	if cfg.FailoverBudget == 0 {
+		cfg.FailoverBudget = 2
+	}
+	if cfg.FailoverBudget < 0 {
+		cfg.FailoverBudget = 0
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 	if cfg.ReplanInterval <= 0 {
 		cfg.ReplanInterval = 2 * time.Second
 	}
@@ -272,6 +341,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *job, cfg.QueueDepth),
+		failover: make(chan *job, cfg.QueueDepth+total),
 		stopping: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -280,6 +350,7 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.links = func(i int) []dist.LinkStats { return s.slots[i].linkStats() }
 	for i := 0; i < total; i++ {
 		slot := &replicaSlot{idx: i}
+		slot.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, &s.metrics.replicas[i].breaker)
 		if i >= cfg.Replicas {
 			slot.cluster = &cfg.DistClusters[i-cfg.Replicas]
 		}
@@ -307,10 +378,11 @@ func New(cfg Config) (*Server, error) {
 }
 
 // newSlotReplica builds the slot's replica: a local warm pipeline for
-// in-process slots, a freshly Connected cluster session for distributed
-// ones. Both paths return a new telemetry collector.
+// in-process slots (and for distributed slots degraded to the in-process
+// fallback), a freshly Connected cluster session for distributed ones.
+// Both paths return a new telemetry collector.
 func (s *Server) newSlotReplica(slot *replicaSlot) (Replica, *obs.Collector, error) {
-	if slot.cluster != nil {
+	if slot.cluster != nil && !slot.degraded {
 		return s.newDistReplica(slot)
 	}
 	return s.newReplica()
@@ -492,6 +564,19 @@ func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.Wa
 		depth = 1
 	}
 	j := &job{req: req, enq: time.Now(), done: make(chan *Response, 1)}
+	if req.DeadlineMs > 0 {
+		budget := time.Duration(req.DeadlineMs) * time.Millisecond
+		if wait := s.queueWait(len(req.CPIs), live); wait > budget {
+			// The job would expire in the queue; reject now instead of
+			// admitting work that cannot meet its deadline.
+			s.metrics.rejected.Add(1)
+			s.metrics.deadlineExceeded.Add(1)
+			return &Response{ID: req.ID, Status: StatusDeadlineExceeded,
+				Err: fmt.Sprintf("serve: estimated queue wait %v exceeds deadline %v",
+					wait.Round(time.Millisecond), budget)}
+		}
+		j.deadline = j.enq.Add(budget)
+	}
 	if len(s.queue) >= depth {
 		s.metrics.rejected.Add(1)
 		return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
@@ -512,6 +597,41 @@ func (s *Server) admit(req *Request, replies chan<- *Response, inflight *sync.Wa
 		s.metrics.rejected.Add(1)
 		return &Response{ID: req.ID, Status: StatusBusy, RetryAfterMs: s.cfg.RetryAfter.Milliseconds()}
 	}
+}
+
+// queueWait estimates how long a newly admitted job would wait before a
+// replica picks it up: the jobs already queued, spread over the live
+// replicas, each costing roughly one job's service time. Per-job service
+// is predicted from the pool's live eq. (1)/(3) gauges — the per-CPI
+// pipeline latency for a job's first CPI plus the steady-state period
+// for each CPI behind it — and falls back to the measured p50 end-to-end
+// latency, then to zero (admit optimistically) when the pool has no
+// history at all.
+func (s *Server) queueWait(cpis, live int) time.Duration {
+	waiting := len(s.queue)
+	if waiting == 0 || live <= 0 {
+		return 0
+	}
+	var svc float64
+	n := 0
+	for _, col := range s.Collectors() {
+		if col == nil {
+			continue
+		}
+		g := col.Gauges()
+		if g.Eq3Samples == 0 || g.Eq1Throughput <= 0 {
+			continue
+		}
+		svc += float64(g.Eq3Latency) + float64(cpis-1)*float64(time.Second)/g.Eq1Throughput
+		n++
+	}
+	var per time.Duration
+	if n > 0 {
+		per = time.Duration(svc / float64(n))
+	} else {
+		per = s.metrics.latencyP50()
+	}
+	return per * time.Duration(waiting) / time.Duration(live)
 }
 
 // restartETA returns the soonest scheduled restart attempt among
@@ -554,44 +674,41 @@ func (s *Server) validate(req *Request) error {
 	return nil
 }
 
-// replicaLoop is one replica's job pump: it pulls from the shared
-// admission queue and runs each job on the slot's warm pipeline
-// instance. A fatal processing error (worker fault, watchdog timeout)
-// recycles the slot's pipeline under its restart budget; when the slot
-// dies for good and nothing else is live, the loop stays behind as a
-// drainer so every admitted job is still answered.
+// replicaLoop is one replica's job pump: it pulls from the failover
+// channel (jobs orphaned by a dying replica, served first so they meet
+// their deadlines) and the shared admission queue, and runs each job on
+// the slot's warm pipeline instance. The slot's circuit breaker gates
+// every pull: an open breaker parks the loop for the cooldown instead
+// of feeding jobs to a flapping replica. A fatal processing error
+// (worker fault, watchdog timeout) recycles the slot's pipeline under
+// its restart budget; when the slot dies for good and nothing else is
+// live, the loop stays behind as a drainer so every admitted job is
+// still answered.
 func (s *Server) replicaLoop(slot *replicaSlot) {
 	defer s.replWG.Done()
-	stats := s.metrics.replicas[slot.idx]
-	for j := range s.queue {
-		gen := slot.gen.Load()
-		svcStart := time.Now()
-		dets, traceFile, err := s.process(slot, j.req)
-		svc := time.Since(svcStart)
-		stats.jobs.Add(1)
-		stats.busyNs.Add(int64(svc))
-		resp := &Response{
-			ID:        j.req.ID,
-			QueueNs:   int64(svcStart.Sub(j.enq)),
-			ServiceNs: int64(svc),
+	for {
+		if wait, ok := slot.brk.allow(); !ok {
+			select {
+			case <-time.After(wait):
+			case <-s.stopping:
+				return
+			}
+			continue
 		}
-		fatal := false
-		if err != nil {
-			var code Status
-			code, fatal = s.classify(err)
-			s.metrics.failed.Add(1)
-			resp.Status = code
-			resp.Err = err.Error()
-		} else {
-			s.metrics.completed.Add(1)
-			s.metrics.cpis.Add(int64(len(j.req.CPIs)))
-			resp.Status = StatusOK
-			resp.Detections = dets
-			resp.TraceFile = traceFile
+		var j *job
+		select {
+		case j = <-s.failover:
+		default:
+			select {
+			case j = <-s.failover:
+			case qj, qok := <-s.queue:
+				if !qok {
+					return
+				}
+				j = qj
+			}
 		}
-		s.metrics.observe(time.Since(j.enq))
-		j.done <- resp
-		if fatal && !s.recycle(slot, gen, err) {
+		if !s.runJob(slot, j) {
 			if s.live.Load() == 0 {
 				s.drainDead()
 			}
@@ -600,12 +717,146 @@ func (s *Server) replicaLoop(slot *replicaSlot) {
 	}
 }
 
+// runJob runs one job on the slot and answers or fails it over. It
+// reports false when the slot died for good and its loop must exit.
+func (s *Server) runJob(slot *replicaSlot, j *job) bool {
+	stats := s.metrics.replicas[slot.idx]
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		// Expired while queued: answer without burning a replica on it.
+		s.metrics.failed.Add(1)
+		s.metrics.deadlineExceeded.Add(1)
+		j.done <- &Response{ID: j.req.ID, Status: StatusDeadlineExceeded,
+			Err: pipeline.ErrDeadlineExceeded.Error(), QueueNs: int64(time.Since(j.enq))}
+		return true
+	}
+	gen := slot.gen.Load()
+	svcStart := time.Now()
+	dets, traceFile, err := s.process(slot, j)
+	svc := time.Since(svcStart)
+	stats.jobs.Add(1)
+	stats.busyNs.Add(int64(svc))
+	resp := &Response{
+		ID:        j.req.ID,
+		QueueNs:   int64(svcStart.Sub(j.enq)),
+		ServiceNs: int64(svc),
+	}
+	fatal := false
+	if err != nil {
+		var code Status
+		code, fatal = s.classify(err)
+		if fatal && code != StatusDeadlineExceeded {
+			opened := slot.brk.failure(s.slotFlaky(slot))
+			if opened {
+				s.cfg.Logf("stapd: replica %d breaker open (cooldown %v)", slot.idx, s.cfg.BreakerCooldown)
+			}
+		}
+		if fatal && s.failoverEligible(j, code) {
+			// Hand the job back to the pool before recycling: another
+			// live replica replays it from its input journal and the
+			// client never sees this replica's death.
+			j.attempts++
+			s.metrics.failovers.Add(1)
+			s.cfg.Logf("stapd: replica %d lost job %d mid-flight (%v); failover attempt %d/%d",
+				slot.idx, j.req.ID, err, j.attempts, s.cfg.FailoverBudget)
+			s.failover <- j
+			return s.recycleAfter(slot, gen, err, true)
+		}
+		s.metrics.failed.Add(1)
+		if code == StatusDeadlineExceeded {
+			s.metrics.deadlineExceeded.Add(1)
+		}
+		resp.Status = code
+		resp.Err = err.Error()
+	} else {
+		slot.brk.success()
+		s.metrics.completed.Add(1)
+		s.metrics.cpis.Add(int64(len(j.req.CPIs)))
+		resp.Status = StatusOK
+		if j.attempts > 0 && j.results != nil {
+			// Failover splice: keep the first attempt's delivered prefix,
+			// take the replay's remainder (identical either way — the
+			// processing is deterministic — but the journal is the record).
+			dets = j.results
+		}
+		resp.Detections = dets
+		resp.TraceFile = traceFile
+	}
+	s.metrics.observe(time.Since(j.enq))
+	j.done <- resp
+	if fatal {
+		return s.recycleAfter(slot, gen, err, false)
+	}
+	return true
+}
+
+// recycleAfter recycles the slot after a fatal error, suppressing the
+// flight record when the job was successfully handed to failover — the
+// job survived, so there is nothing to black-box; the slot's death
+// itself is still logged and budgeted. It reports whether the slot came
+// back.
+func (s *Server) recycleAfter(slot *replicaSlot, gen int64, cause error, failedOver bool) bool {
+	return s.recycle(slot, gen, cause, !failedOver)
+}
+
+// failoverEligible reports whether a fatally-failed job should be
+// re-dispatched instead of answered: the failure must be the replica's
+// (lost or hung — not the job's own deadline), the job must have budget
+// and deadline headroom left, another replica must be live to take it
+// (the caller's slot still counts itself, hence >= 2 — a job handed off
+// with nobody else to run it would wait out the whole recycle instead
+// of failing fast), and traced jobs are excluded (their batch path does
+// not run on the pool).
+func (s *Server) failoverEligible(j *job, code Status) bool {
+	if code != StatusReplicaLost && code != StatusTimeout {
+		return false
+	}
+	if j.req.Trace {
+		return false
+	}
+	if j.attempts >= s.cfg.FailoverBudget {
+		return false
+	}
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		return false
+	}
+	if s.live.Load() < 2 {
+		return false
+	}
+	return true
+}
+
+// slotFlaky reports link-plane evidence that a distributed slot's
+// trouble is environmental: a heartbeat round-trip EWMA above the
+// heartbeat interval means probes barely beat the miss detector — the
+// flap signature that opens the slot's breaker one fault early.
+func (s *Server) slotFlaky(slot *replicaSlot) bool {
+	if slot.cluster == nil {
+		return false
+	}
+	hb := slot.cluster.Heartbeat
+	if hb <= 0 {
+		hb = dist.DefaultHeartbeat
+	}
+	for _, l := range slot.linkStats() {
+		if l.RTTNs > int64(hb) {
+			return true
+		}
+	}
+	return false
+}
+
 // classify maps a processing error to its wire status and whether the
 // replica that produced it is unusable and must be recycled.
 func (s *Server) classify(err error) (Status, bool) {
 	var fe *pipeline.FaultError
 	var rle *dist.ReplicaLostError
 	switch {
+	case errors.Is(err, pipeline.ErrDeadlineExceeded):
+		// The job's own deadline aborted the stream mid-CPI; the replica
+		// is unwound and must be recycled, but the expiry is the client's
+		// bound, not a replica fault — recycle treats it like a planned
+		// roll (no flight record, no budget charge).
+		return StatusDeadlineExceeded, true
 	case errors.Is(err, pipeline.ErrCPITimeout):
 		return StatusTimeout, true
 	case errors.As(err, &fe):
@@ -639,10 +890,17 @@ func (s *Server) classify(err error) (Status, bool) {
 // slot has already been recycled past it (a planned roll raced a job
 // failure, or two failures raced each other) the call is a no-op that
 // just reports whether the slot came back. A planned roll
-// (cause errReplanRoll) skips the flight record and gets its first
-// reconnect attempt without backoff or budget charge — rolling is not a
-// fault; only a failed reconnect afterwards is.
-func (s *Server) recycle(slot *replicaSlot, gen int64, cause error) bool {
+// (cause errReplanRoll) and a job-deadline expiry skip the flight
+// record and get their first rebuild attempt without backoff or budget
+// charge — neither is a replica fault; only a failed rebuild afterwards
+// is. record=false additionally suppresses the flight record when the
+// dying replica's job was successfully handed to failover (the job
+// survived; there is nothing to black-box).
+//
+// A distributed slot that exhausts its budget with Config.FallbackInproc
+// set degrades to a warm in-process replica with a fresh budget instead
+// of dying — capacity shrinks to local compute rather than to zero.
+func (s *Server) recycle(slot *replicaSlot, gen int64, cause error, record bool) bool {
 	slot.recycleMu.Lock()
 	defer slot.recycleMu.Unlock()
 	stats := s.metrics.replicas[slot.idx]
@@ -652,8 +910,8 @@ func (s *Server) recycle(slot *replicaSlot, gen int64, cause error) bool {
 	if stats.health.Load() == replicaDead {
 		return false
 	}
-	planned := errors.Is(cause, errReplanRoll)
-	if !planned {
+	planned := errors.Is(cause, errReplanRoll) || errors.Is(cause, pipeline.ErrDeadlineExceeded)
+	if !planned && record {
 		s.flightRecord(slot, cause)
 	}
 	stats.health.Store(replicaRestarting)
@@ -667,9 +925,15 @@ func (s *Server) recycle(slot *replicaSlot, gen int64, cause error) bool {
 	first := true
 	for {
 		n := stats.restarts.Load()
-		if int(n) >= s.cfg.RestartBudget {
+		if int(n) >= s.cfg.RestartBudget+slot.budgetBonus {
+			if slot.cluster != nil && !slot.degraded && s.cfg.FallbackInproc {
+				slot.degraded = true
+				slot.budgetBonus += s.cfg.RestartBudget
+				s.cfg.Logf("stapd: replica %d cluster budget exhausted; degrading to in-process fallback", slot.idx)
+				continue
+			}
 			stats.health.Store(replicaDead)
-			s.cfg.Logf("stapd: replica %d dead: restart budget %d exhausted", slot.idx, s.cfg.RestartBudget)
+			s.cfg.Logf("stapd: replica %d dead: restart budget %d exhausted", slot.idx, s.cfg.RestartBudget+slot.budgetBonus)
 			return false
 		}
 		if !planned || !first {
@@ -744,24 +1008,78 @@ func (s *Server) flightRecord(slot *replicaSlot, cause error) {
 	s.cfg.Logf("stapd: replica %d flight record written to %s", slot.idx, path)
 }
 
-// drainDead answers queued jobs once no replica is live, so admitted work
-// is never silently dropped: jobs racing past the admission check while
-// the last replica died still get a response. Runs until shutdown closes
-// the queue.
+// drainDead answers queued and failed-over jobs once no replica is live,
+// so admitted work is never silently dropped: jobs racing past the
+// admission check while the last replica died still get a response, and
+// jobs orphaned by the final replica's death get the ReplicaLost their
+// exhausted failover earned. Runs until shutdown closes the queue.
 func (s *Server) drainDead() {
-	for j := range s.queue {
-		s.metrics.failed.Add(1)
-		j.done <- &Response{ID: j.req.ID, Status: StatusError, Err: "serve: no live replicas"}
+	for {
+		select {
+		case j := <-s.failover:
+			s.failDead(j)
+		case j, ok := <-s.queue:
+			if !ok {
+				s.drainFailover()
+				return
+			}
+			s.failDead(j)
+		}
+	}
+}
+
+// failDead answers one undispatchable job on a dead pool.
+func (s *Server) failDead(j *job) {
+	s.metrics.failed.Add(1)
+	if j.attempts > 0 {
+		// The job survived its replica's death but ran out of pool:
+		// every failover attempt is exhausted, so the client finally
+		// sees the loss.
+		j.done <- &Response{ID: j.req.ID, Status: StatusReplicaLost,
+			Err: "serve: replica lost; no live replicas for failover"}
+		return
+	}
+	j.done <- &Response{ID: j.req.ID, Status: StatusError, Err: "serve: no live replicas"}
+}
+
+// drainFailover answers whatever still sits in the failover channel.
+// Called when no replica loop can run jobs anymore (dead pool after the
+// queue closed, or end of shutdown).
+func (s *Server) drainFailover() {
+	for {
+		select {
+		case j := <-s.failover:
+			s.failDead(j)
+		default:
+			return
+		}
 	}
 }
 
 // process runs one job: on the slot's warm stream normally, or through an
-// instrumented batch pipeline when a Gantt trace was requested.
-func (s *Server) process(slot *replicaSlot, req *Request) (dets [][]stap.Detection, traceFile string, err error) {
+// instrumented batch pipeline when a Gantt trace was requested. The
+// stream path carries the job's deadline into the pipeline (and, for
+// distributed slots, onto the wire) and journals every delivered CPI
+// result on the job — the high-water mark a failover replay splices
+// against. The journal only fills entries the previous attempts never
+// delivered, so first-attempt results always win the splice.
+func (s *Server) process(slot *replicaSlot, j *job) (dets [][]stap.Detection, traceFile string, err error) {
+	req := j.req
 	if req.Trace && s.cfg.TraceDir != "" {
 		return s.processTraced(req)
 	}
-	d, err := slot.stream().ProcessJob(req.CPIs)
+	if j.results == nil {
+		j.results = make([][]stap.Detection, len(req.CPIs))
+	}
+	opts := pipeline.JobOpts{
+		Deadline: j.deadline,
+		OnCPI: func(i int, d []stap.Detection) {
+			if i >= 0 && i < len(j.results) && j.results[i] == nil {
+				j.results[i] = d
+			}
+		},
+	}
+	d, err := slot.stream().ProcessJobOpts(req.CPIs, opts)
 	return d, "", err
 }
 
@@ -856,6 +1174,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// hard path already aborted are fine).
 		close(s.queue)
 		s.replWG.Wait()
+		// Replica loops are gone; answer anything a dying loop handed to
+		// failover that nobody picked up.
+		s.drainFailover()
 		for _, sl := range s.slots {
 			sl.stream().Close()
 		}

@@ -10,10 +10,13 @@
 # /bottlenecks.json attribution report (in-tolerance component sums and
 # nonzero wire costs on the distributed links, coordinator and nodes
 # alike, with a staptop frame rendered off the live endpoint), — in a
-# second phase — the flight record a hard node kill leaves behind, and —
+# second phase — the flight record a hard node kill leaves behind, —
 # in a third phase — the planner loop: stapplan emits a signed plan
 # file, stapd boots the whole cluster from it, the jobs stay bit-exact
-# and /plan serves a recommendation.
+# and /plan serves a recommendation — and, in a fourth phase, job
+# survival: a stapnode is killed -9 mid-job and the coordinator must
+# fail the job over onto the in-process replica with bit-exact results
+# (stapd_job_failovers_total advances, stapload -check still exits 0).
 # Run from the repository root.
 set -euo pipefail
 
@@ -239,4 +242,67 @@ unset STAPD_PID
 kill -TERM "$NODE1_PID" "$NODE2_PID"
 wait "$NODE1_PID" "$NODE2_PID"
 unset NODE1_PID NODE2_PID
+
+# Phase 4: end-to-end job survival. One in-process replica plus one
+# distributed replica; long jobs stream through both slots while node 2
+# is killed -9 mid-job. The coordinator must replay the dead slot's job
+# from its CPI journal onto the in-process replica (failover), keep the
+# results bit-exact (-check), and with -fallbackinproc backfill the
+# budget-exhausted distributed slot so the pool ends the run at full
+# strength.
+"$WORK/stapnode" -listen 127.0.0.1:7471 -secret "$SECRET" \
+  -obs 127.0.0.1:7473 -name node1 >"$WORK/node1d.log" 2>&1 &
+NODE1_PID=$!
+"$WORK/stapnode" -listen 127.0.0.1:7472 -secret "$SECRET" \
+  -obs 127.0.0.1:7474 -name node2 >"$WORK/node2d.log" 2>&1 &
+NODE2_PID=$!
+sleep 0.5
+"$WORK/stapd" -listen 127.0.0.1:7437 -metrics 127.0.0.1:7438 -size small \
+  -replicas 1 -distnodes 127.0.0.1:7471,127.0.0.1:7472 -distsecret "$SECRET" \
+  -placement 0-2/3-6 -cpitimeout 60s -restartbudget 1 -failoverbudget 2 \
+  -fallbackinproc >"$WORK/stapd4.log" 2>&1 &
+STAPD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:7438/metrics >/dev/null && break
+  sleep 0.2
+done
+
+"$WORK/stapload" -addr 127.0.0.1:7437 -rate 20 -jobs 4 -cpis 80 -conns 2 \
+  -maxretries 10 -check -json "$WORK/report4.json" >"$WORK/stapload4.log" 2>&1 &
+LOAD_PID=$!
+
+# Wait until a job is demonstrably mid-flight on the distributed slot
+# (its link has moved data frames), then pull the plug on node 2.
+KILL_OK=0
+for i in $(seq 1 100); do
+  curl -sf http://127.0.0.1:7438/metrics.prom >"$WORK/metrics4.prom" || { sleep 0.1; continue; }
+  SENT=$(grep '^stapd_link_messages_sent_total{replica="1",member="1"} ' "$WORK/metrics4.prom" | awk '{print $2}')
+  if [ -n "${SENT:-}" ] && [ "${SENT%.*}" -ge 5 ]; then
+    KILL_OK=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$KILL_OK" = 1 ] || { echo "distributed slot never saw data frames"; cat "$WORK/stapd4.log"; exit 1; }
+kill -9 "$NODE2_PID"
+wait "$NODE2_PID" 2>/dev/null || true
+unset NODE2_PID
+
+# stapload -check exits non-zero on any mismatch or failed job: the
+# failed-over job must come back complete and bit-exact.
+wait "$LOAD_PID" || { echo "load failed across node kill"; cat "$WORK/stapload4.log" "$WORK/stapd4.log"; exit 1; }
+grep -q '"mismatched"' "$WORK/report4.json" && { echo "failover mismatches"; exit 1; }
+grep -q '"ok"' "$WORK/report4.json"
+
+curl -sf http://127.0.0.1:7438/metrics.prom >"$WORK/metrics4.prom"
+grep -q '^stapd_jobs_completed_total 4$' "$WORK/metrics4.prom"
+grep '^stapd_job_failovers_total ' "$WORK/metrics4.prom" | grep -v ' 0$' \
+  || { echo "node kill produced no failover"; cat "$WORK/stapd4.log"; exit 1; }
+
+kill -TERM "$STAPD_PID"
+wait "$STAPD_PID"
+unset STAPD_PID
+kill -TERM "$NODE1_PID"
+wait "$NODE1_PID"
+unset NODE1_PID
 echo "distributed e2e smoke passed"
