@@ -19,6 +19,13 @@
 //	stapbench -table 8
 //	stapbench -figure 11
 //	stapbench -real
+//	stapbench -quality -qout BENCH_quality.json
+//
+// -quality runs the detection-quality regression sweep: every
+// internal/scenario catalog entry through the full parallel pipeline,
+// scored against ground truth (internal/score) and checked against the
+// pinned per-scenario P_d/P_fa/SINR-loss thresholds; the process exits
+// nonzero when any scenario fails, making it a CI gate.
 package main
 
 import (
@@ -38,12 +45,16 @@ import (
 )
 
 var (
-	flagTable  = flag.Int("table", 0, "print one table (1..10)")
-	flagFigure = flag.Int("figure", 0, "print one figure (11)")
-	flagAll    = flag.Bool("all", false, "print every table and figure")
-	flagReal   = flag.Bool("real", false, "also run the real Go pipeline at reduced scale")
-	flagCPIs   = flag.Int("cpis", 12, "CPIs per real pipeline run")
-	flagVerify = flag.Bool("verify", false, "cross-validate the analytic model (discrete-event sim + mesh contention)")
+	flagTable   = flag.Int("table", 0, "print one table (1..10)")
+	flagFigure  = flag.Int("figure", 0, "print one figure (11)")
+	flagAll     = flag.Bool("all", false, "print every table and figure")
+	flagReal    = flag.Bool("real", false, "also run the real Go pipeline at reduced scale")
+	flagCPIs    = flag.Int("cpis", 12, "CPIs per real pipeline run")
+	flagVerify  = flag.Bool("verify", false, "cross-validate the analytic model (discrete-event sim + mesh contention)")
+	flagQuality = flag.Bool("quality", false, "run the detection-quality scenario sweep and write -qout")
+	flagQSize   = flag.String("qsize", "small", "quality sweep problem size")
+	flagQSeed   = flag.Int64("qseed", 1, "quality sweep scene seed")
+	flagQOut    = flag.String("qout", "BENCH_quality.json", "quality sweep report file")
 )
 
 var (
@@ -105,6 +116,12 @@ func main() {
 	}
 	if *flagReal || *flagAll {
 		realPipeline()
+		printed = true
+	}
+	if *flagQuality {
+		if !runQuality(*flagQSize, *flagQSeed, *flagQOut) {
+			os.Exit(1)
+		}
 		printed = true
 	}
 	if !printed {

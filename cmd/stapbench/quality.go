@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"pstap/internal/radar"
+	"pstap/internal/score"
+)
+
+// runQuality sweeps every catalog scenario through the full parallel
+// pipeline, scores detection quality against ground truth, writes the
+// BENCH_quality.json report, and returns whether every scenario passed
+// its pinned thresholds.
+func runQuality(size string, seed int64, out string) bool {
+	var p radar.Params
+	switch size {
+	case "small":
+		p = radar.Small()
+	case "medium":
+		p = radar.Medium()
+	case "paper":
+		p = radar.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown quality size %q\n", size)
+		return false
+	}
+
+	results, pass, err := score.RunCatalog(score.RunConfig{Params: p, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quality sweep:", err)
+		return false
+	}
+
+	fmt.Println("== Detection quality sweep (parallel pipeline vs scenario ground truth) ==")
+	fmt.Printf("%-16s %8s %10s %9s %9s %9s  %s\n",
+		"scenario", "Pd", "Pfa", "Pfa/dsgn", "SINR(avg)", "SINR(max)", "status")
+	for _, r := range results {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL: " + strings.Join(r.Failures, "; ")
+		}
+		fmt.Printf("%-16s %8.4f %10.3g %8.2fx %8.2fdB %8.2fdB  %s\n",
+			r.Scenario, r.Pd, r.Pfa, r.PfaRatio, r.MeanSINRLossDB, r.MaxSINRLossDB, status)
+	}
+	fmt.Printf("design Pfa %.3g; thresholds pinned per scenario (DESIGN.md §13)\n", score.DesignPfa(p))
+
+	report := score.QualityReport{
+		Benchmark:   "QualityScenarioSweep",
+		Description: "Detection-quality regression sweep: every internal/scenario catalog entry streamed through the full parallel pipeline, detections cross-validated bit-exact against the serial reference and scored against ground truth (Pd, Pfa vs CFAR design rate, SINR loss vs clairvoyant SMI weights).",
+		Command:     fmt.Sprintf("go run ./cmd/stapbench -quality -qsize %s -qseed %d", size, seed),
+		Date:        time.Now().Format("2006-01-02"),
+		Goos:        runtime.GOOS,
+		Goarch:      runtime.GOARCH,
+		CPU:         cpuModel(),
+		Config: map[string]any{
+			"size":       size,
+			"cube":       fmt.Sprintf("%dx%dx%d", p.K, p.J, p.N),
+			"seed":       seed,
+			"assignment": score.DefaultAssignment(),
+			"design_pfa": score.DesignPfa(p),
+		},
+		Results: results,
+		Pass:    pass,
+		Notes: []string{
+			"Pd/Pfa/SINR numbers are deterministic in (size, seed): the sweep is bit-reproducible, so any change is a real behavior change, not noise.",
+			"Thresholds are pinned at the measured full-dimension baseline plus margin; tighten them when the chain improves, never loosen to absorb a regression without a documented cause.",
+			"Elevated Pfa ratios versus the CA-CFAR design rate are expected: clutter residue and (in swarm) untapered Doppler sidelobes of strong targets are real physics of the paper's chain, priced into the pins.",
+		},
+	}
+	blob, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return false
+	}
+	fmt.Printf("wrote %s (pass=%v)\n\n", out, pass)
+	return pass
+}
+
+// cpuModel best-effort reads the host CPU model for the report envelope.
+func cpuModel() string {
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(line, "model name") {
+			if _, val, ok := strings.Cut(line, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return runtime.GOARCH
+}

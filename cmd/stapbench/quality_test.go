@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pstap/internal/score"
+)
+
+// TestRunQuality exercises the -quality path end to end: the sweep runs,
+// passes its pinned thresholds, and the report round-trips.
+func TestRunQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality sweep in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_quality.json")
+	if n := captureStdout(t, func() {
+		if !runQuality("small", 1, out) {
+			t.Error("quality sweep failed its pinned thresholds")
+		}
+	}); n < 100 {
+		t.Errorf("quality sweep printed only %d bytes", n)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep score.QualityReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "QualityScenarioSweep" || len(rep.Results) < 6 || !rep.Pass {
+		t.Errorf("report: benchmark=%q results=%d pass=%v", rep.Benchmark, len(rep.Results), rep.Pass)
+	}
+	for _, r := range rep.Results {
+		if r.Tally.NumTruth == 0 {
+			t.Errorf("%s: no truth scored", r.Scenario)
+		}
+	}
+}
+
+// TestRunQualityBadSize: unknown sizes fail cleanly.
+func TestRunQualityBadSize(t *testing.T) {
+	if runQuality("huge", 1, filepath.Join(t.TempDir(), "x.json")) {
+		t.Error("unknown size accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pstap/internal/cpifile"
+	"pstap/internal/radar"
+	"pstap/internal/scenario"
+)
+
+// TestParseTargetsValidation pins the per-field errors: every broken
+// field names the offending quadruple and constraint instead of letting
+// a bad scene through.
+func TestParseTargetsValidation(t *testing.T) {
+	p := radar.Small() // K = 64
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"wrong arity", "10:0.1:0.2", "want range:az:doppler:power"},
+		{"bad range syntax", "x:0.1:0.2:5", "range"},
+		{"range negative", "-1:0.1:0.2:5", "outside the cube"},
+		{"range too big", "64:0.1:0.2:5", "outside the cube"},
+		{"bad az syntax", "10:zz:0.2:5", "azimuth"},
+		{"bad doppler syntax", "10:0.1:zz:5", "doppler"},
+		{"doppler too high", "10:0.1:0.5:5", "outside (-0.5, 0.5)"},
+		{"doppler too low", "10:0.1:-0.6:5", "outside (-0.5, 0.5)"},
+		{"bad power syntax", "10:0.1:0.2:zz", "power"},
+		{"zero power", "10:0.1:0.2:0", "must be positive"},
+		{"negative power", "10:0.1:0.2:-3", "must be positive"},
+		{"second quadruple bad", "10:0.1:0.2:5,70:0:0:1", "target 2"},
+	}
+	for _, tc := range cases {
+		_, err := parseTargets(p, tc.spec)
+		if err == nil {
+			t.Errorf("%s: no error for %q", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	got, err := parseTargets(p, "10:0.1:0.2:5,63:-0.3:-0.49:1.5")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if len(got) != 2 || got[1].Range != 63 || got[1].Power != 1.5 {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+// TestGenerateScenario runs the -scenario path end to end: gob stream +
+// truth sidecar, with the stream matching a direct instantiation bit for
+// bit.
+func TestGenerateScenario(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spot.gob")
+	*flagOut = out
+	*flagSeed = 5
+	*flagSize = "small"
+	defer func() { *flagOut = "cpis.gob"; *flagSeed = 1 }()
+
+	if err := generateScenario(radar.Small(), "spot-jammer"); err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := cpifile.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := scenario.Lookup("spot-jammer")
+	in, err := sc.Instantiate(radar.Small(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.CPIs) != in.NumCPIs() {
+		t.Fatalf("wrote %d CPIs, want %d", len(file.CPIs), in.NumCPIs())
+	}
+	want := in.CPI(0)
+	for k, v := range file.CPIs[0].Data {
+		if v != want.Data[k] {
+			t.Fatal("CPI 0 differs from direct instantiation")
+		}
+	}
+
+	blob, err := os.ReadFile(out + ".truth.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth scenario.TruthFile
+	if err := json.Unmarshal(blob, &truth); err != nil {
+		t.Fatal(err)
+	}
+	if truth.Scenario != "spot-jammer" || truth.Seed != 5 || len(truth.Truth) != in.NumCPIs() {
+		t.Errorf("sidecar header %+v", truth)
+	}
+	if len(truth.Truth[0]) != 2 {
+		t.Errorf("CPI 0 truth has %d records, want 2", len(truth.Truth[0]))
+	}
+	if truth.Thresholds.MinPd <= 0 {
+		t.Error("sidecar lost the pinned thresholds")
+	}
+
+	if err := generateScenario(radar.Small(), "no-such"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -24,3 +24,25 @@ func TestReportContainsEverySection(t *testing.T) {
 		t.Errorf("report suspiciously short: %d bytes", len(out))
 	}
 }
+
+// TestQualitySection renders the quality table from a real report file
+// and degrades gracefully when it is absent.
+func TestQualitySection(t *testing.T) {
+	var b strings.Builder
+	qualitySection(&b, "../../BENCH_quality.json")
+	out := b.String()
+	for _, want := range []string{
+		"## Detection quality", "| baseline |", "| swarm |", "| crossers |",
+		"All scenarios within pinned thresholds.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quality section missing %q", want)
+		}
+	}
+
+	b.Reset()
+	qualitySection(&b, "no-such-file.json")
+	if !strings.Contains(b.String(), "no quality report") {
+		t.Error("missing-file fallback not rendered")
+	}
+}

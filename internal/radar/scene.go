@@ -39,16 +39,62 @@ type ClutterModel struct {
 	// per-range-cell Gaussian Doppler jitter in cycles/pulse that widens
 	// the ridge, stressing the width of the hard Doppler region.
 	Spread float64
+	// CNRFar, when positive, makes the clutter power range-dependent: the
+	// per-cell CNR decays log-linearly from CNR at range cell 0 to CNRFar
+	// at the last cell (the CoSTAP-style nonstationary clutter the
+	// segment-wise hard weights must track). 0 keeps CNR constant.
+	CNRFar float64
+	// BetaFar, when nonzero, makes the ridge slope range-dependent: the
+	// effective Doppler slope varies linearly from Beta at range cell 0 to
+	// BetaFar at the last cell, tilting the clutter ridge across range so
+	// no single Doppler notch fits every segment. 0 keeps Beta constant.
+	BetaFar float64
 }
 
-// Jammer is a broadband noise source at a fixed azimuth: white across
-// pulses (so it lands in every Doppler bin) with a deterministic spatial
-// signature — the canonical stressor for adaptive spatial nulling in the
-// easy Doppler region.
+// CNRAt returns the clutter-to-noise ratio at range cell r of k cells.
+func (c ClutterModel) CNRAt(r, k int) float64 {
+	if c.CNRFar <= 0 || c.CNR <= 0 || k <= 1 {
+		return c.CNR
+	}
+	frac := float64(r) / float64(k-1)
+	return c.CNR * math.Exp(frac*math.Log(c.CNRFar/c.CNR))
+}
+
+// BetaAt returns the effective ridge slope at range cell r of k cells.
+func (c ClutterModel) BetaAt(r, k int) float64 {
+	if c.BetaFar == 0 || k <= 1 {
+		return c.Beta
+	}
+	frac := float64(r) / float64(k-1)
+	return c.Beta + frac*(c.BetaFar-c.Beta)
+}
+
+// RangeDependent reports whether any clutter statistic varies with range.
+func (c ClutterModel) RangeDependent() bool {
+	return (c.CNRFar > 0 && c.CNRFar != c.CNR) || (c.BetaFar != 0 && c.BetaFar != c.Beta)
+}
+
+// Jammer is a noise source at a fixed azimuth with a deterministic
+// spatial signature — the canonical stressor for adaptive spatial
+// nulling. With Bandwidth <= 0 it is a barrage jammer: white across
+// pulses, so it lands in every Doppler bin (the azimuth "wall"). With
+// Bandwidth > 0 it is a spot jammer: its energy is confined to
+// normalized Doppler [Doppler-Bandwidth/2, Doppler+Bandwidth/2],
+// contaminating only the bins it overlaps.
 type Jammer struct {
 	Azimuth float64
 	Power   float64 // per-sample power relative to unit noise (linear JNR)
+	// Doppler is the spot-jammer center frequency in cycles/pulse,
+	// meaningful only when Bandwidth > 0.
+	Doppler float64
+	// Bandwidth is the spot-jammer width in cycles/pulse; <= 0 selects the
+	// barrage (temporally white) model.
+	Bandwidth float64
 }
+
+// spotTones is the number of sub-carriers synthesizing a spot jammer's
+// band-limited waveform.
+const spotTones = 8
 
 // Scene bundles everything needed to synthesize a deterministic CPI
 // stream: the processing parameters, targets, clutter, jammer and noise
@@ -143,10 +189,9 @@ func (s *Scene) GenerateCPI(i int) *cube.Cube {
 	// per-(patch, range-cell) complex Gaussian amplitudes redrawn each CPI.
 	if s.Clutter.Patches > 0 && s.Clutter.CNR > 0 {
 		nP := s.Clutter.Patches
-		patchSigma := math.Sqrt(s.Clutter.CNR / float64(nP) / 2)
 		for pi := 0; pi < nP; pi++ {
 			az := -math.Pi/2 + math.Pi*(float64(pi)+0.5)/float64(nP)
-			fd := s.Clutter.Beta * math.Sin(az) / 2
+			sinAz := math.Sin(az)
 			spatial := make([]complex128, p.J)
 			sv := SteeringVector(p.J, az)
 			// Undo the 1/sqrt(J) normalization so per-channel clutter power
@@ -154,16 +199,20 @@ func (s *Scene) GenerateCPI(i int) *cube.Cube {
 			for j := 0; j < p.J; j++ {
 				spatial[j] = sv[j] * complex(math.Sqrt(float64(p.J)), 0)
 			}
-			temporal := DopplerSteer(p.N, fd)
+			temporal := DopplerSteer(p.N, s.Clutter.Beta*sinAz/2)
 			for r := 0; r < p.K; r++ {
+				patchSigma := math.Sqrt(s.Clutter.CNRAt(r, p.K) / float64(nP) / 2)
 				amp := complex(rng.NormFloat64()*patchSigma, rng.NormFloat64()*patchSigma)
 				amp *= complex(s.RangeGain(r), 0)
 				if amp == 0 {
 					continue
 				}
+				fd := s.Clutter.BetaAt(r, p.K) * sinAz / 2
 				tvec := temporal
 				if s.Clutter.Spread > 0 {
 					tvec = DopplerSteer(p.N, fd+s.Clutter.Spread*rng.NormFloat64())
+				} else if s.Clutter.BetaFar != 0 {
+					tvec = DopplerSteer(p.N, fd)
 				}
 				for j := 0; j < p.J; j++ {
 					a := amp * spatial[j]
@@ -176,7 +225,8 @@ func (s *Scene) GenerateCPI(i int) *cube.Cube {
 		}
 	}
 
-	// Jammers: temporally white noise with a fixed array signature.
+	// Jammers: noise with a fixed array signature — temporally white
+	// (barrage) or band-limited around a center Doppler (spot).
 	for _, jam := range s.Jammers {
 		if jam.Power <= 0 {
 			continue
@@ -185,6 +235,33 @@ func (s *Scene) GenerateCPI(i int) *cube.Cube {
 		spatial := make([]complex128, p.J)
 		for j := 0; j < p.J; j++ {
 			spatial[j] = sv[j] * complex(math.Sqrt(float64(p.J)), 0)
+		}
+		if jam.Bandwidth > 0 {
+			// Spot: per range cell, a sum of sub-carriers spread across the
+			// jammer band with independent complex Gaussian amplitudes, so
+			// the per-sample power is Power but the energy lands only in the
+			// Doppler bins overlapping [Doppler-BW/2, Doppler+BW/2].
+			toneSigma := math.Sqrt(jam.Power / spotTones / 2)
+			wave := make([]complex128, p.N)
+			for r := 0; r < p.K; r++ {
+				for t := range wave {
+					wave[t] = 0
+				}
+				for k := 0; k < spotTones; k++ {
+					fk := jam.Doppler + jam.Bandwidth*((float64(k)+0.5)/spotTones-0.5)
+					a := complex(rng.NormFloat64()*toneSigma, rng.NormFloat64()*toneSigma)
+					for t := 0; t < p.N; t++ {
+						wave[t] += a * cmplx.Exp(complex(0, 2*math.Pi*fk*float64(t)))
+					}
+				}
+				for j := 0; j < p.J; j++ {
+					vec := c.Vec(r, j)
+					for t := 0; t < p.N; t++ {
+						vec[t] += wave[t] * spatial[j]
+					}
+				}
+			}
+			continue
 		}
 		sigma := math.Sqrt(jam.Power / 2)
 		for r := 0; r < p.K; r++ {
@@ -246,6 +323,20 @@ func (s *Scene) Validate() error {
 		if j.Power < 0 {
 			return fmt.Errorf("radar: jammer %d negative power", i)
 		}
+		if j.Bandwidth > 0 {
+			if j.Bandwidth >= 1 {
+				return fmt.Errorf("radar: jammer %d bandwidth %g out of (0,1)", i, j.Bandwidth)
+			}
+			if j.Doppler <= -0.5 || j.Doppler >= 0.5 {
+				return fmt.Errorf("radar: jammer %d doppler %g out of (-0.5,0.5)", i, j.Doppler)
+			}
+		}
+	}
+	if s.Clutter.CNRFar < 0 {
+		return fmt.Errorf("radar: negative far-range CNR")
+	}
+	if s.Clutter.CNRFar > 0 && s.Clutter.CNR <= 0 {
+		return fmt.Errorf("radar: CNRFar %g set with zero near-range CNR", s.Clutter.CNRFar)
 	}
 	return nil
 }

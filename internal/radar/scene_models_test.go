@@ -1,0 +1,275 @@
+package radar
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"pstap/internal/cube"
+)
+
+// TestTargetDopplerBinEdgeCases pins the wraparound behavior of the
+// truth-record bin mapping: negative Doppler wraps to the top of the
+// spectrum, near-edge frequencies round into the last/first bin, and the
+// result is always in [0, n).
+func TestTargetDopplerBinEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		doppler float64
+		n       int
+		want    int
+	}{
+		{"zero", 0, 16, 0},
+		{"positive", 0.25, 16, 4},
+		{"negative wraps", -0.25, 16, 12},
+		{"one bin negative", -1.0 / 16, 16, 15},
+		{"half bin rounds up", 0.5 / 16, 16, 1},
+		{"just under half bin rounds down", 0.49 / 16, 16, 0},
+		{"negative half bin rounds toward zero", -0.49 / 16, 16, 0},
+		{"near upper edge", 0.499, 16, 8},
+		{"near lower edge", -0.499, 16, 8},
+		{"tiny negative", -1e-9, 16, 0},
+		{"odd n negative", -0.25, 15, 11},
+		{"odd n positive", 0.26, 15, 4},
+	}
+	for _, tc := range cases {
+		got := Target{Doppler: tc.doppler}.DopplerBin(tc.n)
+		if got != tc.want {
+			t.Errorf("%s: DopplerBin(%g, n=%d) = %d, want %d", tc.name, tc.doppler, tc.n, got, tc.want)
+		}
+		if got < 0 || got >= tc.n {
+			t.Errorf("%s: bin %d outside [0,%d)", tc.name, got, tc.n)
+		}
+	}
+}
+
+// binPower sums |DFT(bin)|^2 over every (range, channel) vector.
+func binPower(p Params, c *cube.Cube, bin int) float64 {
+	var e float64
+	for r := 0; r < p.K; r++ {
+		for j := 0; j < p.J; j++ {
+			var sum complex128
+			vec := c.Vec(r, j)
+			for tt := 0; tt < p.N; tt++ {
+				sum += vec[tt] * cmplx.Exp(complex(0, -2*math.Pi*float64(bin)*float64(tt)/float64(p.N)))
+			}
+			e += real(sum)*real(sum) + imag(sum)*imag(sum)
+		}
+	}
+	return e
+}
+
+// TestClutterRidgeZeroAzimuthAtDC: a clutter patch at azimuth 0 has
+// Doppler Beta*sin(0)/2 = 0 for ANY Beta — the analog receiver centers
+// the ridge at DC by construction. A single-patch model places its patch
+// at az = 0 exactly, so all clutter energy must land in Doppler bin 0,
+// independent of the slope.
+func TestClutterRidgeZeroAzimuthAtDC(t *testing.T) {
+	p := Small()
+	for _, beta := range []float64{0, 0.1, 0.1875, 0.45, 1.0, -0.3} {
+		sc := &Scene{
+			Params:  p,
+			Clutter: ClutterModel{Patches: 1, CNR: 1000, Beta: beta},
+			Seed:    11,
+		}
+		c := sc.GenerateCPI(0)
+		// The patch waveform is constant across pulses: every (r, j) vector
+		// must be flat.
+		for r := 0; r < 4; r++ {
+			vec := c.Vec(r, 0)
+			for tt := 1; tt < p.N; tt++ {
+				if cmplx.Abs(vec[tt]-vec[0]) > 1e-9*cmplx.Abs(vec[0]) {
+					t.Fatalf("beta=%g: az=0 patch not at zero Doppler (pulse %d differs)", beta, tt)
+				}
+			}
+		}
+		dc := binPower(p, c, 0)
+		off := binPower(p, c, p.N/2)
+		if dc < 1e6*off && off > 0 {
+			t.Errorf("beta=%g: DC power %g not dominant over bin %d power %g", beta, dc, p.N/2, off)
+		}
+	}
+}
+
+// TestClutterRidgeMiddlePatchAtDC checks the same invariant through the
+// multi-patch path used by DefaultScene: with an odd patch count the
+// middle patch sits at az = 0, and IsHardBin(0) is true for every size,
+// so the ridge center always falls in the hard region.
+func TestClutterRidgeMiddlePatchAtDC(t *testing.T) {
+	for _, p := range []Params{Small(), Medium(), Paper()} {
+		nP := 2*p.J + 1
+		mid := (nP - 1) / 2
+		az := -math.Pi/2 + math.Pi*(float64(mid)+0.5)/float64(nP)
+		if math.Abs(az) > 1e-12 {
+			t.Errorf("J=%d: middle patch azimuth %g, want 0", p.J, az)
+		}
+		if !p.IsHardBin(0) {
+			t.Errorf("J=%d: DC bin not classified hard", p.J)
+		}
+	}
+}
+
+// TestSpotJammerBandConfined: a spot jammer's energy must concentrate in
+// the Doppler bins overlapping its band and be negligible far outside,
+// while a barrage jammer of the same power is flat across the spectrum.
+func TestSpotJammerBandConfined(t *testing.T) {
+	p := Small()
+	spot := &Scene{
+		Params:  p,
+		Jammers: []Jammer{{Azimuth: 0.5, Power: 100, Doppler: 0.25, Bandwidth: 0.1}},
+		Seed:    9,
+	}
+	c := spot.GenerateCPI(0)
+	in := binPower(p, c, 4)   // 0.25*16 = bin 4, band center
+	out := binPower(p, c, 12) // -0.25: opposite side of the spectrum
+	if in < 100*out {
+		t.Errorf("spot jammer leaks: in-band %g vs out-of-band %g", in, out)
+	}
+	// Per-sample power calibration: ~Power (steering un-normalized) + 0 noise.
+	perSample := c.Power() / float64(c.Len())
+	if perSample < 50 || perSample > 200 {
+		t.Errorf("spot per-sample power %g, want ~100", perSample)
+	}
+
+	barrage := &Scene{
+		Params:  p,
+		Jammers: []Jammer{{Azimuth: 0.5, Power: 100}},
+		Seed:    9,
+	}
+	cb := barrage.GenerateCPI(0)
+	bin4, bin12 := binPower(p, cb, 4), binPower(p, cb, 12)
+	ratio := bin4 / bin12
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("barrage jammer not flat: bin4/bin12 = %g", ratio)
+	}
+}
+
+// TestRangeDependentCNR: with CNRFar < CNR the far half of the range
+// extent must carry less clutter power than the near half.
+func TestRangeDependentCNR(t *testing.T) {
+	p := Small()
+	sc := &Scene{
+		Params:  p,
+		Clutter: ClutterModel{Patches: 9, CNR: 1000, CNRFar: 10, Beta: 0.2},
+		Seed:    13,
+	}
+	c := sc.GenerateCPI(0)
+	half := func(lo, hi int) float64 {
+		var e float64
+		for r := lo; r < hi; r++ {
+			for j := 0; j < p.J; j++ {
+				for _, v := range c.Vec(r, j) {
+					e += real(v)*real(v) + imag(v)*imag(v)
+				}
+			}
+		}
+		return e
+	}
+	near, far := half(0, p.K/2), half(p.K/2, p.K)
+	if near < 3*far {
+		t.Errorf("range-dependent CNR: near %g not >> far %g", near, far)
+	}
+	// Endpoint pinning of the interpolator.
+	if got := sc.Clutter.CNRAt(0, p.K); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("CNRAt(0) = %g", got)
+	}
+	if got := sc.Clutter.CNRAt(p.K-1, p.K); math.Abs(got-10) > 1e-9 {
+		t.Errorf("CNRAt(K-1) = %g", got)
+	}
+}
+
+// TestRangeDependentBeta: with BetaFar != Beta the effective slope
+// interpolates linearly, and the per-range Doppler of an off-boresight
+// patch moves with it.
+func TestRangeDependentBeta(t *testing.T) {
+	cl := ClutterModel{Beta: 0.2, BetaFar: 0.4}
+	if got := cl.BetaAt(0, 64); got != 0.2 {
+		t.Errorf("BetaAt(0) = %g", got)
+	}
+	if got := cl.BetaAt(63, 64); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("BetaAt(63) = %g", got)
+	}
+	if got := cl.BetaAt(0, 64); !cl.RangeDependent() || got == cl.BetaAt(63, 64) {
+		t.Error("BetaFar should make the model range dependent")
+	}
+	if (ClutterModel{Beta: 0.2}).RangeDependent() {
+		t.Error("constant model flagged range dependent")
+	}
+
+	// A single off-center patch with a steep far slope: the near cells stay
+	// near the base Doppler while far cells shift measurably.
+	p := Small()
+	sc := &Scene{
+		Params:  p,
+		Clutter: ClutterModel{Patches: 2, CNR: 1000, Beta: 0.25, BetaFar: 0.9},
+		Seed:    17,
+	}
+	c := sc.GenerateCPI(0)
+	// Patch 1 of 2 sits at az = +45deg: fd_near = 0.25*sin(pi/4)/2 ~ 0.088,
+	// fd_far = 0.9*sin(pi/4)/2 ~ 0.318. Measure the per-cell peak bin.
+	peak := func(r int) int {
+		best, bestPow := 0, 0.0
+		for k := 0; k < p.N; k++ {
+			var sum complex128
+			vec := c.Vec(r, 0)
+			for tt := 0; tt < p.N; tt++ {
+				sum += vec[tt] * cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(tt)/float64(p.N)))
+			}
+			if pw := real(sum)*real(sum) + imag(sum)*imag(sum); pw > bestPow {
+				best, bestPow = k, pw
+			}
+		}
+		return best
+	}
+	nearBins := map[int]bool{}
+	farBins := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		nearBins[peak(r)] = true
+	}
+	for r := p.K - 4; r < p.K; r++ {
+		farBins[peak(r)] = true
+	}
+	same := true
+	for b := range farBins {
+		if !nearBins[b] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("far-range ridge did not move: near %v far %v", nearBins, farBins)
+	}
+}
+
+// TestSceneValidateNewModels covers the validation of the spot-jammer and
+// range-dependent clutter fields.
+func TestSceneValidateNewModels(t *testing.T) {
+	base := DefaultScene(Small())
+	cases := []struct {
+		name   string
+		mutate func(*Scene)
+	}{
+		{"spot bandwidth >= 1", func(s *Scene) {
+			s.Jammers = []Jammer{{Azimuth: 0.2, Power: 10, Doppler: 0.1, Bandwidth: 1}}
+		}},
+		{"spot doppler out of range", func(s *Scene) {
+			s.Jammers = []Jammer{{Azimuth: 0.2, Power: 10, Doppler: 0.6, Bandwidth: 0.1}}
+		}},
+		{"negative CNRFar", func(s *Scene) { s.Clutter.CNRFar = -1 }},
+		{"CNRFar without CNR", func(s *Scene) { s.Clutter.CNR = 0; s.Clutter.CNRFar = 10 }},
+	}
+	for _, tc := range cases {
+		s := *base
+		s.Clutter = base.Clutter
+		tc.mutate(&s)
+		if s.Validate() == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+	ok := *base
+	ok.Jammers = []Jammer{{Azimuth: 0.2, Power: 10, Doppler: 0.1, Bandwidth: 0.2}}
+	ok.Clutter.CNRFar = 5
+	ok.Clutter.BetaFar = 0.3
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid extended scene rejected: %v", err)
+	}
+}

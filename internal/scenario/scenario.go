@@ -1,0 +1,205 @@
+// Package scenario is the declarative catalog of named, seeded detection
+// scenarios — the quality counterpart of the BENCH_* perf harness. Each
+// scenario instantiates, for a given problem size and seed, a
+// deterministic CPI stream plus machine-readable per-CPI ground truth
+// (range/Doppler/azimuth cell and SNR of every target), so a pipeline's
+// detection reports can be scored (P_d, P_fa, SINR loss — see
+// internal/score) instead of just timed. The catalog spans the stressors
+// the related work names: barrage and spot jammers (the azimuth "wall"),
+// range-dependent/nonstationary clutter à la CoSTAP, platform-motion
+// clutter-ridge slope sweeps, target swarms and low-SNR Doppler
+// crossers.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"pstap/internal/cube"
+	"pstap/internal/radar"
+)
+
+// Truth is one machine-readable ground-truth record: where a real target
+// sits in the detection cube of one CPI.
+type Truth struct {
+	CPI        int     `json:"cpi"`
+	Range      int     `json:"range"`
+	DopplerBin int     `json:"doppler_bin"`
+	Beam       int     `json:"beam"` // nearest receive beam
+	Azimuth    float64 `json:"azimuth"`
+	Doppler    float64 `json:"doppler"` // normalized, cycles/pulse
+	Power      float64 `json:"power"`   // per-sample signal power (linear)
+	SNRdB      float64 `json:"snr_db"`  // pre-processing, per sample, vs noise
+	Hard       bool    `json:"hard"`    // lands in the hard Doppler region
+}
+
+// Window is the detection-to-truth association window: a detection
+// matches a truth record when it is within ±Range cells, ±Doppler bins
+// (circular) and ±Beam beams of it.
+type Window struct {
+	Range   int `json:"range"`
+	Doppler int `json:"doppler"`
+	Beam    int `json:"beam"`
+}
+
+// Thresholds are a scenario's pinned pass/fail quality gates. A pipeline
+// passes when P_d >= MinPd, measured P_fa <= MaxPfaRatio x the CFAR
+// design rate, and every target's SINR loss against clairvoyant weights
+// stays above -MaxSINRLossDB.
+type Thresholds struct {
+	MinPd         float64 `json:"min_pd"`
+	MaxPfaRatio   float64 `json:"max_pfa_ratio"`
+	MaxSINRLossDB float64 `json:"max_sinr_loss_db"`
+}
+
+// Scenario is one named catalog entry. The build function is pure in
+// (params, seed): instantiating twice yields bit-identical CPI streams
+// and truth.
+type Scenario struct {
+	Name        string
+	Description string
+	// NumCPIs is the stream length; CPIs [ScoreFrom, NumCPIs) are scored
+	// (the prefix lets the adaptive weights converge, like the paper's
+	// warmup CPIs).
+	NumCPIs    int
+	ScoreFrom  int
+	Window     Window
+	Thresholds Thresholds
+
+	// build returns the base scene; motion, when non-nil, mutates a
+	// per-CPI clone (moving targets, drifting clutter). motion must be
+	// deterministic in (cpi) and touch only Targets/Clutter.
+	build  func(p radar.Params) *radar.Scene
+	motion func(cpi int, s *radar.Scene)
+}
+
+// Instantiate builds the scenario's deterministic stream for one problem
+// size and seed.
+func (sc *Scenario) Instantiate(p radar.Params, seed int64) (*Instance, error) {
+	if sc.build == nil {
+		return nil, fmt.Errorf("scenario %q: no build function", sc.Name)
+	}
+	if sc.NumCPIs <= 0 || sc.ScoreFrom < 0 || sc.ScoreFrom >= sc.NumCPIs {
+		return nil, fmt.Errorf("scenario %q: bad CPI window [%d, %d)", sc.Name, sc.ScoreFrom, sc.NumCPIs)
+	}
+	base := sc.build(p)
+	base.Seed = seed
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	in := &Instance{Scenario: sc, Base: base, scenes: make([]*radar.Scene, sc.NumCPIs)}
+	for i := 0; i < sc.NumCPIs; i++ {
+		if sc.motion == nil {
+			in.scenes[i] = base
+			continue
+		}
+		s := *base
+		s.Targets = append([]radar.Target(nil), base.Targets...)
+		sc.motion(i, &s)
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: CPI %d: %w", sc.Name, i, err)
+		}
+		in.scenes[i] = &s
+	}
+	return in, nil
+}
+
+// Instance is one instantiated scenario: a deterministic CPI stream with
+// ground truth.
+type Instance struct {
+	Scenario *Scenario
+	// Base is the CPI-0 scene; it carries the parameters, beam geometry
+	// and waveform shared by every CPI (suitable for pipeline.Config.Scene
+	// combined with RawSource = CPI).
+	Base *radar.Scene
+
+	scenes []*radar.Scene
+}
+
+// Params returns the problem parameters.
+func (in *Instance) Params() radar.Params { return in.Base.Params }
+
+// NumCPIs returns the stream length.
+func (in *Instance) NumCPIs() int { return in.Scenario.NumCPIs }
+
+// SceneAt returns the scene describing CPI i (shared with Base for
+// static scenarios).
+func (in *Instance) SceneAt(i int) *radar.Scene { return in.scenes[i] }
+
+// CPI synthesizes CPI i of the stream (deterministic in the instance's
+// seed and i) — pipeline.Config.RawSource.
+func (in *Instance) CPI(i int) *cube.Cube { return in.scenes[i].GenerateCPI(i) }
+
+// InterferenceScene returns a clone of CPI i's scene with the targets
+// removed: the clairvoyant interference-only view used to train the
+// reference weights for SINR-loss scoring.
+func (in *Instance) InterferenceScene(i int) *radar.Scene {
+	s := *in.scenes[i]
+	s.Targets = nil
+	return &s
+}
+
+// TruthAt returns the ground-truth records of CPI i.
+func (in *Instance) TruthAt(i int) []Truth {
+	s := in.scenes[i]
+	p := s.Params
+	beamAz := s.BeamAzimuths()
+	out := make([]Truth, 0, len(s.Targets))
+	for _, tgt := range s.Targets {
+		bin := tgt.DopplerBin(p.N)
+		tr := Truth{
+			CPI:        i,
+			Range:      tgt.Range,
+			DopplerBin: bin,
+			Beam:       NearestBeam(beamAz, tgt.Azimuth),
+			Azimuth:    tgt.Azimuth,
+			Doppler:    tgt.Doppler,
+			Power:      tgt.Power,
+			Hard:       p.IsHardBin(bin),
+		}
+		if s.NoisePower > 0 {
+			g := s.RangeGain(tgt.Range)
+			tr.SNRdB = 10 * math.Log10(tgt.Power*g*g/s.NoisePower)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// AllTruth returns the truth records of every CPI, indexed by CPI.
+func (in *Instance) AllTruth() [][]Truth {
+	out := make([][]Truth, in.NumCPIs())
+	for i := range out {
+		out[i] = in.TruthAt(i)
+	}
+	return out
+}
+
+// NearestBeam returns the index of the beam azimuth closest to az — the
+// beam a detection of this target is expected on (the rule
+// stap.MatchesTarget uses).
+func NearestBeam(beamAz []float64, az float64) int {
+	best, bestDiff := -1, 0.0
+	for b, a := range beamAz {
+		diff := math.Abs(a - az)
+		if best == -1 || diff < bestDiff {
+			best, bestDiff = b, diff
+		}
+	}
+	return best
+}
+
+// TruthFile is the machine-readable sidecar cmd/stapgen writes next to a
+// scenario recording: everything a downstream scorer needs.
+type TruthFile struct {
+	Scenario    string     `json:"scenario"`
+	Description string     `json:"description"`
+	Size        string     `json:"size"`
+	Seed        int64      `json:"seed"`
+	NumCPIs     int        `json:"num_cpis"`
+	ScoreFrom   int        `json:"score_from"`
+	Window      Window     `json:"window"`
+	Thresholds  Thresholds `json:"thresholds"`
+	// Truth[i] lists CPI i's records.
+	Truth [][]Truth `json:"truth"`
+}

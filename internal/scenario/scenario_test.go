@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"testing"
+
+	"pstap/internal/radar"
+)
+
+// TestCatalogComplete pins the acceptance criterion: >= 6 named
+// scenarios, unique names, every entry instantiable at the small size
+// with non-empty truth in the scored window.
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 6 {
+		t.Fatalf("catalog has %d scenarios, need >= 6", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, sc := range cat {
+		if sc.Name == "" || sc.Description == "" {
+			t.Errorf("scenario %+v missing name/description", sc)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Thresholds.MinPd <= 0 || sc.Thresholds.MaxPfaRatio <= 0 || sc.Thresholds.MaxSINRLossDB <= 0 {
+			t.Errorf("%s: thresholds not pinned: %+v", sc.Name, sc.Thresholds)
+		}
+
+		in, err := sc.Instantiate(radar.Small(), 1)
+		if err != nil {
+			t.Errorf("%s: instantiate: %v", sc.Name, err)
+			continue
+		}
+		truth := in.AllTruth()
+		for i := sc.ScoreFrom; i < sc.NumCPIs; i++ {
+			if len(truth[i]) == 0 {
+				t.Errorf("%s: CPI %d has no truth records", sc.Name, i)
+			}
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	sc, err := Lookup("baseline")
+	if err != nil || sc.Name != "baseline" {
+		t.Fatalf("Lookup(baseline) = %v, %v", sc, err)
+	}
+	if _, err := Lookup("no-such"); err == nil {
+		t.Fatal("Lookup(no-such) should fail")
+	}
+	names := Names()
+	if len(names) != len(Catalog()) {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+}
+
+// TestSeededReproducible: same (scenario, size, seed) → bit-identical
+// CPIs and identical truth; a different seed changes the data but not
+// the truth geometry.
+func TestSeededReproducible(t *testing.T) {
+	sc, _ := Lookup("crossers")
+	a, err := sc.Instantiate(radar.Small(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Instantiate(radar.Small(), 7)
+	c, _ := sc.Instantiate(radar.Small(), 8)
+	for i := 0; i < 3; i++ {
+		ca, cb, cc := a.CPI(i), b.CPI(i), c.CPI(i)
+		if len(ca.Data) != len(cb.Data) {
+			t.Fatalf("CPI %d: size mismatch", i)
+		}
+		same, diff := true, false
+		for k := range ca.Data {
+			if ca.Data[k] != cb.Data[k] {
+				same = false
+			}
+			if ca.Data[k] != cc.Data[k] {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("CPI %d: same seed not bit-identical", i)
+		}
+		if !diff {
+			t.Errorf("CPI %d: different seed produced identical data", i)
+		}
+	}
+	ta, tb := a.AllTruth(), b.AllTruth()
+	for i := range ta {
+		if len(ta[i]) != len(tb[i]) {
+			t.Fatalf("truth length mismatch at CPI %d", i)
+		}
+		for j := range ta[i] {
+			if ta[i][j] != tb[i][j] {
+				t.Errorf("truth mismatch at CPI %d record %d", i, j)
+			}
+		}
+	}
+}
+
+// TestTruthConsistency: every truth record's derived cells agree with
+// the radar-side mappings, stay inside the cube, and Hard matches
+// IsHardBin.
+func TestTruthConsistency(t *testing.T) {
+	for _, p := range []radar.Params{radar.Small(), radar.Medium()} {
+		for _, sc := range Catalog() {
+			in, err := sc.Instantiate(p, 3)
+			if err != nil {
+				t.Errorf("%s @%dx%d: %v", sc.Name, p.K, p.N, err)
+				continue
+			}
+			for i, recs := range in.AllTruth() {
+				s := in.SceneAt(i)
+				beamAz := s.BeamAzimuths()
+				for _, tr := range recs {
+					if tr.Range < 0 || tr.Range >= p.K {
+						t.Errorf("%s CPI %d: range %d outside [0,%d)", sc.Name, i, tr.Range, p.K)
+					}
+					if tr.DopplerBin < 0 || tr.DopplerBin >= p.N {
+						t.Errorf("%s CPI %d: doppler bin %d outside [0,%d)", sc.Name, i, tr.DopplerBin, p.N)
+					}
+					if tr.Beam < 0 || tr.Beam >= p.M {
+						t.Errorf("%s CPI %d: beam %d outside [0,%d)", sc.Name, i, tr.Beam, p.M)
+					}
+					if tr.Hard != p.IsHardBin(tr.DopplerBin) {
+						t.Errorf("%s CPI %d: Hard=%v disagrees with IsHardBin(%d)", sc.Name, i, tr.Hard, tr.DopplerBin)
+					}
+					if got := NearestBeam(beamAz, tr.Azimuth); got != tr.Beam {
+						t.Errorf("%s CPI %d: beam %d, NearestBeam says %d", sc.Name, i, tr.Beam, got)
+					}
+					if tr.Power <= 0 {
+						t.Errorf("%s CPI %d: non-positive truth power %g", sc.Name, i, tr.Power)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMotionScenarios: motion must actually move something, and the
+// base scene must stay untouched by per-CPI mutation.
+func TestMotionScenarios(t *testing.T) {
+	sc, _ := Lookup("crossers")
+	in, err := sc.Instantiate(radar.Small(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := in.TruthAt(0)[0].Doppler
+	dLast := in.TruthAt(in.NumCPIs() - 1)[0].Doppler
+	if d0 == dLast {
+		t.Error("crossers: target Doppler did not move across the stream")
+	}
+
+	rs, _ := Lookup("ridge-sweep")
+	rin, err := rs.Instantiate(radar.Small(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := rin.SceneAt(0).Clutter.Beta
+	bN := rin.SceneAt(rin.NumCPIs() - 1).Clutter.Beta
+	if b0 == bN {
+		t.Error("ridge-sweep: Beta did not sweep")
+	}
+}
+
+// TestInterferenceScene: the clairvoyant view strips targets but keeps
+// clutter/jammers and the seed.
+func TestInterferenceScene(t *testing.T) {
+	sc, _ := Lookup("barrage-jammer")
+	in, err := sc.Instantiate(radar.Small(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := in.InterferenceScene(2)
+	if len(is.Targets) != 0 {
+		t.Error("interference scene still has targets")
+	}
+	if len(is.Jammers) != 1 || is.Clutter.CNR == 0 {
+		t.Error("interference scene lost its interference")
+	}
+	if is.Seed != in.Base.Seed {
+		t.Error("interference scene changed seed")
+	}
+	if len(in.SceneAt(2).Targets) == 0 {
+		t.Error("InterferenceScene mutated the instance's scene")
+	}
+}
+
+func TestNearestBeam(t *testing.T) {
+	az := []float64{-0.3, -0.1, 0.1, 0.3}
+	cases := []struct {
+		az   float64
+		want int
+	}{{-0.3, 0}, {-0.19, 1}, {0.0, 1}, {0.11, 2}, {0.9, 3}}
+	for _, tc := range cases {
+		if got := NearestBeam(az, tc.az); got != tc.want {
+			t.Errorf("NearestBeam(%g) = %d, want %d", tc.az, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"pstap/internal/pipeline"
+	"pstap/internal/radar"
+	"pstap/internal/scenario"
+	"pstap/internal/stap"
+)
+
+// ScenarioResult is one scenario's scored quality outcome — the unit of
+// BENCH_quality.json.
+type ScenarioResult struct {
+	Scenario    string  `json:"scenario"`
+	Description string  `json:"description"`
+	Seed        int64   `json:"seed"`
+	NumCPIs     int     `json:"num_cpis"`
+	ScoredCPIs  int     `json:"scored_cpis"`
+	Pd          float64 `json:"pd"`
+	Pfa         float64 `json:"pfa"`
+	DesignPfa   float64 `json:"design_pfa"`
+	PfaRatio    float64 `json:"pfa_ratio"`
+	// MeanSINRLossDB / MaxSINRLossDB summarize the per-target SINR loss
+	// against clairvoyant SMI weights over every scored truth record.
+	MeanSINRLossDB float64 `json:"mean_sinr_loss_db"`
+	MaxSINRLossDB  float64 `json:"max_sinr_loss_db"`
+	Tally          Tally   `json:"tally"`
+
+	Thresholds scenario.Thresholds `json:"thresholds"`
+	Pass       bool                `json:"pass"`
+	Failures   []string            `json:"failures,omitempty"`
+}
+
+// QualityReport is the BENCH_quality.json payload: the scenario sweep's
+// results in the repo's BENCH_* envelope.
+type QualityReport struct {
+	Benchmark   string           `json:"benchmark"`
+	Description string           `json:"description"`
+	Command     string           `json:"command"`
+	Date        string           `json:"date"`
+	Goos        string           `json:"goos"`
+	Goarch      string           `json:"goarch"`
+	CPU         string           `json:"cpu"`
+	Config      map[string]any   `json:"config"`
+	Results     []ScenarioResult `json:"results"`
+	Pass        bool             `json:"pass"`
+	Notes       []string         `json:"notes"`
+}
+
+// RunConfig parameterizes a scenario run.
+type RunConfig struct {
+	Params radar.Params
+	Seed   int64
+	// Assign is the pipeline processor assignment; zero value means a
+	// small default. The report is scored on the parallel pipeline's
+	// output, cross-checked bit-exact against the serial reference.
+	Assign pipeline.Assignment
+	// Threads spreads worker kernels (pipeline.Config.Threads).
+	Threads int
+}
+
+// DefaultAssignment is the small processor assignment quality runs use:
+// enough workers to exercise every parallel code path (range and Doppler
+// partitioning, multi-worker CFAR) without oversubscribing CI machines.
+func DefaultAssignment() pipeline.Assignment {
+	return pipeline.NewAssignment(2, 1, 2, 1, 1, 1, 2)
+}
+
+// RunScenario instantiates one scenario, streams it through the parallel
+// pipeline, cross-validates the detection reports against the serial
+// reference (bit-exact), and scores P_d, P_fa and SINR loss against the
+// scenario's ground truth and pinned thresholds.
+func RunScenario(sc *scenario.Scenario, cfg RunConfig) (*ScenarioResult, error) {
+	if cfg.Assign == (pipeline.Assignment{}) {
+		cfg.Assign = DefaultAssignment()
+	}
+	in, err := sc.Instantiate(cfg.Params, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := in.Params()
+
+	// Parallel pipeline over the scenario stream.
+	res, err := pipeline.Run(pipeline.Config{
+		Scene:     in.Base,
+		Assign:    cfg.Assign,
+		NumCPIs:   sc.NumCPIs,
+		Warmup:    1,
+		Cooldown:  1,
+		RawSource: in.CPI,
+		Threads:   cfg.Threads,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: pipeline: %w", sc.Name, err)
+	}
+
+	// Serial reference: must agree bit for bit, and exposes the applied
+	// weights the SINR scoring needs.
+	proc := stap.NewProcessor(in.Base)
+	applied := make([]*stap.Weights, sc.NumCPIs)
+	for i := 0; i < sc.NumCPIs; i++ {
+		sr := proc.Process(in.CPI(i))
+		applied[i] = sr.Applied
+		if err := sameDetections(res.Detections[i], sr.Detections); err != nil {
+			return nil, fmt.Errorf("scenario %s: CPI %d: pipeline/serial divergence: %w", sc.Name, i, err)
+		}
+	}
+
+	out := &ScenarioResult{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Seed:        cfg.Seed,
+		NumCPIs:     sc.NumCPIs,
+		ScoredCPIs:  sc.NumCPIs - sc.ScoreFrom,
+		DesignPfa:   DesignPfa(p),
+		Thresholds:  sc.Thresholds,
+	}
+
+	// Association + Pd/Pfa over the scored window.
+	for i := sc.ScoreFrom; i < sc.NumCPIs; i++ {
+		out.Tally.Add(MatchCPI(p, in.TruthAt(i), res.Detections[i], sc.Window))
+	}
+	out.Pd = out.Tally.Pd()
+	out.Pfa = out.Tally.Pfa()
+	if out.DesignPfa > 0 {
+		out.PfaRatio = out.Pfa / out.DesignPfa
+	}
+
+	// SINR loss per scored truth, pooling clairvoyant interference per
+	// distinct scene (static scenarios share one pool across CPIs).
+	pools := map[*radar.Scene]*SINRPool{}
+	var lossSum float64
+	var lossN int
+	for i := sc.ScoreFrom; i < sc.NumCPIs; i++ {
+		key := in.SceneAt(i)
+		pool := pools[key]
+		if pool == nil {
+			pool = NewSINRPool(in.InterferenceScene(i), sc.NumCPIs)
+			pools[key] = pool
+		}
+		for _, tr := range in.TruthAt(i) {
+			loss, err := SINRLoss(pool, applied[i], tr)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: CPI %d: %w", sc.Name, i, err)
+			}
+			lossSum += loss
+			lossN++
+			if loss > out.MaxSINRLossDB {
+				out.MaxSINRLossDB = loss
+			}
+		}
+	}
+	if lossN > 0 {
+		out.MeanSINRLossDB = lossSum / float64(lossN)
+	}
+
+	evaluate(out)
+	return out, nil
+}
+
+// evaluate applies the scenario's pinned thresholds.
+func evaluate(r *ScenarioResult) {
+	th := r.Thresholds
+	if r.Pd < th.MinPd {
+		r.Failures = append(r.Failures, fmt.Sprintf("Pd %.4f < min %.4f", r.Pd, th.MinPd))
+	}
+	if r.PfaRatio > th.MaxPfaRatio {
+		r.Failures = append(r.Failures, fmt.Sprintf("Pfa %.3g is %.2fx design rate (max %.2fx)", r.Pfa, r.PfaRatio, th.MaxPfaRatio))
+	}
+	if r.MaxSINRLossDB > th.MaxSINRLossDB || math.IsInf(r.MaxSINRLossDB, 1) {
+		r.Failures = append(r.Failures, fmt.Sprintf("max SINR loss %.2f dB > %.2f dB", r.MaxSINRLossDB, th.MaxSINRLossDB))
+	}
+	r.Pass = len(r.Failures) == 0
+}
+
+// sameDetections checks two reports for exact equality.
+func sameDetections(a, b []stap.Detection) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d detections", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("detection %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// RunCatalog sweeps every catalog scenario and reports whether all
+// passed.
+func RunCatalog(cfg RunConfig) ([]ScenarioResult, bool, error) {
+	var out []ScenarioResult
+	pass := true
+	for _, sc := range scenario.Catalog() {
+		r, err := RunScenario(sc, cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, *r)
+		pass = pass && r.Pass
+	}
+	return out, pass, nil
+}

@@ -1,0 +1,194 @@
+// Package score turns detection reports into quality metrics: it matches
+// pipeline stap.Detection reports against internal/scenario ground truth
+// with configurable association windows and computes P_d, P_fa (versus
+// the CFAR design rate) and SINR loss against clairvoyant weights. It is
+// the quality counterpart of the BENCH_* timing harness — the gate that
+// keeps speed work (reduced-dimension variants, placement experiments)
+// from silently trading away detection performance.
+package score
+
+import (
+	"math"
+	"sort"
+
+	"pstap/internal/radar"
+	"pstap/internal/scenario"
+	"pstap/internal/stap"
+)
+
+// Match pairs one truth record with the detection credited to it.
+type Match struct {
+	Truth     scenario.Truth
+	Detection stap.Detection
+}
+
+// CPIScore is the association result of a single CPI.
+type CPIScore struct {
+	CPI         int
+	Matches     []Match
+	Missed      []scenario.Truth // truths with no credited detection
+	FalseAlarms []stap.Detection // detections outside every truth window
+	// Shadowed are surplus detections inside some truth's window that were
+	// not credited (the window already has its one match, or lost the
+	// one-to-one assignment). They count as neither detections nor false
+	// alarms — straddle responses of a real target must not poison P_fa,
+	// and must not double-credit P_d.
+	Shadowed []stap.Detection
+	// CellsTested is the number of CFAR-tested cells eligible for false
+	// alarms: the full N x M x K detection cube minus the cells covered by
+	// any truth window.
+	CellsTested int
+}
+
+// inWindow reports whether detection d falls inside truth t's association
+// window (range/beam rectangular, Doppler circular over n bins).
+func inWindow(d stap.Detection, t scenario.Truth, w scenario.Window, n int) bool {
+	if abs(d.Range-t.Range) > w.Range {
+		return false
+	}
+	if abs(d.Beam-t.Beam) > w.Beam {
+		return false
+	}
+	dd := abs(d.DopplerBin - t.DopplerBin)
+	if dd > n/2 {
+		dd = n - dd
+	}
+	return dd <= w.Doppler
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MatchCPI associates one CPI's detections with its truth records
+// one-to-one: truths are visited strongest first, and each claims the
+// highest-power unclaimed detection inside its window. Every remaining
+// detection inside some truth window is shadowed (not a false alarm, not
+// a second credit); detections outside all windows are false alarms.
+func MatchCPI(p radar.Params, truths []scenario.Truth, dets []stap.Detection, w scenario.Window) CPIScore {
+	sc := CPIScore{}
+	if len(truths) > 0 {
+		sc.CPI = truths[0].CPI
+	}
+
+	order := make([]int, len(truths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return truths[order[a]].Power > truths[order[b]].Power
+	})
+
+	claimed := make([]bool, len(dets))
+	for _, ti := range order {
+		t := truths[ti]
+		best := -1
+		for di, d := range dets {
+			if claimed[di] || !inWindow(d, t, w, p.N) {
+				continue
+			}
+			if best == -1 || d.Power > dets[best].Power {
+				best = di
+			}
+		}
+		if best == -1 {
+			sc.Missed = append(sc.Missed, t)
+			continue
+		}
+		claimed[best] = true
+		sc.Matches = append(sc.Matches, Match{Truth: t, Detection: dets[best]})
+	}
+
+	for di, d := range dets {
+		if claimed[di] {
+			continue
+		}
+		shadowed := false
+		for _, t := range truths {
+			if inWindow(d, t, w, p.N) {
+				shadowed = true
+				break
+			}
+		}
+		if shadowed {
+			sc.Shadowed = append(sc.Shadowed, d)
+		} else {
+			sc.FalseAlarms = append(sc.FalseAlarms, d)
+		}
+	}
+
+	sc.CellsTested = p.N*p.M*p.K - truthWindowCells(p, truths, w)
+	return sc
+}
+
+// truthWindowCells counts the distinct detection-cube cells covered by
+// the truth windows (overlapping windows counted once).
+func truthWindowCells(p radar.Params, truths []scenario.Truth, w scenario.Window) int {
+	if len(truths) == 0 {
+		return 0
+	}
+	seen := make(map[int]bool)
+	for _, t := range truths {
+		for dr := -w.Range; dr <= w.Range; dr++ {
+			r := t.Range + dr
+			if r < 0 || r >= p.K {
+				continue
+			}
+			for db := -w.Beam; db <= w.Beam; db++ {
+				b := t.Beam + db
+				if b < 0 || b >= p.M {
+					continue
+				}
+				for dd := -w.Doppler; dd <= w.Doppler; dd++ {
+					d := ((t.DopplerBin+dd)%p.N + p.N) % p.N
+					seen[(d*p.M+b)*p.K+r] = true
+				}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// DesignPfa returns the cell-averaging CFAR design false-alarm rate for
+// the parameter set: with n = 2*CFARRef reference cells of exponentially
+// distributed power and threshold scale a, P_fa = (1 + a/n)^(-n).
+func DesignPfa(p radar.Params) float64 {
+	n := float64(2 * p.CFARRef)
+	return math.Pow(1+p.CFARScale/n, -n)
+}
+
+// Tally aggregates per-CPI scores into stream-level counts.
+type Tally struct {
+	NumTruth    int `json:"num_truth"`
+	NumMatched  int `json:"num_matched"`
+	FalseAlarms int `json:"false_alarms"`
+	CellsTested int `json:"cells_tested"`
+}
+
+// Add folds one CPI's score into the tally.
+func (t *Tally) Add(sc CPIScore) {
+	t.NumTruth += len(sc.Matches) + len(sc.Missed)
+	t.NumMatched += len(sc.Matches)
+	t.FalseAlarms += len(sc.FalseAlarms)
+	t.CellsTested += sc.CellsTested
+}
+
+// Pd returns the detection probability (1 when there was nothing to
+// detect).
+func (t Tally) Pd() float64 {
+	if t.NumTruth == 0 {
+		return 1
+	}
+	return float64(t.NumMatched) / float64(t.NumTruth)
+}
+
+// Pfa returns the measured false-alarm rate per tested cell.
+func (t Tally) Pfa() float64 {
+	if t.CellsTested == 0 {
+		return 0
+	}
+	return float64(t.FalseAlarms) / float64(t.CellsTested)
+}

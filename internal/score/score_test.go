@@ -1,0 +1,198 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"pstap/internal/radar"
+	"pstap/internal/scenario"
+	"pstap/internal/stap"
+)
+
+var w110 = scenario.Window{Range: 1, Doppler: 1, Beam: 0}
+
+// TestNoDoubleCredit: two truth targets in adjacent cells, one detection
+// inside both windows — exactly one truth is credited, the other is
+// missed, and nothing counts as a false alarm.
+func TestNoDoubleCredit(t *testing.T) {
+	p := radar.Small()
+	truths := []scenario.Truth{
+		{CPI: 0, Range: 20, DopplerBin: 5, Beam: 0, Power: 10},
+		{CPI: 0, Range: 21, DopplerBin: 5, Beam: 0, Power: 5},
+	}
+	dets := []stap.Detection{{Range: 20, DopplerBin: 5, Beam: 0, Power: 50}}
+	sc := MatchCPI(p, truths, dets, w110)
+	if len(sc.Matches) != 1 {
+		t.Fatalf("got %d matches, want 1", len(sc.Matches))
+	}
+	if sc.Matches[0].Truth.Range != 20 {
+		t.Errorf("credit went to truth r=%d, want the stronger r=20", sc.Matches[0].Truth.Range)
+	}
+	if len(sc.Missed) != 1 || sc.Missed[0].Range != 21 {
+		t.Errorf("missed = %v, want the r=21 truth", sc.Missed)
+	}
+	if len(sc.FalseAlarms) != 0 || len(sc.Shadowed) != 0 {
+		t.Errorf("false alarms %v / shadowed %v, want none", sc.FalseAlarms, sc.Shadowed)
+	}
+	var tl Tally
+	tl.Add(sc)
+	if tl.Pd() != 0.5 {
+		t.Errorf("Pd = %g, want 0.5", tl.Pd())
+	}
+}
+
+// TestAdjacentTruthsTwoDetections: with a detection per truth the
+// one-to-one assignment credits both.
+func TestAdjacentTruthsTwoDetections(t *testing.T) {
+	p := radar.Small()
+	truths := []scenario.Truth{
+		{Range: 20, DopplerBin: 5, Beam: 0, Power: 10},
+		{Range: 22, DopplerBin: 5, Beam: 0, Power: 5},
+	}
+	dets := []stap.Detection{
+		{Range: 20, DopplerBin: 5, Beam: 0, Power: 50},
+		{Range: 21, DopplerBin: 5, Beam: 0, Power: 30}, // in both windows
+	}
+	sc := MatchCPI(p, truths, dets, w110)
+	if len(sc.Matches) != 2 || len(sc.Missed) != 0 {
+		t.Fatalf("matches %d missed %d, want 2/0", len(sc.Matches), len(sc.Missed))
+	}
+	// The stronger truth grabs the stronger detection first.
+	if sc.Matches[0].Detection.Range != 20 || sc.Matches[1].Detection.Range != 21 {
+		t.Errorf("assignment %v", sc.Matches)
+	}
+}
+
+// TestWindowBoundary: detections exactly on the association-window edge
+// (the guard band of the scoring window) match; one cell further out is
+// a false alarm. Doppler distance is circular.
+func TestWindowBoundary(t *testing.T) {
+	p := radar.Small()
+	truth := []scenario.Truth{{Range: 30, DopplerBin: 0, Beam: 1, Power: 1}}
+	cases := []struct {
+		name  string
+		det   stap.Detection
+		match bool
+	}{
+		{"exact", stap.Detection{Range: 30, DopplerBin: 0, Beam: 1}, true},
+		{"range +1 edge", stap.Detection{Range: 31, DopplerBin: 0, Beam: 1}, true},
+		{"range +2 out", stap.Detection{Range: 32, DopplerBin: 0, Beam: 1}, false},
+		{"doppler wrap -1", stap.Detection{Range: 30, DopplerBin: p.N - 1, Beam: 1}, true},
+		{"doppler wrap -2", stap.Detection{Range: 30, DopplerBin: p.N - 2, Beam: 1}, false},
+		{"beam off", stap.Detection{Range: 30, DopplerBin: 0, Beam: 0}, false},
+	}
+	for _, tc := range cases {
+		sc := MatchCPI(p, truth, []stap.Detection{tc.det}, w110)
+		if got := len(sc.Matches) == 1; got != tc.match {
+			t.Errorf("%s: match=%v, want %v", tc.name, got, tc.match)
+		}
+		if !tc.match && len(sc.FalseAlarms) != 1 {
+			t.Errorf("%s: expected a false alarm", tc.name)
+		}
+	}
+}
+
+// TestEmptyReportNonEmptyTruth: an empty detection report against real
+// truth scores Pd 0 with zero false alarms — and the degenerate converse.
+func TestEmptyReportNonEmptyTruth(t *testing.T) {
+	p := radar.Small()
+	truths := []scenario.Truth{
+		{Range: 10, DopplerBin: 3, Beam: 0, Power: 4},
+		{Range: 40, DopplerBin: 9, Beam: 1, Power: 2},
+	}
+	sc := MatchCPI(p, truths, nil, w110)
+	if len(sc.Matches) != 0 || len(sc.Missed) != 2 || len(sc.FalseAlarms) != 0 {
+		t.Fatalf("empty report: %+v", sc)
+	}
+	var tl Tally
+	tl.Add(sc)
+	if tl.Pd() != 0 {
+		t.Errorf("Pd = %g, want 0", tl.Pd())
+	}
+
+	// No truth at all: every detection is a false alarm, Pd vacuously 1.
+	sc2 := MatchCPI(p, nil, []stap.Detection{{Range: 5, DopplerBin: 1}}, w110)
+	if len(sc2.FalseAlarms) != 1 || sc2.CellsTested != p.N*p.M*p.K {
+		t.Fatalf("no truth: %+v", sc2)
+	}
+	var tl2 Tally
+	tl2.Add(sc2)
+	if tl2.Pd() != 1 {
+		t.Errorf("vacuous Pd = %g, want 1", tl2.Pd())
+	}
+}
+
+// TestShadowedNotFalseAlarm: a straddle response next to a matched truth
+// is excluded from the false-alarm count.
+func TestShadowedNotFalseAlarm(t *testing.T) {
+	p := radar.Small()
+	truths := []scenario.Truth{{Range: 20, DopplerBin: 5, Beam: 0, Power: 10}}
+	dets := []stap.Detection{
+		{Range: 20, DopplerBin: 5, Beam: 0, Power: 50},
+		{Range: 21, DopplerBin: 6, Beam: 0, Power: 20}, // straddle, in window
+		{Range: 50, DopplerBin: 12, Beam: 1, Power: 9}, // unrelated
+	}
+	sc := MatchCPI(p, truths, dets, w110)
+	if len(sc.Matches) != 1 || len(sc.Shadowed) != 1 || len(sc.FalseAlarms) != 1 {
+		t.Fatalf("matches/shadowed/FAs = %d/%d/%d, want 1/1/1",
+			len(sc.Matches), len(sc.Shadowed), len(sc.FalseAlarms))
+	}
+}
+
+// TestCellsTested: the truth windows (clipped at range edges, circular in
+// Doppler, overlap counted once) are excluded from the FA denominator.
+func TestCellsTested(t *testing.T) {
+	p := radar.Small()
+	total := p.N * p.M * p.K
+	// One interior truth: full 3x3x1 window.
+	sc := MatchCPI(p, []scenario.Truth{{Range: 20, DopplerBin: 5}}, nil, w110)
+	if want := total - 9; sc.CellsTested != want {
+		t.Errorf("interior: %d, want %d", sc.CellsTested, want)
+	}
+	// Range-edge truth: window clipped to 2 range cells.
+	sc = MatchCPI(p, []scenario.Truth{{Range: 0, DopplerBin: 5}}, nil, w110)
+	if want := total - 6; sc.CellsTested != want {
+		t.Errorf("edge: %d, want %d", sc.CellsTested, want)
+	}
+	// Two overlapping truths share cells.
+	sc = MatchCPI(p, []scenario.Truth{
+		{Range: 20, DopplerBin: 5}, {Range: 21, DopplerBin: 5},
+	}, nil, w110)
+	if want := total - 12; sc.CellsTested != want {
+		t.Errorf("overlap: %d, want %d", sc.CellsTested, want)
+	}
+}
+
+func TestDesignPfa(t *testing.T) {
+	p := radar.Small() // scale 10, ref 4 → (1 + 10/8)^-8
+	want := math.Pow(2.25, -8)
+	if got := DesignPfa(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DesignPfa = %g, want %g", got, want)
+	}
+}
+
+// TestQualityGate is the repo's detection-quality regression gate: every
+// catalog scenario, streamed through the parallel pipeline at the small
+// size with the pinned seed, must pass its pinned P_d / P_fa / SINR-loss
+// thresholds (the same sweep stapbench -quality and the CI quality job
+// run).
+func TestQualityGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality sweep in -short mode")
+	}
+	results, pass, err := RunCatalog(RunConfig{Params: radar.Small(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		t.Logf("%-16s Pd=%.4f (%d/%d) Pfa=%.3g (%.2fx design) SINR loss mean=%.2f max=%.2f dB pass=%v %v",
+			r.Scenario, r.Pd, r.Tally.NumMatched, r.Tally.NumTruth,
+			r.Pfa, r.PfaRatio, r.MeanSINRLossDB, r.MaxSINRLossDB, r.Pass, r.Failures)
+		if !r.Pass {
+			t.Errorf("%s: %v", r.Scenario, r.Failures)
+		}
+	}
+	if !pass {
+		t.Error("quality gate failed")
+	}
+}

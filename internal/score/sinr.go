@@ -1,0 +1,149 @@
+package score
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"pstap/internal/cube"
+	"pstap/internal/linalg"
+	"pstap/internal/radar"
+	"pstap/internal/scenario"
+	"pstap/internal/stap"
+)
+
+// poolRealizations is the number of held-out interference-only CPI
+// realizations the clairvoyant reference is trained and evaluated on.
+const poolRealizations = 3
+
+// SINRPool holds Doppler-filtered interference-only realizations of one
+// scene: the clairvoyant view (exact clutter/jammer statistics, no
+// targets) that both the reference weights and the SINR denominators are
+// computed from. Realizations use held-out CPI indices (>= the stream
+// length) so they never coincide with data the pipeline trained on.
+type SINRPool struct {
+	p     radar.Params
+	cubes []*cube.Cube // staggered order, K x 2J x N
+}
+
+// NewSINRPool builds the pool for one interference-only scene. baseIdx
+// must be >= the scenario stream length.
+func NewSINRPool(s *radar.Scene, baseIdx int) *SINRPool {
+	p := s.Params
+	gain := make([]float64, p.K)
+	for r := range gain {
+		gain[r] = 1 / s.RangeGain(r)
+	}
+	pool := &SINRPool{p: p}
+	for t := 0; t < poolRealizations; t++ {
+		raw := s.GenerateCPI(baseIdx + t)
+		pool.cubes = append(pool.cubes, stap.DopplerFilter(p, raw, gain))
+	}
+	return pool
+}
+
+// snapshots gathers the interference snapshots for one Doppler bin:
+// channels [0, nch) at bin d over range cells [lo, hi) of every pooled
+// realization.
+func (pl *SINRPool) snapshots(d, nch, lo, hi int) [][]complex128 {
+	var out [][]complex128
+	for _, c := range pl.cubes {
+		for r := lo; r < hi; r++ {
+			x := make([]complex128, nch)
+			for j := 0; j < nch; j++ {
+				x[j] = c.At(r, j, d)
+			}
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// interferencePower returns the average beamformer output power
+// mean |w^H x|^2 over the snapshots.
+func interferencePower(w []complex128, snaps [][]complex128) float64 {
+	var sum float64
+	for _, x := range snaps {
+		v := linalg.Dot(w, x)
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return sum / float64(len(snaps))
+}
+
+func indexOf(bins []int, d int) int {
+	for i, b := range bins {
+		if b == d {
+			return i
+		}
+	}
+	return -1
+}
+
+func column(m *linalg.Matrix, c int) []complex128 {
+	out := make([]complex128, m.Rows)
+	for r := range out {
+		out[r] = m.At(r, c)
+	}
+	return out
+}
+
+// SINRLoss computes the SINR loss, in dB >= 0 nominally, of the weights
+// the pipeline applied to a CPI against the clairvoyant SMI weights for
+// one truth target: 10 log10(SINR(w_opt) / SINR(w_applied)) with
+// SINR(w) = |w^H s|^2 / mean|w^H x|^2, s the (staggered) steering vector
+// at the target's true azimuth and Doppler bin, and x interference-only
+// snapshots from the pool. The measure is scale-invariant in both weight
+// vectors, so the pipeline's unit-norm convention needs no undoing.
+func SINRLoss(pl *SINRPool, applied *stap.Weights, tr scenario.Truth) (float64, error) {
+	p := pl.p
+	var wApp, s []complex128
+	var snaps [][]complex128
+	if tr.Hard {
+		idx := indexOf(p.HardBins(), tr.DopplerBin)
+		if idx < 0 {
+			return 0, fmt.Errorf("score: bin %d not in hard set", tr.DopplerBin)
+		}
+		seg := p.SegmentOfRange(tr.Range)
+		wApp = column(applied.Hard[seg][idx], tr.Beam)
+		s = radar.StaggeredSteeringVector(p.J, tr.Azimuth, tr.DopplerBin, p.Stagger, p.N)
+		lo, hi := p.Segment(seg)
+		snaps = pl.snapshots(tr.DopplerBin, 2*p.J, lo, hi)
+	} else {
+		idx := indexOf(p.EasyBins(), tr.DopplerBin)
+		if idx < 0 {
+			return 0, fmt.Errorf("score: bin %d not in easy set", tr.DopplerBin)
+		}
+		wApp = column(applied.Easy[idx], tr.Beam)
+		s = radar.SteeringVector(p.J, tr.Azimuth)
+		snaps = pl.snapshots(tr.DopplerBin, p.J, 0, p.K)
+	}
+
+	// Clairvoyant reference: SMI on the conjugated interference snapshots
+	// (the repo's training-row convention) steered exactly at the target.
+	rows := linalg.NewMatrix(len(snaps), len(s))
+	for i, x := range snaps {
+		for j, v := range x {
+			rows.Set(i, j, cmplx.Conj(v))
+		}
+	}
+	loading := stap.SMILoadingForConstraint(1, rows.Rows)
+	wOptM, err := stap.SMIWeights(rows, [][]complex128{s}, loading)
+	if err != nil {
+		return 0, fmt.Errorf("score: clairvoyant SMI: %w", err)
+	}
+	wOpt := column(wOptM, 0)
+
+	sinr := func(w []complex128) float64 {
+		num := linalg.Dot(w, s)
+		den := interferencePower(w, snaps)
+		if den == 0 {
+			return math.Inf(1)
+		}
+		return (real(num)*real(num) + imag(num)*imag(num)) / den
+	}
+	sApp, sOpt := sinr(wApp), sinr(wOpt)
+	if sApp == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sOpt/sApp), nil
+}

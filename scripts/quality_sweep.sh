@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Detection-quality regression sweep: runs every internal/scenario
+# catalog entry through the full parallel pipeline (bit-exact
+# cross-validated against the serial reference), scores P_d / P_fa /
+# SINR loss against ground truth, writes BENCH_quality.json, and exits
+# nonzero if any scenario misses its pinned thresholds. This is the CI
+# quality gate; run it locally before and after any change to the STAP
+# kernels, weight training, or pipeline plumbing.
+#
+# Usage:  scripts/quality_sweep.sh [-race] [stapbench -q* flags...]
+# Run from the repository root.
+set -euo pipefail
+
+RACE=()
+if [ "${1:-}" = "-race" ]; then
+  RACE=(-race)
+  shift
+fi
+
+go run "${RACE[@]}" ./cmd/stapbench -quality -qout BENCH_quality.json "$@"
+
+echo "quality sweep passed; BENCH_quality.json updated"
