@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareFiles diffs two benchmark JSON documents (the committed BENCH_*
+// baselines and a fresh run of the same benchmark) metric by metric and
+// reports regressions beyond the tolerance fraction. Only the "results"
+// subtree is compared — the envelope (date, cpu, notes) is expected to
+// differ. Direction is inferred from the metric name: *ns_per*/*latency*
+// metrics regress upward, *per_sec*/*throughput* metrics regress
+// downward, everything else (iteration counts and the like) is
+// informational only.
+//
+// Returns the process exit code: 0 clean, 1 regression (0 with a WARN
+// banner under warnOnly), 2 usage/parse errors.
+func compareFiles(oldPath, newPath string, tolerance float64, warnOnly bool, out, errw io.Writer) int {
+	oldRes, err := loadResults(oldPath)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	newRes, err := loadResults(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+
+	keys := make([]string, 0, len(oldRes))
+	for k := range oldRes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(out, "comparing %s (old) vs %s (new), tolerance %.0f%%\n", oldPath, newPath, tolerance*100)
+	fmt.Fprintf(out, "%-40s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "verdict")
+	regressions := 0
+	for _, k := range keys {
+		ov := oldRes[k]
+		nv, ok := newRes[k]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %14g %14s %9s  missing in new\n", k, ov, "-", "-")
+			continue
+		}
+		delta := 0.0
+		if ov != 0 {
+			delta = nv/ov - 1
+		}
+		verdict := "~"
+		switch metricDirection(k) {
+		case lowerBetter:
+			if delta > tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			} else if delta < -tolerance {
+				verdict = "improved"
+			} else {
+				verdict = "ok"
+			}
+		case higherBetter:
+			if delta < -tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			} else if delta > tolerance {
+				verdict = "improved"
+			} else {
+				verdict = "ok"
+			}
+		}
+		fmt.Fprintf(out, "%-40s %14g %14g %+8.1f%%  %s\n", k, ov, nv, delta*100, verdict)
+	}
+	for k, nv := range newRes {
+		if _, ok := oldRes[k]; !ok {
+			fmt.Fprintf(out, "%-40s %14s %14g %9s  new metric\n", k, "-", nv, "-")
+		}
+	}
+
+	if regressions > 0 {
+		if warnOnly {
+			fmt.Fprintf(out, "WARN: %d metric(s) regressed beyond %.0f%% (warn-only mode, not failing)\n",
+				regressions, tolerance*100)
+			return 0
+		}
+		fmt.Fprintf(errw, "FAIL: %d metric(s) regressed beyond %.0f%%\n", regressions, tolerance*100)
+		return 1
+	}
+	fmt.Fprintln(out, "no regressions")
+	return 0
+}
+
+type direction int
+
+const (
+	neutral direction = iota
+	lowerBetter
+	higherBetter
+)
+
+// metricDirection infers which way a metric may not move from its name.
+func metricDirection(key string) direction {
+	k := strings.ToLower(key)
+	switch {
+	case strings.Contains(k, "ns_per") || strings.Contains(k, "latency"):
+		return lowerBetter
+	case strings.Contains(k, "per_sec") || strings.Contains(k, "throughput"):
+		return higherBetter
+	}
+	return neutral
+}
+
+// loadResults reads a benchmark JSON file and flattens its "results"
+// subtree (or, absent one, the whole document) to dotted-path numeric
+// leaves.
+func loadResults(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("stapbench: parse %s: %w", path, err)
+	}
+	root := doc
+	if sub, ok := doc["results"].(map[string]any); ok {
+		root = sub
+	}
+	out := make(map[string]float64)
+	flatten("", root, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("stapbench: %s has no numeric results to compare", path)
+	}
+	return out, nil
+}
+
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sv := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, sv, out)
+		}
+	case []any:
+		for i, sv := range t {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), sv, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}

@@ -20,6 +20,15 @@
 //	stapbench -figure 11
 //	stapbench -real
 //	stapbench -quality -qout BENCH_quality.json
+//	stapbench -compare BENCH_serve.json fresh_serve.json -tolerance 0.2
+//
+// -compare diffs a fresh benchmark JSON against a committed BENCH_*
+// baseline: the "results" subtree is flattened to numeric leaves,
+// direction is inferred from metric names (ns_per*/latency* regress
+// upward, *per_sec/throughput* downward), and the process exits nonzero
+// when any metric regresses beyond -tolerance — or only warns with
+// -warnonly, the advisory mode CI uses since host wall-clock numbers
+// drift with the machine.
 //
 // -quality runs the detection-quality regression sweep: every
 // internal/scenario catalog entry through the full parallel pipeline,
@@ -55,6 +64,10 @@ var (
 	flagQSize   = flag.String("qsize", "small", "quality sweep problem size")
 	flagQSeed   = flag.Int64("qseed", 1, "quality sweep scene seed")
 	flagQOut    = flag.String("qout", "BENCH_quality.json", "quality sweep report file")
+
+	flagCompare   = flag.String("compare", "", "baseline benchmark JSON; compares against the positional new-results file and exits nonzero on regression")
+	flagTolerance = flag.Float64("tolerance", 0.10, "fractional regression tolerance for -compare")
+	flagWarnOnly  = flag.Bool("warnonly", false, "report -compare regressions without failing (CI advisory mode)")
 )
 
 var (
@@ -67,6 +80,13 @@ var (
 
 func main() {
 	flag.Parse()
+	if *flagCompare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: stapbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareFiles(*flagCompare, flag.Arg(0), *flagTolerance, *flagWarnOnly, os.Stdout, os.Stderr))
+	}
 	mo := paragon.NewModel(paragon.AFRLParagon(), radar.Paper())
 	printed := false
 	want := func(t int) bool {

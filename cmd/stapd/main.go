@@ -13,15 +13,28 @@
 // /cluster/trace.json (the clock-corrected merged cross-node trace),
 // /plan (the placement planner's current-vs-recommended report, see
 // internal/plan), /bottlenecks.json (the per-CPI critical-path
-// attribution report staptop renders live) and /debug/pprof (Go
-// profiles). The trace endpoints gzip their payloads when the client
-// accepts it.
+// attribution report staptop renders live), /history.json (the embedded
+// ring time-series store: 1 s samples with 10 s / 60 s rollup tiers,
+// range-queried via ?series=/?prefix=/?tier=/?last= and federated from
+// stapnodes clock-corrected with ?node=<slot>/<member>), /alerts.json
+// (the SLO engine's burn-rate alert state when -slofile is set) and
+// /debug/pprof (Go profiles). The trace endpoints gzip their payloads
+// when the client accepts it.
 //
 // A signed plan file from stapplan can drive the whole configuration:
 // -planfile adopts its worker assignment and, when the file names
 // stapnode addresses, builds the distributed cluster from them. With
 // -replan the daemon re-optimizes the placement online from observed
 // timings and rolls distributed replicas onto it when the model drifts.
+//
+// A signed SLO file from stapslo (-slofile, requires -distsecret for the
+// signature) arms the burn-rate alert engine over the history store:
+// each objective (eq.-2 latency bound, eq.-1 throughput floor, P_d
+// floor, link RTT ceiling) is evaluated as fast/slow multi-window burn
+// rates, surfaced on /alerts.json and as stapd_slo_* Prometheus
+// families, and a breach dumps a flight record with the lead-up history
+// embedded. With -sloreplan a firing latency or throughput alert also
+// counts as drift pressure for the -replan trigger.
 //
 // Usage:
 //
@@ -57,6 +70,7 @@ import (
 	"pstap/internal/plan"
 	"pstap/internal/radar"
 	"pstap/internal/serve"
+	"pstap/internal/slo"
 )
 
 var (
@@ -84,6 +98,9 @@ var (
 	flagReplan      = flag.Bool("replan", false, "re-optimize placement online and roll distributed replicas when the model drifts")
 	flagReplanInt   = flag.Duration("replaninterval", 0, "replanner evaluation interval (0 = default 2s)")
 	flagReplanDrift = flag.Float64("replandrift", 0, "fractional period drift that triggers a replan (0 = default 0.25)")
+
+	flagSLOFile   = flag.String("slofile", "", "signed stapslo file declaring SLOs to evaluate as burn-rate alerts (requires -distsecret)")
+	flagSLOReplan = flag.Bool("sloreplan", false, "treat firing latency/throughput alerts as drift pressure for -replan")
 
 	flagCPITimeout = flag.Duration("cpitimeout", 0, "per-CPI processing deadline; a stalled replica is reaped and recycled (0 disables)")
 	flagFaultPlan  = flag.String("faultplan", "", "fault injection plan, e.g. 'doppler:0:3:panic; cfar:*:*:slow(10ms)*@0.1' (see internal/fault)")
@@ -189,6 +206,33 @@ func main() {
 			*flagPlanFile, a, pf.Predicted.PeriodSec)
 	}
 
+	// A signed SLO file arms the burn-rate alert engine. The signature
+	// check uses the same cluster secret as the plan file: the document
+	// that decides when the cluster pages needs the same provenance proof
+	// as the one that decides where it runs.
+	var sloSpecs []slo.Spec
+	if *flagSLOFile != "" {
+		if *flagDistSecret == "" {
+			fmt.Fprintln(os.Stderr, "-slofile requires -distsecret (verifies the SLO signature)")
+			os.Exit(2)
+		}
+		sf, serr := slo.ReadFile(*flagSLOFile)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(2)
+		}
+		if !sf.Verify([]byte(*flagDistSecret)) {
+			fmt.Fprintf(os.Stderr, "SLO file %s does not verify under -distsecret\n", *flagSLOFile)
+			os.Exit(2)
+		}
+		if serr := sf.Validate(); serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(2)
+		}
+		sloSpecs = sf.SLOs
+		log.Printf("SLO file %s adopted: %d objectives armed", *flagSLOFile, len(sloSpecs))
+	}
+
 	var clusters []dist.ClusterConfig
 	if len(planNodes) > 0 {
 		clusters = append(clusters, dist.ClusterConfig{
@@ -255,6 +299,8 @@ func main() {
 		Replan:           *flagReplan,
 		ReplanInterval:   *flagReplanInt,
 		ReplanDrift:      *flagReplanDrift,
+		SLOs:             sloSpecs,
+		SLOReplan:        *flagSLOReplan,
 		Logf:             log.Printf,
 	})
 	if err != nil {
@@ -274,6 +320,8 @@ func main() {
 		mux.Handle("/cluster/trace.json", srv.ClusterTraceHandler())
 		mux.Handle("/plan", srv.PlanHandler())
 		mux.Handle("/bottlenecks.json", srv.BottlenecksHandler())
+		mux.Handle("/history.json", srv.HistoryHandler())
+		mux.Handle("/alerts.json", srv.AlertsHandler())
 		// net/http/pprof registers only on http.DefaultServeMux; mount the
 		// same profiles on this mux explicitly.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -286,7 +334,7 @@ func main() {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
-		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /plan for the planner, /bottlenecks.json for attribution, /debug/pprof for profiles)", *flagMetrics)
+		log.Printf("metrics on http://%s/metrics (.prom for Prometheus, /trace.json for Perfetto, /plan for the planner, /bottlenecks.json for attribution, /history.json for time series, /alerts.json for SLO alerts, /debug/pprof for profiles)", *flagMetrics)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -16,9 +16,11 @@
 // (Prometheus exposition of the session collector), /snapshot.json (the
 // raw span journal, wire-cost journal and link state stapd federates),
 // /trace.json (a per-node Perfetto trace, gzip when accepted),
-// /bottlenecks.json (the node-local attribution report) and
-// /debug/pprof. The obs address is advertised to the coordinator on the
-// ready frame. With -flightdir, a session that dies of a fault dumps a
+// /bottlenecks.json (the node-local attribution report), /history.json
+// (the node-local ring time-series store — 1 s gauge and link samples
+// with 10 s / 60 s rollups, which stapd federates clock-corrected into
+// its own /history.json) and /debug/pprof. The obs address is advertised
+// to the coordinator on the ready frame. With -flightdir, a session that dies of a fault dumps a
 // flight record there (-flightkeep bounds how many are retained).
 //
 // A stapd with matching -distnodes/-distsecret flags (or any

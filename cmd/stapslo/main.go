@@ -1,0 +1,148 @@
+// Command stapslo writes and checks the signed SLO files that stapd
+// -slofile consumes. Each -slo flag declares one objective over a
+// history series — an eq.-2 latency bound, an eq.-1 throughput floor, a
+// detection-probability floor or a link RTT ceiling — and the emitted
+// file carries an HMAC-SHA256 signature under the cluster secret, the
+// same provenance proof the placement plan file uses.
+//
+// The -slo value is colon-separated: name:kind:series:threshold with an
+// optional :objective fifth field. Kind is latency_bound,
+// throughput_floor, pd_floor or rtt_ceiling (upper/lower also accepted).
+// Thresholds parse as plain floats, or as Go durations (e.g. 250ms) for
+// the latency/RTT kinds — a duration is converted to seconds to match
+// the *_seconds series units.
+//
+// Usage:
+//
+//	stapslo -secret s -out slo.json \
+//	    -slo 'eq2-latency:latency_bound:r0/cluster/eq2_latency_seconds:250ms:0.9' \
+//	    -slo 'throughput:throughput_floor:serve/jobs_per_sec:2'
+//	stapslo -secret s -verify slo.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pstap/internal/slo"
+)
+
+// sloList collects repeated -slo flags.
+type sloList []string
+
+func (l *sloList) String() string     { return strings.Join(*l, "; ") }
+func (l *sloList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("stapslo", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var slos sloList
+	fs.Var(&slos, "slo", "objective as name:kind:series:threshold[:objective] (repeatable)")
+	var (
+		flagSecret = fs.String("secret", "", "cluster secret signing the file (required)")
+		flagOut    = fs.String("out", "slo.json", "output path for the signed SLO file")
+		flagVerify = fs.String("verify", "", "verify an existing SLO file under -secret and print it instead of emitting")
+		flagFastW  = fs.Duration("fastwindow", 0, "fast burn window for every spec (0 = default 60s)")
+		flagSlowW  = fs.Duration("slowwindow", 0, "slow burn window for every spec (0 = default 30m)")
+		flagFastB  = fs.Float64("fastburn", 0, "fast-window burn-rate trigger (0 = default 10)")
+		flagSlowB  = fs.Float64("slowburn", 0, "slow-window burn-rate trigger (0 = default 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *flagSecret == "" {
+		fmt.Fprintln(errw, "stapslo: -secret is required")
+		return 2
+	}
+
+	if *flagVerify != "" {
+		f, err := slo.ReadFile(*flagVerify)
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 1
+		}
+		if !f.Verify([]byte(*flagSecret)) {
+			fmt.Fprintf(errw, "stapslo: %s does NOT verify under the given secret\n", *flagVerify)
+			return 1
+		}
+		if err := f.Validate(); err != nil {
+			fmt.Fprintln(errw, err)
+			return 1
+		}
+		fmt.Fprintf(out, "%s verifies: %d objectives\n", *flagVerify, len(f.SLOs))
+		for _, s := range f.SLOs {
+			fmt.Fprintf(out, "  %-20s %-16s %s threshold %g\n", s.Name, s.Kind, s.Series, s.Threshold)
+		}
+		return 0
+	}
+
+	if len(slos) == 0 {
+		fmt.Fprintln(errw, "stapslo: at least one -slo is required (or -verify)")
+		return 2
+	}
+	f := &slo.File{}
+	for _, raw := range slos {
+		spec, err := parseSpec(raw)
+		if err != nil {
+			fmt.Fprintln(errw, err)
+			return 2
+		}
+		spec.FastWindowSec = flagFastW.Seconds()
+		spec.SlowWindowSec = flagSlowW.Seconds()
+		spec.FastBurn = *flagFastB
+		spec.SlowBurn = *flagSlowB
+		f.SLOs = append(f.SLOs, spec)
+	}
+	if err := f.Validate(); err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	if err := slo.WriteFile(*flagOut, f, []byte(*flagSecret)); err != nil {
+		fmt.Fprintln(errw, err)
+		return 1
+	}
+	fmt.Fprintf(out, "SLO file written to %s (signed, %d objectives)\n", *flagOut, len(f.SLOs))
+	return 0
+}
+
+// parseSpec decodes one name:kind:series:threshold[:objective] value.
+// Series names contain slashes but no colons, so a plain Split is safe.
+func parseSpec(raw string) (slo.Spec, error) {
+	parts := strings.Split(raw, ":")
+	if len(parts) < 4 || len(parts) > 5 {
+		return slo.Spec{}, fmt.Errorf("stapslo: -slo %q: want name:kind:series:threshold[:objective]", raw)
+	}
+	spec := slo.Spec{
+		Name:   strings.TrimSpace(parts[0]),
+		Kind:   slo.Kind(strings.TrimSpace(parts[1])),
+		Series: strings.TrimSpace(parts[2]),
+	}
+	thr := strings.TrimSpace(parts[3])
+	v, err := strconv.ParseFloat(thr, 64)
+	if err != nil {
+		// Latency/RTT thresholds read naturally as durations: 250ms → 0.25.
+		d, derr := time.ParseDuration(thr)
+		if derr != nil {
+			return slo.Spec{}, fmt.Errorf("stapslo: -slo %q: threshold %q is neither a float nor a duration", raw, thr)
+		}
+		v = d.Seconds()
+	}
+	spec.Threshold = v
+	if len(parts) == 5 {
+		obj, err := strconv.ParseFloat(strings.TrimSpace(parts[4]), 64)
+		if err != nil {
+			return slo.Spec{}, fmt.Errorf("stapslo: -slo %q: bad objective %q", raw, parts[4])
+		}
+		spec.Objective = obj
+	}
+	return spec, nil
+}

@@ -4,6 +4,12 @@
 // with each task's dominant component, the current dominant bottleneck
 // across the pipeline, and the wire tax each distributed hop levies.
 //
+// When the daemon also serves /alerts.json (stapd with -slofile), the
+// frame gains an SLO panel: every objective with its fast/slow burn
+// rates, FIRING markers, and a sparkline of the alert's series from
+// /history.json. Against a stapnode (no alert surface) the panel is
+// simply omitted.
+//
 // Usage:
 //
 //	staptop -addr 127.0.0.1:7432
@@ -12,7 +18,8 @@
 //
 // With -once a single frame is printed without clearing the screen —
 // scriptable (the e2e harness greps it) and safe for dumb terminals.
-// Stop with ctrl-C.
+// Exit status under -once: 0 healthy, 2 when any SLO alert is firing
+// (the firing set is printed), 1 on fetch errors. Stop with ctrl-C.
 package main
 
 import (
@@ -21,12 +28,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	neturl "net/url"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"pstap/internal/history"
 	"pstap/internal/obs"
+	"pstap/internal/slo"
 )
 
 var (
@@ -53,11 +63,128 @@ func main() {
 			}
 			render(os.Stdout, *flagAddr, rep)
 		}
+		// The SLO panel is best-effort: stapnode has no /alerts.json and
+		// older daemons may 404 — both just omit the panel.
+		alerts, ok := fetchAlerts(client, *flagAddr)
+		if ok {
+			renderAlerts(os.Stdout, client, *flagAddr, alerts)
+		}
 		if *flagOnce {
+			if n := firingNames(alerts); len(n) > 0 {
+				fmt.Fprintf(os.Stdout, "\nFIRING: %s\n", strings.Join(n, " "))
+				os.Exit(2)
+			}
 			return
 		}
 		time.Sleep(*flagInterval)
 	}
+}
+
+// alertsResponse mirrors stapd's /alerts.json payload.
+type alertsResponse struct {
+	NowUnixNs int64       `json:"now_unix_ns"`
+	Firing    int         `json:"firing"`
+	Alerts    []slo.Alert `json:"alerts"`
+}
+
+// fetchAlerts pulls the alert state; ok is false when the daemon has no
+// alert surface (stapnode, or stapd without -slofile still serves an
+// empty set — that renders as "no SLOs declared" only if non-empty).
+func fetchAlerts(client *http.Client, addr string) (*alertsResponse, bool) {
+	resp, err := client.Get("http://" + addr + "/alerts.json")
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var ar alertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return nil, false
+	}
+	return &ar, len(ar.Alerts) > 0
+}
+
+func firingNames(ar *alertsResponse) []string {
+	if ar == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range ar.Alerts {
+		if a.Firing {
+			out = append(out, a.Spec.Name)
+		}
+	}
+	return out
+}
+
+// sparkCells are the eighth-block ramp used for sparklines.
+var sparkCells = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders points (means) as a unicode mini-chart scaled to the
+// observed min..max of the window.
+func sparkline(pts []history.Point, width int) string {
+	if len(pts) == 0 {
+		return strings.Repeat(" ", width)
+	}
+	if len(pts) > width {
+		pts = pts[len(pts)-width:]
+	}
+	lo, hi := pts[0].Mean, pts[0].Mean
+	for _, p := range pts {
+		if p.Mean < lo {
+			lo = p.Mean
+		}
+		if p.Mean > hi {
+			hi = p.Mean
+		}
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		i := 0
+		if hi > lo {
+			i = int((p.Mean - lo) / (hi - lo) * float64(len(sparkCells)-1))
+		}
+		b.WriteRune(sparkCells[i])
+	}
+	return b.String()
+}
+
+// renderAlerts writes the SLO panel: one line per objective with burn
+// rates and a sparkline of its series' last minute.
+func renderAlerts(w io.Writer, client *http.Client, addr string, ar *alertsResponse) {
+	fmt.Fprintf(w, "\nSLOs (%d firing)\n", ar.Firing)
+	for _, a := range ar.Alerts {
+		state := "ok    "
+		if a.Firing {
+			state = "FIRING"
+		}
+		spark := ""
+		if pts := fetchSeries(client, addr, a.Spec.Series); len(pts) > 0 {
+			spark = sparkline(pts, 30)
+		}
+		fmt.Fprintf(w, "%s %-20s %-34s last %9.4f thr %9.4f  burn fast %6.2f/%.1f slow %6.2f/%.1f  %s\n",
+			state, a.Spec.Name, a.Spec.Series, a.LastValue, a.Spec.Threshold,
+			a.Fast.BurnRate, a.Fast.Trigger, a.Slow.BurnRate, a.Slow.Trigger, spark)
+	}
+}
+
+// fetchSeries pulls the last minute of one raw series for a sparkline.
+func fetchSeries(client *http.Client, addr, series string) []history.Point {
+	resp, err := client.Get("http://" + addr + "/history.json?last=60s&series=" + neturl.QueryEscape(series))
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var rr history.RangeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil
+	}
+	return rr.Series[series]
 }
 
 // fetch pulls and decodes one report.

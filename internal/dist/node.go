@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"pstap/internal/fault"
+	"pstap/internal/history"
 	"pstap/internal/mp"
 	"pstap/internal/obs"
 	"pstap/internal/pipeline"
@@ -77,6 +78,12 @@ type Node struct {
 	lastMember int
 	lastTr     *Transport
 	lastAssign pipeline.Assignment
+
+	// Metric history sampler (started by ObsMux, see obs.go).
+	histMu   sync.Mutex
+	hist     *history.Store
+	histStop chan struct{}
+	histDone chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -154,6 +161,7 @@ func (n *Node) Close() {
 		world = sess.world
 	}
 	n.mu.Unlock()
+	n.stopHistory()
 	n.ln.Close()
 	for _, p := range parked {
 		p.conn.Close()
@@ -183,6 +191,7 @@ func (n *Node) Kill() {
 		tr, world = sess.tr, sess.world
 	}
 	n.mu.Unlock()
+	n.stopHistory()
 	n.ln.Close()
 	for _, p := range parked {
 		p.conn.Close()

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 
+	"pstap/internal/history"
 	"pstap/internal/obs"
 	"pstap/internal/pipeline"
 )
@@ -83,16 +86,109 @@ func (n *Node) Bottlenecks() *obs.BottleneckReport {
 	return obs.BuildBottleneckReport(pipeline.AttrConfig(assign), col.Journal(), col.WireJournal(), 0, 0)
 }
 
-// ObsMux builds the node's telemetry HTTP handler:
+// nodeHistoryInterval is the node sampler's period (a variable so tests
+// can tighten the loop).
+var nodeHistoryInterval = time.Second
+
+// startHistory spins the node's 1 s metric-history sampler up: the
+// session gauges and link stats land in a bounded ring store served as
+// /history.json (and federated clock-corrected by stapd). Idempotent;
+// no-op on a closed node.
+func (n *Node) startHistory() {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	if n.hist != nil {
+		return
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.hist = history.NewStore(history.Config{})
+	n.histStop = make(chan struct{})
+	n.histDone = make(chan struct{})
+	go func(st *history.Store, stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(nodeHistoryInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case now := <-tick.C:
+				n.sampleHistory(st, now.UnixNano())
+			case <-stop:
+				return
+			}
+		}
+	}(n.hist, n.histStop, n.histDone)
+}
+
+// stopHistory ends the sampler and joins it (no-op when never started).
+func (n *Node) stopHistory() {
+	n.histMu.Lock()
+	stop, done := n.histStop, n.histDone
+	n.histStop = nil
+	n.histMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// sampleHistory records one tick of the node's gauge and link series.
+func (n *Node) sampleHistory(st *history.Store, t int64) {
+	col, _, _, tr := n.obsState()
+	if col != nil {
+		g := col.Gauges()
+		st.ObserveName("eq1_throughput_cpis_per_sec", t, g.Eq1Throughput)
+		st.ObserveName("eq2_latency_seconds", t, g.Eq2Latency.Seconds())
+		st.ObserveName("eq3_latency_seconds", t, g.Eq3Latency.Seconds())
+		st.ObserveName("real_throughput_cpis_per_sec", t, g.RealThroughput)
+		st.ObserveName("window_cpis", t, float64(g.WindowCPIs))
+	}
+	if tr != nil {
+		for _, l := range tr.Stats() {
+			base := "link/m" + strconv.Itoa(l.Member) + "/"
+			st.ObserveName(base+"rtt_seconds", t, float64(l.RTTNs)/float64(time.Second))
+			st.ObserveName(base+"offset_seconds", t, float64(l.OffsetNs)/float64(time.Second))
+			st.ObserveName(base+"bytes_sent_total", t, float64(l.BytesSent))
+			st.ObserveName(base+"bytes_recv_total", t, float64(l.BytesRecv))
+		}
+	}
+}
+
+// History returns the node's metric-history store (nil before ObsMux
+// started the sampler).
+func (n *Node) History() *history.Store {
+	n.histMu.Lock()
+	defer n.histMu.Unlock()
+	return n.hist
+}
+
+// ObsMux builds the node's telemetry HTTP handler (and starts the
+// node's metric-history sampler):
 //
 //	/snapshot.json     — the NodeSnapshot (federation feed)
 //	/metrics.prom      — Prometheus exposition of the session collector
 //	/trace.json        — this node's spans as a Perfetto-loadable trace
 //	                     (gzip-encoded when the client accepts it)
 //	/bottlenecks.json  — the node-local attribution report
+//	/history.json      — ring time-series history of the session gauges
+//	                     and link stats (1 s / 10 s / 60 s tiers)
 //	/debug/pprof/      — the standard Go profiling endpoints
 func (n *Node) ObsMux() *http.ServeMux {
+	n.startHistory()
 	mux := http.NewServeMux()
+	mux.HandleFunc("/history.json", func(w http.ResponseWriter, r *http.Request) {
+		st := n.History()
+		if st == nil {
+			http.Error(w, "dist: history sampler not running", http.StatusServiceUnavailable)
+			return
+		}
+		st.Handler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(n.Snapshot())

@@ -1,0 +1,103 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RangeResponse is the JSON shape served by Handler and re-marshalled by
+// stapd when federating node histories.
+type RangeResponse struct {
+	Tier      string             `json:"tier"`
+	NowUnixNs int64              `json:"now_unix_ns"`
+	FromNs    int64              `json:"from_ns,omitempty"`
+	ToNs      int64              `json:"to_ns,omitempty"`
+	Series    map[string][]Point `json:"series"`
+}
+
+// Query describes one range query against a Store.
+type Query struct {
+	Series []string // explicit series names; empty means Prefix (or all)
+	Prefix string
+	Tier   Tier
+	From   int64 // unix ns; <=0 → start of retained data
+	To     int64 // unix ns; <=0 → now
+}
+
+// ParseQuery decodes ?series=a,b&prefix=&tier=10s&from=<ns>&to=<ns>&last=5m
+// query parameters. last is relative to now and overrides from/to.
+func ParseQuery(r *http.Request, now time.Time) (Query, error) {
+	q := Query{}
+	v := r.URL.Query()
+	if s := v.Get("series"); s != "" {
+		for _, name := range strings.Split(s, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				q.Series = append(q.Series, name)
+			}
+		}
+	}
+	q.Prefix = v.Get("prefix")
+	tier, err := ParseTier(v.Get("tier"))
+	if err != nil {
+		return q, err
+	}
+	q.Tier = tier
+	if s := v.Get("from"); s != "" {
+		if q.From, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return q, err
+		}
+	}
+	if s := v.Get("to"); s != "" {
+		if q.To, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return q, err
+		}
+	}
+	if s := v.Get("last"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return q, err
+		}
+		q.From = now.Add(-d).UnixNano()
+		q.To = 0
+	}
+	return q, nil
+}
+
+// Run executes the query and packages the response.
+func (s *Store) Run(q Query, now time.Time) RangeResponse {
+	resp := RangeResponse{
+		Tier:      q.Tier.String(),
+		NowUnixNs: now.UnixNano(),
+		FromNs:    q.From,
+		ToNs:      q.To,
+		Series:    make(map[string][]Point),
+	}
+	if len(q.Series) > 0 {
+		for _, name := range q.Series {
+			if pts := s.Range(name, q.Tier, q.From, q.To); len(pts) > 0 {
+				resp.Series[name] = pts
+			}
+		}
+		return resp
+	}
+	resp.Series = s.Dump(q.Prefix, q.Tier, q.From, q.To)
+	return resp
+}
+
+// Handler serves /history.json range queries over the store.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, err := ParseQuery(r, time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(s.Run(q, time.Now()))
+	})
+}

@@ -28,6 +28,10 @@ type FlightRecord struct {
 	Links       any         `json:"links,omitempty"`   // per-link credit/RTT/offset state (dist.LinkStats)
 	Pending     []int       `json:"pending,omitempty"` // per-rank mailbox depths at death (-1 = not hosted)
 	Nodes       any         `json:"nodes,omitempty"`   // last federated node snapshots (coordinator side)
+	// History, when attached, is the lead-up: the faulted replica's recent
+	// metric history (history.Store 10 s-tier dump), so the post-mortem
+	// shows the minutes before the death, not just the instant of it.
+	History any `json:"history,omitempty"`
 }
 
 // NewFlightRecord assembles the collector-derived parts of a record; the

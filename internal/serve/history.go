@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pstap/internal/dist"
+	"pstap/internal/history"
+	"pstap/internal/obs"
+	"pstap/internal/slo"
+)
+
+// Metrics history and SLO evaluation: a background sampler walks the
+// whole observability surface once per second — serve-level job counters,
+// every replica's live eq. (1)-(3) gauges, per-task attribution
+// components, distributed link wire/RTT/offset stats, federated node
+// health and the cluster-merged gauges — into a bounded internal/history
+// ring store (1 s raw, 10 s / 60 s rollups). The same tick then evaluates
+// the configured SLOs as multi-window burn rates (internal/slo); a
+// breach-start dumps a flight record with the faulted replica's recent
+// history embedded, and with Config.SLOReplan the firing set feeds the
+// replanner's drift trigger.
+
+// Series name prefixes. Serve-level series live under "serve/", replica
+// slot i's under "r<i>/" (attribution under "r<i>/attr/<task>/...",
+// links under "r<i>/link/m<M>/...", federated node health under
+// "r<i>/node/m<M>/up", cluster-merged gauges under "r<i>/cluster/...").
+const (
+	servePrefix = "serve/"
+)
+
+// sampler is the server's history/SLO loop state.
+type sampler struct {
+	store  *history.Store
+	engine *slo.Engine // nil without configured SLOs
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startSampler builds the store (and engine, when SLOs are configured)
+// and spins the 1 s sampling loop up. Called from New after the pool is
+// built; errors come only from invalid SLO specs.
+func (s *Server) startSampler() error {
+	sa := &sampler{
+		store: history.NewStore(s.cfg.HistoryConfig),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if len(s.cfg.SLOs) > 0 {
+		eng, err := slo.NewEngine(sa.store, s.cfg.SLOs)
+		if err != nil {
+			return err
+		}
+		eng.OnBreachStart = s.sloBreach
+		sa.engine = eng
+	}
+	s.sampler = sa
+	go func() {
+		defer close(sa.done)
+		tick := time.NewTicker(s.cfg.HistoryInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case now := <-tick.C:
+				s.sampleOnce(now)
+				if sa.engine != nil {
+					sa.engine.Evaluate(now)
+				}
+			case <-sa.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// stopSampler ends the sampling loop and joins it.
+func (s *Server) stopSampler() {
+	if s.sampler == nil {
+		return
+	}
+	close(s.sampler.stop)
+	<-s.sampler.done
+}
+
+// History returns the server's metric history store.
+func (s *Server) History() *history.Store { return s.sampler.store }
+
+// sampleOnce records one tick of every series.
+func (s *Server) sampleOnce(now time.Time) {
+	st := s.sampler.store
+	t := now.UnixNano()
+	snap := s.metrics.Snapshot()
+
+	st.ObserveName(servePrefix+"queue_depth", t, float64(snap.QueueDepth))
+	st.ObserveName(servePrefix+"live_replicas", t, float64(snap.LiveReplicas))
+	st.ObserveName(servePrefix+"jobs_accepted_total", t, float64(snap.Accepted))
+	st.ObserveName(servePrefix+"jobs_rejected_total", t, float64(snap.Rejected))
+	st.ObserveName(servePrefix+"jobs_completed_total", t, float64(snap.Completed))
+	st.ObserveName(servePrefix+"jobs_failed_total", t, float64(snap.Failed))
+	st.ObserveName(servePrefix+"job_failovers_total", t, float64(snap.Failovers))
+	st.ObserveName(servePrefix+"replica_restarts_total", t, float64(snap.ReplicaRestarts))
+	st.ObserveName(servePrefix+"deadline_exceeded_total", t, float64(snap.DeadlineExc))
+	st.ObserveName(servePrefix+"jobs_per_sec", t, snap.JobsPerSec)
+	st.ObserveName(servePrefix+"latency_p50_seconds", t, snap.LatencyP50Ms/1e3)
+	st.ObserveName(servePrefix+"latency_p95_seconds", t, snap.LatencyP95Ms/1e3)
+	st.ObserveName(servePrefix+"latency_p99_seconds", t, snap.LatencyP99Ms/1e3)
+
+	for _, slot := range s.slots {
+		s.sampleSlot(st, slot, t)
+	}
+}
+
+// sampleSlot records one replica slot's gauges, attribution, links and —
+// for distributed slots — federated node health and cluster gauges.
+func (s *Server) sampleSlot(st *history.Store, slot *replicaSlot, t int64) {
+	pfx := "r" + strconv.Itoa(slot.idx) + "/"
+	col := slot.collector()
+	if col == nil {
+		return
+	}
+	g := col.Gauges()
+	st.ObserveName(pfx+"eq1_throughput_cpis_per_sec", t, g.Eq1Throughput)
+	st.ObserveName(pfx+"eq2_latency_seconds", t, g.Eq2Latency.Seconds())
+	st.ObserveName(pfx+"eq3_latency_seconds", t, g.Eq3Latency.Seconds())
+	st.ObserveName(pfx+"real_throughput_cpis_per_sec", t, g.RealThroughput)
+	st.ObserveName(pfx+"window_cpis", t, float64(g.WindowCPIs))
+
+	if rep := s.slotBottlenecks(slot); rep != nil {
+		for _, ta := range rep.Tasks {
+			base := pfx + "attr/" + ta.Name + "/"
+			for c, name := range obs.ComponentNames {
+				st.ObserveName(base+name+"_seconds", t, float64(ta.Mean.Get(c))/float64(time.Second))
+			}
+			st.ObserveName(base+"utilization", t, ta.Utilization)
+		}
+	}
+
+	for _, l := range slot.linkStats() {
+		base := pfx + "link/m" + strconv.Itoa(l.Member) + "/"
+		st.ObserveName(base+"rtt_seconds", t, float64(l.RTTNs)/float64(time.Second))
+		st.ObserveName(base+"offset_seconds", t, float64(l.OffsetNs)/float64(time.Second))
+		st.ObserveName(base+"bytes_sent_total", t, float64(l.BytesSent))
+		st.ObserveName(base+"bytes_recv_total", t, float64(l.BytesRecv))
+	}
+
+	if slot.cluster != nil && s.fed != nil {
+		members, states := s.fed.states(slot.idx)
+		for i, ns := range states {
+			up := 0.0
+			if ns.Up {
+				up = 1
+			}
+			st.ObserveName(pfx+"node/m"+strconv.Itoa(members[i])+"/up", t, up)
+		}
+		cg := s.clusterGauges(slot)
+		st.ObserveName(pfx+"cluster/eq1_throughput_cpis_per_sec", t, cg.Eq1Throughput)
+		st.ObserveName(pfx+"cluster/eq2_latency_seconds", t, cg.Eq2Latency.Seconds())
+		st.ObserveName(pfx+"cluster/eq3_latency_seconds", t, cg.Eq3Latency.Seconds())
+	}
+}
+
+// historyLeadUp dumps the breach/fault lead-up for one replica slot: the
+// last 5 minutes of the slot's series plus the serve-level series at the
+// 10 s tier — the payload embedded in flight records.
+func (s *Server) historyLeadUp(slotIdx int) map[string][]history.Point {
+	if s.sampler == nil {
+		return nil
+	}
+	st := s.sampler.store
+	from := time.Now().Add(-5 * time.Minute).UnixNano()
+	out := st.Dump("r"+strconv.Itoa(slotIdx)+"/", history.Tier10, from, 0)
+	for name, pts := range st.Dump(servePrefix, history.Tier10, from, 0) {
+		out[name] = pts
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sloBreach is the engine's breach-start hook: it dumps a flight record
+// for the replica the breached series belongs to (the pool's primary
+// slot when the series is not replica-scoped), with the lead-up history
+// embedded.
+func (s *Server) sloBreach(a slo.Alert) {
+	s.cfg.Logf("stapd: SLO %q breached: series %s last=%.6g threshold=%.6g (fast burn %.2f, slow burn %.2f)",
+		a.Spec.Name, a.Spec.Series, a.LastValue, a.Spec.Threshold, a.Fast.BurnRate, a.Slow.BurnRate)
+	if s.cfg.FlightDir == "" {
+		return
+	}
+	slot := s.planSlot()
+	if idx, ok := seriesSlot(a.Spec.Series); ok && idx < len(s.slots) {
+		slot = s.slots[idx]
+	}
+	session := ""
+	var links []dist.LinkStats
+	if r, ok := slot.stream().(*dist.Replica); ok {
+		session = r.Session()
+		links = r.LinkStats()
+	}
+	reason := fmt.Sprintf("slo breach: %s (series %s, burn fast=%.2f slow=%.2f)",
+		a.Spec.Name, a.Spec.Series, a.Fast.BurnRate, a.Slow.BurnRate)
+	rec := obs.NewFlightRecord(fmt.Sprintf("stapd-replica-%d", slot.idx), session, reason, slot.collector())
+	if len(links) > 0 {
+		rec.Links = links
+	}
+	if s.fed != nil {
+		if snaps := s.fed.snapshots(slot.idx); len(snaps) > 0 {
+			rec.Nodes = snaps
+		}
+	}
+	rec.History = s.historyLeadUp(slot.idx)
+	path, err := obs.WriteFlightRecordKeep(s.cfg.FlightDir, rec, s.cfg.FlightKeep)
+	if err != nil {
+		s.cfg.Logf("stapd: SLO breach flight record: %v", err)
+		return
+	}
+	s.cfg.Logf("stapd: SLO breach flight record written to %s", path)
+}
+
+// seriesSlot extracts the replica index from a "r<i>/..." series name.
+func seriesSlot(series string) (int, bool) {
+	if !strings.HasPrefix(series, "r") {
+		return 0, false
+	}
+	rest, _, ok := strings.Cut(series[1:], "/")
+	if !ok {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(rest)
+	if err != nil || idx < 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// sloPressure reports whether any firing alert argues the pipeline
+// itself is out of spec — a latency or throughput SLO, the two the
+// replanner can actually buy back with a better placement (an RTT or
+// P_d breach replans nothing).
+func (s *Server) sloPressure() bool {
+	if s.sampler == nil || s.sampler.engine == nil {
+		return false
+	}
+	for _, a := range s.sampler.engine.Alerts() {
+		if !a.Firing {
+			continue
+		}
+		switch a.Spec.Kind {
+		case slo.LatencyBound, slo.ThroughputFloor:
+			return true
+		}
+	}
+	return false
+}
+
+// Alerts returns the SLO engine's current alert states (nil without
+// configured SLOs).
+func (s *Server) Alerts() []slo.Alert {
+	if s.sampler == nil || s.sampler.engine == nil {
+		return nil
+	}
+	return s.sampler.engine.Alerts()
+}
+
+// AlertsResponse is the /alerts.json payload.
+type AlertsResponse struct {
+	NowUnixNs int64       `json:"now_unix_ns"`
+	Firing    int         `json:"firing"`
+	Alerts    []slo.Alert `json:"alerts"`
+}
+
+// AlertsHandler serves the SLO alert states — mount as /alerts.json.
+func (s *Server) AlertsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		resp := AlertsResponse{NowUnixNs: time.Now().UnixNano()}
+		for _, a := range s.Alerts() {
+			resp.Alerts = append(resp.Alerts, a)
+			if a.Firing {
+				resp.Firing++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// HistoryHandler serves the server's own history store as /history.json
+// and federates node stores: with ?node=<slot>/<member> the query is
+// proxied to that stapnode's /history.json and the returned timestamps
+// are shifted onto the coordinator's clock by the link's offset estimate
+// (node clock − coordinator clock), the same correction the merged trace
+// and cluster gauges use.
+func (s *Server) HistoryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if node := r.URL.Query().Get("node"); node != "" {
+			s.proxyNodeHistory(w, r, node)
+			return
+		}
+		s.sampler.store.Handler().ServeHTTP(w, r)
+	})
+}
+
+// proxyNodeHistory fetches one federated node's history, clock-corrected.
+func (s *Server) proxyNodeHistory(w http.ResponseWriter, r *http.Request, node string) {
+	slotStr, memberStr, ok := strings.Cut(node, "/")
+	if !ok {
+		http.Error(w, "serve: node= wants <slot>/<member>", http.StatusBadRequest)
+		return
+	}
+	slotIdx, err1 := strconv.Atoi(slotStr)
+	member, err2 := strconv.Atoi(memberStr)
+	if err1 != nil || err2 != nil || s.fed == nil {
+		http.Error(w, "serve: unknown node", http.StatusNotFound)
+		return
+	}
+	members, states := s.fed.states(slotIdx)
+	var st *nodeState
+	for i, m := range members {
+		if m == member {
+			st = &states[i]
+			break
+		}
+	}
+	if st == nil || st.Addr == "" {
+		http.Error(w, "serve: unknown node", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	q.Del("node")
+	resp, err := s.fed.client.Get("http://" + st.Addr + "/history.json?" + q.Encode())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		http.Error(w, "serve: node history: "+resp.Status, http.StatusBadGateway)
+		return
+	}
+	var rr history.RangeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	// Node clock − coordinator clock = OffsetNs; subtracting it moves the
+	// node's timestamps onto the coordinator's timeline.
+	for _, pts := range rr.Series {
+		for i := range pts {
+			pts[i].T -= st.OffsetNs
+		}
+	}
+	rr.NowUnixNs -= st.OffsetNs
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(rr)
+}
+
+// writeSLOProm emits the SLO burn-rate and firing-alert families.
+func (s *Server) writeSLOProm(p obs.PromWriter) {
+	alerts := s.Alerts()
+	if len(alerts) == 0 {
+		return
+	}
+	firing := 0
+	p.Head("stapd_slo_burn_rate", "gauge", "Error-budget burn rate per SLO and window (1.0 = spending exactly the budget).")
+	for _, a := range alerts {
+		p.Sample("stapd_slo_burn_rate", []obs.Label{{Name: "slo", Value: a.Spec.Name}, {Name: "window", Value: "fast"}}, a.Fast.BurnRate)
+		p.Sample("stapd_slo_burn_rate", []obs.Label{{Name: "slo", Value: a.Spec.Name}, {Name: "window", Value: "slow"}}, a.Slow.BurnRate)
+		if a.Firing {
+			firing++
+		}
+	}
+	p.Head("stapd_slo_firing", "gauge", "Whether each SLO's alert is currently firing.")
+	for _, a := range alerts {
+		v := 0.0
+		if a.Firing {
+			v = 1
+		}
+		p.Sample("stapd_slo_firing", []obs.Label{{Name: "slo", Value: a.Spec.Name}}, v)
+	}
+	p.Head("stapd_alerts_firing", "gauge", "Number of SLO alerts currently firing.")
+	p.Sample("stapd_alerts_firing", nil, float64(firing))
+}

@@ -264,14 +264,19 @@ func (s *Server) planReportFor(slot *replicaSlot) *plan.Report {
 // replanPass is one tick of the replanning loop: observe and re-calibrate
 // every distributed slot, and roll any whose observed period has drifted
 // past the threshold while the recommended placement wins back enough.
+// With Config.SLOReplan, a firing latency or throughput SLO alert also
+// arms the roll: a breach whose cause the calibrated model already
+// predicts produces no drift, but is exactly the moment a winning
+// placement should be taken.
 func (s *Server) replanPass() {
+	pressure := s.cfg.SLOReplan && s.sloPressure()
 	for _, slot := range s.slots {
 		if slot.cluster == nil {
 			continue
 		}
 		rep := s.planReportFor(slot)
 		rec := rep.Recommended
-		if rec == nil || rep.DriftFrac <= s.cfg.ReplanDrift {
+		if rec == nil || (rep.DriftFrac <= s.cfg.ReplanDrift && !pressure) {
 			continue
 		}
 		if rec.Placement == rep.Placement || rec.GainFrac <= replanMinGain {

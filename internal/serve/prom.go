@@ -121,6 +121,9 @@ func (s *Server) WritePrometheus(w io.Writer) {
 	p.Head("stapd_link_rtt_seconds", "gauge", "Heartbeat round-trip EWMA per distributed replica link.")
 	eachLink("stapd_link_rtt_seconds", func(l dist.LinkStats) float64 { return float64(l.RTTNs) / float64(time.Second) })
 
+	// SLO burn rates and firing alerts (absent without configured SLOs).
+	s.writeSLOProm(p)
+
 	// Federated node series and cluster-merged gauges (distributed slots).
 	s.writeClusterProm(p)
 

@@ -14,10 +14,12 @@ import (
 	"pstap/internal/cube"
 	"pstap/internal/dist"
 	"pstap/internal/fault"
+	"pstap/internal/history"
 	"pstap/internal/obs"
 	"pstap/internal/paragon"
 	"pstap/internal/pipeline"
 	"pstap/internal/radar"
+	"pstap/internal/slo"
 	"pstap/internal/stap"
 	"pstap/internal/trace"
 	"pstap/internal/wire"
@@ -135,6 +137,22 @@ type Config struct {
 	// ReplanDrift is the fractional observed-vs-predicted period drift
 	// that arms a roll (default 0.25).
 	ReplanDrift float64
+	// SLOs declares the server's service-level objectives, evaluated as
+	// multi-window burn rates over the metric history (see internal/slo).
+	// Firing alerts surface on /alerts.json and /metrics.prom; a breach
+	// start dumps a flight record with the lead-up history embedded.
+	SLOs []slo.Spec
+	// SLOReplan, with Replan, also arms a placement roll while a latency
+	// or throughput SLO alert is firing — the drift trigger alone never
+	// sees a breach whose cause the calibrated model already predicts.
+	SLOReplan bool
+	// HistoryInterval is the metric-history sampling period (default 1s;
+	// tests tighten it). Every tick records the full gauge surface into
+	// the bounded ring store behind /history.json and evaluates the SLOs.
+	HistoryInterval time.Duration
+	// HistoryConfig sizes the history store's per-series rings
+	// (defaults: 5 min of 1 s samples, 1 h of 10 s, 24 h of 60 s).
+	HistoryConfig history.Config
 	// Logf, when non-nil, receives server log lines.
 	Logf func(format string, args ...any)
 }
@@ -268,6 +286,9 @@ type Server struct {
 	// planner holds the live cost-model calibration and, with
 	// Config.Replan, the background replanning loop (see plan.go).
 	planner *planner
+	// sampler holds the metric-history store, its 1 s sampling loop and
+	// the SLO burn-rate engine (see history.go).
+	sampler *sampler
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -335,6 +356,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ReplanDrift <= 0 {
 		cfg.ReplanDrift = 0.25
 	}
+	if cfg.HistoryInterval <= 0 {
+		cfg.HistoryInterval = time.Second
+	}
+	for _, sp := range cfg.SLOs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -369,6 +398,14 @@ func New(cfg Config) (*Server, error) {
 		s.startFederation()
 	}
 	s.startPlanner()
+	if err := s.startSampler(); err != nil {
+		s.stopPlanner()
+		s.stopFederation()
+		for _, prev := range s.slots {
+			prev.stream().Abort()
+		}
+		return nil, err
+	}
 	for i := 0; i < total; i++ {
 		s.replWG.Add(1)
 		go s.replicaLoop(s.slots[i])
@@ -1000,6 +1037,7 @@ func (s *Server) flightRecord(slot *replicaSlot, cause error) {
 			rec.Nodes = snaps
 		}
 	}
+	rec.History = s.historyLeadUp(slot.idx)
 	path, err := obs.WriteFlightRecordKeep(s.cfg.FlightDir, rec, s.cfg.FlightKeep)
 	if err != nil {
 		s.cfg.Logf("stapd: replica %d flight record: %v", slot.idx, err)
@@ -1132,8 +1170,10 @@ func (s *Server) processTraced(req *Request) ([][]stap.Detection, string, error)
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownOnce.Do(func() {
 		s.admitting.Store(false)
-		// The replanner recycles slots and the federation poller dials
-		// them; stop both before the pool starts tearing them down.
+		// The replanner recycles slots, the sampler scrapes them, and the
+		// federation poller dials them; stop all three before the pool
+		// starts tearing them down.
+		s.stopSampler()
 		s.stopPlanner()
 		s.stopFederation()
 		if s.ln != nil {

@@ -1,0 +1,93 @@
+package slo
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is the signed SLO document loaded via `stapd -slofile`. Like the
+// placement manifest and the plan file, it carries an HMAC-SHA256 under
+// the cluster secret so the file that decides when a cluster pages (and
+// optionally when it replans itself) has the same provenance proof as the
+// files that decide where it runs.
+type File struct {
+	SLOs []Spec `json:"slos"`
+	Sig  []byte `json:"sig,omitempty"`
+}
+
+// Validate checks every spec and rejects duplicate names.
+func (f *File) Validate() error {
+	if len(f.SLOs) == 0 {
+		return fmt.Errorf("slo: file declares no SLOs")
+	}
+	seen := make(map[string]bool, len(f.SLOs))
+	for _, s := range f.SLOs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("slo: duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// signingBytes is the canonical JSON the signature covers (Sig nil).
+func (f *File) signingBytes() ([]byte, error) {
+	c := *f
+	c.Sig = nil
+	return json.Marshal(&c)
+}
+
+// Sign computes and stores the file's HMAC under the cluster secret.
+func (f *File) Sign(secret []byte) error {
+	b, err := f.signingBytes()
+	if err != nil {
+		return err
+	}
+	h := hmac.New(sha256.New, secret)
+	h.Write(b)
+	f.Sig = h.Sum(nil)
+	return nil
+}
+
+// Verify checks the file's signature under the cluster secret.
+func (f *File) Verify(secret []byte) bool {
+	b, err := f.signingBytes()
+	if err != nil {
+		return false
+	}
+	h := hmac.New(sha256.New, secret)
+	h.Write(b)
+	return hmac.Equal(h.Sum(nil), f.Sig)
+}
+
+// WriteFile signs the document under secret and writes indented JSON.
+func WriteFile(path string, f *File, secret []byte) error {
+	if err := f.Sign(secret); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads an SLO file without verifying it — call Verify with the
+// cluster secret before trusting the contents.
+func ReadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("slo: parse %s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,257 @@
+// Package slo declares service-level objectives over internal/history
+// series and evaluates them as multi-window burn rates.
+//
+// A Spec names a history series and a threshold: eq.-2 latency bound,
+// eq.-1 throughput floor, detection-probability floor, link RTT ceiling —
+// the contract numbers the paper's analytic model promises per
+// configuration. The engine turns each spec into an error budget: a
+// sample is "bad" when it violates the threshold, the bad fraction over a
+// window divided by the budget (1 − objective) is the burn rate, and an
+// alert fires when either the fast window (default 1 m, high burn) or the
+// slow window (default 30 m, sustained burn) exceeds its trigger. The
+// two-window shape gives pages that are both quick on hard breaches and
+// quiet on blips — the standard multi-window multi-burn-rate policy.
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"pstap/internal/history"
+)
+
+// Kind fixes which direction of a series is "bad".
+type Kind string
+
+const (
+	// LatencyBound fires when the series rises above Threshold
+	// (eq.-2/eq.-3 latency seconds).
+	LatencyBound Kind = "latency_bound"
+	// ThroughputFloor fires when the series falls below Threshold
+	// (eq.-1 CPIs/s).
+	ThroughputFloor Kind = "throughput_floor"
+	// PdFloor fires when detection probability falls below Threshold.
+	PdFloor Kind = "pd_floor"
+	// RTTCeiling fires when a link RTT rises above Threshold (seconds).
+	RTTCeiling Kind = "rtt_ceiling"
+)
+
+// upperBound reports whether the kind treats values above the threshold
+// as violations.
+func (k Kind) upperBound() (bool, error) {
+	switch k {
+	case LatencyBound, RTTCeiling, "upper":
+		return true, nil
+	case ThroughputFloor, PdFloor, "lower":
+		return false, nil
+	}
+	return false, fmt.Errorf("slo: unknown kind %q", k)
+}
+
+// Spec is one declarative objective.
+type Spec struct {
+	Name      string  `json:"name"`
+	Series    string  `json:"series"`
+	Kind      Kind    `json:"kind"`
+	Threshold float64 `json:"threshold"`
+	// Objective is the target good fraction (default 0.99 → 1% budget).
+	Objective float64 `json:"objective,omitempty"`
+	// FastWindowSec/SlowWindowSec bound the two burn windows
+	// (defaults 60 s / 1800 s).
+	FastWindowSec float64 `json:"fast_window_sec,omitempty"`
+	SlowWindowSec float64 `json:"slow_window_sec,omitempty"`
+	// FastBurn/SlowBurn are the burn-rate triggers per window
+	// (defaults 10 / 1: the fast window pages only on hard breaches,
+	// the slow window on any sustained budget overspend).
+	FastBurn float64 `json:"fast_burn,omitempty"`
+	SlowBurn float64 `json:"slow_burn,omitempty"`
+	// MinSamples gates a window until it holds that many points
+	// (default 2), so a single stray sample cannot page.
+	MinSamples int `json:"min_samples,omitempty"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Objective <= 0 || s.Objective >= 1 {
+		s.Objective = 0.99
+	}
+	if s.FastWindowSec <= 0 {
+		s.FastWindowSec = 60
+	}
+	if s.SlowWindowSec <= 0 {
+		s.SlowWindowSec = 1800
+	}
+	if s.FastBurn <= 0 {
+		s.FastBurn = 10
+	}
+	if s.SlowBurn <= 0 {
+		s.SlowBurn = 1
+	}
+	if s.MinSamples <= 0 {
+		s.MinSamples = 2
+	}
+	return s
+}
+
+// Validate checks a spec is evaluable.
+func (s Spec) Validate() error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("slo: spec missing name")
+	}
+	if strings.TrimSpace(s.Series) == "" {
+		return fmt.Errorf("slo %q: missing series", s.Name)
+	}
+	if _, err := s.Kind.upperBound(); err != nil {
+		return fmt.Errorf("slo %q: %w", s.Name, err)
+	}
+	if s.Threshold <= 0 {
+		return fmt.Errorf("slo %q: threshold must be > 0", s.Name)
+	}
+	return nil
+}
+
+// violates reports whether one sample value breaks the threshold.
+func (s Spec) violates(v float64) bool {
+	upper, _ := s.Kind.upperBound()
+	if upper {
+		return v > s.Threshold
+	}
+	return v < s.Threshold
+}
+
+// WindowState is one burn window's latest evaluation.
+type WindowState struct {
+	WindowSec float64 `json:"window_sec"`
+	Samples   int     `json:"samples"`
+	BadFrac   float64 `json:"bad_frac"`
+	BurnRate  float64 `json:"burn_rate"`
+	Trigger   float64 `json:"trigger"`
+	Firing    bool    `json:"firing"`
+}
+
+// Alert is one spec's full evaluation state, served on /alerts.json.
+type Alert struct {
+	Spec      Spec        `json:"spec"`
+	Fast      WindowState `json:"fast"`
+	Slow      WindowState `json:"slow"`
+	Firing    bool        `json:"firing"`
+	LastValue float64     `json:"last_value"`
+	// SinceUnixNs is when the alert entered its current firing state.
+	SinceUnixNs int64 `json:"since_unix_ns,omitempty"`
+	// BreachEval/FiredEval index the evaluation ticks at which bad
+	// samples first appeared and at which the alert fired (0 = never).
+	BreachEval int64 `json:"breach_eval,omitempty"`
+	FiredEval  int64 `json:"fired_eval,omitempty"`
+}
+
+// Engine evaluates a set of specs against a history store.
+type Engine struct {
+	store *history.Store
+	mu    sync.Mutex
+	specs []Spec
+	state []Alert
+	evals int64
+	// OnBreachStart, if set, runs (unlocked) once per !firing→firing
+	// transition — serve uses it to dump a flight record.
+	OnBreachStart func(a Alert)
+}
+
+// NewEngine builds an engine over specs (invalid specs are rejected).
+func NewEngine(store *history.Store, specs []Spec) (*Engine, error) {
+	e := &Engine{store: store}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		s = s.withDefaults()
+		e.specs = append(e.specs, s)
+		e.state = append(e.state, Alert{Spec: s})
+	}
+	return e, nil
+}
+
+// Evaluate recomputes every alert against samples up to now.
+func (e *Engine) Evaluate(now time.Time) {
+	var breached []Alert
+	e.mu.Lock()
+	e.evals++
+	nowNs := now.UnixNano()
+	for i, spec := range e.specs {
+		a := &e.state[i]
+		a.Fast = e.window(spec, nowNs, spec.FastWindowSec, spec.FastBurn)
+		a.Slow = e.window(spec, nowNs, spec.SlowWindowSec, spec.SlowBurn)
+		if pts := e.store.Range(spec.Series, history.Tier0, 0, nowNs); len(pts) > 0 {
+			a.LastValue = pts[len(pts)-1].Mean
+		}
+		if a.BreachEval == 0 && (a.Fast.BadFrac > 0 || a.Slow.BadFrac > 0) {
+			a.BreachEval = e.evals
+		}
+		firing := a.Fast.Firing || a.Slow.Firing
+		if firing != a.Firing {
+			a.Firing = firing
+			a.SinceUnixNs = nowNs
+			if firing {
+				a.FiredEval = e.evals
+				breached = append(breached, *a)
+			} else {
+				a.BreachEval = 0
+			}
+		}
+	}
+	hook := e.OnBreachStart
+	e.mu.Unlock()
+	if hook != nil {
+		for _, a := range breached {
+			hook(a)
+		}
+	}
+}
+
+func (e *Engine) window(spec Spec, nowNs int64, windowSec, trigger float64) WindowState {
+	from := nowNs - int64(windowSec*float64(time.Second))
+	pts := e.store.Range(spec.Series, history.Tier0, from, nowNs)
+	w := WindowState{WindowSec: windowSec, Trigger: trigger, Samples: len(pts)}
+	if len(pts) == 0 {
+		return w
+	}
+	bad := 0
+	for _, p := range pts {
+		if spec.violates(p.Mean) {
+			bad++
+		}
+	}
+	w.BadFrac = float64(bad) / float64(len(pts))
+	w.BurnRate = w.BadFrac / (1 - spec.Objective)
+	w.Firing = len(pts) >= spec.MinSamples && w.BurnRate >= trigger
+	return w
+}
+
+// Alerts returns a copy of every alert's latest state.
+func (e *Engine) Alerts() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, len(e.state))
+	copy(out, e.state)
+	return out
+}
+
+// FiringCount returns how many alerts are currently firing.
+func (e *Engine) FiringCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, a := range e.state {
+		if a.Firing {
+			n++
+		}
+	}
+	return n
+}
+
+// Evals returns how many evaluation ticks have run.
+func (e *Engine) Evals() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark regression check: re-runs the two serving-path benchmarks the
+# committed BENCH_serve.json / BENCH_obs.json baselines pin, synthesizes
+# fresh result JSONs with the same metric keys, and diffs them with
+# stapbench -compare. CI runs this warn-only with a generous tolerance —
+# the baselines carry one machine's wall-clock numbers, so cross-host
+# deltas are advisory, but a 2x collapse still shows up in the log.
+# Run from the repository root. Usage: bench_compare.sh [tolerance]
+set -euo pipefail
+
+TOL=${1:-0.5}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/stapbench" ./cmd/stapbench
+
+echo "== BenchmarkServeThroughput vs BENCH_serve.json =="
+go test -run '^$' -bench 'BenchmarkServeThroughput' -benchtime=1s . | tee "$WORK/serve.out"
+NSJOB=$(awk '/^BenchmarkServeThroughput/ {print $3; exit}' "$WORK/serve.out")
+ITERS=$(awk '/^BenchmarkServeThroughput/ {print $2; exit}' "$WORK/serve.out")
+[ -n "$NSJOB" ] || { echo "no BenchmarkServeThroughput output"; exit 1; }
+# Baseline jobs are 2 CPIs each (BENCH_serve.json config.cpis_per_job).
+awk -v ns="$NSJOB" -v it="$ITERS" 'BEGIN {
+  printf "{\"results\": {\"iterations\": %d, \"ns_per_job\": %d, \"jobs_per_sec\": %.1f, \"cpi_per_sec\": %.1f}}\n",
+    it, ns, 1e9/ns, 2e9/ns
+}' >"$WORK/serve.json"
+"$WORK/stapbench" -compare BENCH_serve.json -tolerance "$TOL" -warnonly "$WORK/serve.json"
+
+echo "== BenchmarkAttribution vs BENCH_obs.json =="
+go test ./internal/obs/ -run '^$' -bench 'BenchmarkAttribution' -benchtime=1s | tee "$WORK/obs.out"
+NSOP=$(awk '/^BenchmarkAttribution/ {print $3; exit}' "$WORK/obs.out")
+OITERS=$(awk '/^BenchmarkAttribution/ {print $2; exit}' "$WORK/obs.out")
+[ -n "$NSOP" ] || { echo "no BenchmarkAttribution output"; exit 1; }
+awk -v ns="$NSOP" -v it="$OITERS" 'BEGIN {
+  printf "{\"results\": {\"attribute\": {\"iterations\": %d, \"ns_per_op\": %d}}}\n", it, ns
+}' >"$WORK/obs.json"
+"$WORK/stapbench" -compare BENCH_obs.json -tolerance "$TOL" -warnonly "$WORK/obs.json"
+
+echo "bench compare done (tolerance $TOL, warn-only)"

@@ -16,7 +16,12 @@
 # and /plan serves a recommendation — and, in a fourth phase, job
 # survival: a stapnode is killed -9 mid-job and the coordinator must
 # fail the job over onto the in-process replica with bit-exact results
-# (stapd_job_failovers_total advances, stapload -check still exits 0).
+# (stapd_job_failovers_total advances, stapload -check still exits 0) —
+# and, in a fifth phase, SLO alerting: stapslo signs a tight eq. 2
+# latency bound, an injected repeating slowdown breaches it, and the
+# burn-rate alert must fire on /alerts.json, agree with the stapd_slo_*
+# Prometheus families, flip staptop -once to exit code 2, and dump a
+# breach flight record with the lead-up history embedded.
 # Run from the repository root.
 set -euo pipefail
 
@@ -305,4 +310,81 @@ unset STAPD_PID
 kill -TERM "$NODE1_PID"
 wait "$NODE1_PID"
 unset NODE1_PID
+
+# Phase 5: SLO burn-rate alerting. stapslo emits a signed SLO file with a
+# latency bound far under what an injected repeating CFAR slowdown will
+# produce; stapd adopts it (-slofile, verified under -distsecret), load
+# breaches it, and the burn-rate alert must fire on /alerts.json, flip
+# staptop -once to exit code 2, and leave a breach flight record with the
+# lead-up history embedded.
+go build -o "$WORK/stapslo" ./cmd/stapslo
+"$WORK/stapslo" -secret "$SECRET" -out "$WORK/slo.json" \
+  -fastwindow 2s -slowwindow 10s -fastburn 1 -slowburn 1 \
+  -slo 'eq2-latency:latency_bound:r0/eq2_latency_seconds:25ms:0.9' >"$WORK/stapslo.log"
+grep -q 'SLO file written' "$WORK/stapslo.log"
+"$WORK/stapslo" -secret "$SECRET" -verify "$WORK/slo.json" >/dev/null
+
+FLIGHT5="$WORK/flight5"
+mkdir -p "$FLIGHT5"
+"$WORK/stapd" -listen 127.0.0.1:7439 -metrics 127.0.0.1:7440 -size small \
+  -replicas 1 -slofile "$WORK/slo.json" -distsecret "$SECRET" \
+  -faultplan 'cfar:*:*:slow(50ms)*' -flightdir "$FLIGHT5" >"$WORK/stapd5.log" 2>&1 &
+STAPD_PID=$!
+for i in $(seq 1 50); do
+  curl -sf http://127.0.0.1:7440/metrics >/dev/null && break
+  sleep 0.2
+done
+grep -q 'SLO file .* adopted' "$WORK/stapd5.log"
+
+# Healthy daemon, no samples breached yet: staptop -once must exit 0 and
+# render the SLO panel.
+"$WORK/staptop" -addr 127.0.0.1:7440 -once >"$WORK/staptop5a.out"
+grep -q 'SLOs (0 firing)' "$WORK/staptop5a.out"
+
+# Every CPI pays the 50 ms CFAR stall, so the windowed eq. 2 gauge lands
+# far over the 25 ms bound and stays there after the load completes.
+"$WORK/stapload" -addr 127.0.0.1:7439 -rate 20 -jobs 6 -cpis 2 \
+  -maxretries 10 >/dev/null 2>&1
+
+ALERT_OK=0
+for i in $(seq 1 60); do
+  curl -sf http://127.0.0.1:7440/alerts.json >"$WORK/alerts.json" || { sleep 0.5; continue; }
+  if grep -q '"firing": [1-9]' "$WORK/alerts.json"; then
+    ALERT_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$ALERT_OK" = 1 ] || { echo "SLO alert never fired"; cat "$WORK/alerts.json" "$WORK/stapd5.log"; exit 1; }
+
+# The Prometheus surface agrees, and /history.json serves the series.
+curl -sf http://127.0.0.1:7440/metrics.prom >"$WORK/metrics5.prom"
+grep -q '^stapd_alerts_firing 1$' "$WORK/metrics5.prom"
+grep -q '^stapd_slo_firing{slo="eq2-latency"} 1$' "$WORK/metrics5.prom"
+curl -sf 'http://127.0.0.1:7440/history.json?series=r0/eq2_latency_seconds' >"$WORK/history5.json"
+grep -q '"r0/eq2_latency_seconds"' "$WORK/history5.json"
+
+# staptop -once prints the firing set and exits 2 while the alert fires.
+set +e
+"$WORK/staptop" -addr 127.0.0.1:7440 -once >"$WORK/staptop5b.out"
+TOP_RC=$?
+set -e
+[ "$TOP_RC" = 2 ] || { echo "staptop -once exit $TOP_RC under firing alert, want 2"; cat "$WORK/staptop5b.out"; exit 1; }
+grep -q 'FIRING: eq2-latency' "$WORK/staptop5b.out"
+
+# The breach flight record embeds the faulted replica's recent history.
+REC5_OK=0
+for i in $(seq 1 30); do
+  if grep -ls 'slo breach' "$FLIGHT5"/flightrec-*.json >/dev/null 2>&1; then
+    REC5_OK=1
+    break
+  fi
+  sleep 0.5
+done
+[ "$REC5_OK" = 1 ] || { echo "no SLO breach flight record"; ls "$FLIGHT5"; cat "$WORK/stapd5.log"; exit 1; }
+grep -l 'slo breach' "$FLIGHT5"/flightrec-*.json | xargs grep -q '"history"'
+
+kill -TERM "$STAPD_PID"
+wait "$STAPD_PID"
+unset STAPD_PID
 echo "distributed e2e smoke passed"
